@@ -1,0 +1,69 @@
+//! Criterion wrappers over scaled-down versions of the paper experiments —
+//! one per table/figure, so `cargo bench` exercises every harness. The
+//! full-scale numbers come from the `wow-bench` binaries (see DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use wow_bench::fig4::{run_trial, Fig4Config, Scenario};
+use wow_bench::fig6;
+use wow_bench::fig7;
+use wow_bench::fig8;
+use wow_bench::table2::{placements, run_transfer, Attempt};
+use wow_bench::table3;
+
+fn bench_fig4(c: &mut Criterion) {
+    let cfg = Fig4Config::quick();
+    c.bench_function("fig4_join_trial_quick", |b| {
+        b.iter(|| run_trial(Scenario::UflNwu, &cfg, 0))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_transfer_quick", |b| {
+        b.iter(|| {
+            match run_transfer(placements()[1], true, 2_000_000, 30, 0x7AB2) {
+                Attempt::Done(kbs) => kbs,
+                _ => 0.0,
+            }
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let cfg = fig6::Fig6Config::quick();
+    c.bench_function("fig6_scp_migration_quick", |b| {
+        b.iter(|| fig6::run(&cfg).completed)
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let cfg = fig7::Fig7Config::quick();
+    c.bench_function("fig7_pbs_migration_quick", |b| {
+        b.iter(|| fig7::run(&cfg).jobs.len())
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let cfg = fig8::Fig8Config::quick();
+    c.bench_function("fig8_meme_batch_quick", |b| {
+        b.iter(|| fig8::run(true, &cfg).completed)
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let cfg = table3::Table3Config {
+        scale: 0.02,
+        routers: 30,
+        seed: 0x7AB3,
+    };
+    c.bench_function("table3_pvm_quick", |b| {
+        b.iter(|| table3::run_parallel(&(3..=10).collect::<Vec<u8>>(), true, &cfg))
+    });
+}
+
+criterion_group! {
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4, bench_table2, bench_fig6, bench_fig7, bench_fig8, bench_table3
+}
+criterion_main!(experiments);

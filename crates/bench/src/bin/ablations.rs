@@ -1,0 +1,73 @@
+//! Ablation sweeps over the design knobs DESIGN.md calls out: far-link
+//! count k, shortcut score threshold, and URI trial ordering.
+
+use wow_bench::ablate::{far_k_sweep, threshold_point, uri_order_point};
+use wow_bench::report::{banner, r1, r2, write_csv, Table};
+use wow_overlay::uri::UriOrder;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n, ks, trials) = if quick {
+        (32usize, vec![1usize, 4], 3u64)
+    } else {
+        (64, vec![1, 2, 4, 8], 8)
+    };
+
+    banner(
+        "Ablation 1 -- structured-far link count k vs routing hops",
+        "Brunet: average hops O((1/k) log^2 n)",
+    );
+    let points = far_k_sweep(n, &ks, 0xAB1);
+    let mut t = Table::new(&["k", "mean hops", "delivery rate"]);
+    for p in &points {
+        t.row(&[&p.k, &r2(p.mean_hops), &r2(p.delivery)]);
+    }
+    t.print();
+    write_csv(
+        "ablation_far_k.csv",
+        "k,mean_hops,delivery",
+        points
+            .iter()
+            .map(|p| format!("{},{:.3},{:.3}", p.k, p.mean_hops, p.delivery)),
+    );
+
+    banner(
+        "Ablation 2 -- shortcut score threshold vs time-to-shortcut",
+        "the paper's threshold is a constant; lower = eager shortcuts (more maintenance), higher = slow adaptation",
+    );
+    let thresholds: &[f64] = if quick { &[5.0, 20.0] } else { &[2.0, 5.0, 10.0, 20.0, 40.0] };
+    let mut t = Table::new(&["threshold", "median time-to-shortcut (s)", "missed"]);
+    let mut rows = Vec::new();
+    for &th in thresholds {
+        let p = threshold_point(th, trials, 0xAB2);
+        t.row(&[&p.threshold, &r1(p.median_time_to_direct), &p.missed]);
+        rows.push(p);
+    }
+    t.print();
+    write_csv(
+        "ablation_threshold.csv",
+        "threshold,median_time_to_direct_s,missed",
+        rows.iter()
+            .map(|p| format!("{},{:.1},{}", p.threshold, p.median_time_to_direct, p.missed)),
+    );
+
+    banner(
+        "Ablation 3 -- URI trial ordering (both peers behind one non-hairpin NAT)",
+        "public-first burns ~155 s of retries on the NAT mapping before the private address works (the UFL-UFL delay of Fig. 4)",
+    );
+    let mut t = Table::new(&["order", "median time-to-shortcut (s)", "missed"]);
+    let mut rows = Vec::new();
+    for order in [UriOrder::PublicFirst, UriOrder::PrivateFirst] {
+        let p = uri_order_point(order, trials, 0xAB3);
+        t.row(&[&format!("{order:?}"), &r1(p.median_time_to_direct), &p.missed]);
+        rows.push(p);
+    }
+    t.print();
+    write_csv(
+        "ablation_uri_order.csv",
+        "order,median_time_to_direct_s,missed",
+        rows.iter().map(|p| {
+            format!("{:?},{:.1},{}", p.order, p.median_time_to_direct, p.missed)
+        }),
+    );
+}

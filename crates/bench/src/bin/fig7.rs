@@ -1,0 +1,44 @@
+//! Regenerate Fig. 7: PBS/MEME job profile across a worker VM migration.
+
+use wow_bench::fig7::{run, Fig7Config};
+use wow_bench::report::{banner, r1, write_csv};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick { Fig7Config::quick() } else { Fig7Config::default() };
+    banner(
+        "Fig. 7 -- PBS/MEME job execution times across worker migration",
+        "background load slows jobs; the in-transit job stretches by the WAN copy but completes; post-migration jobs are fast again",
+    );
+    let r = run(&cfg);
+    let (before, loaded, transit, after) = r.observed_means;
+    println!("observed worker: node{:03}", r.observed);
+    println!(
+        "phases (s): load applied {:.0}, suspend {:.0}, resume {:.0}",
+        r.phases.0, r.phases.1, r.phases.2
+    );
+    println!("mean wall before load:     {}s", r1(before));
+    println!("mean wall under load:      {}s", r1(loaded));
+    println!("in-transit job wall:       {}s", r1(transit));
+    println!("mean wall after migration: {}s", r1(after));
+    println!("jobs completed: {}", r.jobs.len());
+    write_csv(
+        "fig7_job_profile.csv",
+        "job,node,wall_s,completed_at_s",
+        r.jobs
+            .iter()
+            .map(|(j, n, w, c)| format!("{j},{n},{w:.1},{c:.1}")),
+    );
+    assert!(
+        loaded > before * 1.5,
+        "background load must slow the jobs ({loaded} vs {before})"
+    );
+    assert!(
+        transit > loaded,
+        "the in-transit job must stretch across the migration"
+    );
+    assert!(
+        after < loaded,
+        "post-migration jobs must speed up ({after} vs {loaded})"
+    );
+}

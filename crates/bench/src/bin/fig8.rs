@@ -1,0 +1,57 @@
+//! Regenerate Fig. 8: PBS/MEME wall-clock histograms, shortcuts on/off.
+
+use wow_bench::fig8::{run, Fig8Config};
+use wow_bench::report::{banner, r1, write_csv, Table};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let full = std::env::args().any(|a| a == "--full");
+    let cfg = if quick {
+        Fig8Config::quick()
+    } else if full {
+        Fig8Config::full()
+    } else {
+        Fig8Config::default()
+    };
+    banner(
+        "Fig. 8 -- PBS/MEME job wall-clock distribution, shortcuts on vs off",
+        "enabled: mean 24.1s sd 6.5, 53 jobs/min; disabled: mean 32.2s sd 9.7, 22 jobs/min",
+    );
+    println!("config: {} jobs, {} routers\n", cfg.jobs, cfg.routers);
+    let mut rows = Vec::new();
+    for shortcuts in [true, false] {
+        let r = run(shortcuts, &cfg);
+        let label = if shortcuts { "enabled" } else { "disabled" };
+        println!(
+            "shortcuts {label}: {} jobs, mean {}s sd {}s, throughput {} jobs/min",
+            r.completed,
+            r1(r.mean_s),
+            r1(r.std_s),
+            r1(r.throughput_jpm)
+        );
+        // Per-node spread: the slow and fast outliers the paper names.
+        let share = |n: u8| {
+            100.0 * r.per_node.get(&n).copied().unwrap_or(0) as f64 / r.completed.max(1) as f64
+        };
+        println!(
+            "  job share: node032 {:.1}% node034 {:.1}% (slow) | node030 {:.1}% node033 {:.1}% (fast); paper: 1.6%/4.2%",
+            share(32), share(34), share(30), share(33)
+        );
+        println!("  histogram (wall s -> % of jobs):");
+        for (centre, _, frac) in r.histogram.buckets() {
+            println!("    {:>4.0}s  {:>5.1}%  {}", centre, frac * 100.0, "#".repeat((frac * 100.0) as usize));
+        }
+        write_csv(
+            &format!("fig8_shortcuts_{label}.csv"),
+            "job,node,wall_s",
+            r.walls.iter().map(|(j, n, w)| format!("{j},{n},{w:.2}")),
+        );
+        rows.push((label, r));
+    }
+    let mut t = Table::new(&["shortcuts", "mean wall (s)", "std (s)", "throughput (jobs/min)"]);
+    for (label, r) in &rows {
+        t.row(&[label, &r1(r.mean_s), &r1(r.std_s), &r1(r.throughput_jpm)]);
+    }
+    t.print();
+    println!("\npaper: 24.1s/6.5 at 53 jobs/min (on) vs 32.2s/9.7 at 22 jobs/min (off)");
+}

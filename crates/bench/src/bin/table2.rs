@@ -1,0 +1,57 @@
+//! Regenerate Table II: ttcp bandwidth with and without shortcuts.
+
+use wow_bench::report::{banner, r1, write_csv, Table};
+use wow_bench::table2::{run, Table2Config};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let full = std::env::args().any(|a| a == "--full");
+    let cfg = if quick {
+        Table2Config::quick()
+    } else if full {
+        Table2Config::full()
+    } else {
+        Table2Config::default()
+    };
+    banner(
+        "Table II -- average ttcp bandwidth between WOW nodes",
+        "shortcuts on: UFL-UFL 1614 KB/s, UFL-NWU 1250 KB/s; shortcuts off: 84/85 KB/s (15-19x)",
+    );
+    println!(
+        "config: sizes {:?} bytes x {} repeats, {} routers\n",
+        cfg.sizes, cfg.repeats, cfg.routers
+    );
+    let cells = run(&cfg);
+    let mut t = Table::new(&["placement", "shortcuts", "bandwidth KB/s", "stddev", "transfers"]);
+    for c in &cells {
+        let sc: &dyn std::fmt::Display = if c.shortcuts { &"enabled" } else { &"disabled" };
+        t.row(&[
+            &c.label,
+            sc,
+            &r1(c.bandwidth_kbs),
+            &r1(c.stddev_kbs),
+            &format!("{}/{}", c.completed, c.attempted),
+        ]);
+    }
+    t.print();
+    // Shape check: the improvement factor.
+    for label in ["UFL-UFL", "UFL-NWU"] {
+        let on = cells.iter().find(|c| c.label == label && c.shortcuts).unwrap();
+        let off = cells.iter().find(|c| c.label == label && !c.shortcuts).unwrap();
+        println!(
+            "{label}: shortcuts are {:.1}x faster (paper: ~{}x)",
+            on.bandwidth_kbs / off.bandwidth_kbs,
+            if label == "UFL-UFL" { 19 } else { 15 }
+        );
+    }
+    write_csv(
+        "table2.csv",
+        "placement,shortcuts,bandwidth_kbs,stddev_kbs",
+        cells.iter().map(|c| {
+            format!(
+                "{},{},{:.1},{:.1}",
+                c.label, c.shortcuts, c.bandwidth_kbs, c.stddev_kbs
+            )
+        }),
+    );
+}

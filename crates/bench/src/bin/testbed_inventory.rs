@@ -1,0 +1,28 @@
+//! Print the reconstructed testbed (Table I / Figure 1 composition).
+
+use wow::testbed::{table1, TestbedConfig};
+use wow_bench::report::{banner, Table};
+
+fn main() {
+    banner(
+        "Table I / Fig. 1 -- the WOW testbed",
+        "33 compute nodes in six NAT/firewalled domains + 118 PlanetLab router nodes on 20 hosts",
+    );
+    let cfg = TestbedConfig::default();
+    let mut t = Table::new(&["node", "virtual IP", "domain", "relative speed"]);
+    for spec in table1() {
+        t.row(&[
+            &format!("node{:03}", spec.number),
+            &format!("172.16.1.{}", spec.number),
+            &spec.site.name(),
+            &format!("{:.2}", spec.speed),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nrouters: {} IPOP processes on {} public hosts (load {:.0}-{:.0}x)",
+        cfg.routers, cfg.router_hosts, cfg.planetlab_load.0, cfg.planetlab_load.1
+    );
+    println!("NAT behaviours: ufl.edu cone/no-hairpin; northwestern.edu cone/hairpin (VMware);");
+    println!("lsu.edu, ncgrid.org, vims.edu cone; gru.net symmetric (home, multi-NAT).");
+}

@@ -1,0 +1,129 @@
+//! Reporting helpers: aligned console tables and CSV files under
+//! `results/`, so every experiment binary emits both a human-readable
+//! summary and machine-readable series.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Where CSV series land (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("WOW_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let path = PathBuf::from(dir);
+    let _ = fs::create_dir_all(&path);
+    path
+}
+
+/// Write rows of a CSV file (header first) under `results/`.
+pub fn write_csv(name: &str, header: &str, rows: impl IntoIterator<Item = String>) {
+    let path = results_dir().join(name);
+    let mut f = match fs::File::create(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            return;
+        }
+    };
+    let _ = writeln!(f, "{header}");
+    for row in rows {
+        let _ = writeln!(f, "{row}");
+    }
+    println!("  [csv] {}", path.display());
+}
+
+/// A fixed-width console table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column names.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Add a row (stringifies every cell).
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows
+            .push(cells.iter().map(|c| format!("{c}")).collect());
+    }
+
+    /// Print with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut out = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                out.push_str(&format!("{:>w$}  ", cell, w = widths[i]));
+            }
+            out.trim_end().to_string()
+        };
+        println!("{}", line(&self.header));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("{}", "-".repeat(total.min(120)));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+    }
+}
+
+/// Round to one decimal for display.
+pub fn r1(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}
+
+/// Round to two decimals for display.
+pub fn r2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+/// A banner for experiment output.
+pub fn banner(title: &str, paper: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!("    paper reference: {paper}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounding_helpers() {
+        assert_eq!(r1(1.26), 1.3);
+        assert_eq!(r1(-1.24), -1.2);
+        assert_eq!(r2(3.14159), 3.14);
+    }
+
+    #[test]
+    fn table_rejects_column_mismatch() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&[&1, &2]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.row(&[&1]);
+        }));
+        assert!(result.is_err(), "short rows must panic");
+    }
+
+    #[test]
+    fn results_dir_honours_env() {
+        std::env::set_var("WOW_RESULTS_DIR", "/tmp/wow-results-test");
+        assert_eq!(
+            results_dir(),
+            std::path::PathBuf::from("/tmp/wow-results-test")
+        );
+        std::env::remove_var("WOW_RESULTS_DIR");
+    }
+}

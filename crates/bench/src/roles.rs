@@ -1,0 +1,64 @@
+//! A sum-type workload so one testbed can host heterogeneous middleware
+//! (the `testbed::build` factory is generic over a single workload type).
+
+use wow::workstation::{IdleWorkload, Workload, WsHandle};
+use wow_middleware::duo::Both;
+use wow_middleware::nfs::NfsServer;
+use wow_middleware::pbs::{PbsHead, PbsWorker};
+use wow_middleware::ping::PingProbe;
+use wow_middleware::pvm::{PvmMaster, PvmWorker};
+use wow_middleware::scp::{FileClient, FileServer};
+use wow_middleware::ttcp::{TtcpReceiver, TtcpSender};
+use wow_vnet::stack::StackEvent;
+
+/// Every middleware role the experiments deploy on testbed nodes.
+#[allow(missing_docs)]
+pub enum Role {
+    Idle(IdleWorkload),
+    Probe(PingProbe),
+    TtcpSend(TtcpSender),
+    TtcpRecv(TtcpReceiver),
+    FileServer(FileServer),
+    FileClient(FileClient),
+    PbsHead(Box<Both<PbsHead, NfsServer>>),
+    /// A ttcp sender preceded by warmup ping traffic (establishes the
+    /// shortcut before the measured transfer, like the paper's repeated
+    /// back-to-back transfers).
+    TtcpSendWarm(Box<Both<PingProbe, TtcpSender>>),
+    PbsWorker(Box<PbsWorker>),
+    PvmMaster(Box<PvmMaster>),
+    PvmWorker(PvmWorker),
+}
+
+macro_rules! dispatch {
+    ($self:ident, $inner:ident => $body:expr) => {
+        match $self {
+            Role::Idle($inner) => $body,
+            Role::Probe($inner) => $body,
+            Role::TtcpSend($inner) => $body,
+            Role::TtcpRecv($inner) => $body,
+            Role::FileServer($inner) => $body,
+            Role::FileClient($inner) => $body,
+            Role::PbsHead($inner) => $body,
+            Role::TtcpSendWarm($inner) => $body,
+            Role::PbsWorker($inner) => $body,
+            Role::PvmMaster($inner) => $body,
+            Role::PvmWorker($inner) => $body,
+        }
+    };
+}
+
+impl Workload for Role {
+    fn on_boot(&mut self, w: &mut WsHandle<'_, '_, '_>) {
+        dispatch!(self, x => x.on_boot(w))
+    }
+    fn on_event(&mut self, w: &mut WsHandle<'_, '_, '_>, ev: StackEvent) {
+        dispatch!(self, x => x.on_event(w, ev))
+    }
+    fn on_wake(&mut self, w: &mut WsHandle<'_, '_, '_>, tag: u64) {
+        dispatch!(self, x => x.on_wake(w, tag))
+    }
+    fn on_resumed(&mut self, w: &mut WsHandle<'_, '_, '_>) {
+        dispatch!(self, x => x.on_resumed(w))
+    }
+}

@@ -1,0 +1,104 @@
+//! The fastDNAml-PVM workload model (Table III).
+//!
+//! fastDNAml infers maximum-likelihood phylogenetic trees by stepwise
+//! addition: taxa are added one at a time, and adding taxon *i* to a tree
+//! of *i−1* taxa means evaluating the 2i−5 possible insertion branches —
+//! independent tasks the PVM master farms out — followed by a
+//! synchronization to pick the best tree before the next round ("the
+//! application needs to synchronize many times during its execution, to
+//! select the best tree at each round of tree optimization").
+//!
+//! For the paper's 50-taxa dataset this yields 47 rounds whose task counts
+//! grow 3, 5, …, 95 and whose per-task cost grows with tree size. The
+//! model distributes the measured sequential time (22272 s on node002,
+//! VM overhead included) over that structure. Round-level barriers plus
+//! Table I's heterogeneity are what hold the 30-node speedup to ~13.6×.
+
+use wow_netsim::time::SimDuration;
+
+use crate::pvm::RoundSpec;
+
+/// Taxa in the paper's dataset.
+pub const TAXA: u32 = 50;
+/// Sequential execution time on the baseline node (node002), as measured
+/// in Table III — includes the VM overhead.
+pub const SEQUENTIAL_BASELINE: SimDuration = SimDuration::from_secs(22_272);
+/// Machine-virtualization overhead folded into compute times.
+pub const VM_OVERHEAD: f64 = 1.13;
+/// Argument bytes shipped per task (alignment slice + tree description).
+pub const ARG_BYTES: u32 = 8_000;
+/// Result bytes returned per task (evaluated trees with branch lengths and
+/// likelihoods; fastDNAml ships whole tree evaluations back per branch).
+pub const RESULT_BYTES: u32 = 192_000;
+
+/// Number of insertion tasks when adding taxon `i` (i ≥ 4): `2i − 5`.
+fn tasks_for_taxon(i: u32) -> u32 {
+    2 * i - 5
+}
+
+/// Build the round structure for `taxa` taxa whose total *nominal*
+/// (pre-overhead, baseline-CPU) work matches the measured sequential time.
+pub fn rounds(taxa: u32) -> Vec<RoundSpec> {
+    assert!(taxa >= 4, "stepwise addition starts at 4 taxa");
+    // Per-task cost grows linearly with tree size: t_i = c·i. Solve c so
+    // Σ n_i · t_i equals the nominal sequential work.
+    let nominal_total = SEQUENTIAL_BASELINE.as_secs_f64() / VM_OVERHEAD;
+    let weight: f64 = (4..=taxa)
+        .map(|i| f64::from(tasks_for_taxon(i)) * f64::from(i))
+        .sum();
+    let c = nominal_total / weight;
+    (4..=taxa)
+        .map(|i| RoundSpec {
+            tasks: tasks_for_taxon(i),
+            nominal_per_task: SimDuration::from_secs_f64(c * f64::from(i)),
+            arg_bytes: ARG_BYTES,
+            result_bytes: RESULT_BYTES,
+        })
+        .collect()
+}
+
+/// Total task count for a dataset.
+pub fn total_tasks(taxa: u32) -> u32 {
+    (4..=taxa).map(tasks_for_taxon).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_structure_matches_stepwise_addition() {
+        let r = rounds(TAXA);
+        assert_eq!(r.len(), 47); // taxa 4..=50
+        assert_eq!(r[0].tasks, 3);
+        assert_eq!(r.last().unwrap().tasks, 95);
+        assert_eq!(total_tasks(TAXA), (4..=50).map(|i| 2 * i - 5).sum::<u32>());
+    }
+
+    #[test]
+    fn total_nominal_work_matches_sequential_measurement() {
+        let r = rounds(TAXA);
+        let total: f64 = r
+            .iter()
+            .map(|s| f64::from(s.tasks) * s.nominal_per_task.as_secs_f64())
+            .sum();
+        let expected = SEQUENTIAL_BASELINE.as_secs_f64() / VM_OVERHEAD;
+        assert!(
+            (total - expected).abs() / expected < 0.01,
+            "nominal work {total} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn later_rounds_have_more_and_bigger_tasks() {
+        let r = rounds(TAXA);
+        assert!(r[46].tasks > r[0].tasks);
+        assert!(r[46].nominal_per_task > r[0].nominal_per_task);
+    }
+
+    #[test]
+    #[should_panic(expected = "stepwise")]
+    fn too_few_taxa_rejected() {
+        let _ = rounds(3);
+    }
+}

@@ -1,0 +1,4 @@
+//! Application models: the two life-science benchmarks of §V-D.
+
+pub mod fastdnaml;
+pub mod meme;

@@ -1,0 +1,107 @@
+//! Length-prefixed message framing over byte streams.
+//!
+//! The PBS and PVM analogues speak message protocols over the virtual
+//! network's TCP sockets; [`Framer`] turns the stream back into discrete
+//! messages (u32 big-endian length prefix, then the body).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Upper bound on one framed message (defensive).
+pub const MAX_FRAME: usize = 4 * 1024 * 1024;
+
+/// Prefix a message body with its length.
+pub fn frame(body: &[u8]) -> Bytes {
+    assert!(body.len() <= MAX_FRAME, "frame too large");
+    let mut buf = BytesMut::with_capacity(4 + body.len());
+    buf.put_u32(body.len() as u32);
+    buf.put_slice(body);
+    buf.freeze()
+}
+
+/// Incremental de-framer for one stream direction.
+#[derive(Debug, Default)]
+pub struct Framer {
+    buf: BytesMut,
+}
+
+impl Framer {
+    /// Empty framer.
+    pub fn new() -> Self {
+        Framer::default()
+    }
+
+    /// Feed stream bytes.
+    pub fn push(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Pop the next complete message, if any.
+    ///
+    /// Returns `Err(())` on a corrupt (oversized) length prefix; callers
+    /// should drop the connection.
+    #[allow(clippy::result_unit_err, clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Bytes>, ()> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME {
+            return Err(());
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        Ok(Some(self.buf.split_to(len).freeze()))
+    }
+
+    /// Bytes currently buffered (for tests).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_through_arbitrary_splits() {
+        let msgs: Vec<&[u8]> = vec![b"alpha", b"", b"a much longer message body", b"z"];
+        let mut wire = BytesMut::new();
+        for m in &msgs {
+            wire.extend_from_slice(&frame(m));
+        }
+        // Feed one byte at a time.
+        let mut f = Framer::new();
+        let mut got = Vec::new();
+        for b in wire.iter() {
+            f.push(&[*b]);
+            while let Some(m) = f.next().expect("well-formed") {
+                got.push(m);
+            }
+        }
+        assert_eq!(got.len(), msgs.len());
+        for (g, m) in got.iter().zip(&msgs) {
+            assert_eq!(&g[..], *m);
+        }
+        assert_eq!(f.buffered(), 0);
+    }
+
+    #[test]
+    fn oversized_prefix_is_an_error() {
+        let mut f = Framer::new();
+        f.push(&(u32::MAX).to_be_bytes());
+        assert!(f.next().is_err());
+    }
+
+    #[test]
+    fn partial_message_waits() {
+        let mut f = Framer::new();
+        let framed = frame(b"hello");
+        f.push(&framed[..6]);
+        assert_eq!(f.next().expect("fine"), None);
+        f.push(&framed[6..]);
+        assert_eq!(&f.next().expect("fine").expect("complete")[..], b"hello");
+    }
+}

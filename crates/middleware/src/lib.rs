@@ -1,0 +1,42 @@
+//! # wow-middleware — the software that runs *on* the WOW
+//!
+//! The paper's thesis is that a WOW is managed and programmed like a LAN
+//! cluster: unmodified schedulers, file systems and parallel runtimes just
+//! work over the virtual network. This crate provides analogues of that
+//! middleware as [`wow::workstation::Workload`]s speaking real protocols
+//! over the vnet's UDP/TCP sockets:
+//!
+//! * [`ping`] — the ICMP measurement probe of Fig. 4 / Fig. 5
+//! * [`ttcp`] — bulk TCP bandwidth measurement (Table II)
+//! * [`scp`] — file transfer that survives VM migration (Fig. 6)
+//! * [`nfs`] — UDP-RPC file service (the job data path of Fig. 7 / Fig. 8)
+//! * [`pbs`] — FIFO batch scheduling: head node and workers
+//! * [`pvm`] — master/worker task pool with per-round barriers
+//! * [`apps`] — job/round models for MEME and fastDNAml
+//! * [`framing`] — length-prefixed messages over TCP streams
+//! * [`duo`] — running two services on one workstation
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod duo;
+pub mod framing;
+pub mod nfs;
+pub mod pbs;
+pub mod ping;
+pub mod pvm;
+pub mod scp;
+pub mod ttcp;
+
+/// Commonly-used names, for glob import.
+pub mod prelude {
+    pub use crate::apps::fastdnaml;
+    pub use crate::apps::meme;
+    pub use crate::duo::Both;
+    pub use crate::nfs::{NfsClient, NfsServer, NFS_PORT};
+    pub use crate::pbs::{JobTemplate, PbsHead, PbsResults, PbsWorker, PBS_PORT};
+    pub use crate::ping::{PingProbe, PingResponder, PingResults};
+    pub use crate::pvm::{PvmMaster, PvmResults, PvmWorker, RoundSpec, PVM_PORT};
+    pub use crate::scp::{FileClient, FileServer};
+    pub use crate::ttcp::{TransferProgress, TtcpReceiver, TtcpSender};
+}

@@ -1,0 +1,724 @@
+//! An OpenPBS analogue: FIFO batch queue, head node, pull-free workers.
+//!
+//! The Fig. 7 / Fig. 8 experiments run thousands of short MEME jobs,
+//! submitted at 1 job/s on the head node, dispatched to 32 workers, each
+//! job reading its input from and writing its output to the head's NFS
+//! export over the virtual network. The head and workers here speak a
+//! framed message protocol over vnet TCP; workers embed an [`NfsClient`]
+//! for the data path; compute burns host CPU through the simulator's
+//! speed/load model — which is where Table I's heterogeneity shows up in
+//! the job-time histogram.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use wow::workstation::{Workload, WsHandle};
+use wow_netsim::time::{SimDuration, SimTime};
+use wow_vnet::prelude::{SocketId, StackEvent, VirtIp};
+
+use crate::framing::{frame, Framer};
+use crate::nfs::{NfsClient, NFS_TAG_BASE};
+
+/// The head node's scheduler port.
+pub const PBS_PORT: u16 = 15_001;
+
+// ---- protocol ----
+
+/// PBS wire messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PbsMsg {
+    /// Worker announces itself.
+    Register {
+        /// Table I node number.
+        node: u8,
+    },
+    /// Head assigns a job.
+    Dispatch {
+        /// Job id.
+        job: u32,
+        /// Nominal compute milliseconds (baseline CPU, before overheads).
+        nominal_ms: u32,
+        /// NFS input bytes to read before computing.
+        input_bytes: u32,
+        /// NFS output bytes to write after computing.
+        output_bytes: u32,
+    },
+    /// Server polls a worker's MOM before dispatching (resource query /
+    /// session setup; OpenPBS performs several such round trips per job).
+    MomPoll {
+        /// Poll sequence within the handshake.
+        seq: u32,
+    },
+    /// MOM answers a poll.
+    MomPollReply {
+        /// Echoed sequence.
+        seq: u32,
+    },
+    /// Worker acknowledges receipt of a dispatch (the pbs_server ↔ MOM
+    /// round trip; the server dispatches sequentially, so this gate is what
+    /// couples scheduler throughput to virtual-network latency).
+    DispatchAck {
+        /// Job id.
+        job: u32,
+    },
+    /// Worker reports completion.
+    Complete {
+        /// Job id.
+        job: u32,
+    },
+}
+
+impl PbsMsg {
+    /// Encode (unframed).
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        match self {
+            PbsMsg::Register { node } => {
+                b.put_u8(1);
+                b.put_u8(*node);
+            }
+            PbsMsg::Dispatch {
+                job,
+                nominal_ms,
+                input_bytes,
+                output_bytes,
+            } => {
+                b.put_u8(2);
+                b.put_u32(*job);
+                b.put_u32(*nominal_ms);
+                b.put_u32(*input_bytes);
+                b.put_u32(*output_bytes);
+            }
+            PbsMsg::Complete { job } => {
+                b.put_u8(3);
+                b.put_u32(*job);
+            }
+            PbsMsg::DispatchAck { job } => {
+                b.put_u8(4);
+                b.put_u32(*job);
+            }
+            PbsMsg::MomPoll { seq } => {
+                b.put_u8(5);
+                b.put_u32(*seq);
+            }
+            PbsMsg::MomPollReply { seq } => {
+                b.put_u8(6);
+                b.put_u32(*seq);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Decode (unframed).
+    pub fn decode(mut b: Bytes) -> Option<PbsMsg> {
+        if b.remaining() < 1 {
+            return None;
+        }
+        Some(match b.get_u8() {
+            1 => {
+                if b.remaining() < 1 {
+                    return None;
+                }
+                PbsMsg::Register { node: b.get_u8() }
+            }
+            2 => {
+                if b.remaining() < 16 {
+                    return None;
+                }
+                PbsMsg::Dispatch {
+                    job: b.get_u32(),
+                    nominal_ms: b.get_u32(),
+                    input_bytes: b.get_u32(),
+                    output_bytes: b.get_u32(),
+                }
+            }
+            3 => {
+                if b.remaining() < 4 {
+                    return None;
+                }
+                PbsMsg::Complete { job: b.get_u32() }
+            }
+            4 => {
+                if b.remaining() < 4 {
+                    return None;
+                }
+                PbsMsg::DispatchAck { job: b.get_u32() }
+            }
+            5 => {
+                if b.remaining() < 4 {
+                    return None;
+                }
+                PbsMsg::MomPoll { seq: b.get_u32() }
+            }
+            6 => {
+                if b.remaining() < 4 {
+                    return None;
+                }
+                PbsMsg::MomPollReply { seq: b.get_u32() }
+            }
+            _ => return None,
+        })
+    }
+}
+
+// ---- job model ----
+
+/// Template for the jobs a run submits (the MEME model fills this in).
+#[derive(Clone, Copy, Debug)]
+pub struct JobTemplate {
+    /// Nominal compute time on the baseline CPU, excluding overheads.
+    pub nominal: SimDuration,
+    /// NFS input size.
+    pub input_bytes: u32,
+    /// NFS output size.
+    pub output_bytes: u32,
+}
+
+/// One finished job, as the head saw it.
+#[derive(Clone, Copy, Debug)]
+pub struct JobRecord {
+    /// Job id (submission order).
+    pub job: u32,
+    /// Worker node number that ran it.
+    pub node: u8,
+    /// When it entered the queue.
+    pub submitted: SimTime,
+    /// When it was dispatched.
+    pub dispatched: SimTime,
+    /// When the completion message arrived.
+    pub completed: SimTime,
+}
+
+impl JobRecord {
+    /// Wall-clock execution time (dispatch → completion) — what Fig. 8
+    /// histograms.
+    pub fn wall(&self) -> SimDuration {
+        self.completed.saturating_since(self.dispatched)
+    }
+
+    /// Queue wait (submission → dispatch).
+    pub fn queue_wait(&self) -> SimDuration {
+        self.dispatched.saturating_since(self.submitted)
+    }
+}
+
+/// Shared results of one PBS run.
+#[derive(Clone, Debug, Default)]
+pub struct PbsResults {
+    /// Per-job records, in completion order.
+    pub records: Vec<JobRecord>,
+    /// When the last job finished.
+    pub all_done: Option<SimTime>,
+    /// Workers currently registered (diagnostic).
+    pub workers_seen: usize,
+}
+
+impl PbsResults {
+    /// Throughput in jobs per minute across the whole run.
+    pub fn throughput_jobs_per_min(&self, first_submit: SimTime) -> Option<f64> {
+        let end = self.all_done?;
+        let secs = end.saturating_since(first_submit).as_secs_f64();
+        if secs <= 0.0 {
+            return None;
+        }
+        Some(self.records.len() as f64 * 60.0 / secs)
+    }
+}
+
+// ---- head ----
+
+struct WorkerConn {
+    node: u8,
+    framer: Framer,
+    busy: Option<u32>,
+}
+
+/// The PBS head node: queue, dispatcher, bookkeeping. Pair it with an
+/// [`crate::nfs::NfsServer`] via [`crate::duo::Both`] to serve job data.
+pub struct PbsHead {
+    /// Total jobs to submit.
+    pub total_jobs: u32,
+    /// Submission interval (paper: 1 job/s).
+    pub submit_interval: SimDuration,
+    /// Job template.
+    pub template: JobTemplate,
+    /// Shared results.
+    pub results: Rc<RefCell<PbsResults>>,
+    /// Delay before the first submission (lets workers register first, so
+    /// throughput measures steady state rather than a cold queue).
+    pub start_delay: SimDuration,
+    queue: VecDeque<(u32, SimTime)>,
+    submitted: u32,
+    dispatched: HashMap<u32, (u8, SimTime, SimTime)>, // job → (node, submitted, dispatched)
+    workers: HashMap<SocketId, WorkerConn>,
+    done: u32,
+    /// A dispatch whose MOM acknowledgement is still outstanding; the
+    /// server sends the next dispatch only after this clears.
+    awaiting_ack: Option<u32>,
+    /// An in-progress pre-dispatch MOM handshake: (worker socket, job,
+    /// polls remaining).
+    polling: Option<(SocketId, u32, u32)>,
+}
+
+const TAG_SUBMIT: u64 = 1;
+
+impl PbsHead {
+    /// A head that will submit `total_jobs` from the template.
+    pub fn new(
+        total_jobs: u32,
+        submit_interval: SimDuration,
+        template: JobTemplate,
+        results: Rc<RefCell<PbsResults>>,
+    ) -> Self {
+        PbsHead {
+            total_jobs,
+            submit_interval,
+            template,
+            results,
+            start_delay: SimDuration::ZERO,
+            queue: VecDeque::new(),
+            submitted: 0,
+            dispatched: HashMap::new(),
+            workers: HashMap::new(),
+            done: 0,
+            awaiting_ack: None,
+            polling: None,
+        }
+    }
+
+    /// Sequential server↔MOM round trips before each dispatch.
+    const MOM_POLLS: u32 = 8;
+
+    /// Builder: delay the first submission.
+    pub fn start_after(mut self, d: SimDuration) -> Self {
+        self.start_delay = d;
+        self
+    }
+
+    fn try_dispatch(&mut self, w: &mut WsHandle<'_, '_, '_>) {
+        if self.queue.is_empty() || self.awaiting_ack.is_some() || self.polling.is_some() {
+            return;
+        }
+        // Lowest node number among free workers — deterministic.
+        let free = self
+            .workers
+            .iter()
+            .filter(|(_, wc)| wc.busy.is_none() && wc.node != 0)
+            .min_by_key(|(_, wc)| wc.node)
+            .map(|(&s, _)| s);
+        let Some(sock) = free else { return };
+        let (job, submitted) = self.queue.pop_front().expect("checked nonempty");
+        let wc = self.workers.get_mut(&sock).expect("free worker");
+        wc.busy = Some(job);
+        let now = w.now();
+        self.dispatched.insert(job, (wc.node, submitted, now));
+        // Pre-dispatch MOM handshake: sequential round trips whose latency
+        // is the virtual network's — this is the head-node queueing the
+        // paper observed collapsing throughput without shortcuts.
+        self.polling = Some((sock, job, Self::MOM_POLLS));
+        let bytes = frame(&PbsMsg::MomPoll { seq: Self::MOM_POLLS }.encode());
+        w.stack.tcp_write(now, sock, &bytes);
+    }
+
+    fn continue_poll(&mut self, w: &mut WsHandle<'_, '_, '_>, sock: SocketId, seq: u32) {
+        let Some((psock, job, remaining)) = self.polling else {
+            return;
+        };
+        if psock != sock || seq != remaining {
+            return;
+        }
+        let now = w.now();
+        if remaining > 1 {
+            self.polling = Some((sock, job, remaining - 1));
+            let bytes = frame(&PbsMsg::MomPoll { seq: remaining - 1 }.encode());
+            w.stack.tcp_write(now, sock, &bytes);
+            return;
+        }
+        // Handshake done: dispatch for real.
+        self.polling = None;
+        self.awaiting_ack = Some(job);
+        let msg = PbsMsg::Dispatch {
+            job,
+            nominal_ms: (self.template.nominal.as_micros() / 1000) as u32,
+            input_bytes: self.template.input_bytes,
+            output_bytes: self.template.output_bytes,
+        };
+        let bytes = frame(&msg.encode());
+        w.stack.tcp_write(now, sock, &bytes);
+    }
+
+    fn handle_msg(&mut self, w: &mut WsHandle<'_, '_, '_>, sock: SocketId, msg: PbsMsg) {
+        match msg {
+            PbsMsg::Register { node } => {
+                if let Some(wc) = self.workers.get_mut(&sock) {
+                    wc.node = node;
+                    self.results.borrow_mut().workers_seen += 1;
+                }
+                self.try_dispatch(w);
+            }
+            PbsMsg::DispatchAck { job } => {
+                if self.awaiting_ack == Some(job) {
+                    self.awaiting_ack = None;
+                }
+                self.try_dispatch(w);
+            }
+            PbsMsg::MomPollReply { seq } => self.continue_poll(w, sock, seq),
+            PbsMsg::Complete { job } => {
+                if let Some(wc) = self.workers.get_mut(&sock) {
+                    if wc.busy == Some(job) {
+                        wc.busy = None;
+                    }
+                }
+                if let Some((node, submitted, dispatched)) = self.dispatched.remove(&job) {
+                    let now = w.now();
+                    let mut r = self.results.borrow_mut();
+                    r.records.push(JobRecord {
+                        job,
+                        node,
+                        submitted,
+                        dispatched,
+                        completed: now,
+                    });
+                    self.done += 1;
+                    if self.done == self.total_jobs {
+                        r.all_done = Some(now);
+                    }
+                }
+                self.try_dispatch(w);
+            }
+            PbsMsg::Dispatch { .. } | PbsMsg::MomPoll { .. } => {} // head never receives these
+        }
+    }
+}
+
+impl Workload for PbsHead {
+    fn on_boot(&mut self, w: &mut WsHandle<'_, '_, '_>) {
+        w.stack.tcp_listen(PBS_PORT);
+        w.wake_after(self.start_delay + self.submit_interval, TAG_SUBMIT);
+    }
+
+    fn on_wake(&mut self, w: &mut WsHandle<'_, '_, '_>, tag: u64) {
+        if tag == TAG_SUBMIT && self.submitted < self.total_jobs {
+            let job = self.submitted;
+            self.submitted += 1;
+            self.queue.push_back((job, w.now()));
+            if self.submitted < self.total_jobs {
+                w.wake_after(self.submit_interval, TAG_SUBMIT);
+            }
+            self.try_dispatch(w);
+        }
+    }
+
+    fn on_event(&mut self, w: &mut WsHandle<'_, '_, '_>, ev: StackEvent) {
+        match ev {
+            StackEvent::TcpAccepted { listener, sock, .. } if listener == PBS_PORT => {
+                self.workers.insert(sock, WorkerConn {
+                    node: 0,
+                    framer: Framer::new(),
+                    busy: None,
+                });
+            }
+            StackEvent::TcpReadable { sock } => {
+                if !self.workers.contains_key(&sock) {
+                    return;
+                }
+                let now = w.now();
+                let data = w.stack.tcp_read(now, sock, usize::MAX);
+                let mut msgs = Vec::new();
+                {
+                    let wc = self.workers.get_mut(&sock).expect("checked");
+                    wc.framer.push(&data);
+                    while let Ok(Some(m)) = wc.framer.next() {
+                        if let Some(msg) = PbsMsg::decode(m) {
+                            msgs.push(msg);
+                        }
+                    }
+                }
+                for msg in msgs {
+                    self.handle_msg(w, sock, msg);
+                }
+            }
+            StackEvent::TcpAborted { sock } | StackEvent::TcpClosed { sock } => {
+                // A worker died mid-job: requeue its job at the front.
+                if let Some(wc) = self.workers.remove(&sock) {
+                    if let Some(job) = wc.busy {
+                        if self.awaiting_ack == Some(job) {
+                            self.awaiting_ack = None;
+                        }
+                        if self.polling.map(|(s, _, _)| s) == Some(sock) {
+                            self.polling = None;
+                        }
+                        if let Some((_, submitted, _)) = self.dispatched.remove(&job) {
+                            self.queue.push_front((job, submitted));
+                        }
+                    }
+                }
+                self.try_dispatch(w);
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---- worker ----
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    ReadingInput(u32),
+    Computing(u32),
+    WritingOutput(u32),
+}
+
+/// A PBS worker: registers with the head, then loops dispatch → NFS read →
+/// compute → NFS write → complete.
+pub struct PbsWorker {
+    /// This worker's Table I node number.
+    pub node: u8,
+    /// Head node's virtual IP.
+    pub head: VirtIp,
+    /// Delay before connecting (lets the overlay settle).
+    pub start_delay: SimDuration,
+    /// Multiplier on compute time for machine virtualization (the paper
+    /// measured ~13% for MEME).
+    pub vm_overhead: f64,
+    nfs: NfsClient,
+    sock: Option<SocketId>,
+    framer: Framer,
+    phase: Phase,
+    /// Jobs completed by this worker (diagnostic; Fig. 8 discusses the
+    /// per-node spread).
+    pub jobs_done: u32,
+    /// NFS diagnostics access.
+
+    pending_dispatch: VecDeque<PbsMsg>,
+    current: Option<PbsMsg>,
+}
+
+const TAG_CONNECT: u64 = 2;
+const TAG_COMPUTE_DONE: u64 = 3;
+
+impl PbsWorker {
+    /// A worker for `node`, reporting to `head`.
+    pub fn new(node: u8, head: VirtIp, start_delay: SimDuration) -> Self {
+        PbsWorker {
+            node,
+            head,
+            start_delay,
+            vm_overhead: 1.13,
+            nfs: NfsClient::new(head, 40_000 + node as u16),
+            sock: None,
+            framer: Framer::new(),
+            phase: Phase::Idle,
+            jobs_done: 0,
+            pending_dispatch: VecDeque::new(),
+            current: None,
+        }
+    }
+
+    /// NFS client diagnostics: (first transmissions, retransmissions, srtt).
+    pub fn nfs_diag(&self) -> (u64, u64, Option<f64>) {
+        (self.nfs.rpcs_sent, self.nfs.retransmits, self.nfs.srtt())
+    }
+
+    /// Enable per-RPC tracing (diagnostic).
+    pub fn enable_nfs_trace(&mut self) {
+        self.nfs.trace = Some(Vec::new());
+    }
+
+    /// The collected per-RPC trace, if enabled.
+    pub fn nfs_trace(&self) -> Option<&[(u32, f64, f64, u32)]> {
+        self.nfs.trace.as_deref()
+    }
+
+    fn start_next(&mut self, w: &mut WsHandle<'_, '_, '_>) {
+        if self.phase != Phase::Idle {
+            return;
+        }
+        let Some(msg) = self.pending_dispatch.pop_front() else {
+            return;
+        };
+        let PbsMsg::Dispatch {
+            job, input_bytes, ..
+        } = msg
+        else {
+            return;
+        };
+        self.current = Some(msg);
+        self.phase = Phase::ReadingInput(job);
+        self.nfs
+            .begin_read(w, u64::from(job), "input.fasta", u64::from(input_bytes));
+    }
+
+    fn advance(&mut self, w: &mut WsHandle<'_, '_, '_>) {
+        // NFS transfer completions drive the phase machine.
+        for id in self.nfs.drain_completed() {
+            let job = id as u32;
+            match self.phase {
+                Phase::ReadingInput(j) if j == job => {
+                    let Some(PbsMsg::Dispatch { nominal_ms, .. }) = self.current else {
+                        continue;
+                    };
+                    self.phase = Phase::Computing(job);
+                    let nominal =
+                        SimDuration::from_millis(u64::from(nominal_ms)).mul_f64(self.vm_overhead);
+                    let done_at = w.cpu(nominal);
+                    let now = w.now();
+                    w.wake_after(done_at.saturating_since(now), TAG_COMPUTE_DONE);
+                }
+                Phase::WritingOutput(j) if j == job => {
+                    self.phase = Phase::Idle;
+                    self.jobs_done += 1;
+                    self.current = None;
+                    if let Some(sock) = self.sock {
+                        let now = w.now();
+                        let bytes = frame(&PbsMsg::Complete { job }.encode());
+                        w.stack.tcp_write(now, sock, &bytes);
+                    }
+                    self.start_next(w);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Workload for PbsWorker {
+    fn on_boot(&mut self, w: &mut WsHandle<'_, '_, '_>) {
+        self.nfs.bind(w);
+        w.wake_after(self.start_delay, TAG_CONNECT);
+    }
+
+    fn on_resumed(&mut self, w: &mut WsHandle<'_, '_, '_>) {
+        // After migration the TCP session to the head survives (virtual IP
+        // unchanged); NFS retransmits take care of in-flight RPCs.
+        self.nfs.bind(w);
+    }
+
+    fn on_wake(&mut self, w: &mut WsHandle<'_, '_, '_>, tag: u64) {
+        if tag >= NFS_TAG_BASE {
+            if self.nfs.on_wake(w, tag) {
+                self.advance(w);
+            }
+            return;
+        }
+        match tag {
+            TAG_CONNECT => {
+                let now = w.now();
+                let sock = w.stack.tcp_connect(now, self.head, PBS_PORT);
+                self.sock = Some(sock);
+            }
+            TAG_COMPUTE_DONE => {
+                if let Phase::Computing(job) = self.phase {
+                    let Some(PbsMsg::Dispatch { output_bytes, .. }) = self.current else {
+                        return;
+                    };
+                    self.phase = Phase::WritingOutput(job);
+                    self.nfs.begin_write(
+                        w,
+                        u64::from(job),
+                        format!("out-{}.txt", self.node),
+                        u64::from(output_bytes),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_event(&mut self, w: &mut WsHandle<'_, '_, '_>, ev: StackEvent) {
+        if self.nfs.on_event(w, &ev) {
+            self.advance(w);
+            return;
+        }
+        let Some(sock) = self.sock else { return };
+        match ev {
+            StackEvent::TcpConnected { sock: s } if s == sock => {
+                let now = w.now();
+                let bytes = frame(&PbsMsg::Register { node: self.node }.encode());
+                w.stack.tcp_write(now, sock, &bytes);
+            }
+            StackEvent::TcpReadable { sock: s } if s == sock => {
+                let now = w.now();
+                let data = w.stack.tcp_read(now, sock, usize::MAX);
+                self.framer.push(&data);
+                let mut acks = Vec::new();
+                let mut polls = Vec::new();
+                while let Ok(Some(m)) = self.framer.next() {
+                    match PbsMsg::decode(m) {
+                        Some(msg @ PbsMsg::Dispatch { .. }) => {
+                            if let PbsMsg::Dispatch { job, .. } = msg {
+                                acks.push(job);
+                            }
+                            self.pending_dispatch.push_back(msg);
+                        }
+                        Some(PbsMsg::MomPoll { seq }) => polls.push(seq),
+                        _ => {}
+                    }
+                }
+                for seq in polls {
+                    let bytes = frame(&PbsMsg::MomPollReply { seq }.encode());
+                    w.stack.tcp_write(now, sock, &bytes);
+                }
+                for job in acks {
+                    let bytes = frame(&PbsMsg::DispatchAck { job }.encode());
+                    w.stack.tcp_write(now, sock, &bytes);
+                }
+                self.start_next(w);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_codec_roundtrip() {
+        for msg in [
+            PbsMsg::Register { node: 17 },
+            PbsMsg::Dispatch {
+                job: 3999,
+                nominal_ms: 20_000,
+                input_bytes: 800_000,
+                output_bytes: 120_000,
+            },
+            PbsMsg::DispatchAck { job: 3999 },
+            PbsMsg::Complete { job: 3999 },
+        ] {
+            assert_eq!(PbsMsg::decode(msg.encode()).expect("decodes"), msg);
+        }
+    }
+
+    #[test]
+    fn msg_decode_rejects_truncation() {
+        let enc = PbsMsg::Dispatch {
+            job: 1,
+            nominal_ms: 2,
+            input_bytes: 3,
+            output_bytes: 4,
+        }
+        .encode();
+        for cut in 1..enc.len() {
+            assert!(PbsMsg::decode(enc.slice(..cut)).is_none());
+        }
+    }
+
+    #[test]
+    fn job_record_times() {
+        let r = JobRecord {
+            job: 1,
+            node: 5,
+            submitted: SimTime::from_secs(10),
+            dispatched: SimTime::from_secs(12),
+            completed: SimTime::from_secs(36),
+        };
+        assert_eq!(r.queue_wait(), SimDuration::from_secs(2));
+        assert_eq!(r.wall(), SimDuration::from_secs(24));
+    }
+}

@@ -1,0 +1,137 @@
+//! The Fig. 4 / Fig. 5 measurement workload: ICMP echo at one-second
+//! intervals with per-sequence bookkeeping.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use wow::workstation::{Workload, WsHandle};
+use wow_netsim::time::{SimDuration, SimTime};
+use wow_vnet::prelude::{StackEvent, VirtIp};
+
+/// Outcome of one ping experiment, shared with the harness.
+#[derive(Clone, Debug, Default)]
+pub struct PingResults {
+    /// (seq, send time).
+    pub sent: Vec<(u16, SimTime)>,
+    /// (seq, round-trip time).
+    pub replies: Vec<(u16, SimDuration)>,
+}
+
+impl PingResults {
+    /// Fraction of sent probes that were answered.
+    pub fn reply_rate(&self) -> f64 {
+        if self.sent.is_empty() {
+            return 0.0;
+        }
+        self.replies.len() as f64 / self.sent.len() as f64
+    }
+
+    /// RTT of a specific sequence number, if answered.
+    pub fn rtt_of(&self, seq: u16) -> Option<SimDuration> {
+        self.replies
+            .iter()
+            .find(|(s, _)| *s == seq)
+            .map(|(_, rtt)| *rtt)
+    }
+}
+
+/// Pings a target virtual IP `count` times at `interval`, recording
+/// everything into a shared [`PingResults`].
+pub struct PingProbe {
+    /// Destination virtual IP.
+    pub target: VirtIp,
+    /// Probe interval (the paper uses 1 s).
+    pub interval: SimDuration,
+    /// Number of probes (the paper uses 400).
+    pub count: u16,
+    /// ICMP identifier to use.
+    pub ident: u16,
+    /// Shared results.
+    pub results: Rc<RefCell<PingResults>>,
+    outstanding: HashMap<u16, SimTime>,
+    next_seq: u16,
+}
+
+const TAG_NEXT_PING: u64 = 1;
+
+impl PingProbe {
+    /// A probe toward `target`.
+    pub fn new(target: VirtIp, count: u16, results: Rc<RefCell<PingResults>>) -> Self {
+        PingProbe {
+            target,
+            interval: SimDuration::from_secs(1),
+            count,
+            ident: 0x77,
+            results,
+            outstanding: HashMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn fire(&mut self, w: &mut WsHandle<'_, '_, '_>) {
+        if self.next_seq >= self.count {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let now = w.now();
+        self.outstanding.insert(seq, now);
+        self.results.borrow_mut().sent.push((seq, now));
+        w.stack
+            .ping(self.target, self.ident, seq, Bytes::from_static(b"wow-fig4"));
+        if self.next_seq < self.count {
+            w.wake_after(self.interval, TAG_NEXT_PING);
+        }
+    }
+}
+
+impl Workload for PingProbe {
+    fn on_boot(&mut self, w: &mut WsHandle<'_, '_, '_>) {
+        // First probe immediately on boot — the paper starts pinging as
+        // soon as the IPOP node starts, which is what creates regime 1
+        // (drops while unroutable).
+        self.fire(w);
+    }
+
+    fn on_wake(&mut self, w: &mut WsHandle<'_, '_, '_>, tag: u64) {
+        if tag == TAG_NEXT_PING {
+            self.fire(w);
+        }
+    }
+
+    fn on_event(&mut self, w: &mut WsHandle<'_, '_, '_>, ev: StackEvent) {
+        if let StackEvent::PingReply { from, ident, seq } = ev {
+            if from == self.target && ident == self.ident {
+                if let Some(sent_at) = self.outstanding.remove(&seq) {
+                    let rtt = w.now().saturating_since(sent_at);
+                    self.results.borrow_mut().replies.push((seq, rtt));
+                }
+            }
+        }
+    }
+}
+
+/// A workload that answers pings and does nothing else (the stack answers
+/// echoes automatically; this type exists for readability at call sites).
+pub struct PingResponder;
+impl Workload for PingResponder {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_helpers() {
+        let mut r = PingResults::default();
+        assert_eq!(r.reply_rate(), 0.0);
+        r.sent.push((0, SimTime::from_secs(1)));
+        r.sent.push((1, SimTime::from_secs(2)));
+        r.replies.push((1, SimDuration::from_millis(40)));
+        assert_eq!(r.reply_rate(), 0.5);
+        assert_eq!(r.rtt_of(1), Some(SimDuration::from_millis(40)));
+        assert_eq!(r.rtt_of(0), None);
+    }
+}

@@ -1,0 +1,154 @@
+//! Physical (simulated-underlay) addressing.
+//!
+//! The simulator speaks its own 32-bit IPv4-style addresses so that NAT
+//! translation, subnetting and URI formatting behave exactly like the
+//! deployment the paper describes, without touching the host's real network.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A 32-bit IPv4-style address on the simulated underlay.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysIp(pub u32);
+
+/// An (ip, port) endpoint address on the simulated underlay.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysAddr {
+    /// Network-layer address.
+    pub ip: PhysIp,
+    /// Transport-layer port.
+    pub port: u16,
+}
+
+impl PhysIp {
+    /// Build from dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        PhysIp(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// The four octets, most significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// RFC1918-style private-range check (10/8, 172.16/12, 192.168/16).
+    ///
+    /// The simulator allocates private addresses from 10/8, but the check
+    /// covers all three ranges so hand-built topologies behave sensibly.
+    pub fn is_private(self) -> bool {
+        let [a, b, _, _] = self.octets();
+        a == 10 || (a == 172 && (16..=31).contains(&b)) || (a == 192 && b == 168)
+    }
+}
+
+impl PhysAddr {
+    /// Build an endpoint address.
+    pub const fn new(ip: PhysIp, port: u16) -> Self {
+        PhysAddr { ip, port }
+    }
+}
+
+impl fmt::Display for PhysIp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+impl fmt::Debug for PhysIp {
+    // Debug defers to Display: `10.0.0.3` reads better than a struct literal.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+impl fmt::Debug for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for PhysIp {
+    type Err = AddrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 4];
+        let mut parts = s.split('.');
+        for slot in &mut octets {
+            let part = parts.next().ok_or(AddrParseError)?;
+            *slot = part.parse().map_err(|_| AddrParseError)?;
+        }
+        if parts.next().is_some() {
+            return Err(AddrParseError);
+        }
+        Ok(PhysIp(u32::from_be_bytes(octets)))
+    }
+}
+
+impl FromStr for PhysAddr {
+    type Err = AddrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (ip, port) = s.rsplit_once(':').ok_or(AddrParseError)?;
+        Ok(PhysAddr {
+            ip: ip.parse()?,
+            port: port.parse().map_err(|_| AddrParseError)?,
+        })
+    }
+}
+
+/// Error parsing a [`PhysIp`] or [`PhysAddr`] from text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AddrParseError;
+
+impl fmt::Display for AddrParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid simulated address")
+    }
+}
+
+impl std::error::Error for AddrParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let a = PhysAddr::new(PhysIp::new(10, 1, 0, 3), 4000);
+        assert_eq!(a.to_string(), "10.1.0.3:4000");
+        assert_eq!("10.1.0.3:4000".parse::<PhysAddr>().unwrap(), a);
+        assert_eq!("128.227.1.9".parse::<PhysIp>().unwrap(), PhysIp::new(128, 227, 1, 9));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("10.1.0".parse::<PhysIp>().is_err());
+        assert!("10.1.0.3.9".parse::<PhysIp>().is_err());
+        assert!("10.1.0.256".parse::<PhysIp>().is_err());
+        assert!("10.1.0.3".parse::<PhysAddr>().is_err());
+        assert!("10.1.0.3:notaport".parse::<PhysAddr>().is_err());
+    }
+
+    #[test]
+    fn private_ranges() {
+        assert!(PhysIp::new(10, 9, 8, 7).is_private());
+        assert!(PhysIp::new(172, 16, 0, 1).is_private());
+        assert!(PhysIp::new(172, 31, 255, 1).is_private());
+        assert!(!PhysIp::new(172, 32, 0, 1).is_private());
+        assert!(PhysIp::new(192, 168, 1, 1).is_private());
+        assert!(!PhysIp::new(128, 227, 1, 1).is_private());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_octets() {
+        assert!(PhysIp::new(10, 0, 0, 1) < PhysIp::new(10, 0, 0, 2));
+        assert!(PhysIp::new(9, 255, 255, 255) < PhysIp::new(10, 0, 0, 0));
+    }
+}

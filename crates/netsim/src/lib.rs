@@ -1,0 +1,67 @@
+//! # wow-netsim — deterministic WAN substrate for the WOW reproduction
+//!
+//! A discrete-event simulator of the environment the WOW paper (HPDC'06)
+//! deployed on: wide-area domains behind NAT/firewall devices, hosts with
+//! finite link capacity and shared CPUs, and a lossy, jittery WAN between
+//! them. The overlay, virtual-network and application layers of this
+//! workspace run unchanged on top of it (and, via the `wow` crate's UDP
+//! runtime, on real sockets).
+//!
+//! Design pillars:
+//!
+//! * **Determinism** — one root seed; all randomness is derived through
+//!   [`rng::SeedSplitter`]; the event queue breaks ties by sequence number.
+//!   Identical seeds give byte-identical runs.
+//! * **Arrival-time NAT semantics** — NAT ingress filtering is evaluated when
+//!   a packet *arrives* at the device, which is what makes UDP hole-punching
+//!   races meaningful (see [`nat`]).
+//! * **Costs that matter** — sender uplink and receiver downlink
+//!   serialization, per-domain-pair latency/jitter/loss, and FIFO CPU queues
+//!   on hosts. Enough to reproduce the *shape* of the paper's results; no
+//!   more.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use wow_netsim::prelude::*;
+//!
+//! struct Hello;
+//! impl Actor for Hello {
+//!     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+//!         ctx.bind(4000);
+//!         ctx.wake_after(SimDuration::from_secs(1), 0);
+//!     }
+//!     fn on_wake(&mut self, _ctx: &mut Ctx<'_>, _tag: u64) {
+//!         // ... send something from port 4000
+//!     }
+//! }
+//!
+//! let mut sim = Sim::new(42);
+//! let wan = sim.add_domain(DomainSpec::public("wan"));
+//! let host = sim.add_host(wan, HostSpec::new("h0"));
+//! sim.add_actor(host, Hello);
+//! sim.run_until(SimTime::from_secs(10));
+//! assert_eq!(sim.now(), SimTime::from_secs(10));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod link;
+pub mod nat;
+pub mod rng;
+pub mod sim;
+pub mod time;
+pub mod topology;
+pub mod trace;
+
+/// The commonly-used names, for glob import.
+pub mod prelude {
+    pub use crate::addr::{PhysAddr, PhysIp};
+    pub use crate::link::{LinkModel, PathModel};
+    pub use crate::nat::{FilteringPolicy, MappingPolicy, NatConfig};
+    pub use crate::rng::SeedSplitter;
+    pub use crate::sim::{Actor, ActorId, Ctx, Datagram, DropReason, NetStats, Sim};
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::topology::{DomainId, DomainSpec, HostId, HostSpec};
+}

@@ -1,0 +1,200 @@
+//! Path models: latency, jitter and loss between domains.
+//!
+//! The simulator charges three costs to every datagram: serialization on the
+//! sender's uplink, propagation along the (intra- or inter-domain) path, and
+//! serialization on the receiver's downlink. Propagation is modelled per
+//! *domain pair*: a base one-way latency plus exponentially-distributed
+//! jitter, and an independent loss probability. This is deliberately simple —
+//! the WOW results depend on the relative cost of multi-hop overlay paths
+//! through loaded routers versus direct paths, not on queueing theory at the
+//! IP layer.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::rng::exp_sample;
+use crate::time::SimDuration;
+use crate::topology::DomainId;
+
+/// One-way characteristics of a path between two domains.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PathModel {
+    /// Base one-way propagation latency.
+    pub base: SimDuration,
+    /// Mean of the exponentially-distributed extra jitter added per packet.
+    pub jitter_mean: SimDuration,
+    /// Probability that a packet on this path is lost.
+    pub loss: f64,
+}
+
+impl PathModel {
+    /// A path with the given base latency, 5% jitter and no loss.
+    pub fn with_base(base: SimDuration) -> Self {
+        PathModel {
+            base,
+            jitter_mean: base.mul_f64(0.05),
+            loss: 0.0,
+        }
+    }
+
+    /// Sample the one-way delay for a single packet.
+    pub fn sample_delay(&self, rng: &mut impl Rng) -> SimDuration {
+        let jitter = exp_sample(rng, self.jitter_mean.as_secs_f64());
+        self.base + SimDuration::from_secs_f64(jitter)
+    }
+
+    /// Sample whether a single packet is lost on this path.
+    pub fn sample_loss(&self, rng: &mut impl Rng) -> bool {
+        self.loss > 0.0 && rng.gen::<f64>() < self.loss
+    }
+}
+
+/// The set of path models for a topology.
+///
+/// Pairwise inter-domain models are symmetric; unset pairs fall back to
+/// `default_wan`. Paths within one domain use that domain's intra model.
+#[derive(Clone, Debug)]
+pub struct LinkModel {
+    inter: HashMap<(DomainId, DomainId), PathModel>,
+    intra: HashMap<DomainId, PathModel>,
+    /// Fallback for inter-domain pairs without an explicit entry.
+    pub default_wan: PathModel,
+    /// Fallback for domains without an explicit intra-domain entry.
+    pub default_intra: PathModel,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel {
+            inter: HashMap::new(),
+            intra: HashMap::new(),
+            // A generic US-wide WAN hop: 25 ms one-way, light jitter.
+            default_wan: PathModel {
+                base: SimDuration::from_millis(25),
+                jitter_mean: SimDuration::from_millis(2),
+                loss: 0.0005,
+            },
+            // A LAN hop: 200 µs one-way.
+            default_intra: PathModel {
+                base: SimDuration::from_micros(200),
+                jitter_mean: SimDuration::from_micros(30),
+                loss: 0.0,
+            },
+        }
+    }
+}
+
+impl LinkModel {
+    fn key(a: DomainId, b: DomainId) -> (DomainId, DomainId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Set the (symmetric) path model between two distinct domains.
+    pub fn set_inter(&mut self, a: DomainId, b: DomainId, model: PathModel) {
+        assert_ne!(a, b, "use set_intra for a domain's internal path");
+        self.inter.insert(Self::key(a, b), model);
+    }
+
+    /// Set the path model within one domain.
+    pub fn set_intra(&mut self, d: DomainId, model: PathModel) {
+        self.intra.insert(d, model);
+    }
+
+    /// The model for a packet travelling from `a` to `b`.
+    pub fn path(&self, a: DomainId, b: DomainId) -> PathModel {
+        if a == b {
+            *self.intra.get(&a).unwrap_or(&self.default_intra)
+        } else {
+            *self.inter.get(&Self::key(a, b)).unwrap_or(&self.default_wan)
+        }
+    }
+}
+
+/// Serialization delay of `bytes` on a link of `bytes_per_sec` capacity.
+pub fn serialization_delay(bytes: usize, bytes_per_sec: f64) -> SimDuration {
+    debug_assert!(bytes_per_sec > 0.0);
+    SimDuration::from_secs_f64(bytes as f64 / bytes_per_sec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedSplitter;
+
+    fn d(i: u32) -> DomainId {
+        DomainId(i)
+    }
+
+    #[test]
+    fn symmetric_lookup() {
+        let mut lm = LinkModel::default();
+        let m = PathModel::with_base(SimDuration::from_millis(40));
+        lm.set_inter(d(0), d(1), m);
+        assert_eq!(lm.path(d(0), d(1)), m);
+        assert_eq!(lm.path(d(1), d(0)), m);
+        // Unset pair falls back to the WAN default.
+        assert_eq!(lm.path(d(0), d(2)), lm.default_wan);
+    }
+
+    #[test]
+    fn intra_lookup_and_default() {
+        let mut lm = LinkModel::default();
+        let m = PathModel::with_base(SimDuration::from_micros(100));
+        lm.set_intra(d(3), m);
+        assert_eq!(lm.path(d(3), d(3)), m);
+        assert_eq!(lm.path(d(4), d(4)), lm.default_intra);
+    }
+
+    #[test]
+    #[should_panic(expected = "use set_intra")]
+    fn set_inter_rejects_same_domain() {
+        let mut lm = LinkModel::default();
+        lm.set_inter(d(0), d(0), PathModel::with_base(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn sampled_delay_is_at_least_base() {
+        let mut rng = SeedSplitter::new(5).rng("delay");
+        let m = PathModel {
+            base: SimDuration::from_millis(10),
+            jitter_mean: SimDuration::from_millis(1),
+            loss: 0.0,
+        };
+        for _ in 0..1000 {
+            assert!(m.sample_delay(&mut rng) >= m.base);
+        }
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_respected() {
+        let mut rng = SeedSplitter::new(6).rng("loss");
+        let m = PathModel {
+            base: SimDuration::from_millis(10),
+            jitter_mean: SimDuration::ZERO,
+            loss: 0.1,
+        };
+        let lost = (0..20_000).filter(|_| m.sample_loss(&mut rng)).count();
+        let rate = lost as f64 / 20_000.0;
+        assert!((rate - 0.1).abs() < 0.02, "observed loss {rate}");
+    }
+
+    #[test]
+    fn zero_loss_never_drops() {
+        let mut rng = SeedSplitter::new(7).rng("noloss");
+        let m = PathModel::with_base(SimDuration::from_millis(1));
+        assert!((0..1000).all(|_| !m.sample_loss(&mut rng)));
+    }
+
+    #[test]
+    fn serialization_delay_scales_linearly() {
+        let one = serialization_delay(1000, 1_000_000.0);
+        assert_eq!(one, SimDuration::from_millis(1));
+        let two = serialization_delay(2000, 1_000_000.0);
+        assert_eq!(two, SimDuration::from_millis(2));
+    }
+}

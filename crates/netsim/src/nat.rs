@@ -1,0 +1,519 @@
+//! NAT and firewall device models.
+//!
+//! The WOW paper's connectivity results hinge on a handful of middlebox
+//! behaviours, all modelled here:
+//!
+//! * **Mapping policy** — endpoint-independent ("cone": one public port per
+//!   internal socket, reused for every destination) versus
+//!   endpoint-dependent ("symmetric": a fresh public port per destination),
+//!   which determines whether UDP hole punching can work at all.
+//! * **Filtering policy** — which inbound packets are admitted through an
+//!   established mapping (full-cone admits anything; address-restricted and
+//!   port-restricted require prior outbound traffic to the sender).
+//! * **Hairpin translation** — whether a packet sent from inside the private
+//!   network to the NAT's *public* mapped address of another inside host is
+//!   looped back. The paper's UFL NAT does not hairpin, which is exactly why
+//!   UFL–UFL shortcut setup takes ~200 s (the linking protocol burns its
+//!   retry budget on the public URI before falling back to the private one).
+//! * **Mapping expiry** — idle UDP bindings time out; IPOP's periodic pings
+//!   keep them alive.
+//! * **Static open ports** — the ncgrid firewall admitted IPOP through one
+//!   pre-opened UDP port; modelled as a static port-forward.
+
+use std::collections::HashMap;
+
+use crate::addr::{PhysAddr, PhysIp};
+use crate::time::{SimDuration, SimTime};
+
+/// How the NAT allocates public ports for internal sockets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MappingPolicy {
+    /// One public port per internal (ip, port), reused for all destinations.
+    /// This is the "cone" behaviour hole punching relies on.
+    EndpointIndependent,
+    /// A fresh public port per (internal socket, destination) pair —
+    /// "symmetric" NAT. Hole punching across two of these fails.
+    EndpointDependent,
+}
+
+/// Which inbound packets are admitted through an established mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FilteringPolicy {
+    /// Admit any inbound packet addressed to a live mapping ("full cone").
+    None,
+    /// Admit only from remote IPs previously contacted from that mapping.
+    Address,
+    /// Admit only from remote (ip, port) pairs previously contacted.
+    AddressAndPort,
+}
+
+/// Configuration of one NAT/firewall device at a domain edge.
+#[derive(Clone, Debug)]
+pub struct NatConfig {
+    /// Public-port allocation behaviour.
+    pub mapping: MappingPolicy,
+    /// Inbound admission behaviour.
+    pub filtering: FilteringPolicy,
+    /// Whether inside→(own public address) packets are translated back in.
+    pub hairpin: bool,
+    /// Idle time after which a UDP mapping is forgotten.
+    pub mapping_timeout: SimDuration,
+    /// Static port-forwards: public port → internal endpoint. Used to model
+    /// firewalls with a single pre-opened port.
+    pub open_ports: Vec<(u16, PhysAddr)>,
+}
+
+impl NatConfig {
+    /// A typical consumer/office NAT: cone mapping, port-restricted
+    /// filtering, no hairpin, 2-minute UDP timeout.
+    pub fn typical() -> Self {
+        NatConfig {
+            mapping: MappingPolicy::EndpointIndependent,
+            filtering: FilteringPolicy::AddressAndPort,
+            hairpin: false,
+            mapping_timeout: SimDuration::from_secs(120),
+            open_ports: Vec::new(),
+        }
+    }
+
+    /// Same as [`NatConfig::typical`] but with hairpin translation — the
+    /// behaviour of the VMware NAT in the paper's NWU domain.
+    pub fn hairpinning() -> Self {
+        NatConfig {
+            hairpin: true,
+            ..NatConfig::typical()
+        }
+    }
+
+    /// A symmetric NAT (endpoint-dependent mapping) — the hostile case.
+    pub fn symmetric() -> Self {
+        NatConfig {
+            mapping: MappingPolicy::EndpointDependent,
+            ..NatConfig::typical()
+        }
+    }
+}
+
+/// Key identifying the internal side of a mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct MapKey {
+    internal: PhysAddr,
+    /// `None` under endpoint-independent mapping; the remote endpoint under
+    /// endpoint-dependent mapping.
+    remote: Option<PhysAddr>,
+}
+
+/// One live mapping.
+#[derive(Clone, Copy, Debug)]
+struct Mapping {
+    internal: PhysAddr,
+    public_port: u16,
+    last_used: SimTime,
+}
+
+/// Why the NAT dropped a packet. Feeds the simulator's drop statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NatDrop {
+    /// Inbound to a public port with no live mapping or static forward.
+    NoMapping,
+    /// Inbound refused by the filtering policy.
+    Filtered,
+    /// Inside→public-self packet on a NAT without hairpin support.
+    HairpinUnsupported,
+}
+
+/// Outcome of presenting an inbound packet to the NAT.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Inbound {
+    /// Deliver to this internal endpoint.
+    Accept(PhysAddr),
+    /// Drop, with the reason.
+    Drop(NatDrop),
+}
+
+/// A stateful NAT device guarding one private domain.
+#[derive(Clone, Debug)]
+pub struct Nat {
+    /// The device's public address.
+    pub public_ip: PhysIp,
+    config: NatConfig,
+    maps: HashMap<MapKey, Mapping>,
+    /// public port → map key, for inbound lookup.
+    by_port: HashMap<u16, MapKey>,
+    /// Outbound-contact permissions: (public port, remote) pairs seen.
+    /// Port-restricted filtering consults exact pairs; address-restricted
+    /// consults the IP component only.
+    permissions: HashMap<(u16, PhysIp), Vec<u16>>,
+    next_port: u16,
+}
+
+impl Nat {
+    /// Create a NAT with the given public address and behaviour.
+    pub fn new(public_ip: PhysIp, config: NatConfig) -> Self {
+        Nat {
+            public_ip,
+            config,
+            maps: HashMap::new(),
+            by_port: HashMap::new(),
+            permissions: HashMap::new(),
+            next_port: 40_000,
+        }
+    }
+
+    /// The device's configuration.
+    pub fn config(&self) -> &NatConfig {
+        &self.config
+    }
+
+    /// Number of live (possibly stale) mappings. For tests and inspection.
+    pub fn mapping_count(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// Drop every dynamic mapping and permission — what an ISP-renumbered
+    /// or power-cycled home NAT does. Established flows through the device
+    /// break; the overlay's keepalive failure detection and re-linking is
+    /// what the paper credits for surviving exactly this (§VI: "resilient
+    /// to changes in NAT IP/port translations").
+    pub fn reset_mappings(&mut self) {
+        self.maps.clear();
+        self.by_port.clear();
+        self.permissions.clear();
+    }
+
+    fn alloc_port(&mut self) -> u16 {
+        // Skip ports that are still claimed by (possibly stale) mappings or
+        // static forwards; the port space is large enough that collisions
+        // with live traffic patterns are not interesting to model.
+        loop {
+            let p = self.next_port;
+            self.next_port = self.next_port.checked_add(1).unwrap_or(40_000);
+            if !self.by_port.contains_key(&p)
+                && !self.config.open_ports.iter().any(|(op, _)| *op == p)
+            {
+                return p;
+            }
+        }
+    }
+
+    fn key_for(&self, internal: PhysAddr, remote: PhysAddr) -> MapKey {
+        MapKey {
+            internal,
+            remote: match self.config.mapping {
+                MappingPolicy::EndpointIndependent => None,
+                MappingPolicy::EndpointDependent => Some(remote),
+            },
+        }
+    }
+
+    fn expire_if_stale(&mut self, key: MapKey, now: SimTime) {
+        if let Some(m) = self.maps.get(&key) {
+            if now.saturating_since(m.last_used) > self.config.mapping_timeout {
+                let port = m.public_port;
+                self.maps.remove(&key);
+                self.by_port.remove(&port);
+                self.permissions.retain(|(p, _), _| *p != port);
+            }
+        }
+    }
+
+    /// Translate an outbound packet from `internal` towards `remote`.
+    ///
+    /// Creates or refreshes the mapping and records the outbound-contact
+    /// permission, then returns the public source address the packet will
+    /// carry on the WAN.
+    pub fn outbound(&mut self, internal: PhysAddr, remote: PhysAddr, now: SimTime) -> PhysAddr {
+        let key = self.key_for(internal, remote);
+        self.expire_if_stale(key, now);
+        let port = match self.maps.get_mut(&key) {
+            Some(m) => {
+                m.last_used = now;
+                m.public_port
+            }
+            None => {
+                let port = self.alloc_port();
+                self.maps.insert(
+                    key,
+                    Mapping {
+                        internal,
+                        public_port: port,
+                        last_used: now,
+                    },
+                );
+                self.by_port.insert(port, key);
+                port
+            }
+        };
+        let ports = self.permissions.entry((port, remote.ip)).or_default();
+        if !ports.contains(&remote.port) {
+            ports.push(remote.port);
+        }
+        PhysAddr::new(self.public_ip, port)
+    }
+
+    /// Present an inbound WAN packet addressed to `public_port` from
+    /// `remote`; decide whether it passes and where it goes.
+    pub fn inbound(&mut self, public_port: u16, remote: PhysAddr, now: SimTime) -> Inbound {
+        // Static forwards bypass the dynamic table entirely.
+        if let Some((_, internal)) = self
+            .config
+            .open_ports
+            .iter()
+            .find(|(p, _)| *p == public_port)
+        {
+            return Inbound::Accept(*internal);
+        }
+        let Some(&key) = self.by_port.get(&public_port) else {
+            return Inbound::Drop(NatDrop::NoMapping);
+        };
+        self.expire_if_stale(key, now);
+        let Some(m) = self.maps.get_mut(&key) else {
+            return Inbound::Drop(NatDrop::NoMapping);
+        };
+        let pass = match self.config.filtering {
+            FilteringPolicy::None => true,
+            FilteringPolicy::Address => self.permissions.contains_key(&(public_port, remote.ip)),
+            FilteringPolicy::AddressAndPort => self
+                .permissions
+                .get(&(public_port, remote.ip))
+                .is_some_and(|ports| ports.contains(&remote.port)),
+        };
+        if !pass {
+            return Inbound::Drop(NatDrop::Filtered);
+        }
+        m.last_used = now;
+        Inbound::Accept(m.internal)
+    }
+
+    /// Handle an inside→(own public address) packet.
+    ///
+    /// With hairpin support this behaves like `outbound` followed by
+    /// `inbound`; without it the packet is dropped — the UFL-NAT behaviour
+    /// responsible for the slow UFL–UFL shortcut setup in Fig. 4.
+    ///
+    /// On success, returns the translated (public) source address and the
+    /// internal destination.
+    pub fn hairpin(
+        &mut self,
+        internal_src: PhysAddr,
+        public_dst: PhysAddr,
+        now: SimTime,
+    ) -> Result<(PhysAddr, PhysAddr), NatDrop> {
+        debug_assert_eq!(public_dst.ip, self.public_ip);
+        if !self.config.hairpin {
+            return Err(NatDrop::HairpinUnsupported);
+        }
+        let wan_src = self.outbound(internal_src, public_dst, now);
+        match self.inbound(public_dst.port, wan_src, now) {
+            Inbound::Accept(internal_dst) => Ok((wan_src, internal_dst)),
+            Inbound::Drop(r) => Err(r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> PhysIp {
+        PhysIp::new(a, b, c, d)
+    }
+
+    fn addr(a: u8, b: u8, c: u8, d: u8, p: u16) -> PhysAddr {
+        PhysAddr::new(ip(a, b, c, d), p)
+    }
+
+    const T0: SimTime = SimTime::ZERO;
+
+    #[test]
+    fn cone_nat_reuses_mapping_across_destinations() {
+        let mut nat = Nat::new(ip(128, 1, 1, 1), NatConfig::typical());
+        let inside = addr(10, 0, 0, 5, 5000);
+        let r1 = addr(9, 9, 9, 9, 80);
+        let r2 = addr(8, 8, 8, 8, 443);
+        let pub1 = nat.outbound(inside, r1, T0);
+        let pub2 = nat.outbound(inside, r2, T0);
+        assert_eq!(pub1, pub2, "cone NAT must reuse the public port");
+        assert_eq!(pub1.ip, ip(128, 1, 1, 1));
+    }
+
+    #[test]
+    fn symmetric_nat_allocates_per_destination() {
+        let mut nat = Nat::new(ip(128, 1, 1, 1), NatConfig::symmetric());
+        let inside = addr(10, 0, 0, 5, 5000);
+        let pub1 = nat.outbound(inside, addr(9, 9, 9, 9, 80), T0);
+        let pub2 = nat.outbound(inside, addr(8, 8, 8, 8, 80), T0);
+        assert_ne!(pub1.port, pub2.port, "symmetric NAT allocates per remote");
+        // Same destination keeps the same mapping though.
+        let pub1b = nat.outbound(inside, addr(9, 9, 9, 9, 80), T0);
+        assert_eq!(pub1, pub1b);
+    }
+
+    #[test]
+    fn port_restricted_filtering() {
+        let mut nat = Nat::new(ip(128, 1, 1, 1), NatConfig::typical());
+        let inside = addr(10, 0, 0, 5, 5000);
+        let remote = addr(9, 9, 9, 9, 80);
+        let public = nat.outbound(inside, remote, T0);
+        // The contacted remote passes.
+        assert_eq!(nat.inbound(public.port, remote, T0), Inbound::Accept(inside));
+        // Same IP, different port: blocked under AddressAndPort.
+        assert_eq!(
+            nat.inbound(public.port, addr(9, 9, 9, 9, 81), T0),
+            Inbound::Drop(NatDrop::Filtered)
+        );
+        // Different IP: blocked.
+        assert_eq!(
+            nat.inbound(public.port, addr(7, 7, 7, 7, 80), T0),
+            Inbound::Drop(NatDrop::Filtered)
+        );
+    }
+
+    #[test]
+    fn address_restricted_filtering_admits_other_ports() {
+        let cfg = NatConfig {
+            filtering: FilteringPolicy::Address,
+            ..NatConfig::typical()
+        };
+        let mut nat = Nat::new(ip(128, 1, 1, 1), cfg);
+        let inside = addr(10, 0, 0, 5, 5000);
+        let public = nat.outbound(inside, addr(9, 9, 9, 9, 80), T0);
+        assert_eq!(
+            nat.inbound(public.port, addr(9, 9, 9, 9, 12345), T0),
+            Inbound::Accept(inside)
+        );
+        assert_eq!(
+            nat.inbound(public.port, addr(7, 7, 7, 7, 80), T0),
+            Inbound::Drop(NatDrop::Filtered)
+        );
+    }
+
+    #[test]
+    fn full_cone_admits_anyone() {
+        let cfg = NatConfig {
+            filtering: FilteringPolicy::None,
+            ..NatConfig::typical()
+        };
+        let mut nat = Nat::new(ip(128, 1, 1, 1), cfg);
+        let inside = addr(10, 0, 0, 5, 5000);
+        let public = nat.outbound(inside, addr(9, 9, 9, 9, 80), T0);
+        assert_eq!(
+            nat.inbound(public.port, addr(1, 2, 3, 4, 999), T0),
+            Inbound::Accept(inside)
+        );
+    }
+
+    #[test]
+    fn inbound_to_unknown_port_is_dropped() {
+        let mut nat = Nat::new(ip(128, 1, 1, 1), NatConfig::typical());
+        assert_eq!(
+            nat.inbound(41_000, addr(9, 9, 9, 9, 80), T0),
+            Inbound::Drop(NatDrop::NoMapping)
+        );
+    }
+
+    #[test]
+    fn mapping_expires_after_idle_timeout() {
+        let mut nat = Nat::new(ip(128, 1, 1, 1), NatConfig::typical());
+        let inside = addr(10, 0, 0, 5, 5000);
+        let remote = addr(9, 9, 9, 9, 80);
+        let public = nat.outbound(inside, remote, T0);
+        let later = SimTime::from_secs(121); // timeout is 120 s
+        assert_eq!(
+            nat.inbound(public.port, remote, later),
+            Inbound::Drop(NatDrop::NoMapping)
+        );
+        // A fresh outbound re-establishes (possibly on a new port).
+        let public2 = nat.outbound(inside, remote, later);
+        assert_eq!(
+            nat.inbound(public2.port, remote, later),
+            Inbound::Accept(inside)
+        );
+    }
+
+    #[test]
+    fn keepalive_refreshes_mapping() {
+        let mut nat = Nat::new(ip(128, 1, 1, 1), NatConfig::typical());
+        let inside = addr(10, 0, 0, 5, 5000);
+        let remote = addr(9, 9, 9, 9, 80);
+        let public = nat.outbound(inside, remote, T0);
+        // Ping at t=100 s keeps the binding alive past the naive deadline.
+        nat.outbound(inside, remote, SimTime::from_secs(100));
+        assert_eq!(
+            nat.inbound(public.port, remote, SimTime::from_secs(190)),
+            Inbound::Accept(inside)
+        );
+    }
+
+    #[test]
+    fn hairpin_supported_loops_back_with_public_source() {
+        let mut nat = Nat::new(ip(128, 1, 1, 1), NatConfig::hairpinning());
+        let a = addr(10, 0, 0, 5, 5000);
+        let b = addr(10, 0, 0, 6, 6000);
+        // b first talks out so it owns a public mapping.
+        let b_pub = nat.outbound(b, addr(9, 9, 9, 9, 80), T0);
+        // b must also have contacted a's future public address for
+        // port-restricted filtering to admit the hairpinned packet; emulate
+        // the bidirectional linking handshake by having b contact a's
+        // public mapping once a has one.
+        let a_pub = nat.outbound(a, b_pub, T0);
+        nat.outbound(b, a_pub, T0);
+        let (wan_src, internal_dst) = nat.hairpin(a, b_pub, T0).expect("hairpin should pass");
+        assert_eq!(internal_dst, b);
+        assert_eq!(wan_src.ip, ip(128, 1, 1, 1));
+    }
+
+    #[test]
+    fn hairpin_unsupported_drops() {
+        let mut nat = Nat::new(ip(128, 1, 1, 1), NatConfig::typical());
+        let a = addr(10, 0, 0, 5, 5000);
+        let b = addr(10, 0, 0, 6, 6000);
+        let b_pub = nat.outbound(b, addr(9, 9, 9, 9, 80), T0);
+        assert_eq!(nat.hairpin(a, b_pub, T0), Err(NatDrop::HairpinUnsupported));
+    }
+
+    #[test]
+    fn static_open_port_bypasses_state() {
+        let internal = addr(10, 0, 0, 9, 4000);
+        let cfg = NatConfig {
+            open_ports: vec![(4000, internal)],
+            ..NatConfig::typical()
+        };
+        let mut nat = Nat::new(ip(128, 1, 1, 1), cfg);
+        assert_eq!(
+            nat.inbound(4000, addr(9, 9, 9, 9, 80), T0),
+            Inbound::Accept(internal)
+        );
+    }
+
+    #[test]
+    fn reset_breaks_established_flows() {
+        let mut nat = Nat::new(ip(128, 1, 1, 1), NatConfig::typical());
+        let inside = addr(10, 0, 0, 5, 5000);
+        let remote = addr(9, 9, 9, 9, 80);
+        let public = nat.outbound(inside, remote, T0);
+        assert_eq!(nat.inbound(public.port, remote, T0), Inbound::Accept(inside));
+        nat.reset_mappings();
+        // The old public endpoint is gone...
+        assert_eq!(
+            nat.inbound(public.port, remote, T0),
+            Inbound::Drop(NatDrop::NoMapping)
+        );
+        // ...and fresh outbound traffic earns a different mapping.
+        let public2 = nat.outbound(inside, remote, T0);
+        assert_ne!(public.port, public2.port);
+        assert_eq!(nat.inbound(public2.port, remote, T0), Inbound::Accept(inside));
+    }
+
+    #[test]
+    fn alloc_skips_static_ports() {
+        let internal = addr(10, 0, 0, 9, 4000);
+        let cfg = NatConfig {
+            open_ports: vec![(40_000, internal)],
+            ..NatConfig::typical()
+        };
+        let mut nat = Nat::new(ip(128, 1, 1, 1), cfg);
+        let public = nat.outbound(addr(10, 0, 0, 5, 5000), addr(9, 9, 9, 9, 80), T0);
+        assert_ne!(public.port, 40_000);
+    }
+}

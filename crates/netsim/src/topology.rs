@@ -1,0 +1,202 @@
+//! Topology description: domains and hosts.
+//!
+//! A topology is a set of *domains* (administrative networks), each either
+//! public (hosts carry public addresses) or private behind a NAT/firewall
+//! device, plus *hosts* inside domains. The concrete WOW testbed of the
+//! paper's Figure 1 / Table I is assembled from these pieces by the `wow`
+//! crate; this module only provides the vocabulary.
+
+use crate::addr::PhysIp;
+use crate::nat::NatConfig;
+use crate::time::SimDuration;
+
+/// Identifier of a domain within one simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainId(pub u32);
+
+/// Identifier of a host within one simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u32);
+
+/// Whether a domain is directly on the WAN or behind a middlebox.
+#[derive(Clone, Debug)]
+pub enum DomainKind {
+    /// Hosts receive public addresses; no translation at the edge.
+    Public,
+    /// Hosts receive private (10/8) addresses; the edge device translates.
+    Natted(NatConfig),
+}
+
+/// Static description of a domain.
+#[derive(Clone, Debug)]
+pub struct DomainSpec {
+    /// Human-readable name (e.g. `"ufl.edu"`), used in traces and URIs.
+    pub name: String,
+    /// Edge behaviour.
+    pub kind: DomainKind,
+}
+
+impl DomainSpec {
+    /// A public domain.
+    pub fn public(name: impl Into<String>) -> Self {
+        DomainSpec {
+            name: name.into(),
+            kind: DomainKind::Public,
+        }
+    }
+
+    /// A private domain behind the given NAT configuration.
+    pub fn natted(name: impl Into<String>, nat: NatConfig) -> Self {
+        DomainSpec {
+            name: name.into(),
+            kind: DomainKind::Natted(nat),
+        }
+    }
+}
+
+/// Static description of a host.
+#[derive(Clone, Debug)]
+pub struct HostSpec {
+    /// Human-readable name (e.g. `"node002"`).
+    pub name: String,
+    /// Relative CPU speed; 1.0 is the testbed's baseline 2.4 GHz Xeon.
+    pub cpu_speed: f64,
+    /// Uplink capacity in bytes/second.
+    pub uplink_bps: f64,
+    /// Downlink capacity in bytes/second.
+    pub downlink_bps: f64,
+}
+
+impl HostSpec {
+    /// A host with the given name and default campus-class links
+    /// (10 Mbit/s ≈ 1.25 MB/s each way) at baseline CPU speed.
+    pub fn new(name: impl Into<String>) -> Self {
+        HostSpec {
+            name: name.into(),
+            cpu_speed: 1.0,
+            uplink_bps: 1.25e6,
+            downlink_bps: 1.25e6,
+        }
+    }
+
+    /// Set relative CPU speed.
+    pub fn cpu_speed(mut self, speed: f64) -> Self {
+        assert!(speed > 0.0, "cpu speed must be positive");
+        self.cpu_speed = speed;
+        self
+    }
+
+    /// Set symmetric link capacity in bytes/second.
+    pub fn link_bps(mut self, bps: f64) -> Self {
+        assert!(bps > 0.0, "link rate must be positive");
+        self.uplink_bps = bps;
+        self.downlink_bps = bps;
+        self
+    }
+
+    /// Set asymmetric link capacities in bytes/second.
+    pub fn links_bps(mut self, up: f64, down: f64) -> Self {
+        assert!(up > 0.0 && down > 0.0, "link rates must be positive");
+        self.uplink_bps = up;
+        self.downlink_bps = down;
+        self
+    }
+}
+
+/// Runtime state of one domain.
+#[derive(Debug)]
+pub struct Domain {
+    /// Static description.
+    pub spec: DomainSpec,
+    /// The NAT device, present iff the domain is natted.
+    pub nat: Option<crate::nat::Nat>,
+    /// Next host number for private-address allocation.
+    pub(crate) next_host_octet: u16,
+}
+
+/// Runtime state of one host.
+#[derive(Debug)]
+pub struct Host {
+    /// Static description.
+    pub spec: HostSpec,
+    /// The domain this host lives in.
+    pub domain: DomainId,
+    /// This host's address (private if the domain is natted).
+    pub ip: PhysIp,
+    /// Whether the host is powered on; packets to a down host are dropped.
+    pub up: bool,
+    /// Background-load multiplier on CPU work; 1.0 = unloaded.
+    pub load_factor: f64,
+    /// Uplink transmit queue: the time the link next becomes free.
+    pub(crate) uplink_free_at: crate::time::SimTime,
+    /// Downlink receive queue: the time the link next becomes free.
+    pub(crate) downlink_free_at: crate::time::SimTime,
+    /// CPU queue: the time the CPU next becomes free.
+    pub cpu_free_at: crate::time::SimTime,
+    /// Next ephemeral port to hand out.
+    pub(crate) next_ephemeral: u16,
+}
+
+impl Host {
+    pub(crate) fn new(spec: HostSpec, domain: DomainId, ip: PhysIp) -> Self {
+        Host {
+            spec,
+            domain,
+            ip,
+            up: true,
+            load_factor: 1.0,
+            uplink_free_at: crate::time::SimTime::ZERO,
+            downlink_free_at: crate::time::SimTime::ZERO,
+            cpu_free_at: crate::time::SimTime::ZERO,
+            next_ephemeral: 49_152,
+        }
+    }
+
+    /// Wall-clock duration of `nominal` CPU work on this host right now,
+    /// accounting for relative speed and background load.
+    pub fn scaled_work(&self, nominal: SimDuration) -> SimDuration {
+        nominal.mul_f64(self.load_factor / self.spec.cpu_speed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_spec_builders() {
+        let h = HostSpec::new("n1").cpu_speed(1.5).link_bps(2e6);
+        assert_eq!(h.cpu_speed, 1.5);
+        assert_eq!(h.uplink_bps, 2e6);
+        assert_eq!(h.downlink_bps, 2e6);
+        let h = HostSpec::new("n2").links_bps(1e6, 4e6);
+        assert_eq!(h.uplink_bps, 1e6);
+        assert_eq!(h.downlink_bps, 4e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cpu speed")]
+    fn zero_speed_rejected() {
+        let _ = HostSpec::new("bad").cpu_speed(0.0);
+    }
+
+    #[test]
+    fn scaled_work_accounts_for_speed_and_load() {
+        let mut host = Host::new(
+            HostSpec::new("n").cpu_speed(2.0),
+            DomainId(0),
+            PhysIp::new(10, 0, 0, 2),
+        );
+        // Twice the speed: half the time.
+        assert_eq!(
+            host.scaled_work(SimDuration::from_secs(10)),
+            SimDuration::from_secs(5)
+        );
+        // Load factor 3 on top: 15 s.
+        host.load_factor = 3.0;
+        assert_eq!(
+            host.scaled_work(SimDuration::from_secs(10)),
+            SimDuration::from_secs(15)
+        );
+    }
+}

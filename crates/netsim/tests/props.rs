@@ -1,0 +1,278 @@
+//! Property-based tests for the simulator substrate.
+
+use proptest::prelude::*;
+
+use wow_netsim::nat::{FilteringPolicy, Inbound, MappingPolicy, Nat, NatConfig, NatDrop};
+use wow_netsim::prelude::*;
+use wow_netsim::trace::{mean, percentile, stddev, Histogram};
+
+fn arb_addr() -> impl Strategy<Value = PhysAddr> {
+    (any::<u32>(), 1u16..u16::MAX).prop_map(|(ip, port)| PhysAddr::new(PhysIp(ip), port))
+}
+
+fn arb_private_addr() -> impl Strategy<Value = PhysAddr> {
+    ((0u32..65536), 1u16..u16::MAX).prop_map(|(low, port)| {
+        PhysAddr::new(
+            PhysIp(u32::from_be_bytes([10, 0, (low >> 8) as u8, low as u8])),
+            port,
+        )
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = NatConfig> {
+    (
+        prop_oneof![
+            Just(MappingPolicy::EndpointIndependent),
+            Just(MappingPolicy::EndpointDependent)
+        ],
+        prop_oneof![
+            Just(FilteringPolicy::None),
+            Just(FilteringPolicy::Address),
+            Just(FilteringPolicy::AddressAndPort)
+        ],
+        any::<bool>(),
+    )
+        .prop_map(|(mapping, filtering, hairpin)| NatConfig {
+            mapping,
+            filtering,
+            hairpin,
+            mapping_timeout: SimDuration::from_secs(120),
+            open_ports: Vec::new(),
+        })
+}
+
+proptest! {
+    /// A reply from the exact remote that was contacted always passes any
+    /// filtering policy, for any mapping policy, while the mapping is fresh.
+    #[test]
+    fn reply_from_contacted_remote_always_passes(
+        cfg in arb_config(),
+        internal in arb_private_addr(),
+        remote in arb_addr(),
+    ) {
+        prop_assume!(!remote.ip.is_private());
+        let mut nat = Nat::new(PhysIp::new(128, 1, 1, 1), cfg);
+        let public = nat.outbound(internal, remote, SimTime::ZERO);
+        prop_assert_eq!(
+            nat.inbound(public.port, remote, SimTime::from_secs(1)),
+            Inbound::Accept(internal)
+        );
+    }
+
+    /// Outbound translation never leaks the private source address and
+    /// always uses the NAT's public IP.
+    #[test]
+    fn outbound_source_is_public(
+        cfg in arb_config(),
+        internal in arb_private_addr(),
+        remotes in prop::collection::vec(arb_addr(), 1..20),
+    ) {
+        let nat_ip = PhysIp::new(128, 1, 1, 1);
+        let mut nat = Nat::new(nat_ip, cfg);
+        for r in remotes {
+            let public = nat.outbound(internal, r, SimTime::ZERO);
+            prop_assert_eq!(public.ip, nat_ip);
+            prop_assert!(!public.ip.is_private());
+        }
+    }
+
+    /// Under endpoint-independent mapping, one internal socket gets exactly
+    /// one public port no matter how many remotes it contacts; under
+    /// endpoint-dependent mapping, distinct remotes get distinct ports.
+    #[test]
+    fn mapping_policy_port_arity(
+        internal in arb_private_addr(),
+        remotes in prop::collection::hash_set(arb_addr(), 2..20),
+    ) {
+        let mut cone = Nat::new(PhysIp::new(128, 1, 1, 1), NatConfig::typical());
+        let mut sym = Nat::new(PhysIp::new(128, 1, 1, 2), NatConfig::symmetric());
+        let mut cone_ports = std::collections::HashSet::new();
+        let mut sym_ports = std::collections::HashSet::new();
+        for r in &remotes {
+            cone_ports.insert(cone.outbound(internal, *r, SimTime::ZERO).port);
+            sym_ports.insert(sym.outbound(internal, *r, SimTime::ZERO).port);
+        }
+        prop_assert_eq!(cone_ports.len(), 1);
+        prop_assert_eq!(sym_ports.len(), remotes.len());
+    }
+
+    /// Unsolicited inbound traffic never reaches a restrictively-filtered
+    /// NAT's interior, whatever port it aims at.
+    #[test]
+    fn unsolicited_never_passes_restricted_filter(
+        port in 1u16..u16::MAX,
+        remote in arb_addr(),
+    ) {
+        let mut nat = Nat::new(PhysIp::new(128, 1, 1, 1), NatConfig::typical());
+        let out = nat.inbound(port, remote, SimTime::ZERO);
+        prop_assert!(matches!(out, Inbound::Drop(NatDrop::NoMapping)));
+    }
+
+    /// percentile() is bounded by the extrema and monotone in p.
+    #[test]
+    fn percentile_bounds_and_monotonicity(
+        mut xs in prop::collection::vec(-1e6f64..1e6, 1..100),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let lo = xs[0];
+        let hi = *xs.last().unwrap();
+        let (pa, pb) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let va = percentile(&xs, pa).unwrap();
+        let vb = percentile(&xs, pb).unwrap();
+        prop_assert!(va >= lo && vb <= hi);
+        prop_assert!(va <= vb);
+    }
+
+    /// mean lies within [min, max]; stddev is nonnegative.
+    #[test]
+    fn moment_sanity(xs in prop::collection::vec(-1e6f64..1e6, 2..100)) {
+        let m = mean(&xs).unwrap();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        prop_assert!(stddev(&xs).unwrap() >= 0.0);
+    }
+
+    /// Histogram conserves mass: buckets + underflow + overflow == total.
+    #[test]
+    fn histogram_conserves_mass(xs in prop::collection::vec(-100.0f64..200.0, 0..200)) {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for &x in &xs {
+            h.record(x);
+        }
+        let bucketed: u64 = h.buckets().map(|(_, c, _)| c).sum();
+        prop_assert_eq!(bucketed + h.underflow + h.overflow, xs.len() as u64);
+        prop_assert_eq!(h.total(), xs.len() as u64);
+    }
+}
+
+/// End-to-end determinism: the same seed must give identical stats even for
+/// a topology with NATs, loss, and many actors.
+#[test]
+fn whole_sim_determinism() {
+    use bytes::Bytes;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Chatter {
+        port: u16,
+        peers: Vec<PhysAddr>,
+        log: Rc<RefCell<Vec<(u64, u16)>>>,
+        sent: u32,
+    }
+    impl Actor for Chatter {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.bind(self.port);
+            ctx.wake_after(SimDuration::from_millis(10), 0);
+        }
+        fn on_wake(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+            if self.sent >= 50 {
+                return;
+            }
+            self.sent += 1;
+            let peer = self.peers[self.sent as usize % self.peers.len()];
+            ctx.send(self.port, peer, Bytes::from_static(b"chatter"));
+            ctx.wake_after(SimDuration::from_millis(37), 0);
+        }
+        fn on_datagram(&mut self, ctx: &mut Ctx<'_>, d: Datagram) {
+            self.log
+                .borrow_mut()
+                .push((ctx.now.as_micros(), d.src.port));
+        }
+    }
+
+    fn run(seed: u64) -> (Vec<(u64, u16)>, u64, u64) {
+        let mut sim = Sim::new(seed);
+        let wan = sim.add_domain(DomainSpec::public("wan"));
+        let dorm = sim.add_domain(DomainSpec::natted("dorm", NatConfig::typical()));
+        let mut lm = LinkModel::default();
+        lm.default_wan.loss = 0.05;
+        sim.world().links = lm;
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut addrs = Vec::new();
+        let mut hosts = Vec::new();
+        for i in 0..6 {
+            let domain = if i % 2 == 0 { wan } else { dorm };
+            let h = sim.add_host(domain, HostSpec::new(format!("h{i}")));
+            hosts.push(h);
+            addrs.push(PhysAddr::new(sim.world().host_ip(h), 4000));
+        }
+        // Only public hosts are directly addressable; chatters aim at those.
+        let public: Vec<_> = addrs.iter().step_by(2).copied().collect();
+        for &h in &hosts {
+            sim.add_actor(h, Chatter {
+                port: 4000,
+                peers: public.clone(),
+                log: log.clone(),
+                sent: 0,
+            });
+        }
+        sim.run_to_quiescence();
+        let stats = &sim.world_ref().stats;
+        let events = log.borrow().clone();
+        (events, stats.sent, stats.delivered)
+    }
+
+    assert_eq!(run(11), run(11));
+    assert_eq!(run(12), run(12));
+}
+
+proptest! {
+    /// Per-flow FIFO: datagrams between one (src, dst) pair are delivered
+    /// in send order, whatever the jitter draws.
+    #[test]
+    fn per_flow_fifo_delivery(seed in any::<u64>(), n in 2usize..40) {
+        use bytes::Bytes;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct Blast {
+            port: u16,
+            dst: PhysAddr,
+            n: usize,
+        }
+        impl Actor for Blast {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.bind(self.port);
+                for i in 0..self.n {
+                    ctx.send(self.port, self.dst, Bytes::from(vec![i as u8]));
+                }
+            }
+        }
+        struct Order {
+            port: u16,
+            seen: Rc<RefCell<Vec<u8>>>,
+        }
+        impl Actor for Order {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.bind(self.port);
+            }
+            fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, d: Datagram) {
+                self.seen.borrow_mut().push(d.payload[0]);
+            }
+        }
+        let mut sim = Sim::new(seed);
+        let wan = sim.add_domain(DomainSpec::public("wan"));
+        // Crank jitter way up relative to base so IID sampling would
+        // certainly reorder without the clamp.
+        let mut lm = LinkModel::default();
+        lm.default_wan = PathModel {
+            base: SimDuration::from_millis(5),
+            jitter_mean: SimDuration::from_millis(50),
+            loss: 0.0,
+        };
+        sim.world().links = lm;
+        let h1 = sim.add_host(wan, HostSpec::new("a").link_bps(1e9));
+        let h2 = sim.add_host(wan, HostSpec::new("b").link_bps(1e9));
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        sim.add_actor(h2, Order { port: 7, seen: seen.clone() });
+        let dst = PhysAddr::new(sim.world().host_ip(h2), 7);
+        sim.add_actor(h1, Blast { port: 9, dst, n });
+        sim.run_to_quiescence();
+        let seen = seen.borrow();
+        prop_assert_eq!(seen.len(), n);
+        prop_assert!(seen.windows(2).all(|w| w[0] < w[1]), "reordered: {:?}", &*seen);
+    }
+}

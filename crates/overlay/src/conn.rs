@@ -1,0 +1,472 @@
+//! Connection types and the per-node connection table.
+//!
+//! A *connection* is an established, kept-alive overlay link to a peer over
+//! which packets are routed. The paper distinguishes four types: leaf
+//! (bootstrap access links), structured near (ring neighbours), structured
+//! far (small-world long links) and shortcut (traffic-driven direct links).
+//! One underlying link may serve several roles at once — e.g. a near
+//! connection also carries shortcut traffic — so each table entry holds a
+//! set of types.
+
+use wow_netsim::addr::PhysAddr;
+use wow_netsim::time::SimTime;
+
+use crate::addr::{Address, U160};
+
+/// Role of a connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ConnType {
+    /// Bootstrap access link; not used for general routing.
+    Leaf,
+    /// Ring-neighbour link ("structured near").
+    StructuredNear,
+    /// Small-world long link ("structured far").
+    StructuredFar,
+    /// Traffic-driven direct link.
+    Shortcut,
+}
+
+impl ConnType {
+    pub(crate) fn bit(self) -> u8 {
+        match self {
+            ConnType::Leaf => 1,
+            ConnType::StructuredNear => 2,
+            ConnType::StructuredFar => 4,
+            ConnType::Shortcut => 8,
+        }
+    }
+
+    /// Stable numeric id for the wire format.
+    pub fn wire_id(self) -> u8 {
+        match self {
+            ConnType::Leaf => 0,
+            ConnType::StructuredNear => 1,
+            ConnType::StructuredFar => 2,
+            ConnType::Shortcut => 3,
+        }
+    }
+
+    /// Inverse of [`ConnType::wire_id`].
+    pub fn from_wire_id(id: u8) -> Option<ConnType> {
+        Some(match id {
+            0 => ConnType::Leaf,
+            1 => ConnType::StructuredNear,
+            2 => ConnType::StructuredFar,
+            3 => ConnType::Shortcut,
+            _ => return None,
+        })
+    }
+}
+
+/// A small set of [`ConnType`]s.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConnTypeSet(u8);
+
+impl ConnTypeSet {
+    /// The empty set.
+    pub const EMPTY: ConnTypeSet = ConnTypeSet(0);
+
+    /// A singleton set.
+    pub fn only(t: ConnType) -> Self {
+        ConnTypeSet(t.bit())
+    }
+
+    /// Insert a type.
+    pub fn insert(&mut self, t: ConnType) {
+        self.0 |= t.bit();
+    }
+
+    /// Remove a type.
+    pub fn remove(&mut self, t: ConnType) {
+        self.0 &= !t.bit();
+    }
+
+    /// Membership test.
+    pub fn contains(self, t: ConnType) -> bool {
+        self.0 & t.bit() != 0
+    }
+
+    /// True if no types remain.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if the set contains any structured (routing-eligible) type.
+    pub fn is_structured(self) -> bool {
+        self.contains(ConnType::StructuredNear)
+            || self.contains(ConnType::StructuredFar)
+            || self.contains(ConnType::Shortcut)
+    }
+}
+
+/// One established connection.
+#[derive(Clone, Debug)]
+pub struct Connection {
+    /// The peer's overlay address.
+    pub peer: Address,
+    /// Roles this link currently serves.
+    pub types: ConnTypeSet,
+    /// The underlay endpoint that worked during linking; where we send.
+    pub remote: PhysAddr,
+    /// When the link was established.
+    pub established_at: SimTime,
+}
+
+/// The connection table of one node, ordered by peer address.
+#[derive(Clone, Debug, Default)]
+pub struct ConnTable {
+    // Sorted by peer address; n is small (tens), so Vec beats a tree.
+    conns: Vec<Connection>,
+}
+
+impl ConnTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        ConnTable::default()
+    }
+
+    /// Number of connections.
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// True if no connections exist.
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+
+    /// Iterate over all connections in address order.
+    pub fn iter(&self) -> impl Iterator<Item = &Connection> {
+        self.conns.iter()
+    }
+
+    /// Look up by peer address.
+    pub fn get(&self, peer: Address) -> Option<&Connection> {
+        self.conns
+            .binary_search_by(|c| c.peer.cmp(&peer))
+            .ok()
+            .map(|i| &self.conns[i])
+    }
+
+    /// Insert a new connection or add a role to an existing one.
+    pub fn upsert(&mut self, peer: Address, t: ConnType, remote: PhysAddr, now: SimTime) -> Upsert {
+        match self.conns.binary_search_by(|c| c.peer.cmp(&peer)) {
+            Ok(i) => {
+                let new_role = !self.conns[i].types.contains(t);
+                self.conns[i].types.insert(t);
+                self.conns[i].remote = remote;
+                Upsert {
+                    new_peer: false,
+                    new_role,
+                }
+            }
+            Err(i) => {
+                self.conns.insert(i, Connection {
+                    peer,
+                    types: ConnTypeSet::only(t),
+                    remote,
+                    established_at: now,
+                });
+                Upsert {
+                    new_peer: true,
+                    new_role: true,
+                }
+            }
+        }
+    }
+
+    /// Update the proven underlay endpoint for a peer (NAT renumbering:
+    /// the peer's keepalive arrived from a new mapping). Returns true if
+    /// the endpoint changed.
+    pub fn update_remote(&mut self, peer: Address, remote: PhysAddr) -> bool {
+        if let Ok(i) = self.conns.binary_search_by(|c| c.peer.cmp(&peer)) {
+            if self.conns[i].remote != remote {
+                self.conns[i].remote = remote;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Remove a role from a connection; drops the connection entirely when
+    /// its last role is removed. Returns true if the connection was dropped.
+    pub fn remove_role(&mut self, peer: Address, t: ConnType) -> bool {
+        if let Ok(i) = self.conns.binary_search_by(|c| c.peer.cmp(&peer)) {
+            self.conns[i].types.remove(t);
+            if self.conns[i].types.is_empty() {
+                self.conns.remove(i);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Remove a connection entirely (link failure).
+    pub fn remove(&mut self, peer: Address) -> Option<Connection> {
+        match self.conns.binary_search_by(|c| c.peer.cmp(&peer)) {
+            Ok(i) => Some(self.conns.remove(i)),
+            Err(_) => None,
+        }
+    }
+
+    /// Connections that carry a given role.
+    pub fn with_type(&self, t: ConnType) -> impl Iterator<Item = &Connection> {
+        self.conns.iter().filter(move |c| c.types.contains(t))
+    }
+
+    /// The `count` nearest structured-connected peers clockwise of `from`
+    /// (excluding `from` itself), nearest first.
+    pub fn nearest_cw(&self, from: Address, count: usize) -> Vec<Address> {
+        let mut peers: Vec<Address> = self
+            .conns
+            .iter()
+            .filter(|c| c.types.is_structured())
+            .map(|c| c.peer)
+            .filter(|&p| p != from)
+            .collect();
+        peers.sort_by_key(|&p| from.dist_cw(p));
+        peers.truncate(count);
+        peers
+    }
+
+    /// The `count` nearest structured-connected peers counter-clockwise of
+    /// `from`, nearest first.
+    pub fn nearest_ccw(&self, from: Address, count: usize) -> Vec<Address> {
+        let mut peers: Vec<Address> = self
+            .conns
+            .iter()
+            .filter(|c| c.types.is_structured())
+            .map(|c| c.peer)
+            .filter(|&p| p != from)
+            .collect();
+        peers.sort_by_key(|&p| p.dist_cw(from));
+        peers.truncate(count);
+        peers
+    }
+
+    /// Greedy next hop for a packet addressed to `dst`, from a node whose
+    /// own address is `me`.
+    ///
+    /// Considers structured connections only, plus leaf connections whose
+    /// peer *is* the destination (so bootstrap targets can hand replies back
+    /// to leaf-connected joiners). Returns:
+    ///
+    /// * `NextHop::Local` — no candidate is strictly closer to `dst` than we
+    ///   are: we are the nearest node we know of.
+    /// * `NextHop::Relay(conn)` — forward to this connection.
+    ///
+    /// `exclude` suppresses peers a packet must not be forwarded to: the
+    /// link it arrived on (preventing two-node routing loops), and — for
+    /// self-addressed ring probes — the destination itself, so the probe
+    /// lands on the nearest *other* node.
+    pub fn next_hop(&self, me: Address, dst: Address, exclude: &[Address]) -> NextHop<'_> {
+        if dst == me {
+            return NextHop::Local;
+        }
+        let excluded = |p: Address| exclude.contains(&p);
+        let mut best: Option<&Connection> = None;
+        let mut best_dist = me.ring_dist(dst);
+        for c in &self.conns {
+            if excluded(c.peer) {
+                continue;
+            }
+            let eligible = c.types.is_structured() || c.peer == dst;
+            if !eligible {
+                continue;
+            }
+            let d = c.peer.ring_dist(dst);
+            if d < best_dist {
+                best_dist = d;
+                best = Some(c);
+            }
+        }
+        match best {
+            Some(c) => NextHop::Relay(c),
+            None => {
+                // Gateway rule: a node with no structured connections (a
+                // joiner) forwards everything through a leaf link.
+                if !self.conns.iter().any(|c| c.types.is_structured()) {
+                    if let Some(leaf) = self
+                        .conns
+                        .iter()
+                        .find(|c| c.types.contains(ConnType::Leaf) && !excluded(c.peer))
+                    {
+                        return NextHop::Relay(leaf);
+                    }
+                }
+                NextHop::Local
+            }
+        }
+    }
+
+    /// Ring distance from `me` to the nearest structured peer, if any —
+    /// used to scale far-target sampling.
+    pub fn nearest_structured_dist(&self, me: Address) -> Option<U160> {
+        self.conns
+            .iter()
+            .filter(|c| c.types.is_structured())
+            .map(|c| me.ring_dist(c.peer))
+            .min()
+    }
+}
+
+/// Result of [`ConnTable::upsert`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Upsert {
+    /// The peer had no connection before this call.
+    pub new_peer: bool,
+    /// The role was not previously present on this connection.
+    pub new_role: bool,
+}
+
+/// Routing decision from [`ConnTable::next_hop`].
+#[derive(Debug)]
+pub enum NextHop<'a> {
+    /// This node is the closest it knows of; deliver (or drop) locally.
+    Local,
+    /// Forward over this connection.
+    Relay(&'a Connection),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::U160;
+    use wow_netsim::addr::PhysIp;
+
+    fn a(v: u64) -> Address {
+        Address::from(U160::from(v))
+    }
+
+    fn ep(port: u16) -> PhysAddr {
+        PhysAddr::new(PhysIp::new(10, 0, 0, 1), port)
+    }
+
+    const T0: SimTime = SimTime::ZERO;
+
+    #[test]
+    fn typeset_ops() {
+        let mut s = ConnTypeSet::only(ConnType::Leaf);
+        assert!(s.contains(ConnType::Leaf));
+        assert!(!s.is_structured());
+        s.insert(ConnType::Shortcut);
+        assert!(s.is_structured());
+        s.remove(ConnType::Leaf);
+        s.remove(ConnType::Shortcut);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn wire_id_roundtrip() {
+        for t in [
+            ConnType::Leaf,
+            ConnType::StructuredNear,
+            ConnType::StructuredFar,
+            ConnType::Shortcut,
+        ] {
+            assert_eq!(ConnType::from_wire_id(t.wire_id()), Some(t));
+        }
+        assert_eq!(ConnType::from_wire_id(9), None);
+    }
+
+    #[test]
+    fn upsert_merges_roles() {
+        let mut t = ConnTable::new();
+        let first = t.upsert(a(5), ConnType::StructuredNear, ep(1), T0);
+        assert!(first.new_peer && first.new_role);
+        let second = t.upsert(a(5), ConnType::Shortcut, ep(2), T0);
+        assert!(!second.new_peer && second.new_role);
+        let repeat = t.upsert(a(5), ConnType::Shortcut, ep(2), T0);
+        assert!(!repeat.new_peer && !repeat.new_role);
+        assert_eq!(t.len(), 1);
+        let c = t.get(a(5)).unwrap();
+        assert!(c.types.contains(ConnType::StructuredNear));
+        assert!(c.types.contains(ConnType::Shortcut));
+        assert_eq!(c.remote, ep(2), "remote refreshed by upsert");
+    }
+
+    #[test]
+    fn remove_role_drops_on_last() {
+        let mut t = ConnTable::new();
+        t.upsert(a(5), ConnType::StructuredNear, ep(1), T0);
+        t.upsert(a(5), ConnType::Shortcut, ep(1), T0);
+        assert!(!t.remove_role(a(5), ConnType::Shortcut));
+        assert!(t.remove_role(a(5), ConnType::StructuredNear));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn update_remote_roams_endpoint() {
+        let mut t = ConnTable::new();
+        t.upsert(a(5), ConnType::StructuredNear, ep(1), T0);
+        assert!(t.update_remote(a(5), ep(2)), "endpoint changed");
+        assert_eq!(t.get(a(5)).unwrap().remote, ep(2));
+        assert!(!t.update_remote(a(5), ep(2)), "idempotent");
+        assert!(!t.update_remote(a(9), ep(3)), "unknown peer ignored");
+    }
+
+    #[test]
+    fn nearest_cw_ccw() {
+        let mut t = ConnTable::new();
+        for v in [10u64, 20, 30, 90] {
+            t.upsert(a(v), ConnType::StructuredNear, ep(v as u16), T0);
+        }
+        assert_eq!(t.nearest_cw(a(15), 2), vec![a(20), a(30)]);
+        assert_eq!(t.nearest_ccw(a(15), 2), vec![a(10), a(90)]);
+        // Wrap-around: from 95, clockwise reaches 10 first.
+        assert_eq!(t.nearest_cw(a(95), 1), vec![a(10)]);
+    }
+
+    #[test]
+    fn greedy_next_hop_picks_closest() {
+        let mut t = ConnTable::new();
+        t.upsert(a(100), ConnType::StructuredNear, ep(1), T0);
+        t.upsert(a(500), ConnType::StructuredFar, ep(2), T0);
+        match t.next_hop(a(0), a(480), &[]) {
+            NextHop::Relay(c) => assert_eq!(c.peer, a(500)),
+            other => panic!("expected relay, got {other:?}"),
+        }
+        // Destination closer to me than to anyone I know: local.
+        assert!(matches!(t.next_hop(a(0), a(3), &[]), NextHop::Local));
+    }
+
+    #[test]
+    fn leaf_not_used_for_general_routing_but_exact_delivery_works() {
+        let mut t = ConnTable::new();
+        t.upsert(a(100), ConnType::Leaf, ep(1), T0);
+        t.upsert(a(300), ConnType::StructuredNear, ep(2), T0);
+        // dst 120 is nearest to the leaf peer, but leaf links don't route.
+        match t.next_hop(a(0), a(120), &[]) {
+            NextHop::Local => {}
+            NextHop::Relay(c) => assert_ne!(c.peer, a(100), "leaf must not route"),
+        }
+        // Exact-match to the leaf peer does deliver over the leaf link.
+        match t.next_hop(a(0), a(100), &[]) {
+            NextHop::Relay(c) => assert_eq!(c.peer, a(100)),
+            other => panic!("expected leaf relay, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gateway_rule_for_structureless_joiner() {
+        let mut t = ConnTable::new();
+        t.upsert(a(100), ConnType::Leaf, ep(1), T0);
+        // No structured connections: everything relays through the leaf.
+        match t.next_hop(a(0), a(77), &[]) {
+            NextHop::Relay(c) => assert_eq!(c.peer, a(100)),
+            other => panic!("expected leaf gateway, got {other:?}"),
+        }
+        // ... except when that leaf is excluded (came from there).
+        assert!(matches!(t.next_hop(a(0), a(77), &[a(100)]), NextHop::Local));
+    }
+
+    #[test]
+    fn exclude_prevents_bounce_back() {
+        let mut t = ConnTable::new();
+        t.upsert(a(100), ConnType::StructuredNear, ep(1), T0);
+        match t.next_hop(a(0), a(100), &[a(100)]) {
+            NextHop::Local => {}
+            other => panic!("expected local, got {other:?}"),
+        }
+    }
+}

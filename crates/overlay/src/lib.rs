@@ -1,0 +1,60 @@
+//! # wow-overlay — a Brunet-style structured P2P overlay kernel
+//!
+//! The self-organizing overlay at the heart of the WOW paper (HPDC'06):
+//! a ring of nodes ordered by 160-bit addresses, held together by
+//! *structured near* connections (ring neighbours) and *structured far*
+//! connections (small-world long links), routed greedily, and extended at
+//! runtime with traffic-driven *shortcut* connections that let chatty node
+//! pairs talk over a single overlay hop — through NATs, with no central
+//! coordination.
+//!
+//! The crate is **sans-IO**: [`node::BrunetNode`] consumes timestamped
+//! events and emits [`node::NodeAction`]s. The `wow` crate provides two
+//! drivers — a deterministic simulator adapter (for the paper's
+//! experiments) and a real-UDP runtime (for live use).
+//!
+//! ## A node in five lines
+//!
+//! ```
+//! use wow_overlay::prelude::*;
+//! use wow_overlay::addr::Address;
+//! use wow_netsim::time::SimTime;
+//!
+//! let mut node = BrunetNode::new(Address([7; 20]), OverlayConfig::default(), 42);
+//! node.start(SimTime::ZERO, "brunet.udp://10.0.0.2:14000".parse().unwrap(), vec![]);
+//! assert!(node.is_running());
+//! assert_eq!(node.take_actions().len(), 0); // first node: nothing to say yet
+//! ```
+//!
+//! Module map:
+//!
+//! * [`addr`] — 160-bit addresses, ring distances, small-world sampling
+//! * [`uri`] — `brunet.udp://…` transport URIs and the advertised-URI set
+//! * [`wire`] — the frame codec
+//! * [`conn`] — connection table and greedy next-hop selection
+//! * [`linking`] — the linking handshake (URI trials, retries, races)
+//! * [`ping`] — keepalives and failure detection
+//! * [`overlord`] — near / far / shortcut connection overlords
+//! * [`config`] — tunables, with paper-matched defaults
+//! * [`node`] — the composed state machine
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod config;
+pub mod conn;
+pub mod linking;
+pub mod node;
+pub mod overlord;
+pub mod ping;
+pub mod uri;
+pub mod wire;
+
+/// Commonly-used names, for glob import.
+pub mod prelude {
+    pub use crate::addr::Address;
+    pub use crate::config::OverlayConfig;
+    pub use crate::conn::{ConnTable, ConnType};
+    pub use crate::node::{BrunetNode, NodeAction, NodeStats};
+    pub use crate::uri::{TransportUri, UriOrder};
+}

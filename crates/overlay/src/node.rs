@@ -1,0 +1,1512 @@
+//! The Brunet node: a sans-IO state machine composing routing, the
+//! connection/linking protocols, keepalives and the three overlords.
+//!
+//! A [`BrunetNode`] never touches a socket or a clock. Its inputs are
+//! timestamped events — [`BrunetNode::on_datagram`], [`BrunetNode::on_tick`],
+//! [`BrunetNode::send_app`] — and its outputs are [`NodeAction`]s drained by
+//! whatever drives it: the deterministic simulator adapter for experiments,
+//! or the real-UDP runtime for live use. This is what lets one protocol
+//! implementation serve both Fig. 4's 100-trial sweeps and a loopback demo.
+//!
+//! ## Join choreography (§IV-C)
+//!
+//! 1. Link (wildcard target) to a bootstrap URI → a **leaf** connection to
+//!    node `L`; the `LinkReply` teaches us our NAT-assigned public URI.
+//! 2. Send a CTM addressed *to ourselves*, relayed via `L`. Greedy routing
+//!    delivers it to the ring node nearest our address, which answers (and
+//!    edge-forwards one copy to the neighbour on the other side of us, so
+//!    both future neighbours respond). Replies come back through `L`.
+//! 3. Link to each responder as **structured near** — we are now routable.
+//! 4. The far overlord acquires its `k` long links; the shortcut overlord
+//!    reacts to tunnelled traffic from then on.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use wow_netsim::addr::PhysAddr;
+use wow_netsim::time::{SimDuration, SimTime};
+
+use crate::addr::Address;
+use crate::config::OverlayConfig;
+use crate::conn::{ConnTable, ConnType, NextHop};
+use crate::linking::{LinkCmd, LinkingManager};
+use crate::overlord::{FarOverlord, NearOverlord, OverlordCmd, ShortcutOverlord};
+use crate::ping::{PingCmd, PingManager};
+use crate::uri::{TransportUri, UriSet};
+use crate::wire::{Body, Frame, LinkErrorReason, LinkMsg, Packet};
+
+/// The wildcard target address used when linking to a bootstrap node whose
+/// overlay address is not yet known.
+pub const WILDCARD: Address = Address([0; 20]);
+
+/// Housekeeping cadence (pending-CTM expiry, shortcut idle checks, join
+/// retries are evaluated at this granularity).
+const HOUSEKEEPING: SimDuration = SimDuration::from_secs(2);
+
+/// An externally visible effect requested by the node.
+#[derive(Clone, Debug)]
+pub enum NodeAction {
+    /// Transmit this frame to an underlay endpoint.
+    Send {
+        /// Destination endpoint.
+        to: PhysAddr,
+        /// Encoded frame.
+        frame: Bytes,
+    },
+    /// A tunnelled application payload arrived.
+    Deliver {
+        /// Originating overlay address.
+        src: Address,
+        /// Application protocol discriminator.
+        proto: u8,
+        /// Payload.
+        data: Bytes,
+        /// True when this node was the packet's exact destination; false
+        /// for nearest-delivery (the destination is absent from the ring).
+        exact: bool,
+    },
+    /// A connection gained a role (possibly a brand-new connection).
+    Connected {
+        /// Peer address.
+        peer: Address,
+        /// Role added.
+        ctype: ConnType,
+    },
+    /// A connection was lost or fully shed.
+    Disconnected {
+        /// Peer address.
+        peer: Address,
+    },
+    /// A linking attempt exhausted every URI.
+    LinkFailed {
+        /// Intended peer.
+        peer: Address,
+        /// Intended role.
+        ctype: ConnType,
+    },
+}
+
+/// Counters exposed for experiments and tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeStats {
+    /// Routed packets forwarded for other nodes.
+    pub forwarded: u64,
+    /// Routed packets delivered locally (exact destination).
+    pub delivered: u64,
+    /// Routed packets delivered locally by nearest-delivery.
+    pub delivered_nearest: u64,
+    /// Packets dropped: hop budget exhausted.
+    pub dropped_ttl: u64,
+    /// Packets dropped: a CTM relay had no link to the joining node.
+    pub dropped_relay: u64,
+    /// Datagrams that failed to decode.
+    pub decode_errors: u64,
+    /// CTM requests sent.
+    pub ctm_sent: u64,
+    /// Application packets originated (send_app calls routed).
+    pub app_sent: u64,
+    /// Sum of hop counts over exactly-delivered packets (divide by
+    /// `delivered` for the average path length).
+    pub hops_sum: u64,
+}
+
+#[derive(Clone, Debug)]
+struct PendingCtm {
+    target: Address,
+    ctype: ConnType,
+    expires: SimTime,
+}
+
+/// The node. See module docs.
+pub struct BrunetNode {
+    addr: Address,
+    cfg: OverlayConfig,
+    rng: SmallRng,
+    running: bool,
+    my_uris: UriSet,
+    conns: ConnTable,
+    linking: LinkingManager,
+    pinger: PingManager,
+    near: NearOverlord,
+    far: FarOverlord,
+    shortcut: ShortcutOverlord,
+    pending_ctm: HashMap<u64, PendingCtm>,
+    next_token: u64,
+    bootstrap: Vec<TransportUri>,
+    leaf_peer: Option<Address>,
+    next_join_attempt: SimTime,
+    next_housekeeping: SimTime,
+    actions: Vec<NodeAction>,
+    stats: NodeStats,
+}
+
+impl BrunetNode {
+    /// Create a stopped node with the given overlay address.
+    pub fn new(addr: Address, cfg: OverlayConfig, seed: u64) -> Self {
+        BrunetNode {
+            addr,
+            cfg,
+            rng: SmallRng::seed_from_u64(seed),
+            running: false,
+            my_uris: UriSet::default(),
+            conns: ConnTable::new(),
+            linking: LinkingManager::new(),
+            pinger: PingManager::new(),
+            near: NearOverlord::new(),
+            far: FarOverlord::new(),
+            shortcut: ShortcutOverlord::new(),
+            pending_ctm: HashMap::new(),
+            next_token: 1,
+            bootstrap: Vec::new(),
+            leaf_peer: None,
+            next_join_attempt: SimTime::ZERO,
+            next_housekeeping: SimTime::ZERO,
+            actions: Vec::new(),
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// This node's overlay address.
+    pub fn address(&self) -> Address {
+        self.addr
+    }
+
+    /// The connection table (read-only).
+    pub fn conns(&self) -> &ConnTable {
+        &self.conns
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> NodeStats {
+        self.stats
+    }
+
+    /// Effective configuration.
+    pub fn config(&self) -> &OverlayConfig {
+        &self.cfg
+    }
+
+    /// True once the node holds at least one structured-near connection —
+    /// the point at which it is part of the ring and other nodes' greedy
+    /// routing reaches it.
+    pub fn is_routable(&self) -> bool {
+        self.conns
+            .with_type(ConnType::StructuredNear)
+            .next()
+            .is_some()
+    }
+
+    /// True if a direct (single overlay hop) link to `peer` exists,
+    /// whatever its role set — the condition Fig. 4's third regime measures.
+    pub fn has_direct(&self, peer: Address) -> bool {
+        self.conns.get(peer).is_some()
+    }
+
+    /// The URI list this node currently advertises.
+    pub fn advertised_uris(&self) -> Vec<TransportUri> {
+        self.my_uris.advertised(self.cfg.uri_order)
+    }
+
+    /// Start the node: bind at `local_uri` and join via `bootstrap` URIs
+    /// (empty for the very first node of a new overlay).
+    pub fn start(&mut self, now: SimTime, local_uri: TransportUri, bootstrap: Vec<TransportUri>) {
+        self.running = true;
+        self.my_uris = UriSet::new(local_uri);
+        self.bootstrap = bootstrap;
+        self.next_join_attempt = now + self.cfg.join_retry;
+        self.next_housekeeping = now + HOUSEKEEPING;
+        if !self.bootstrap.is_empty() {
+            self.linking
+                .start(now, WILDCARD, ConnType::Leaf, self.bootstrap.clone());
+            self.drive_linking(now);
+        }
+    }
+
+    /// Restart after a migration: all overlay state is discarded (the
+    /// paper's "kill and restart the user-level IPOP program"), the node
+    /// re-binds and rejoins, keeping its overlay address and therefore its
+    /// ring position.
+    pub fn restart(&mut self, now: SimTime, local_uri: TransportUri, bootstrap: Vec<TransportUri>) {
+        self.conns = ConnTable::new();
+        self.linking = LinkingManager::new();
+        self.pinger = PingManager::new();
+        self.near = NearOverlord::new();
+        self.far = FarOverlord::new();
+        self.shortcut.clear();
+        self.pending_ctm.clear();
+        self.leaf_peer = None;
+        self.start(now, local_uri, bootstrap);
+    }
+
+    /// Stop the node (no goodbye messages — peers find out via keepalives,
+    /// exactly as when a VM is suspended).
+    pub fn stop(&mut self) {
+        self.running = false;
+    }
+
+    /// Whether the node is running.
+    pub fn is_running(&self) -> bool {
+        self.running
+    }
+
+    /// Drain the accumulated actions.
+    pub fn take_actions(&mut self) -> Vec<NodeAction> {
+        std::mem::take(&mut self.actions)
+    }
+
+    /// The earliest time at which [`BrunetNode::on_tick`] has work to do.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        if !self.running {
+            return None;
+        }
+        let mut d = self.next_housekeeping;
+        if let Some(t) = self.linking.next_deadline() {
+            d = d.min(t);
+        }
+        if let Some(t) = self.pinger.next_deadline() {
+            d = d.min(t);
+        }
+        d = d.min(self.near.next_deadline());
+        d = d.min(self.far.next_deadline());
+        Some(d)
+    }
+
+    // ------------------------------------------------------------ input --
+
+    /// Feed a received datagram.
+    pub fn on_datagram(&mut self, now: SimTime, src: PhysAddr, data: Bytes) {
+        if !self.running {
+            return;
+        }
+        let frame = match Frame::decode(data) {
+            Ok(f) => f,
+            Err(_) => {
+                self.stats.decode_errors += 1;
+                return;
+            }
+        };
+        match frame {
+            Frame::Link(msg) => self.on_link_msg(now, src, msg),
+            Frame::Routed(pkt) => self.on_routed(now, src, pkt),
+        }
+    }
+
+    /// Drive timers up to `now`.
+    pub fn on_tick(&mut self, now: SimTime) {
+        if !self.running {
+            return;
+        }
+        self.drive_linking(now);
+        self.drive_pinger(now);
+        self.drive_overlords(now);
+        if now >= self.next_housekeeping {
+            self.next_housekeeping = now + HOUSEKEEPING;
+            self.housekeeping(now);
+        }
+    }
+
+    /// Route an application payload to `dst` (the IPOP tunnel entry point).
+    pub fn send_app(&mut self, now: SimTime, dst: Address, proto: u8, data: Bytes) {
+        if !self.running || dst == self.addr {
+            return;
+        }
+        self.stats.app_sent += 1;
+        self.observe_traffic(now, dst);
+        let pkt = Packet {
+            src: self.addr,
+            dst,
+            hops: 0,
+            ttl: self.cfg.ttl,
+            edge_forwarded: false,
+            body: Body::App { proto, data },
+        };
+        self.route_packet(now, pkt, None);
+    }
+
+    // -------------------------------------------------------- link layer --
+
+    fn send_frame(&mut self, to: PhysAddr, frame: Frame) {
+        self.actions.push(NodeAction::Send {
+            to,
+            frame: frame.encode(),
+        });
+    }
+
+    fn on_link_msg(&mut self, now: SimTime, src: PhysAddr, msg: LinkMsg) {
+        // Endpoint roaming: a link-level message from a known peer arriving
+        // from a new underlay address means its NAT mapping changed (the
+        // paper's home node did this repeatedly; §VI credits the overlay
+        // with re-establishing through translation changes). The message's
+        // source is a proven return path — adopt it.
+        let from_addr = match &msg {
+            LinkMsg::LinkRequest { from, .. }
+            | LinkMsg::LinkReply { from, .. }
+            | LinkMsg::LinkError { from, .. }
+            | LinkMsg::Ping { from, .. }
+            | LinkMsg::Pong { from, .. }
+            | LinkMsg::NeighborQuery { from }
+            | LinkMsg::NeighborReply { from, .. } => *from,
+        };
+        self.conns.update_remote(from_addr, src);
+        match msg {
+            LinkMsg::LinkRequest {
+                from,
+                target,
+                ctype,
+                attempt,
+            } => {
+                if from == self.addr {
+                    return; // a private-URI collision bounced our own request back
+                }
+                if target != self.addr && target != WILDCARD {
+                    self.send_frame(src, Frame::Link(LinkMsg::LinkError {
+                        from: self.addr,
+                        attempt,
+                        reason: LinkErrorReason::WrongNode,
+                    }));
+                    return;
+                }
+                if self.conns.get(from).is_some() {
+                    // Duplicate/refresh: stay idempotent.
+                    self.record_conn(now, from, ctype, src);
+                    self.send_frame(src, Frame::Link(LinkMsg::LinkReply {
+                        from: self.addr,
+                        attempt,
+                        observed: src,
+                    }));
+                    self.pinger.heard(from, now, &self.cfg);
+                    return;
+                }
+                if self.linking.has_active_attempt(from)
+                    && self.linking.unanswered_sends(from) < 3
+                {
+                    // The paper's race rule: tell the peer to stand down.
+                    // Exception: if several of our own requests have already
+                    // vanished while the peer's request reached us, their
+                    // path works and ours does not (symmetric-NAT peers look
+                    // exactly like this) — yield instead of deadlocking.
+                    self.send_frame(src, Frame::Link(LinkMsg::LinkError {
+                        from: self.addr,
+                        attempt,
+                        reason: LinkErrorReason::InRace,
+                    }));
+                    return;
+                }
+                // Passive accept (this also covers the case where our own
+                // attempt is backed off after a race: we yield to the peer).
+                self.linking.satisfied(from);
+                self.record_conn(now, from, ctype, src);
+                self.send_frame(src, Frame::Link(LinkMsg::LinkReply {
+                    from: self.addr,
+                    attempt,
+                    observed: src,
+                }));
+            }
+            LinkMsg::LinkReply {
+                from,
+                attempt,
+                observed,
+            } => {
+                self.my_uris.learn_observed(TransportUri::udp(observed));
+                let mut cmds = Vec::new();
+                self.linking.on_reply(from, attempt, src, &mut cmds);
+                // A wildcard (bootstrap) attempt matches by attempt id.
+                if cmds.is_empty() {
+                    self.linking.on_reply(WILDCARD, attempt, src, &mut cmds);
+                    // Rewrite the wildcard peer to the actual responder.
+                    for c in &mut cmds {
+                        if let LinkCmd::Established { peer, .. } = c {
+                            if *peer == WILDCARD {
+                                *peer = from;
+                            }
+                        }
+                    }
+                }
+                self.exec_link_cmds(now, cmds);
+            }
+            LinkMsg::LinkError {
+                from,
+                attempt,
+                reason,
+            } => match reason {
+                LinkErrorReason::InRace => {
+                    self.linking
+                        .on_race_error(now, from, attempt, &self.cfg.clone(), &mut self.rng);
+                }
+                LinkErrorReason::WrongNode => {
+                    self.linking.on_wrong_node(now, attempt);
+                    self.drive_linking(now);
+                }
+                LinkErrorReason::NotConnected => {
+                    // Our keepalive hit a peer that no longer knows us.
+                    if self.conns.remove(from).is_some() {
+                        self.pinger.untrack(from);
+                        self.actions.push(NodeAction::Disconnected { peer: from });
+                    }
+                }
+            },
+            LinkMsg::Ping { from, nonce } => {
+                if self.conns.get(from).is_some() {
+                    self.pinger.heard(from, now, &self.cfg);
+                    self.send_frame(src, Frame::Link(LinkMsg::Pong {
+                        from: self.addr,
+                        nonce,
+                        observed: src,
+                    }));
+                } else {
+                    self.send_frame(src, Frame::Link(LinkMsg::LinkError {
+                        from: self.addr,
+                        attempt: nonce,
+                        reason: LinkErrorReason::NotConnected,
+                    }));
+                }
+            }
+            LinkMsg::Pong {
+                from,
+                nonce,
+                observed,
+            } => {
+                self.my_uris.learn_observed(TransportUri::udp(observed));
+                self.pinger.on_pong(from, nonce, now, &self.cfg);
+            }
+            LinkMsg::NeighborQuery { from } => {
+                if self.conns.get(from).is_some() {
+                    self.pinger.heard(from, now, &self.cfg);
+                    let mut neighbors = self.conns.nearest_cw(self.addr, self.cfg.near_per_side);
+                    neighbors.extend(self.conns.nearest_ccw(self.addr, self.cfg.near_per_side));
+                    neighbors.dedup();
+                    self.send_frame(src, Frame::Link(LinkMsg::NeighborReply {
+                        from: self.addr,
+                        neighbors,
+                    }));
+                }
+            }
+            LinkMsg::NeighborReply { from, neighbors } => {
+                if self.conns.get(from).is_some() {
+                    self.pinger.heard(from, now, &self.cfg);
+                    let mut cmds = Vec::new();
+                    self.near.on_neighbor_reply(
+                        self.addr,
+                        &self.conns,
+                        &neighbors,
+                        &self.cfg,
+                        &mut cmds,
+                    );
+                    self.exec_overlord_cmds(now, cmds);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------ routed layer --
+
+    fn on_routed(&mut self, now: SimTime, src: PhysAddr, pkt: Packet) {
+        // Suppress bouncing a packet straight back where it came from.
+        let exclude = self.conns.iter().find(|c| c.remote == src).map(|c| c.peer);
+        self.route_packet(now, pkt, exclude);
+    }
+
+    /// Forward or deliver a routed packet (from the wire or self-originated).
+    fn route_packet(&mut self, now: SimTime, mut pkt: Packet, exclude: Option<Address>) {
+        // Self-addressed CTMs (joins and ring probes) must reach the
+        // nearest node *other than their source*; never forward them to
+        // the source itself.
+        let probe_exclude = if pkt.src == pkt.dst && matches!(pkt.body, Body::CtmRequest { .. })
+        {
+            Some(pkt.dst)
+        } else {
+            None
+        };
+        if pkt.dst == self.addr {
+            // Relay unwrapping for CTM replies addressed to us as relay.
+            if let Body::CtmReply { for_node, .. } = &pkt.body {
+                if *for_node != self.addr {
+                    let for_node = *for_node;
+                    match self.conns.get(for_node) {
+                        Some(c) => {
+                            let remote = c.remote;
+                            pkt.dst = for_node;
+                            self.send_frame(remote, Frame::Routed(pkt));
+                        }
+                        None => self.stats.dropped_relay += 1,
+                    }
+                    return;
+                }
+            }
+            self.deliver_local(now, pkt, true);
+            return;
+        }
+        // Edge-forwarded CTMs are processed where they land.
+        if pkt.edge_forwarded && matches!(pkt.body, Body::CtmRequest { .. }) {
+            self.deliver_local(now, pkt, false);
+            return;
+        }
+        let mut excludes: Vec<Address> = Vec::with_capacity(2);
+        if let Some(e) = exclude {
+            excludes.push(e);
+        }
+        if let Some(e) = probe_exclude {
+            excludes.push(e);
+        }
+        match self.conns.next_hop(self.addr, pkt.dst, &excludes) {
+            NextHop::Relay(c) => {
+                if pkt.hops >= pkt.ttl {
+                    self.stats.dropped_ttl += 1;
+                    return;
+                }
+                pkt.hops += 1;
+                let remote = c.remote;
+                self.stats.forwarded += 1;
+                self.send_frame(remote, Frame::Routed(pkt));
+            }
+            NextHop::Local => self.deliver_local(now, pkt, false),
+        }
+    }
+
+    fn deliver_local(&mut self, now: SimTime, pkt: Packet, exact: bool) {
+        match pkt.body {
+            Body::CtmRequest {
+                token,
+                ctype,
+                uris,
+                reply_relay,
+            } => {
+                if pkt.src == self.addr {
+                    // Our own join CTM came back: we are the nearest node —
+                    // an overlay of one. Nothing to connect to yet.
+                    return;
+                }
+                // Answer with our URIs (routed; relayed if asked).
+                let reply_dst = reply_relay.unwrap_or(pkt.src);
+                let reply = Packet {
+                    src: self.addr,
+                    dst: reply_dst,
+                    hops: 0,
+                    ttl: self.cfg.ttl,
+                    edge_forwarded: false,
+                    body: Body::CtmReply {
+                        token,
+                        responder: self.addr,
+                        uris: self.advertised_uris(),
+                        for_node: pkt.src,
+                    },
+                };
+                self.route_packet(now, reply, None);
+                // Start linking toward the requester (bidirectional rule).
+                self.connect_to(now, pkt.src, ctype, uris.clone());
+                // Nearest-delivery join semantics: hand one copy to the
+                // neighbour on the other side of the requested address so
+                // both future ring neighbours answer.
+                if !exact && !pkt.edge_forwarded {
+                    let dst_is_cw = self.addr.dist_cw(pkt.dst) <= pkt.dst.dist_cw(self.addr);
+                    let other_side = if dst_is_cw {
+                        self.conns.nearest_cw(pkt.dst, 2)
+                    } else {
+                        self.conns.nearest_ccw(pkt.dst, 2)
+                    };
+                    if let Some(&n) = other_side.iter().find(|&&n| n != pkt.src) {
+                        {
+                            if let Some(c) = self.conns.get(n) {
+                                let fwd = Packet {
+                                    edge_forwarded: true,
+                                    hops: pkt.hops.saturating_add(1),
+                                    body: Body::CtmRequest {
+                                        token,
+                                        ctype,
+                                        uris,
+                                        reply_relay,
+                                    },
+                                    ..pkt
+                                };
+                                self.send_frame(c.remote, Frame::Routed(fwd));
+                            }
+                        }
+                    }
+                }
+            }
+            Body::CtmReply {
+                token,
+                responder,
+                uris,
+                ..
+            } => {
+                let Some(pending) = self.pending_ctm.get(&token) else {
+                    return; // stale or duplicate
+                };
+                let ctype = pending.ctype;
+                self.connect_to(now, responder, ctype, uris);
+            }
+            Body::App { proto, data } => {
+                if exact {
+                    self.stats.delivered += 1;
+                    self.stats.hops_sum += u64::from(pkt.hops);
+                    self.observe_traffic(now, pkt.src);
+                } else {
+                    self.stats.delivered_nearest += 1;
+                }
+                self.actions.push(NodeAction::Deliver {
+                    src: pkt.src,
+                    proto,
+                    data,
+                    exact,
+                });
+            }
+        }
+    }
+
+    // -------------------------------------------------- protocol drivers --
+
+    /// Establish (or upgrade) a connection to `peer` using its URI list.
+    fn connect_to(&mut self, now: SimTime, peer: Address, ctype: ConnType, uris: Vec<TransportUri>) {
+        if peer == self.addr {
+            return;
+        }
+        if let Some(c) = self.conns.get(peer) {
+            let remote = c.remote;
+            self.record_conn(now, peer, ctype, remote);
+            return;
+        }
+        if self.linking.has_attempt(peer) {
+            return;
+        }
+        self.linking.start(now, peer, ctype, uris);
+        self.drive_linking(now);
+    }
+
+    /// Record an established connection / added role, and emit actions.
+    fn record_conn(&mut self, now: SimTime, peer: Address, ctype: ConnType, remote: PhysAddr) {
+        let outcome = self.conns.upsert(peer, ctype, remote, now);
+        if outcome.new_peer {
+            self.pinger.track(peer, now, &self.cfg);
+        }
+        if outcome.new_role {
+            self.actions.push(NodeAction::Connected { peer, ctype });
+        }
+        if ctype == ConnType::Leaf && self.leaf_peer.is_none() {
+            self.leaf_peer = Some(peer);
+            self.send_join_ctm(now);
+        }
+    }
+
+    /// Send the self-addressed CTM that discovers our ring neighbours.
+    fn send_join_ctm(&mut self, now: SimTime) {
+        let Some(leaf) = self.leaf_peer else {
+            return;
+        };
+        let Some(c) = self.conns.get(leaf) else {
+            return;
+        };
+        let remote = c.remote;
+        let token = self.alloc_ctm(now, self.addr, ConnType::StructuredNear);
+        let pkt = Packet {
+            src: self.addr,
+            dst: self.addr,
+            hops: 0,
+            ttl: self.cfg.ttl,
+            edge_forwarded: false,
+            body: Body::CtmRequest {
+                token,
+                ctype: ConnType::StructuredNear,
+                uris: self.advertised_uris(),
+                reply_relay: Some(leaf),
+            },
+        };
+        self.send_frame(remote, Frame::Routed(pkt));
+    }
+
+    /// Send a routed CTM to a target address.
+    fn send_ctm(&mut self, now: SimTime, target: Address, ctype: ConnType) {
+        let token = self.alloc_ctm(now, target, ctype);
+        let pkt = Packet {
+            src: self.addr,
+            dst: target,
+            hops: 0,
+            ttl: self.cfg.ttl,
+            edge_forwarded: false,
+            body: Body::CtmRequest {
+                token,
+                ctype,
+                uris: self.advertised_uris(),
+                reply_relay: None,
+            },
+        };
+        self.route_packet(now, pkt, None);
+    }
+
+    /// Verify our ring position: a self-addressed CTM launched through a
+    /// random structured connection. Routing excludes the source, so the
+    /// probe lands on the true nearest *other* node — escaping the local
+    /// optima that neighbour-of-neighbour stabilization alone can reach
+    /// when a mass join leaves a node with distant "near" links.
+    fn send_ring_probe(&mut self, now: SimTime) {
+        use rand::seq::IteratorRandom;
+        let Some((relay_peer, first_hop)) = self
+            .conns
+            .iter()
+            .filter(|c| c.types.is_structured())
+            .map(|c| (c.peer, c.remote))
+            .choose(&mut self.rng)
+        else {
+            return;
+        };
+        let token = self.alloc_ctm(now, self.addr, ConnType::StructuredNear);
+        let pkt = Packet {
+            src: self.addr,
+            dst: self.addr,
+            hops: 0,
+            ttl: self.cfg.ttl,
+            edge_forwarded: false,
+            body: Body::CtmRequest {
+                token,
+                ctype: ConnType::StructuredNear,
+                uris: self.advertised_uris(),
+                // Replies come back through the first-hop peer, which has a
+                // proven direct link to us. Routing the reply straight to
+                // our address could dead-end at the very successor the
+                // probe exists to discover (it has no link to us yet).
+                reply_relay: Some(relay_peer),
+            },
+        };
+        self.send_frame(first_hop, Frame::Routed(pkt));
+    }
+
+    fn alloc_ctm(&mut self, now: SimTime, target: Address, ctype: ConnType) -> u64 {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.stats.ctm_sent += 1;
+        self.pending_ctm.insert(token, PendingCtm {
+            target,
+            ctype,
+            expires: now + self.cfg.ctm_timeout,
+        });
+        token
+    }
+
+    fn has_pending_ctm(&self, target: Address) -> bool {
+        self.pending_ctm.values().any(|p| p.target == target)
+    }
+
+    fn pending_far_count(&self) -> usize {
+        self.pending_ctm
+            .values()
+            .filter(|p| p.ctype == ConnType::StructuredFar)
+            .count()
+    }
+
+    /// Count one tunnelled packet to/from `peer` and trigger a shortcut CTM
+    /// when the score rule fires.
+    fn observe_traffic(&mut self, now: SimTime, peer: Address) {
+        let crossed = self.shortcut.on_traffic(now, peer, &self.cfg);
+        if !crossed || self.cfg.max_shortcuts == 0 {
+            return;
+        }
+        if let Some(c) = self.conns.get(peer) {
+            if !c.types.contains(ConnType::Shortcut) {
+                // Already directly linked for another reason; claim the
+                // shortcut role so the idle logic manages it.
+                let remote = c.remote;
+                self.record_conn(now, peer, ConnType::Shortcut, remote);
+            }
+            return;
+        }
+        let shortcuts = self.conns.with_type(ConnType::Shortcut).count();
+        if shortcuts >= self.cfg.max_shortcuts
+            || self.has_pending_ctm(peer)
+            || self.linking.has_attempt(peer)
+        {
+            return;
+        }
+        self.send_ctm(now, peer, ConnType::Shortcut);
+    }
+
+    fn drive_linking(&mut self, now: SimTime) {
+        let mut cmds = Vec::new();
+        let cfg = self.cfg.clone();
+        self.linking.poll(now, &cfg, &mut cmds);
+        self.exec_link_cmds(now, cmds);
+    }
+
+    fn exec_link_cmds(&mut self, now: SimTime, cmds: Vec<LinkCmd>) {
+        for cmd in cmds {
+            match cmd {
+                LinkCmd::SendRequest {
+                    to,
+                    target,
+                    ctype,
+                    attempt,
+                } => {
+                    self.send_frame(to, Frame::Link(LinkMsg::LinkRequest {
+                        from: self.addr,
+                        target,
+                        ctype,
+                        attempt,
+                    }));
+                }
+                LinkCmd::Established {
+                    peer,
+                    ctype,
+                    remote,
+                } => self.record_conn(now, peer, ctype, remote),
+                LinkCmd::Failed { peer, ctype } => {
+                    self.actions.push(NodeAction::LinkFailed { peer, ctype });
+                }
+            }
+        }
+    }
+
+    fn drive_pinger(&mut self, now: SimTime) {
+        let mut cmds = Vec::new();
+        let cfg = self.cfg.clone();
+        self.pinger.poll(now, &cfg, &mut cmds);
+        for cmd in cmds {
+            match cmd {
+                PingCmd::SendPing { peer, nonce } => {
+                    if let Some(c) = self.conns.get(peer) {
+                        let remote = c.remote;
+                        self.send_frame(remote, Frame::Link(LinkMsg::Ping {
+                            from: self.addr,
+                            nonce,
+                        }));
+                    } else {
+                        self.pinger.untrack(peer);
+                    }
+                }
+                PingCmd::Dead { peer } => {
+                    if self.conns.remove(peer).is_some() {
+                        self.actions.push(NodeAction::Disconnected { peer });
+                        if self.leaf_peer == Some(peer) {
+                            self.leaf_peer = None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn drive_overlords(&mut self, now: SimTime) {
+        let cfg = self.cfg.clone();
+        let mut cmds = Vec::new();
+        self.near.poll(now, self.addr, &self.conns, &cfg, &mut cmds);
+        self.far.poll(
+            now,
+            self.addr,
+            &self.conns,
+            self.pending_far_count(),
+            &cfg,
+            &mut self.rng,
+            &mut cmds,
+        );
+        self.exec_overlord_cmds(now, cmds);
+    }
+
+    fn exec_overlord_cmds(&mut self, now: SimTime, cmds: Vec<OverlordCmd>) {
+        for cmd in cmds {
+            match cmd {
+                OverlordCmd::RequestCtm { target, ctype } => {
+                    if target != self.addr
+                        && self.conns.get(target).is_none()
+                        && !self.has_pending_ctm(target)
+                        && !self.linking.has_attempt(target)
+                    {
+                        self.send_ctm(now, target, ctype);
+                    }
+                }
+                OverlordCmd::DropRole { peer, ctype } => {
+                    if self.conns.remove_role(peer, ctype) {
+                        self.pinger.untrack(peer);
+                        self.actions.push(NodeAction::Disconnected { peer });
+                        if self.leaf_peer == Some(peer) {
+                            self.leaf_peer = None;
+                        }
+                    }
+                }
+                OverlordCmd::RingProbe => self.send_ring_probe(now),
+                OverlordCmd::SendNeighborQuery { peer } => {
+                    if let Some(c) = self.conns.get(peer) {
+                        let remote = c.remote;
+                        self.send_frame(remote, Frame::Link(LinkMsg::NeighborQuery {
+                            from: self.addr,
+                        }));
+                    }
+                }
+            }
+        }
+    }
+
+    fn housekeeping(&mut self, now: SimTime) {
+        self.pending_ctm.retain(|_, p| p.expires > now);
+        // Shortcut idle release.
+        let cfg = self.cfg.clone();
+        let mut cmds = Vec::new();
+        self.shortcut.poll(now, &self.conns, &cfg, &mut cmds);
+        self.exec_overlord_cmds(now, cmds);
+        // Join retry: not yet routable and the retry timer elapsed.
+        if !self.is_routable() && now >= self.next_join_attempt {
+            self.next_join_attempt = now + self.cfg.join_retry;
+            if self.leaf_peer.is_some() {
+                self.send_join_ctm(now);
+            } else if !self.bootstrap.is_empty()
+                && !self.linking.has_attempt(WILDCARD)
+                && self.conns.with_type(ConnType::Leaf).next().is_none()
+            {
+                self.linking
+                    .start(now, WILDCARD, ConnType::Leaf, self.bootstrap.clone());
+                self.drive_linking(now);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::U160;
+    use wow_netsim::addr::PhysIp;
+
+    fn a(v: u64) -> Address {
+        Address::from(U160::from(v))
+    }
+
+    fn ep(last: u8, port: u16) -> PhysAddr {
+        PhysAddr::new(PhysIp::new(10, 0, 0, last), port)
+    }
+
+    fn uri(last: u8, port: u16) -> TransportUri {
+        TransportUri::udp(ep(last, port))
+    }
+
+    const T0: SimTime = SimTime::ZERO;
+
+    fn started(addr: Address, bootstrap: Vec<TransportUri>) -> BrunetNode {
+        let mut n = BrunetNode::new(addr, OverlayConfig::default(), 7);
+        n.start(T0, uri(1, 4000), bootstrap);
+        n
+    }
+
+    fn sends(actions: &[NodeAction]) -> Vec<(PhysAddr, Frame)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                NodeAction::Send { to, frame } => {
+                    Some((*to, Frame::decode(frame.clone()).expect("decode")))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_node_idles_without_bootstrap() {
+        let mut n = started(a(100), Vec::new());
+        let acts = n.take_actions();
+        assert!(sends(&acts).is_empty());
+        assert!(!n.is_routable());
+    }
+
+    #[test]
+    fn start_sends_wildcard_link_request_to_bootstrap() {
+        let mut n = started(a(100), vec![uri(9, 4000)]);
+        let acts = n.take_actions();
+        let s = sends(&acts);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0, ep(9, 4000));
+        match &s[0].1 {
+            Frame::Link(LinkMsg::LinkRequest { target, ctype, .. }) => {
+                assert_eq!(*target, WILDCARD);
+                assert_eq!(*ctype, ConnType::Leaf);
+            }
+            other => panic!("expected link request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leaf_reply_triggers_join_ctm_via_leaf() {
+        let mut n = started(a(100), vec![uri(9, 4000)]);
+        n.take_actions();
+        // Bootstrap (addr 500) replies.
+        n.on_datagram(
+            T0 + SimDuration::from_millis(50),
+            ep(9, 4000),
+            Frame::Link(LinkMsg::LinkReply {
+                from: a(500),
+                attempt: 0,
+                observed: ep(77, 1234), // our NAT mapping as seen by them
+            })
+            .encode(),
+        );
+        let acts = n.take_actions();
+        // Learned the observed URI.
+        assert!(n
+            .advertised_uris()
+            .contains(&TransportUri::udp(ep(77, 1234))));
+        // Connected action for the leaf + a routed self-CTM via the leaf.
+        assert!(acts
+            .iter()
+            .any(|x| matches!(x, NodeAction::Connected { peer, ctype: ConnType::Leaf } if *peer == a(500))));
+        let s = sends(&acts);
+        let routed: Vec<_> = s
+            .iter()
+            .filter_map(|(to, f)| match f {
+                Frame::Routed(p) => Some((to, p.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(routed.len(), 1);
+        let (to, pkt) = &routed[0];
+        assert_eq!(**to, ep(9, 4000));
+        assert_eq!(pkt.dst, a(100), "self-addressed");
+        match &pkt.body {
+            Body::CtmRequest {
+                ctype, reply_relay, ..
+            } => {
+                assert_eq!(*ctype, ConnType::StructuredNear);
+                assert_eq!(*reply_relay, Some(a(500)));
+            }
+            other => panic!("expected CTM request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nearest_node_answers_join_ctm_and_links_back() {
+        // Node 500 is in a ring with near conns to 400 and 600; a joiner at
+        // 520 CTMs via a relay (700). 500 should reply via the relay, start
+        // linking to 520, and edge-forward to 600 (the other side of 520).
+        let mut n = started(a(500), Vec::new());
+        n.record_conn(T0, a(400), ConnType::StructuredNear, ep(40, 1));
+        n.record_conn(T0, a(600), ConnType::StructuredNear, ep(60, 1));
+        n.record_conn(T0, a(700), ConnType::StructuredFar, ep(70, 1));
+        n.take_actions();
+        let ctm = Packet {
+            src: a(520),
+            dst: a(520),
+            hops: 2,
+            ttl: 64,
+            edge_forwarded: false,
+            body: Body::CtmRequest {
+                token: 5,
+                ctype: ConnType::StructuredNear,
+                uris: vec![uri(52, 4000)],
+                reply_relay: Some(a(700)),
+            },
+        };
+        n.on_datagram(T0, ep(70, 1), Frame::Routed(ctm).encode());
+        let acts = n.take_actions();
+        let s = sends(&acts);
+        // 1: CTM reply routed toward the relay 700.
+        let reply = s
+            .iter()
+            .find_map(|(to, f)| match f {
+                Frame::Routed(p) => match &p.body {
+                    Body::CtmReply { for_node, .. } => Some((*to, p.dst, *for_node)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .expect("ctm reply sent");
+        assert_eq!(reply.1, a(700));
+        assert_eq!(reply.2, a(520));
+        // 2: linking begins toward the joiner's URI.
+        assert!(s.iter().any(|(to, f)| matches!(f,
+            Frame::Link(LinkMsg::LinkRequest { target, .. }) if *target == a(520))
+            && *to == ep(52, 4000)));
+        // 3: edge-forward of the CTM to 600.
+        assert!(s.iter().any(|(to, f)| matches!(f,
+            Frame::Routed(p) if p.edge_forwarded && matches!(p.body, Body::CtmRequest { .. }))
+            && *to == ep(60, 1)));
+    }
+
+    #[test]
+    fn greedy_forwarding_decrements_budget_and_picks_closest() {
+        let mut n = started(a(0), Vec::new());
+        n.record_conn(T0, a(1000), ConnType::StructuredNear, ep(10, 1));
+        n.record_conn(T0, a(5000), ConnType::StructuredFar, ep(50, 1));
+        n.take_actions();
+        let pkt = Packet {
+            src: a(9999),
+            dst: a(4800),
+            hops: 3,
+            ttl: 64,
+            edge_forwarded: false,
+            body: Body::App {
+                proto: 1,
+                data: Bytes::from_static(b"x"),
+            },
+        };
+        n.on_datagram(T0, ep(99, 9), Frame::Routed(pkt).encode());
+        let acts = n.take_actions();
+        let s = sends(&acts);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0, ep(50, 1), "far link is closest to 4800");
+        match &s[0].1 {
+            Frame::Routed(p) => assert_eq!(p.hops, 4),
+            other => panic!("expected routed, got {other:?}"),
+        }
+        assert_eq!(n.stats().forwarded, 1);
+    }
+
+    #[test]
+    fn ttl_exhaustion_drops() {
+        let mut n = started(a(0), Vec::new());
+        n.record_conn(T0, a(5000), ConnType::StructuredFar, ep(50, 1));
+        n.take_actions();
+        let pkt = Packet {
+            src: a(9999),
+            dst: a(4800),
+            hops: 64,
+            ttl: 64,
+            edge_forwarded: false,
+            body: Body::App {
+                proto: 1,
+                data: Bytes::from_static(b"x"),
+            },
+        };
+        n.on_datagram(T0, ep(99, 9), Frame::Routed(pkt).encode());
+        assert!(sends(&n.take_actions()).is_empty());
+        assert_eq!(n.stats().dropped_ttl, 1);
+    }
+
+    #[test]
+    fn exact_delivery_vs_nearest_delivery() {
+        let mut n = started(a(100), Vec::new());
+        n.record_conn(T0, a(5000), ConnType::StructuredNear, ep(50, 1));
+        n.take_actions();
+        // Exact.
+        let exact = Packet {
+            src: a(5000),
+            dst: a(100),
+            hops: 1,
+            ttl: 64,
+            edge_forwarded: false,
+            body: Body::App {
+                proto: 7,
+                data: Bytes::from_static(b"hello"),
+            },
+        };
+        n.on_datagram(T0, ep(50, 1), Frame::Routed(exact).encode());
+        let acts = n.take_actions();
+        assert!(acts.iter().any(|x| matches!(x,
+            NodeAction::Deliver { src, proto: 7, exact: true, .. } if *src == a(5000))));
+        // Nearest: dst 120 does not exist; we hold the closest address.
+        let near = Packet {
+            src: a(5000),
+            dst: a(120),
+            hops: 1,
+            ttl: 64,
+            edge_forwarded: false,
+            body: Body::App {
+                proto: 7,
+                data: Bytes::from_static(b"stray"),
+            },
+        };
+        n.on_datagram(T0, ep(50, 1), Frame::Routed(near).encode());
+        let acts = n.take_actions();
+        assert!(acts.iter().any(|x| matches!(x,
+            NodeAction::Deliver { exact: false, .. })));
+        assert_eq!(n.stats().delivered, 1);
+        assert_eq!(n.stats().delivered_nearest, 1);
+    }
+
+    #[test]
+    fn race_request_gets_in_race_error() {
+        let mut n = started(a(100), Vec::new());
+        // Start an active attempt to 200.
+        n.connect_to(T0, a(200), ConnType::Shortcut, vec![uri(20, 1)]);
+        n.take_actions();
+        // 200's own request arrives.
+        n.on_datagram(
+            T0,
+            ep(20, 1),
+            Frame::Link(LinkMsg::LinkRequest {
+                from: a(200),
+                target: a(100),
+                ctype: ConnType::Shortcut,
+                attempt: 9,
+            })
+            .encode(),
+        );
+        let s = sends(&n.take_actions());
+        assert!(s.iter().any(|(_, f)| matches!(f,
+            Frame::Link(LinkMsg::LinkError { reason: LinkErrorReason::InRace, attempt: 9, .. }))));
+        // We did NOT record a connection.
+        assert!(!n.has_direct(a(200)));
+    }
+
+    #[test]
+    fn wrong_node_request_is_rejected() {
+        let mut n = started(a(100), Vec::new());
+        n.take_actions();
+        n.on_datagram(
+            T0,
+            ep(20, 1),
+            Frame::Link(LinkMsg::LinkRequest {
+                from: a(200),
+                target: a(999), // not us
+                ctype: ConnType::Leaf,
+                attempt: 3,
+            })
+            .encode(),
+        );
+        let s = sends(&n.take_actions());
+        assert!(s.iter().any(|(_, f)| matches!(f,
+            Frame::Link(LinkMsg::LinkError { reason: LinkErrorReason::WrongNode, .. }))));
+    }
+
+    #[test]
+    fn passive_accept_records_connection_and_replies() {
+        let mut n = started(a(100), Vec::new());
+        n.take_actions();
+        n.on_datagram(
+            T0,
+            ep(20, 1),
+            Frame::Link(LinkMsg::LinkRequest {
+                from: a(200),
+                target: a(100),
+                ctype: ConnType::StructuredNear,
+                attempt: 3,
+            })
+            .encode(),
+        );
+        let acts = n.take_actions();
+        assert!(n.has_direct(a(200)));
+        assert!(acts.iter().any(|x| matches!(x,
+            NodeAction::Connected { peer, ctype: ConnType::StructuredNear } if *peer == a(200))));
+        let s = sends(&acts);
+        assert!(s.iter().any(|(to, f)| matches!(f,
+            Frame::Link(LinkMsg::LinkReply { attempt: 3, observed, .. }) if *observed == ep(20, 1))
+            && *to == ep(20, 1)));
+        assert!(n.is_routable());
+    }
+
+    #[test]
+    fn ping_from_stranger_answered_not_connected() {
+        let mut n = started(a(100), Vec::new());
+        n.take_actions();
+        n.on_datagram(
+            T0,
+            ep(20, 1),
+            Frame::Link(LinkMsg::Ping {
+                from: a(200),
+                nonce: 4,
+            })
+            .encode(),
+        );
+        let s = sends(&n.take_actions());
+        assert!(s.iter().any(|(_, f)| matches!(f,
+            Frame::Link(LinkMsg::LinkError { reason: LinkErrorReason::NotConnected, .. }))));
+    }
+
+    #[test]
+    fn not_connected_error_drops_our_state() {
+        let mut n = started(a(100), Vec::new());
+        n.record_conn(T0, a(200), ConnType::Shortcut, ep(20, 1));
+        n.take_actions();
+        n.on_datagram(
+            T0,
+            ep(20, 1),
+            Frame::Link(LinkMsg::LinkError {
+                from: a(200),
+                attempt: 0,
+                reason: LinkErrorReason::NotConnected,
+            })
+            .encode(),
+        );
+        let acts = n.take_actions();
+        assert!(!n.has_direct(a(200)));
+        assert!(acts.iter().any(|x| matches!(x,
+            NodeAction::Disconnected { peer } if *peer == a(200))));
+    }
+
+    #[test]
+    fn dead_peer_detected_by_keepalive_timeouts() {
+        let mut n = started(a(100), Vec::new());
+        n.record_conn(T0, a(200), ConnType::StructuredNear, ep(20, 1));
+        n.take_actions();
+        // Let keepalives run with no answers until the conn dies.
+        let mut t = T0;
+        let mut dead = false;
+        for _ in 0..64 {
+            let Some(next) = n.next_deadline() else { break };
+            t = next;
+            n.on_tick(t);
+            if n
+                .take_actions()
+                .iter()
+                .any(|x| matches!(x, NodeAction::Disconnected { peer } if *peer == a(200)))
+            {
+                dead = true;
+                break;
+            }
+        }
+        assert!(dead, "unanswered pings must kill the connection");
+        // interval 15 + 2+4+8+16 backoff ≈ 45 s.
+        assert!(t >= SimTime::from_secs(40) && t <= SimTime::from_secs(60), "died at {t}");
+    }
+
+    #[test]
+    fn sustained_app_traffic_triggers_shortcut_ctm() {
+        let mut n = started(a(100), Vec::new());
+        n.record_conn(T0, a(90_000), ConnType::StructuredNear, ep(90, 1));
+        n.take_actions();
+        let peer = a(70_000);
+        let mut ctm_seen = false;
+        for i in 0..200u64 {
+            let t = T0 + SimDuration::from_millis(i * 500);
+            n.send_app(t, peer, 1, Bytes::from_static(b"data"));
+            let s = sends(&n.take_actions());
+            if s.iter().any(|(_, f)| matches!(f,
+                Frame::Routed(p) if matches!(&p.body,
+                    Body::CtmRequest { ctype: ConnType::Shortcut, .. }) && p.dst == peer))
+            {
+                ctm_seen = true;
+                break;
+            }
+        }
+        assert!(ctm_seen, "2 pkt/s must cross the shortcut threshold");
+    }
+
+    #[test]
+    fn shortcuts_disabled_never_requests() {
+        let cfg = OverlayConfig::default().without_shortcuts();
+        let mut n = BrunetNode::new(a(100), cfg, 7);
+        n.start(T0, uri(1, 4000), Vec::new());
+        n.record_conn(T0, a(90_000), ConnType::StructuredNear, ep(90, 1));
+        n.take_actions();
+        for i in 0..500u64 {
+            let t = T0 + SimDuration::from_millis(i * 100);
+            n.send_app(t, a(70_000), 1, Bytes::from_static(b"data"));
+            let s = sends(&n.take_actions());
+            assert!(!s.iter().any(|(_, f)| matches!(f,
+                Frame::Routed(p) if matches!(&p.body, Body::CtmRequest { ctype: ConnType::Shortcut, .. }))));
+        }
+    }
+
+    #[test]
+    fn restart_clears_state_but_keeps_address() {
+        let mut n = started(a(100), vec![uri(9, 4000)]);
+        n.record_conn(T0, a(200), ConnType::StructuredNear, ep(20, 1));
+        n.take_actions();
+        assert!(n.is_routable());
+        n.restart(SimTime::from_secs(100), uri(2, 4000), vec![uri(9, 4000)]);
+        assert_eq!(n.address(), a(100));
+        assert!(!n.is_routable());
+        assert!(!n.has_direct(a(200)));
+        // It immediately tries to re-join.
+        let s = sends(&n.take_actions());
+        assert!(s.iter().any(|(to, f)| matches!(f,
+            Frame::Link(LinkMsg::LinkRequest { target, .. }) if *target == WILDCARD)
+            && *to == ep(9, 4000)));
+    }
+
+    #[test]
+    fn stopped_node_ignores_everything() {
+        let mut n = started(a(100), Vec::new());
+        n.stop();
+        n.on_datagram(
+            T0,
+            ep(20, 1),
+            Frame::Link(LinkMsg::Ping {
+                from: a(200),
+                nonce: 4,
+            })
+            .encode(),
+        );
+        n.on_tick(SimTime::from_secs(100));
+        n.send_app(T0, a(200), 1, Bytes::from_static(b"x"));
+        assert!(n.take_actions().is_empty());
+        assert_eq!(n.next_deadline(), None);
+    }
+
+    #[test]
+    fn link_messages_roam_the_peer_endpoint() {
+        // A known peer's keepalive arriving from a new underlay address
+        // (NAT renumbering) must retarget the connection.
+        let mut n = started(a(100), Vec::new());
+        n.record_conn(T0, a(200), ConnType::StructuredNear, ep(20, 1));
+        n.take_actions();
+        let new_src = ep(21, 9);
+        n.on_datagram(
+            T0,
+            new_src,
+            Frame::Link(LinkMsg::Ping {
+                from: a(200),
+                nonce: 4,
+            })
+            .encode(),
+        );
+        assert_eq!(n.conns().get(a(200)).unwrap().remote, new_src);
+        // The pong goes back to the new address.
+        let s = sends(&n.take_actions());
+        assert!(s.iter().any(|(to, f)| matches!(f, Frame::Link(LinkMsg::Pong { .. }))
+            && *to == new_src));
+    }
+
+    #[test]
+    fn stale_race_yields_to_reachable_peer() {
+        // Our attempt has burned 3+ unanswered sends; the peer's request
+        // reaching us proves their path works — accept instead of InRace.
+        let mut n = started(a(100), Vec::new());
+        n.connect_to(T0, a(200), ConnType::Shortcut, vec![uri(20, 1)]);
+        n.take_actions();
+        // Let three transmissions go unanswered: the initial send plus the
+        // retransmissions at +5 s and +15 s (default RTO, doubling).
+        for secs in [6u64, 16] {
+            n.on_tick(T0 + SimDuration::from_secs(secs));
+            n.take_actions();
+        }
+        let t = T0 + SimDuration::from_secs(17);
+        n.on_datagram(
+            t,
+            ep(20, 1),
+            Frame::Link(LinkMsg::LinkRequest {
+                from: a(200),
+                target: a(100),
+                ctype: ConnType::Shortcut,
+                attempt: 9,
+            })
+            .encode(),
+        );
+        let acts = n.take_actions();
+        assert!(n.has_direct(a(200)), "must yield and accept");
+        let s = sends(&acts);
+        assert!(s.iter().any(|(_, f)| matches!(f, Frame::Link(LinkMsg::LinkReply { .. }))));
+        assert!(!s.iter().any(|(_, f)| matches!(f,
+            Frame::Link(LinkMsg::LinkError { reason: LinkErrorReason::InRace, .. }))));
+    }
+
+    #[test]
+    fn garbage_datagrams_count_decode_errors() {
+        let mut n = started(a(100), Vec::new());
+        n.on_datagram(T0, ep(20, 1), Bytes::from_static(&[0xde, 0xad, 0xbe, 0xef]));
+        assert_eq!(n.stats().decode_errors, 1);
+    }
+
+    #[test]
+    fn neighbor_query_answered_for_connected_peer_only() {
+        let mut n = started(a(100), Vec::new());
+        n.record_conn(T0, a(200), ConnType::StructuredNear, ep(20, 1));
+        n.record_conn(T0, a(300), ConnType::StructuredNear, ep(30, 1));
+        n.take_actions();
+        n.on_datagram(
+            T0,
+            ep(20, 1),
+            Frame::Link(LinkMsg::NeighborQuery { from: a(200) }).encode(),
+        );
+        let s = sends(&n.take_actions());
+        let reply = s.iter().find_map(|(_, f)| match f {
+            Frame::Link(LinkMsg::NeighborReply { neighbors, .. }) => Some(neighbors.clone()),
+            _ => None,
+        });
+        let neighbors = reply.expect("query from connected peer is answered");
+        assert!(neighbors.contains(&a(200)) && neighbors.contains(&a(300)));
+        // A stranger's query is ignored.
+        n.on_datagram(
+            T0,
+            ep(99, 1),
+            Frame::Link(LinkMsg::NeighborQuery { from: a(999) }).encode(),
+        );
+        assert!(sends(&n.take_actions()).is_empty());
+    }
+}

@@ -1,0 +1,559 @@
+//! Connection overlords.
+//!
+//! Brunet gives each connection type an *overlord* that continuously ensures
+//! the node has the right connections of that type (§IV-E). Three live here:
+//!
+//! * [`NearOverlord`] — keeps `near_per_side` ring neighbours on each side,
+//!   discovering better ones by querying current neighbours (stabilization,
+//!   in the style of Chord) and trimming links that fall outside the
+//!   horizon.
+//! * [`FarOverlord`] — keeps `k` long links whose clockwise distances are
+//!   log-uniform (Kleinberg's harmonic small-world distribution), giving the
+//!   O((1/k)·log²n) greedy routing bound the paper cites.
+//! * [`ShortcutOverlord`] — the paper's contribution: watches tunnelled
+//!   traffic per destination with the queueing score
+//!   `s_{i+1} = max(s_i + a_i − c, 0)` and asks for a direct connection when
+//!   the score crosses a threshold; releases shortcuts that go idle.
+//!
+//! Overlords are pure deciders: they read the connection table and emit
+//! [`OverlordCmd`]s; the node executes them.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use wow_netsim::time::SimTime;
+
+use crate::addr::{sample_far_target, Address};
+use crate::config::OverlayConfig;
+use crate::conn::{ConnTable, ConnType};
+
+/// An action requested by an overlord.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OverlordCmd {
+    /// Send a Connect-To-Me for this target and role.
+    RequestCtm {
+        /// Overlay address to connect to (or route toward, for far links).
+        target: Address,
+        /// Desired role.
+        ctype: ConnType,
+    },
+    /// Remove a role from a connection (dropping it if that was the last).
+    DropRole {
+        /// Connection peer.
+        peer: Address,
+        /// Role to shed.
+        ctype: ConnType,
+    },
+    /// Ask this neighbour for its ring neighbours.
+    SendNeighborQuery {
+        /// Connection peer.
+        peer: Address,
+    },
+    /// Launch a self-addressed ring probe (routed find-my-successor).
+    RingProbe,
+}
+
+// ---------------------------------------------------------------- near ----
+
+/// Maintains structured-near (ring neighbour) connections.
+#[derive(Debug, Default)]
+pub struct NearOverlord {
+    next_stabilize: SimTime,
+}
+
+impl NearOverlord {
+    /// New overlord; first stabilization due immediately.
+    pub fn new() -> Self {
+        NearOverlord::default()
+    }
+
+    /// When the next stabilization round is due.
+    pub fn next_deadline(&self) -> SimTime {
+        self.next_stabilize
+    }
+
+    /// Periodic stabilization: query neighbours, trim the horizon.
+    pub fn poll(
+        &mut self,
+        now: SimTime,
+        me: Address,
+        conns: &ConnTable,
+        cfg: &OverlayConfig,
+        out: &mut Vec<OverlordCmd>,
+    ) {
+        if now < self.next_stabilize {
+            return;
+        }
+        self.next_stabilize = now + cfg.stabilize_interval;
+        let cw = conns.nearest_cw(me, cfg.near_per_side);
+        let ccw = conns.nearest_ccw(me, cfg.near_per_side);
+        // Ask current ring neighbours who *they* see; their answers surface
+        // nodes between us that we should link to.
+        for &p in cw.iter().chain(ccw.iter()) {
+            out.push(OverlordCmd::SendNeighborQuery { peer: p });
+        }
+        // And verify the position globally: neighbour gossip alone can get
+        // stuck in a local optimum after a mass join (a node whose "near"
+        // links all point far away learns nothing useful from them). The
+        // routed probe finds the true successor regardless.
+        out.push(OverlordCmd::RingProbe);
+        // Trim near roles outside the horizon — but only on sides that are
+        // fully populated, so thin rings keep their links.
+        for c in conns.with_type(ConnType::StructuredNear) {
+            let in_cw = cw.contains(&c.peer);
+            let in_ccw = ccw.contains(&c.peer);
+            if !in_cw && !in_ccw && cw.len() >= cfg.near_per_side && ccw.len() >= cfg.near_per_side
+            {
+                out.push(OverlordCmd::DropRole {
+                    peer: c.peer,
+                    ctype: ConnType::StructuredNear,
+                });
+            }
+        }
+    }
+
+    /// A neighbour reported its neighbours; connect to any that improve our
+    /// ring horizon.
+    pub fn on_neighbor_reply(
+        &mut self,
+        me: Address,
+        conns: &ConnTable,
+        neighbors: &[Address],
+        cfg: &OverlayConfig,
+        out: &mut Vec<OverlordCmd>,
+    ) {
+        let cw = conns.nearest_cw(me, cfg.near_per_side);
+        let ccw = conns.nearest_ccw(me, cfg.near_per_side);
+        for &n in neighbors {
+            if n == me || conns.get(n).is_some() {
+                continue;
+            }
+            let improves_cw = cw.len() < cfg.near_per_side
+                || me.dist_cw(n) < me.dist_cw(*cw.last().expect("len checked"));
+            let improves_ccw = ccw.len() < cfg.near_per_side
+                || n.dist_cw(me) < ccw.last().expect("len checked").dist_cw(me);
+            if improves_cw || improves_ccw {
+                out.push(OverlordCmd::RequestCtm {
+                    target: n,
+                    ctype: ConnType::StructuredNear,
+                });
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------- far ----
+
+/// Maintains `k` structured-far (small-world) connections.
+#[derive(Debug, Default)]
+pub struct FarOverlord {
+    next_check: SimTime,
+}
+
+impl FarOverlord {
+    /// New overlord; first census due immediately.
+    pub fn new() -> Self {
+        FarOverlord::default()
+    }
+
+    /// When the next census is due.
+    pub fn next_deadline(&self) -> SimTime {
+        self.next_check
+    }
+
+    /// Periodic census: acquire when short, shed when over.
+    ///
+    /// `pending` is the number of far CTMs the node already has in flight,
+    /// so a slow WAN does not cause a thundering herd of requests.
+    #[allow(clippy::too_many_arguments)]
+    pub fn poll(
+        &mut self,
+        now: SimTime,
+        me: Address,
+        conns: &ConnTable,
+        pending: usize,
+        cfg: &OverlayConfig,
+        rng: &mut impl Rng,
+        out: &mut Vec<OverlordCmd>,
+    ) {
+        if now < self.next_check {
+            return;
+        }
+        self.next_check = now + cfg.far_check_interval;
+        let have = conns.with_type(ConnType::StructuredFar).count();
+        if have + pending < cfg.far_count {
+            // One request per round; the interval paces acquisition.
+            // Sample distances log-uniformly from *just beyond the nearest
+            // structured neighbour* up to half the ring (Symphony-style):
+            // sampling below the local arc size would route the CTM back to
+            // ourselves, wasting the round.
+            let min_exp = conns
+                .nearest_structured_dist(me)
+                .and_then(|d| d.highest_bit())
+                .map(|b| (b + 1).min(157))
+                .unwrap_or(32);
+            let target = sample_far_target(rng, me, min_exp);
+            out.push(OverlordCmd::RequestCtm {
+                target,
+                ctype: ConnType::StructuredFar,
+            });
+        } else if have > cfg.far_count + 2 {
+            // Hysteresis: incoming far links (other nodes' random targets)
+            // continually arrive; shedding the moment we exceed k would
+            // oscillate and churn routes. Tolerate a small surplus.
+            // Shed the newest surplus links; the old ones have proven value
+            // and other nodes may be routing through them.
+            let mut fars: Vec<_> = conns.with_type(ConnType::StructuredFar).collect();
+            fars.sort_by_key(|c| c.established_at);
+            for c in fars.iter().skip(cfg.far_count) {
+                out.push(OverlordCmd::DropRole {
+                    peer: c.peer,
+                    ctype: ConnType::StructuredFar,
+                });
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ shortcut ----
+
+#[derive(Clone, Copy, Debug)]
+struct ScoreEntry {
+    score: f64,
+    last_update: SimTime,
+}
+
+/// Traffic-driven shortcut creation (§IV-E).
+#[derive(Debug, Default)]
+pub struct ShortcutOverlord {
+    scores: HashMap<Address, ScoreEntry>,
+    /// Last time we observed traffic per shortcut peer (for idle release).
+    last_traffic: HashMap<Address, SimTime>,
+}
+
+impl ShortcutOverlord {
+    /// New overlord with empty score table.
+    pub fn new() -> Self {
+        ShortcutOverlord::default()
+    }
+
+    /// Current score for a destination (after decay to `now`).
+    pub fn score(&self, peer: Address, now: SimTime, cfg: &OverlayConfig) -> f64 {
+        self.scores
+            .get(&peer)
+            .map(|e| {
+                let dt = now.saturating_since(e.last_update).as_secs_f64();
+                (e.score - cfg.shortcut_service_rate * dt).max(0.0)
+            })
+            .unwrap_or(0.0)
+    }
+
+    /// Observe one tunnelled packet to/from `peer`. Returns `true` when the
+    /// score has crossed the threshold and a shortcut should be requested
+    /// (the caller checks connection state and the shortcut cap).
+    pub fn on_traffic(&mut self, now: SimTime, peer: Address, cfg: &OverlayConfig) -> bool {
+        let e = self.scores.entry(peer).or_insert(ScoreEntry {
+            score: 0.0,
+            last_update: now,
+        });
+        // The paper's virtual work queue: drain at rate c, add the arrival.
+        let dt = now.saturating_since(e.last_update).as_secs_f64();
+        e.score = (e.score - cfg.shortcut_service_rate * dt).max(0.0)
+            + cfg.shortcut_arrival_weight;
+        e.last_update = now;
+        self.last_traffic.insert(peer, now);
+        e.score >= cfg.shortcut_threshold
+    }
+
+    /// Periodic housekeeping: release idle shortcuts, forget stale scores.
+    pub fn poll(
+        &mut self,
+        now: SimTime,
+        conns: &ConnTable,
+        cfg: &OverlayConfig,
+        out: &mut Vec<OverlordCmd>,
+    ) {
+        for c in conns.with_type(ConnType::Shortcut) {
+            let last = self
+                .last_traffic
+                .get(&c.peer)
+                .copied()
+                .unwrap_or(c.established_at);
+            if now.saturating_since(last) >= cfg.shortcut_idle_timeout {
+                out.push(OverlordCmd::DropRole {
+                    peer: c.peer,
+                    ctype: ConnType::Shortcut,
+                });
+            }
+        }
+        // Forget score entries that have fully drained and gone quiet;
+        // keeps the table bounded by the node's active working set.
+        let horizon = cfg.shortcut_idle_timeout;
+        self.scores.retain(|_peer, e| {
+            let quiet = now.saturating_since(e.last_update) >= horizon;
+            let drained = (e.score
+                - cfg.shortcut_service_rate * now.saturating_since(e.last_update).as_secs_f64())
+                <= 0.0;
+            !(quiet && drained)
+        });
+        self.last_traffic
+            .retain(|_, &mut t| now.saturating_since(t) < horizon);
+    }
+
+    /// Drop all state (node restart).
+    pub fn clear(&mut self) {
+        self.scores.clear();
+        self.last_traffic.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::U160;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use wow_netsim::addr::{PhysAddr, PhysIp};
+    use wow_netsim::time::SimDuration;
+
+    fn a(v: u64) -> Address {
+        Address::from(U160::from(v))
+    }
+
+    fn ep(port: u16) -> PhysAddr {
+        PhysAddr::new(PhysIp::new(10, 0, 0, 1), port)
+    }
+
+    fn cfg() -> OverlayConfig {
+        OverlayConfig::default()
+    }
+
+    const T0: SimTime = SimTime::ZERO;
+
+    // ---- near ----
+
+    #[test]
+    fn near_queries_current_neighbors() {
+        let mut conns = ConnTable::new();
+        conns.upsert(a(10), ConnType::StructuredNear, ep(1), T0);
+        conns.upsert(a(990), ConnType::StructuredNear, ep(2), T0);
+        let mut near = NearOverlord::new();
+        let mut out = Vec::new();
+        near.poll(T0, a(500), &conns, &cfg(), &mut out);
+        let queried: Vec<_> = out
+            .iter()
+            .filter_map(|c| match c {
+                OverlordCmd::SendNeighborQuery { peer } => Some(*peer),
+                _ => None,
+            })
+            .collect();
+        assert!(queried.contains(&a(10)));
+        assert!(queried.contains(&a(990)));
+        // Not due again until the interval passes.
+        out.clear();
+        near.poll(T0 + SimDuration::from_secs(1), a(500), &conns, &cfg(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn near_connects_to_reported_closer_node() {
+        let mut conns = ConnTable::new();
+        conns.upsert(a(100), ConnType::StructuredNear, ep(1), T0);
+        conns.upsert(a(200), ConnType::StructuredNear, ep(2), T0);
+        let mut near = NearOverlord::new();
+        let mut out = Vec::new();
+        // Peer reports a node at 60 — between me (50) and my cw list.
+        near.on_neighbor_reply(a(50), &conns, &[a(60), a(100)], &cfg(), &mut out);
+        assert!(out.contains(&OverlordCmd::RequestCtm {
+            target: a(60),
+            ctype: ConnType::StructuredNear,
+        }));
+        // Already-connected and self entries are ignored.
+        assert!(!out
+            .iter()
+            .any(|c| matches!(c, OverlordCmd::RequestCtm { target, .. } if *target == a(100))));
+    }
+
+    #[test]
+    fn near_ignores_nodes_outside_horizon_when_full() {
+        let mut conns = ConnTable::new();
+        // Two per side around me=500 with per_side=2.
+        for v in [490u64, 495, 505, 510] {
+            conns.upsert(a(v), ConnType::StructuredNear, ep(v as u16), T0);
+        }
+        let mut near = NearOverlord::new();
+        let mut out = Vec::new();
+        near.on_neighbor_reply(a(500), &conns, &[a(800)], &cfg(), &mut out);
+        assert!(out.is_empty(), "distant node must not trigger a near CTM");
+    }
+
+    #[test]
+    fn near_trims_out_of_horizon_links_only_when_full() {
+        let c = cfg();
+        let mut conns = ConnTable::new();
+        for v in [490u64, 495, 505, 510, 600] {
+            conns.upsert(a(v), ConnType::StructuredNear, ep(v as u16), T0);
+        }
+        let mut near = NearOverlord::new();
+        let mut out = Vec::new();
+        near.poll(T0, a(500), &conns, &c, &mut out);
+        assert!(out.contains(&OverlordCmd::DropRole {
+            peer: a(600),
+            ctype: ConnType::StructuredNear,
+        }));
+        // With a thin ring (one side short), nothing is trimmed.
+        let mut thin = ConnTable::new();
+        thin.upsert(a(505), ConnType::StructuredNear, ep(1), T0);
+        thin.upsert(a(600), ConnType::StructuredNear, ep(2), T0);
+        let mut near2 = NearOverlord::new();
+        let mut out2 = Vec::new();
+        near2.poll(T0, a(500), &thin, &c, &mut out2);
+        assert!(!out2
+            .iter()
+            .any(|cmd| matches!(cmd, OverlordCmd::DropRole { .. })));
+    }
+
+    // ---- far ----
+
+    #[test]
+    fn far_acquires_until_k() {
+        let c = cfg();
+        let conns = ConnTable::new();
+        let mut far = FarOverlord::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        far.poll(T0, a(0), &conns, 0, &c, &mut rng, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(
+            matches!(&out[0], OverlordCmd::RequestCtm { ctype: ConnType::StructuredFar, .. })
+        );
+        // Pending requests count against the target.
+        let mut out2 = Vec::new();
+        let mut far2 = FarOverlord::new();
+        far2.poll(T0, a(0), &conns, c.far_count, &c, &mut rng, &mut out2);
+        assert!(out2.is_empty());
+    }
+
+    #[test]
+    fn far_sheds_newest_surplus_beyond_hysteresis() {
+        let c = cfg();
+        let mut conns = ConnTable::new();
+        // Within the k+2 hysteresis band: nothing shed.
+        for (i, v) in [1000u64, 2000, 3000, 4000, 5000, 6000].iter().enumerate() {
+            conns.upsert(
+                a(*v),
+                ConnType::StructuredFar,
+                ep(i as u16),
+                SimTime::from_secs(i as u64),
+            );
+        }
+        let mut far = FarOverlord::new();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut out = Vec::new();
+        far.poll(T0, a(0), &conns, 0, &c, &mut rng, &mut out);
+        assert!(
+            !out.iter().any(|cmd| matches!(cmd, OverlordCmd::DropRole { .. })),
+            "k+2 surplus is tolerated"
+        );
+        // Beyond the band (8 links, k=4): everything past k is shed,
+        // newest first preserved order.
+        conns.upsert(a(7000), ConnType::StructuredFar, ep(7), SimTime::from_secs(6));
+        conns.upsert(a(8000), ConnType::StructuredFar, ep(8), SimTime::from_secs(7));
+        let mut far2 = FarOverlord::new();
+        let mut out2 = Vec::new();
+        far2.poll(T0, a(0), &conns, 0, &c, &mut rng, &mut out2);
+        let dropped: Vec<_> = out2
+            .iter()
+            .filter_map(|cmd| match cmd {
+                OverlordCmd::DropRole { peer, .. } => Some(*peer),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dropped, vec![a(5000), a(6000), a(7000), a(8000)]);
+    }
+
+    // ---- shortcut ----
+
+    #[test]
+    fn score_follows_queueing_recurrence() {
+        let mut sc = ShortcutOverlord::new();
+        let c = cfg(); // arrival 1.0, service 1.5/s, threshold 10
+        // A burst of 5 packets at the same instant: score 5.
+        for _ in 0..5 {
+            sc.on_traffic(T0, a(1), &c);
+        }
+        assert!((sc.score(a(1), T0, &c) - 5.0).abs() < 1e-9);
+        // Two seconds later, 3 units have drained.
+        let t2 = T0 + SimDuration::from_secs(2);
+        assert!((sc.score(a(1), t2, &c) - 2.0).abs() < 1e-9);
+        // Long idle: floors at zero.
+        let t9 = T0 + SimDuration::from_secs(9);
+        assert_eq!(sc.score(a(1), t9, &c), 0.0);
+    }
+
+    #[test]
+    fn sustained_traffic_crosses_threshold_sparse_traffic_does_not() {
+        let c = cfg();
+        // 2 packets/s against service 1.5/s: net +0.5/s → threshold 10 at 20 s.
+        let mut sc = ShortcutOverlord::new();
+        let mut crossed_at = None;
+        for half_sec in 0..120 {
+            let t = SimTime::from_millis(half_sec * 500);
+            if sc.on_traffic(t, a(1), &c) {
+                crossed_at = Some(t);
+                break;
+            }
+        }
+        let t = crossed_at.expect("sustained traffic must trigger");
+        assert!(
+            t >= SimTime::from_secs(15) && t <= SimTime::from_secs(25),
+            "triggered at {t}"
+        );
+        // 1 packet/s against service 1.5/s never accumulates.
+        let mut sc2 = ShortcutOverlord::new();
+        for sec in 0..300 {
+            assert!(!sc2.on_traffic(SimTime::from_secs(sec), a(2), &c));
+        }
+    }
+
+    #[test]
+    fn idle_shortcut_is_released() {
+        let c = cfg();
+        let mut sc = ShortcutOverlord::new();
+        let mut conns = ConnTable::new();
+        conns.upsert(a(1), ConnType::Shortcut, ep(1), T0);
+        sc.on_traffic(T0, a(1), &c);
+        let mut out = Vec::new();
+        sc.poll(T0 + SimDuration::from_secs(60), &conns, &c, &mut out);
+        assert!(out.is_empty(), "not idle yet");
+        sc.poll(T0 + SimDuration::from_secs(121), &conns, &c, &mut out);
+        assert_eq!(out, vec![OverlordCmd::DropRole {
+            peer: a(1),
+            ctype: ConnType::Shortcut,
+        }]);
+    }
+
+    #[test]
+    fn disabled_config_never_triggers() {
+        let c = cfg().without_shortcuts();
+        let mut sc = ShortcutOverlord::new();
+        for i in 0..10_000u64 {
+            assert!(!sc.on_traffic(SimTime::from_millis(i), a(1), &c));
+        }
+    }
+
+    #[test]
+    fn score_table_is_garbage_collected() {
+        let c = cfg();
+        let mut sc = ShortcutOverlord::new();
+        for v in 0..100 {
+            sc.on_traffic(T0, a(v), &c);
+        }
+        let conns = ConnTable::new();
+        let mut out = Vec::new();
+        sc.poll(T0 + SimDuration::from_secs(300), &conns, &c, &mut out);
+        assert_eq!(sc.scores.len(), 0);
+        assert_eq!(sc.last_traffic.len(), 0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Connection keepalives and failure detection.
+//!
+//! Nodes keep idle connections alive by periodically exchanging ping
+//! messages (which also refreshes NAT bindings), resending unanswered pings
+//! with exponential backoff; a connection whose pings go unanswered past the
+//! retry budget is declared dead and discarded (§IV-B). The paper notes
+//! these pings are the per-connection overhead that bounds how many
+//! connections a node can afford — which is why shortcuts are capped.
+
+use std::collections::HashMap;
+
+use wow_netsim::time::{SimDuration, SimTime};
+
+use crate::addr::Address;
+use crate::config::OverlayConfig;
+
+/// Output of the ping manager.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PingCmd {
+    /// Transmit a ping with this nonce to the peer.
+    SendPing {
+        /// Connection peer.
+        peer: Address,
+        /// Nonce to embed (echoed by the pong).
+        nonce: u64,
+    },
+    /// The peer failed its retry budget; drop the connection.
+    Dead {
+        /// Connection peer.
+        peer: Address,
+    },
+}
+
+#[derive(Clone, Debug)]
+enum PeerState {
+    /// Nothing outstanding; ping due at `due`.
+    Idle { due: SimTime },
+    /// Awaiting a pong; retransmit at `resend`.
+    Awaiting {
+        nonce: u64,
+        resend: SimTime,
+        rto: SimDuration,
+        tries: u32,
+    },
+}
+
+/// Keepalive state for all connections of one node.
+#[derive(Debug, Default)]
+pub struct PingManager {
+    peers: HashMap<Address, PeerState>,
+    next_nonce: u64,
+}
+
+impl PingManager {
+    /// Empty manager.
+    pub fn new() -> Self {
+        PingManager::default()
+    }
+
+    /// Start tracking a connection.
+    pub fn track(&mut self, peer: Address, now: SimTime, cfg: &OverlayConfig) {
+        self.peers.entry(peer).or_insert(PeerState::Idle {
+            due: now + cfg.ping_interval,
+        });
+    }
+
+    /// Stop tracking (connection removed for any reason).
+    pub fn untrack(&mut self, peer: Address) {
+        self.peers.remove(&peer);
+    }
+
+    /// Number of tracked peers.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// True when no peers are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Any traffic from the peer proves liveness; push the next ping out.
+    pub fn heard(&mut self, peer: Address, now: SimTime, cfg: &OverlayConfig) {
+        if let Some(state) = self.peers.get_mut(&peer) {
+            *state = PeerState::Idle {
+                due: now + cfg.ping_interval,
+            };
+        }
+    }
+
+    /// A pong arrived. Returns true if it matched an outstanding ping.
+    pub fn on_pong(&mut self, peer: Address, nonce: u64, now: SimTime, cfg: &OverlayConfig) -> bool {
+        match self.peers.get_mut(&peer) {
+            Some(PeerState::Awaiting { nonce: n, .. }) if *n == nonce => {
+                self.heard(peer, now, cfg);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Earliest time at which [`PingManager::poll`] has work.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.peers
+            .values()
+            .map(|s| match s {
+                PeerState::Idle { due } => *due,
+                PeerState::Awaiting { resend, .. } => *resend,
+            })
+            .min()
+    }
+
+    /// Drive timers.
+    pub fn poll(&mut self, now: SimTime, cfg: &OverlayConfig, out: &mut Vec<PingCmd>) {
+        let mut dead = Vec::new();
+        let mut keys: Vec<Address> = self.peers.keys().copied().collect();
+        keys.sort();
+        for peer in keys {
+            let state = self.peers.get_mut(&peer).expect("key just collected");
+            match state {
+                PeerState::Idle { due } if *due <= now => {
+                    let nonce = self.next_nonce;
+                    self.next_nonce += 1;
+                    *state = PeerState::Awaiting {
+                        nonce,
+                        resend: now + cfg.ping_rto,
+                        rto: cfg.ping_rto,
+                        tries: 1,
+                    };
+                    out.push(PingCmd::SendPing { peer, nonce });
+                }
+                PeerState::Awaiting {
+                    nonce,
+                    resend,
+                    rto,
+                    tries,
+                } if *resend <= now => {
+                    if *tries >= cfg.ping_retries {
+                        dead.push(peer);
+                    } else {
+                        *tries += 1;
+                        *rto = rto.saturating_double();
+                        *resend = now + *rto;
+                        out.push(PingCmd::SendPing {
+                            peer,
+                            nonce: *nonce,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        for peer in dead {
+            self.peers.remove(&peer);
+            out.push(PingCmd::Dead { peer });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::U160;
+
+    fn a(v: u64) -> Address {
+        Address::from(U160::from(v))
+    }
+
+    fn cfg() -> OverlayConfig {
+        OverlayConfig::default()
+    }
+
+    #[test]
+    fn ping_fires_after_interval() {
+        let mut m = PingManager::new();
+        let c = cfg();
+        m.track(a(1), SimTime::ZERO, &c);
+        let mut out = Vec::new();
+        m.poll(SimTime::from_secs(1), &c, &mut out);
+        assert!(out.is_empty(), "not due yet");
+        let due = m.next_deadline().unwrap();
+        assert_eq!(due, SimTime::ZERO + c.ping_interval);
+        m.poll(due, &c, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0], PingCmd::SendPing { peer, .. } if peer == a(1)));
+    }
+
+    #[test]
+    fn pong_resets_cycle() {
+        let mut m = PingManager::new();
+        let c = cfg();
+        m.track(a(1), SimTime::ZERO, &c);
+        let mut out = Vec::new();
+        let due = m.next_deadline().unwrap();
+        m.poll(due, &c, &mut out);
+        let nonce = match out[0] {
+            PingCmd::SendPing { nonce, .. } => nonce,
+            _ => unreachable!(),
+        };
+        let t1 = due + SimDuration::from_millis(40);
+        assert!(m.on_pong(a(1), nonce, t1, &c));
+        // Next ping a full interval after the pong.
+        assert_eq!(m.next_deadline(), Some(t1 + c.ping_interval));
+    }
+
+    #[test]
+    fn wrong_nonce_pong_is_rejected() {
+        let mut m = PingManager::new();
+        let c = cfg();
+        m.track(a(1), SimTime::ZERO, &c);
+        let mut out = Vec::new();
+        m.poll(m.next_deadline().unwrap(), &c, &mut out);
+        assert!(!m.on_pong(a(1), 999, SimTime::from_secs(16), &c));
+        assert!(!m.on_pong(a(2), 0, SimTime::from_secs(16), &c));
+    }
+
+    #[test]
+    fn unanswered_pings_declare_death_with_backoff() {
+        let mut m = PingManager::new();
+        let c = cfg();
+        m.track(a(1), SimTime::ZERO, &c);
+        let mut sends = 0;
+        let mut dead = false;
+        let mut guard = 0;
+        while let Some(t) = m.next_deadline() {
+            guard += 1;
+            assert!(guard < 32, "no progress");
+            let mut out = Vec::new();
+            m.poll(t, &c, &mut out);
+            for cmd in out {
+                match cmd {
+                    PingCmd::SendPing { .. } => sends += 1,
+                    PingCmd::Dead { peer } => {
+                        assert_eq!(peer, a(1));
+                        dead = true;
+                    }
+                }
+            }
+            if dead {
+                break;
+            }
+        }
+        assert!(dead);
+        assert_eq!(sends, c.ping_retries, "one send per allowed try");
+        assert!(m.is_empty());
+        // Death takes interval + rto·(2^retries − 1) = 15 + 2+4+8+16 = 45 s.
+    }
+
+    #[test]
+    fn heard_pushes_ping_out() {
+        let mut m = PingManager::new();
+        let c = cfg();
+        m.track(a(1), SimTime::ZERO, &c);
+        m.heard(a(1), SimTime::from_secs(10), &c);
+        assert_eq!(
+            m.next_deadline(),
+            Some(SimTime::from_secs(10) + c.ping_interval)
+        );
+    }
+
+    #[test]
+    fn untrack_forgets() {
+        let mut m = PingManager::new();
+        let c = cfg();
+        m.track(a(1), SimTime::ZERO, &c);
+        m.untrack(a(1));
+        assert_eq!(m.next_deadline(), None);
+    }
+}

@@ -1,0 +1,221 @@
+//! Transport URIs.
+//!
+//! Brunet abstracts "where a node can be reached" as a list of URIs like
+//! `brunet.udp://192.0.1.1:1024`. A node behind a NAT has at least two: the
+//! private binding it knows at startup, and the NAT-assigned public mapping
+//! it *learns* from peers during handshakes (each `LinkReply`/`Pong` echoes
+//! the observed source address, STUN-style).
+//!
+//! The *order* in which the linking protocol tries URIs matters a great
+//! deal: the paper's IPOP tries the NAT-assigned public URI first, which
+//! costs ~150 s of retries when both nodes sit behind the same non-hairpin
+//! NAT (the UFL–UFL case of Fig. 4). [`UriOrder`] makes that policy
+//! explicit so the ablation harness can flip it.
+
+use std::fmt;
+use std::str::FromStr;
+
+use wow_netsim::addr::PhysAddr;
+
+/// Transport protocol of a URI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Scheme {
+    /// UDP tunnelling (the transport used by the paper's experiments).
+    Udp,
+    /// TCP tunnelling.
+    Tcp,
+}
+
+impl Scheme {
+    fn as_str(self) -> &'static str {
+        match self {
+            Scheme::Udp => "udp",
+            Scheme::Tcp => "tcp",
+        }
+    }
+}
+
+/// A single way of reaching a node: scheme + endpoint address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransportUri {
+    /// Transport protocol.
+    pub scheme: Scheme,
+    /// Endpoint on the (simulated or real) underlay.
+    pub addr: PhysAddr,
+}
+
+impl TransportUri {
+    /// A UDP URI.
+    pub fn udp(addr: PhysAddr) -> Self {
+        TransportUri {
+            scheme: Scheme::Udp,
+            addr,
+        }
+    }
+}
+
+impl fmt::Display for TransportUri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "brunet.{}://{}", self.scheme.as_str(), self.addr)
+    }
+}
+
+impl fmt::Debug for TransportUri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for TransportUri {
+    type Err = UriParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let rest = s.strip_prefix("brunet.").ok_or(UriParseError)?;
+        let (scheme, addr) = rest.split_once("://").ok_or(UriParseError)?;
+        let scheme = match scheme {
+            "udp" => Scheme::Udp,
+            "tcp" => Scheme::Tcp,
+            _ => return Err(UriParseError),
+        };
+        Ok(TransportUri {
+            scheme,
+            addr: addr.parse().map_err(|_| UriParseError)?,
+        })
+    }
+}
+
+/// Error parsing a [`TransportUri`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UriParseError;
+
+impl fmt::Display for UriParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid brunet URI")
+    }
+}
+
+impl std::error::Error for UriParseError {}
+
+/// Policy for ordering a node's own URI list when advertising it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UriOrder {
+    /// NAT-assigned public URIs first, private last — the paper's IPOP
+    /// behaviour, responsible for the slow UFL–UFL shortcut setup.
+    PublicFirst,
+    /// Private URIs first. The ablation alternative; faster when peers
+    /// share a private network, slower for genuinely remote peers only by
+    /// one failed round when the private address collides.
+    PrivateFirst,
+}
+
+/// The set of URIs a node knows for itself: its local binding plus any
+/// public mappings observed by peers.
+#[derive(Clone, Debug, Default)]
+pub struct UriSet {
+    local: Vec<TransportUri>,
+    observed: Vec<TransportUri>,
+}
+
+impl UriSet {
+    /// Start with the locally-bound URI(s).
+    pub fn new(local: TransportUri) -> Self {
+        UriSet {
+            local: vec![local],
+            observed: Vec::new(),
+        }
+    }
+
+    /// Record a peer-observed (NAT-assigned) URI. Duplicates and URIs
+    /// already known locally are ignored. Returns true if it was new.
+    pub fn learn_observed(&mut self, uri: TransportUri) -> bool {
+        if self.local.contains(&uri) || self.observed.contains(&uri) {
+            return false;
+        }
+        self.observed.push(uri);
+        true
+    }
+
+    /// Forget all observed URIs (e.g. after migrating to a new network,
+    /// where old NAT mappings are meaningless).
+    pub fn clear_observed(&mut self) {
+        self.observed.clear();
+    }
+
+    /// Replace the local binding (after a restart on a new host).
+    pub fn rebind_local(&mut self, uri: TransportUri) {
+        self.local = vec![uri];
+        self.observed.clear();
+    }
+
+    /// The advertised list in the given order.
+    pub fn advertised(&self, order: UriOrder) -> Vec<TransportUri> {
+        let mut out = Vec::with_capacity(self.local.len() + self.observed.len());
+        match order {
+            UriOrder::PublicFirst => {
+                out.extend(self.observed.iter().copied());
+                out.extend(self.local.iter().copied());
+            }
+            UriOrder::PrivateFirst => {
+                out.extend(self.local.iter().copied());
+                out.extend(self.observed.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// The most recently learned observed URI, if any.
+    pub fn latest_observed(&self) -> Option<TransportUri> {
+        self.observed.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wow_netsim::addr::PhysIp;
+
+    fn uri(a: u8, b: u8, c: u8, d: u8, port: u16) -> TransportUri {
+        TransportUri::udp(PhysAddr::new(PhysIp::new(a, b, c, d), port))
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let u = uri(192, 0, 1, 1, 1024);
+        assert_eq!(u.to_string(), "brunet.udp://192.0.1.1:1024");
+        assert_eq!("brunet.udp://192.0.1.1:1024".parse::<TransportUri>(), Ok(u));
+        assert!("brunet.sctp://1.2.3.4:1".parse::<TransportUri>().is_err());
+        assert!("http://1.2.3.4:1".parse::<TransportUri>().is_err());
+        assert!("brunet.udp://1.2.3.4".parse::<TransportUri>().is_err());
+    }
+
+    #[test]
+    fn uriset_learns_without_duplicates() {
+        let mut s = UriSet::new(uri(10, 0, 0, 2, 4000));
+        assert!(s.learn_observed(uri(128, 8, 1, 1, 40001)));
+        assert!(!s.learn_observed(uri(128, 8, 1, 1, 40001)));
+        assert!(!s.learn_observed(uri(10, 0, 0, 2, 4000)), "local not re-learned");
+        assert_eq!(s.advertised(UriOrder::PublicFirst).len(), 2);
+    }
+
+    #[test]
+    fn advertised_ordering_policies() {
+        let private = uri(10, 0, 0, 2, 4000);
+        let public = uri(128, 8, 1, 1, 40001);
+        let mut s = UriSet::new(private);
+        s.learn_observed(public);
+        assert_eq!(s.advertised(UriOrder::PublicFirst), vec![public, private]);
+        assert_eq!(s.advertised(UriOrder::PrivateFirst), vec![private, public]);
+    }
+
+    #[test]
+    fn rebind_clears_observed() {
+        let mut s = UriSet::new(uri(10, 0, 0, 2, 4000));
+        s.learn_observed(uri(128, 8, 1, 1, 40001));
+        s.rebind_local(uri(10, 0, 0, 9, 4000));
+        assert_eq!(
+            s.advertised(UriOrder::PublicFirst),
+            vec![uri(10, 0, 0, 9, 4000)]
+        );
+        assert_eq!(s.latest_observed(), None);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the protocol managers: the linking state machine's
+//! send budget and termination, and keepalive accounting.
+
+use proptest::prelude::*;
+
+use wow_netsim::addr::{PhysAddr, PhysIp};
+use wow_netsim::time::{SimDuration, SimTime};
+use wow_overlay::addr::{Address, U160};
+use wow_overlay::config::OverlayConfig;
+use wow_overlay::conn::ConnType;
+use wow_overlay::linking::{LinkCmd, LinkingManager};
+use wow_overlay::ping::{PingCmd, PingManager};
+use wow_overlay::uri::TransportUri;
+
+fn addr(v: u64) -> Address {
+    Address::from(U160::from(v))
+}
+
+fn uri(i: u16) -> TransportUri {
+    TransportUri::udp(PhysAddr::new(PhysIp::new(10, 0, (i >> 8) as u8, i as u8), 4000))
+}
+
+proptest! {
+    /// An unanswered linking attempt terminates after exactly
+    /// `retries × |uris|` transmissions and one `Failed`, no matter the
+    /// URI count or retry budget.
+    #[test]
+    fn linking_send_budget_is_exact(
+        n_uris in 1usize..8,
+        retries in 1u32..6,
+        rto_ms in 100u64..5000,
+    ) {
+        let cfg = OverlayConfig {
+            link_retries: retries,
+            link_rto: SimDuration::from_millis(rto_ms),
+            ..OverlayConfig::default()
+        };
+        let uris: Vec<TransportUri> = (0..n_uris as u16).map(uri).collect();
+        let mut m = LinkingManager::new();
+        m.start(SimTime::ZERO, addr(2), ConnType::StructuredNear, uris);
+        let mut sends = 0u32;
+        let mut failed = 0u32;
+        let mut guard = 0;
+        #[allow(clippy::while_let_loop)]
+        loop {
+            guard += 1;
+            prop_assert!(guard < 1000, "no termination");
+            let Some(t) = m.next_deadline() else { break };
+            let mut out = Vec::new();
+            m.poll(t, &cfg, &mut out);
+            for cmd in out {
+                match cmd {
+                    LinkCmd::SendRequest { .. } => sends += 1,
+                    LinkCmd::Failed { .. } => failed += 1,
+                    LinkCmd::Established { .. } => unreachable!("nobody answered"),
+                }
+            }
+        }
+        prop_assert_eq!(sends, retries * n_uris as u32);
+        prop_assert_eq!(failed, 1);
+        prop_assert!(m.is_empty());
+    }
+
+    /// A reply at any point during the attempt establishes exactly once and
+    /// stops all further transmissions.
+    #[test]
+    fn linking_reply_terminates_cleanly(
+        n_uris in 1usize..6,
+        answer_after_polls in 0usize..12,
+    ) {
+        let cfg = OverlayConfig::default();
+        let uris: Vec<TransportUri> = (0..n_uris as u16).map(uri).collect();
+        let mut m = LinkingManager::new();
+        m.start(SimTime::ZERO, addr(2), ConnType::Shortcut, uris);
+        let mut polls = 0usize;
+        let mut established = 0;
+        #[allow(clippy::while_let_loop)]
+        loop {
+            let Some(t) = m.next_deadline() else { break };
+            let mut out = Vec::new();
+            m.poll(t, &cfg, &mut out);
+            if polls == answer_after_polls {
+                let via = PhysAddr::new(PhysIp::new(9, 9, 9, 9), 1);
+                let mut out2 = Vec::new();
+                m.on_reply(addr(2), 0, via, &mut out2);
+                established += out2
+                    .iter()
+                    .filter(|c| matches!(c, LinkCmd::Established { .. }))
+                    .count();
+            }
+            polls += 1;
+            if polls > 64 {
+                break;
+            }
+        }
+        // Either the reply landed while the attempt was alive (established
+        // exactly once) or the attempt had already failed by then.
+        prop_assert!(established <= 1);
+        prop_assert!(m.is_empty());
+    }
+
+    /// Keepalives: with no pongs, a tracked peer dies after exactly
+    /// `ping_retries` transmissions; with prompt pongs it never dies.
+    #[test]
+    fn ping_budget(retries in 1u32..8, answer in any::<bool>()) {
+        let cfg = OverlayConfig {
+            ping_retries: retries,
+            ..OverlayConfig::default()
+        };
+        let mut m = PingManager::new();
+        m.track(addr(1), SimTime::ZERO, &cfg);
+        let mut sends = 0u32;
+        let mut died = false;
+        for _ in 0..(retries as usize + 3) * 2 {
+            let Some(t) = m.next_deadline() else { break };
+            let mut out = Vec::new();
+            m.poll(t, &cfg, &mut out);
+            for cmd in out {
+                match cmd {
+                    PingCmd::SendPing { peer, nonce } => {
+                        sends += 1;
+                        if answer {
+                            m.on_pong(peer, nonce, t + SimDuration::from_millis(10), &cfg);
+                        }
+                    }
+                    PingCmd::Dead { .. } => died = true,
+                }
+            }
+            if died {
+                break;
+            }
+            if answer && sends > retries + 2 {
+                break; // survived several cycles; that's the point
+            }
+        }
+        if answer {
+            prop_assert!(!died, "answered pings must keep the peer alive");
+        } else {
+            prop_assert!(died);
+            prop_assert_eq!(sends, retries);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Property tests for the wire codec and ring arithmetic.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use wow_netsim::addr::{PhysAddr, PhysIp};
+use wow_overlay::addr::{Address, U160};
+use wow_overlay::conn::ConnType;
+use wow_overlay::uri::{Scheme, TransportUri};
+use wow_overlay::wire::{Body, Frame, LinkErrorReason, LinkMsg, Packet};
+
+fn arb_address() -> impl Strategy<Value = Address> {
+    any::<[u8; 20]>().prop_map(Address)
+}
+
+fn arb_phys() -> impl Strategy<Value = PhysAddr> {
+    (any::<u32>(), any::<u16>()).prop_map(|(ip, port)| PhysAddr::new(PhysIp(ip), port))
+}
+
+fn arb_uri() -> impl Strategy<Value = TransportUri> {
+    (prop_oneof![Just(Scheme::Udp), Just(Scheme::Tcp)], arb_phys())
+        .prop_map(|(scheme, addr)| TransportUri { scheme, addr })
+}
+
+fn arb_ctype() -> impl Strategy<Value = ConnType> {
+    prop_oneof![
+        Just(ConnType::Leaf),
+        Just(ConnType::StructuredNear),
+        Just(ConnType::StructuredFar),
+        Just(ConnType::Shortcut),
+    ]
+}
+
+fn arb_link_msg() -> impl Strategy<Value = LinkMsg> {
+    prop_oneof![
+        (arb_address(), arb_address(), arb_ctype(), any::<u64>()).prop_map(
+            |(from, target, ctype, attempt)| LinkMsg::LinkRequest {
+                from,
+                target,
+                ctype,
+                attempt
+            }
+        ),
+        (arb_address(), any::<u64>(), arb_phys()).prop_map(|(from, attempt, observed)| {
+            LinkMsg::LinkReply {
+                from,
+                attempt,
+                observed,
+            }
+        }),
+        (
+            arb_address(),
+            any::<u64>(),
+            prop_oneof![
+                Just(LinkErrorReason::InRace),
+                Just(LinkErrorReason::WrongNode),
+                Just(LinkErrorReason::NotConnected)
+            ]
+        )
+            .prop_map(|(from, attempt, reason)| LinkMsg::LinkError {
+                from,
+                attempt,
+                reason
+            }),
+        (arb_address(), any::<u64>()).prop_map(|(from, nonce)| LinkMsg::Ping { from, nonce }),
+        (arb_address(), any::<u64>(), arb_phys()).prop_map(|(from, nonce, observed)| {
+            LinkMsg::Pong {
+                from,
+                nonce,
+                observed,
+            }
+        }),
+        arb_address().prop_map(|from| LinkMsg::NeighborQuery { from }),
+        (arb_address(), prop::collection::vec(arb_address(), 0..8)).prop_map(
+            |(from, neighbors)| LinkMsg::NeighborReply { from, neighbors }
+        ),
+    ]
+}
+
+fn arb_body() -> impl Strategy<Value = Body> {
+    prop_oneof![
+        (
+            any::<u64>(),
+            arb_ctype(),
+            prop::collection::vec(arb_uri(), 0..6),
+            prop::option::of(arb_address())
+        )
+            .prop_map(|(token, ctype, uris, reply_relay)| Body::CtmRequest {
+                token,
+                ctype,
+                uris,
+                reply_relay
+            }),
+        (
+            any::<u64>(),
+            arb_address(),
+            prop::collection::vec(arb_uri(), 0..6),
+            arb_address()
+        )
+            .prop_map(|(token, responder, uris, for_node)| Body::CtmReply {
+                token,
+                responder,
+                uris,
+                for_node
+            }),
+        (any::<u8>(), prop::collection::vec(any::<u8>(), 0..256)).prop_map(|(proto, data)| {
+            Body::App {
+                proto,
+                data: Bytes::from(data),
+            }
+        }),
+    ]
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (
+        arb_address(),
+        arb_address(),
+        any::<u8>(),
+        any::<u8>(),
+        any::<bool>(),
+        arb_body(),
+    )
+        .prop_map(|(src, dst, hops, ttl, edge_forwarded, body)| Packet {
+            src,
+            dst,
+            hops,
+            ttl,
+            edge_forwarded,
+            body,
+        })
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        arb_link_msg().prop_map(Frame::Link),
+        arb_packet().prop_map(Frame::Routed),
+    ]
+}
+
+proptest! {
+    /// encode → decode is the identity for every representable frame.
+    #[test]
+    fn codec_roundtrip(frame in arb_frame()) {
+        let encoded = frame.encode();
+        let decoded = Frame::decode(encoded).expect("well-formed frame must decode");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Decoding arbitrary bytes never panics (it may or may not succeed).
+    #[test]
+    fn decode_is_total(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Frame::decode(Bytes::from(bytes));
+    }
+
+    /// Any strict prefix of a valid encoding fails to decode (no frame is a
+    /// prefix of another).
+    #[test]
+    fn no_frame_is_a_prefix(frame in arb_frame()) {
+        let encoded = frame.encode();
+        for cut in 0..encoded.len() {
+            prop_assert!(Frame::decode(encoded.slice(..cut)).is_err());
+        }
+    }
+
+    /// Ring distance is symmetric, bounded by half the ring, and zero only
+    /// for identical addresses.
+    #[test]
+    fn ring_distance_metric(a in arb_address(), b in arb_address()) {
+        let d_ab = a.ring_dist(b);
+        let d_ba = b.ring_dist(a);
+        prop_assert_eq!(d_ab, d_ba);
+        prop_assert!(d_ab <= U160::pow2(159));
+        prop_assert_eq!(d_ab == U160::ZERO, a == b);
+    }
+
+    /// Clockwise distances around a triangle close the loop: cw(a→b) +
+    /// cw(b→c) + cw(c→a) is a whole number of ring turns (0 mod 2^160).
+    #[test]
+    fn cw_distances_close_the_ring(a in arb_address(), b in arb_address(), c in arb_address()) {
+        let total = a
+            .dist_cw(b)
+            .wrapping_add(b.dist_cw(c))
+            .wrapping_add(c.dist_cw(a));
+        // Each leg is < 2^160, so the sum mod 2^160 is 0 (whole turns).
+        prop_assert_eq!(total, U160::ZERO);
+    }
+
+    /// wrapping_add distributes over dist_cw: shifting both endpoints by
+    /// the same delta preserves clockwise distance.
+    #[test]
+    fn translation_invariance(a in arb_address(), b in arb_address(), delta in any::<u64>()) {
+        let d = U160::from(delta);
+        let shifted = a.wrapping_add(d).dist_cw(b.wrapping_add(d));
+        prop_assert_eq!(shifted, a.dist_cw(b));
+    }
+}

@@ -1,0 +1,131 @@
+//! ICMP echo — the probe traffic of Fig. 4 / Fig. 5.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::ip::{internet_checksum, IpError};
+
+/// An ICMP message (echo family only; all this stack needs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IcmpMessage {
+    /// Echo request (type 8).
+    EchoRequest {
+        /// Identifier (per ping session).
+        ident: u16,
+        /// Sequence number.
+        seq: u16,
+        /// Echo payload.
+        payload: Bytes,
+    },
+    /// Echo reply (type 0).
+    EchoReply {
+        /// Identifier echoed.
+        ident: u16,
+        /// Sequence echoed.
+        seq: u16,
+        /// Payload echoed.
+        payload: Bytes,
+    },
+}
+
+impl IcmpMessage {
+    /// Encode with checksum.
+    pub fn encode(&self) -> Bytes {
+        let (ty, ident, seq, payload) = match self {
+            IcmpMessage::EchoRequest {
+                ident,
+                seq,
+                payload,
+            } => (8u8, *ident, *seq, payload),
+            IcmpMessage::EchoReply {
+                ident,
+                seq,
+                payload,
+            } => (0u8, *ident, *seq, payload),
+        };
+        let mut buf = BytesMut::with_capacity(8 + payload.len());
+        buf.put_u8(ty);
+        buf.put_u8(0); // code
+        buf.put_u16(0); // checksum placeholder
+        buf.put_u16(ident);
+        buf.put_u16(seq);
+        buf.put_slice(payload);
+        let csum = internet_checksum(&buf);
+        buf[2..4].copy_from_slice(&csum.to_be_bytes());
+        buf.freeze()
+    }
+
+    /// Decode and verify checksum.
+    pub fn decode(mut bytes: Bytes) -> Result<IcmpMessage, IpError> {
+        if bytes.len() < 8 {
+            return Err(IpError::Malformed);
+        }
+        if internet_checksum(&bytes) != 0 {
+            return Err(IpError::BadChecksum);
+        }
+        let ty = bytes.get_u8();
+        let _code = bytes.get_u8();
+        let _csum = bytes.get_u16();
+        let ident = bytes.get_u16();
+        let seq = bytes.get_u16();
+        let payload = bytes;
+        match ty {
+            8 => Ok(IcmpMessage::EchoRequest {
+                ident,
+                seq,
+                payload,
+            }),
+            0 => Ok(IcmpMessage::EchoReply {
+                ident,
+                seq,
+                payload,
+            }),
+            _ => Err(IpError::Unsupported),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        for msg in [
+            IcmpMessage::EchoRequest {
+                ident: 77,
+                seq: 3,
+                payload: Bytes::from_static(b"abcdefgh"),
+            },
+            IcmpMessage::EchoReply {
+                ident: 77,
+                seq: 3,
+                payload: Bytes::new(),
+            },
+        ] {
+            assert_eq!(IcmpMessage::decode(msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let enc = IcmpMessage::EchoRequest {
+            ident: 1,
+            seq: 2,
+            payload: Bytes::from_static(b"xyz"),
+        }
+        .encode();
+        for i in 0..enc.len() {
+            let mut raw = enc.to_vec();
+            raw[i] ^= 0x55;
+            assert!(IcmpMessage::decode(Bytes::from(raw)).is_err());
+        }
+    }
+
+    #[test]
+    fn short_messages_rejected() {
+        assert_eq!(
+            IcmpMessage::decode(Bytes::from_static(&[8, 0, 0])),
+            Err(IpError::Malformed)
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! UDP over the virtual network.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::ip::IpError;
+
+/// A UDP datagram (checksum omitted — the tunnel already detects
+/// corruption at the IP layer and the overlay frame layer).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+impl UdpDatagram {
+    /// Encode to wire bytes (8-byte header + payload).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 + self.payload.len());
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u16((8 + self.payload.len()) as u16);
+        buf.put_u16(0); // checksum: optional in IPv4 UDP
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(mut bytes: Bytes) -> Result<UdpDatagram, IpError> {
+        if bytes.len() < 8 {
+            return Err(IpError::Malformed);
+        }
+        let src_port = bytes.get_u16();
+        let dst_port = bytes.get_u16();
+        let len = bytes.get_u16() as usize;
+        let _csum = bytes.get_u16();
+        if len < 8 || len - 8 > bytes.remaining() {
+            return Err(IpError::Malformed);
+        }
+        let payload = bytes.split_to(len - 8);
+        Ok(UdpDatagram {
+            src_port,
+            dst_port,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let d = UdpDatagram {
+            src_port: 2049,
+            dst_port: 997,
+            payload: Bytes::from_static(b"nfs rpc bytes"),
+        };
+        assert_eq!(UdpDatagram::decode(d.encode()).unwrap(), d);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let d = UdpDatagram {
+            src_port: 1,
+            dst_port: 2,
+            payload: Bytes::from_static(b"0123456789"),
+        };
+        let enc = d.encode();
+        for cut in 0..enc.len() {
+            assert!(UdpDatagram::decode(enc.slice(..cut)).is_err());
+        }
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let d = UdpDatagram {
+            src_port: 1,
+            dst_port: 2,
+            payload: Bytes::new(),
+        };
+        assert_eq!(UdpDatagram::decode(d.encode()).unwrap(), d);
+    }
+}

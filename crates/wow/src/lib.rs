@@ -1,0 +1,29 @@
+//! # wow — self-organizing wide-area overlay networks of virtual workstations
+//!
+//! The top-level crate of this reproduction of *"WOW: Self-Organizing Wide
+//! Area Overlay Networks of Virtual Workstations"* (Ganguly, Agrawal,
+//! Boykin, Figueiredo — HPDC 2006). It composes the substrates into the
+//! system the paper describes:
+//!
+//! * [`simrt`] — runs `wow-overlay` nodes on the deterministic `wow-netsim`
+//!   substrate, including the router CPU-load model;
+//! * [`workstation`] — a *virtual workstation*: an overlay node with an
+//!   IPOP virtual NIC and a user-level IP stack, on which unmodified
+//!   middleware runs;
+//! * [`testbed`] — the paper's Figure-1 / Table-I deployment: 33 WOW nodes
+//!   across six NAT/firewalled domains plus 118 PlanetLab-class routers;
+//! * [`migrate`] — WAN VM migration choreography (suspend, image copy,
+//!   resume, IPOP restart, overlay rejoin);
+//! * [`udprt`] — the same overlay over real UDP sockets on loopback.
+
+#![warn(missing_docs)]
+
+pub mod migrate;
+pub mod simrt;
+pub mod udprt;
+pub mod testbed;
+pub mod workstation;
+
+pub use wow_netsim as netsim;
+pub use wow_overlay as overlay;
+pub use wow_vnet as vnet;

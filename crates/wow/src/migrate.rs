@@ -1,0 +1,78 @@
+//! WAN VM migration choreography (§V-C of the paper).
+//!
+//! The paper migrates a VMware guest between domains by suspending it,
+//! copying its memory image and disk copy-on-write logs across the WAN,
+//! resuming it, and restarting the user-level IPOP process. The guest keeps
+//! its virtual IP — and therefore its overlay address and ring position —
+//! so every virtual-network connection (TCP transfers, NFS mounts, PBS
+//! sessions) survives; only the *physical* connection state is invalidated
+//! and rebuilt by the overlay's join protocol.
+//!
+//! [`migrate_workstation`] schedules exactly that choreography on the
+//! simulator. The dominant cost is the image copy: for the paper's 150-node
+//! network the observed no-routability window was ~8 minutes, which at
+//! campus WAN bandwidth is simply the transfer time of a VM image.
+
+use wow_netsim::prelude::*;
+
+use crate::workstation::{control, Workload};
+
+/// Parameters of one VM migration.
+#[derive(Clone, Copy, Debug)]
+pub struct MigrationSpec {
+    /// The workstation actor to migrate.
+    pub actor: ActorId,
+    /// Destination host.
+    pub to_host: HostId,
+    /// Bytes to copy (memory image + disk copy-on-write logs).
+    pub image_bytes: f64,
+    /// Effective WAN copy bandwidth in bytes/second.
+    pub wan_bytes_per_sec: f64,
+}
+
+impl MigrationSpec {
+    /// The suspension window: image copy time.
+    pub fn outage(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.image_bytes / self.wan_bytes_per_sec)
+    }
+}
+
+/// Schedule a migration starting at `at`. Returns the time at which the VM
+/// resumes on the destination host (overlay rejoin then takes a few more
+/// seconds, exactly as in the paper's Fig. 6).
+pub fn migrate_workstation<W: Workload>(
+    sim: &mut Sim,
+    spec: MigrationSpec,
+    at: SimTime,
+) -> SimTime {
+    let resume_at = at + spec.outage();
+    let MigrationSpec { actor, to_host, .. } = spec;
+    sim.schedule(at, move |sim| {
+        // Suspend the guest and detach it from its current host; in-flight
+        // and future packets to the old address are dropped.
+        control::suspend::<W>(sim, actor);
+        sim.move_actor(actor, to_host);
+    });
+    sim.schedule(resume_at, move |sim| {
+        // Resume on the destination: rebind, restart IPOP, rejoin the ring.
+        control::resume::<W>(sim, actor);
+    });
+    resume_at
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outage_is_copy_time() {
+        let spec = MigrationSpec {
+            actor: ActorId(0),
+            to_host: HostId(0),
+            image_bytes: 512e6,
+            wan_bytes_per_sec: 1.25e6,
+        };
+        let secs = spec.outage().as_secs_f64();
+        assert!((secs - 409.6).abs() < 0.01, "512 MB at 1.25 MB/s ≈ 410 s");
+    }
+}

@@ -1,0 +1,335 @@
+//! Simulator runtime: drive [`BrunetNode`]s as `wow-netsim` actors.
+//!
+//! [`OverlayHost`] adapts the sans-IO node to the discrete-event simulator
+//! and adds the one cost the protocol code cannot know about: *forwarding
+//! compute*. The paper's overlay routers are user-level processes on shared
+//! PlanetLab hosts; every packet they relay costs CPU, and on a loaded host
+//! that queueing delay — not the WAN — dominates multi-hop latency and
+//! caps multi-hop bandwidth (Table II's 84 KB/s). Incoming datagrams are
+//! therefore run through the host's FIFO CPU queue before the node sees
+//! them.
+//!
+//! Application logic (the IPOP/vnet stack, measurement probes) attaches via
+//! [`OverlayApp`]; [`NodeHandle`] is its interface back to the node and the
+//! simulator.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+
+use wow_netsim::prelude::*;
+use wow_netsim::sim::Datagram;
+use wow_overlay::addr::Address;
+use wow_overlay::conn::ConnType;
+use wow_overlay::node::{BrunetNode, NodeAction};
+use wow_overlay::uri::TransportUri;
+
+/// Wake-tag namespace: the node's protocol tick.
+const TAG_TICK: u64 = 0;
+/// Wake-tag namespace: a datagram finished its CPU service.
+const TAG_PROC: u64 = 1;
+/// Wake-tag namespace: application timers (user tag in the upper bits).
+const TAG_APP_BASE: u64 = 2;
+
+/// The raw wake tag that delivers [`OverlayApp::on_wake`] with `user`.
+/// Application glue that arms wakes through the raw [`Ctx`] (rather than
+/// [`NodeHandle::wake_after`]) must use this mapping.
+pub fn app_wake_tag(user: u64) -> u64 {
+    TAG_APP_BASE + (user << 2) + 2
+}
+
+/// Per-packet forwarding compute model.
+#[derive(Clone, Copy, Debug)]
+pub struct ForwardingCost {
+    /// Fixed nominal CPU work per datagram (scheduling, user/kernel copies).
+    pub per_packet: SimDuration,
+    /// Nominal CPU work per payload byte.
+    pub per_byte_ns: f64,
+    /// Whether packet work occupies the CPU exclusively (FIFO behind every
+    /// other `cpu_acquire`, as on a saturated PlanetLab host where the
+    /// user-level router competes for whole cores) or is time-shared (a
+    /// guest OS keeps servicing the IPOP process in small quanta while a
+    /// batch job computes).
+    pub exclusive: bool,
+}
+
+impl ForwardingCost {
+    /// A workstation guest: 20 µs per packet plus 1 ns/byte, time-shared
+    /// with whatever jobs the guest runs.
+    pub fn end_node() -> Self {
+        ForwardingCost {
+            per_packet: SimDuration::from_micros(20),
+            per_byte_ns: 1.0,
+            exclusive: false,
+        }
+    }
+
+    /// A user-level overlay router: 50 µs per packet plus 450 ns/byte of
+    /// nominal work — about 2 MB/s of forwarding throughput on an unloaded
+    /// baseline host, before the host's load factor divides it down. The
+    /// work is exclusive: the router's forwarding queue is the bottleneck
+    /// the paper measured on loaded PlanetLab hosts.
+    pub fn router() -> Self {
+        ForwardingCost {
+            per_packet: SimDuration::from_micros(50),
+            per_byte_ns: 450.0,
+            exclusive: true,
+        }
+    }
+
+    fn work(&self, bytes: usize) -> SimDuration {
+        self.per_packet + SimDuration::from_micros((bytes as f64 * self.per_byte_ns / 1e3) as u64)
+    }
+}
+
+/// Application attached to an overlay host (the vnet stack, probes, …).
+pub trait OverlayApp: 'static {
+    /// The host started (node already joined/joining).
+    fn on_start(&mut self, _h: &mut NodeHandle<'_, '_>) {}
+    /// A tunnelled payload arrived for this node.
+    fn on_deliver(
+        &mut self,
+        _h: &mut NodeHandle<'_, '_>,
+        _src: Address,
+        _proto: u8,
+        _data: Bytes,
+        _exact: bool,
+    ) {
+    }
+    /// An application timer fired.
+    fn on_wake(&mut self, _h: &mut NodeHandle<'_, '_>, _tag: u64) {}
+    /// A connection gained a role.
+    fn on_connected(&mut self, _h: &mut NodeHandle<'_, '_>, _peer: Address, _ctype: ConnType) {}
+    /// A connection was lost.
+    fn on_disconnected(&mut self, _h: &mut NodeHandle<'_, '_>, _peer: Address) {}
+}
+
+/// No-op application for pure router nodes.
+pub struct NoApp;
+impl OverlayApp for NoApp {}
+
+/// The application's interface to its node and the simulator.
+pub struct NodeHandle<'a, 'c> {
+    /// The overlay node (routing table, stats, send_app…).
+    pub node: &'a mut BrunetNode,
+    /// The simulator context (time, RNG, CPU, timers).
+    pub ctx: &'a mut Ctx<'c>,
+}
+
+impl NodeHandle<'_, '_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.ctx.now
+    }
+
+    /// Route an application payload to an overlay address.
+    pub fn send(&mut self, dst: Address, proto: u8, data: Bytes) {
+        self.node.send_app(self.ctx.now, dst, proto, data);
+    }
+
+    /// Schedule [`OverlayApp::on_wake`] with `tag` after `after`.
+    pub fn wake_after(&mut self, after: SimDuration, tag: u64) {
+        self.ctx.wake_after(after, app_wake_tag(tag));
+    }
+
+    /// Schedule [`OverlayApp::on_wake`] with `tag` at `at`.
+    pub fn wake_at(&mut self, at: SimTime, tag: u64) {
+        self.ctx.wake_at(at, app_wake_tag(tag));
+    }
+
+    /// Occupy this host's CPU for `nominal` work; returns completion time.
+    pub fn cpu(&mut self, nominal: SimDuration) -> SimTime {
+        self.ctx.cpu_acquire(nominal)
+    }
+}
+
+/// A simulated host running one overlay node plus an application.
+pub struct OverlayHost<A: OverlayApp> {
+    node: BrunetNode,
+    app: A,
+    port: u16,
+    bootstrap: Vec<TransportUri>,
+    cost: ForwardingCost,
+    queue: VecDeque<Datagram>,
+    armed_tick: Option<SimTime>,
+}
+
+impl<A: OverlayApp> OverlayHost<A> {
+    /// Build a host actor. `node` must be freshly constructed (not started);
+    /// the actor starts it when the simulator starts the actor.
+    pub fn new(
+        node: BrunetNode,
+        port: u16,
+        bootstrap: Vec<TransportUri>,
+        cost: ForwardingCost,
+        app: A,
+    ) -> Self {
+        OverlayHost {
+            node,
+            app,
+            port,
+            bootstrap,
+            cost,
+            queue: VecDeque::new(),
+            armed_tick: None,
+        }
+    }
+
+    /// The node (for assertions and measurements between sim steps).
+    pub fn node(&self) -> &BrunetNode {
+        &self.node
+    }
+
+    /// Mutable node access (experiment orchestration via `with_actor`).
+    pub fn node_mut(&mut self) -> &mut BrunetNode {
+        &mut self.node
+    }
+
+    /// The application.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Mutable application access.
+    pub fn app_mut(&mut self) -> &mut A {
+        &mut self.app
+    }
+
+    /// The UDP port this host binds.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Restart the node on its current host (used after VM migration: the
+    /// paper kills and restarts IPOP; physical connection state is void).
+    pub fn restart_node(&mut self, ctx: &mut Ctx<'_>) {
+        let local = ctx.bind(self.port);
+        self.queue.clear();
+        self.armed_tick = None;
+        self.node
+            .restart(ctx.now, TransportUri::udp(local), self.bootstrap.clone());
+        self.flush(ctx);
+    }
+
+    /// Disjoint mutable access to the node and the application together
+    /// (orchestration helpers need both at once).
+    pub fn node_and_app_mut(&mut self) -> (&mut BrunetNode, &mut A) {
+        (&mut self.node, &mut self.app)
+    }
+
+    /// Drain pending node actions into the simulator (for orchestration
+    /// code that poked the node via [`OverlayHost::node_mut`]).
+    pub fn flush_now(&mut self, ctx: &mut Ctx<'_>) {
+        self.flush(ctx);
+    }
+
+    /// Drain node actions into simulator effects and app callbacks, then
+    /// re-arm the protocol tick.
+    fn flush(&mut self, ctx: &mut Ctx<'_>) {
+        loop {
+            let actions = self.node.take_actions();
+            if actions.is_empty() {
+                break;
+            }
+            for action in actions {
+                match action {
+                    NodeAction::Send { to, frame } => ctx.send(self.port, to, frame),
+                    NodeAction::Deliver {
+                        src,
+                        proto,
+                        data,
+                        exact,
+                    } => {
+                        let mut h = NodeHandle {
+                            node: &mut self.node,
+                            ctx,
+                        };
+                        self.app.on_deliver(&mut h, src, proto, data, exact);
+                    }
+                    NodeAction::Connected { peer, ctype } => {
+                        let mut h = NodeHandle {
+                            node: &mut self.node,
+                            ctx,
+                        };
+                        self.app.on_connected(&mut h, peer, ctype);
+                    }
+                    NodeAction::Disconnected { peer } => {
+                        let mut h = NodeHandle {
+                            node: &mut self.node,
+                            ctx,
+                        };
+                        self.app.on_disconnected(&mut h, peer);
+                    }
+                    NodeAction::LinkFailed { .. } => {}
+                }
+            }
+        }
+        self.arm_tick(ctx);
+    }
+
+    fn arm_tick(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(deadline) = self.node.next_deadline() {
+            let need_arm = match self.armed_tick {
+                Some(armed) => deadline < armed || armed <= ctx.now,
+                None => true,
+            };
+            if need_arm {
+                ctx.wake_at(deadline, TAG_TICK);
+                self.armed_tick = Some(deadline);
+            }
+        }
+    }
+}
+
+impl<A: OverlayApp> Actor for OverlayHost<A> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let local = ctx.bind(self.port);
+        self.node
+            .start(ctx.now, TransportUri::udp(local), self.bootstrap.clone());
+        self.flush(ctx);
+        let mut h = NodeHandle {
+            node: &mut self.node,
+            ctx,
+        };
+        self.app.on_start(&mut h);
+        self.flush(ctx);
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+        // Every received datagram costs CPU before the protocol sees it;
+        // on a loaded router host this (exclusive) queue is the bottleneck.
+        let work = self.cost.work(dgram.payload.len());
+        let done = if self.cost.exclusive {
+            ctx.cpu_acquire(work)
+        } else {
+            ctx.cpu_timeshared(work)
+        };
+        self.queue.push_back(dgram);
+        ctx.wake_at(done, TAG_PROC);
+    }
+
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        match tag {
+            TAG_TICK => {
+                self.armed_tick = None;
+                self.node.on_tick(ctx.now);
+                self.flush(ctx);
+            }
+            TAG_PROC => {
+                if let Some(dgram) = self.queue.pop_front() {
+                    self.node.on_datagram(ctx.now, dgram.src, dgram.payload);
+                    self.flush(ctx);
+                }
+            }
+            app_tag => {
+                let user = (app_tag - TAG_APP_BASE) >> 2;
+                let mut h = NodeHandle {
+                    node: &mut self.node,
+                    ctx,
+                };
+                self.app.on_wake(&mut h, user);
+                self.flush(ctx);
+            }
+        }
+    }
+}

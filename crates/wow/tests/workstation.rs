@@ -1,0 +1,298 @@
+//! Workstation-level integration: virtual-IP traffic end-to-end over the
+//! overlay, across NATs, and through a WAN VM migration.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use wow::migrate::{migrate_workstation, MigrationSpec};
+use wow::simrt::{ForwardingCost, NoApp, NodeHandle, OverlayHost};
+use wow::workstation::{control, WsHandle, Workload, Workstation};
+use wow_netsim::prelude::*;
+use wow_overlay::addr::Address;
+use wow_overlay::config::OverlayConfig;
+use wow_overlay::node::BrunetNode;
+use wow_overlay::uri::TransportUri;
+use wow_vnet::prelude::{StackEvent, VirtIp};
+use wow_vnet::tcp::TcpConfig;
+
+const PORT: u16 = 14_000;
+const NS: &str = "itest";
+
+/// Records every stack event.
+struct Recorder {
+    events: Rc<RefCell<Vec<(SimTime, StackEvent)>>>,
+}
+impl Workload for Recorder {
+    fn on_event(&mut self, w: &mut WsHandle<'_, '_, '_>, ev: StackEvent) {
+        self.events.borrow_mut().push((w.now(), ev));
+    }
+}
+
+struct World {
+    sim: Sim,
+    ws_a: ActorId,
+    ws_b: ActorId,
+    b_events: Rc<RefCell<Vec<(SimTime, StackEvent)>>>,
+    a_events: Rc<RefCell<Vec<(SimTime, StackEvent)>>>,
+    spare_host: HostId,
+}
+
+/// Two routers on a public domain; workstation A behind a NAT at one
+/// domain, workstation B behind a hairpin NAT at another; one spare public
+/// host as a migration target.
+fn setup(seed: u64) -> World {
+    let mut sim = Sim::new(seed);
+    let wan = sim.add_domain(DomainSpec::public("wan"));
+    let dom_a = sim.add_domain(DomainSpec::natted("a.edu", NatConfig::typical()));
+    let dom_b = sim.add_domain(DomainSpec::natted("b.edu", NatConfig::hairpinning()));
+    let seeds = SeedSplitter::new(seed);
+    let mut rng = seeds.rng("addr");
+
+    let mut bootstrap: Vec<TransportUri> = Vec::new();
+    for i in 0..2u64 {
+        let host = sim.add_host(wan, HostSpec::new(format!("router{i}")));
+        let node = BrunetNode::new(
+            Address::random(&mut rng),
+            OverlayConfig::default(),
+            seeds.seed_for_indexed("router", i),
+        );
+        sim.add_actor_at(
+            host,
+            SimTime::from_millis(i * 100),
+            OverlayHost::new(node, PORT, bootstrap.clone(), ForwardingCost::router(), NoApp),
+        );
+        if i == 0 {
+            bootstrap.push(TransportUri::udp(PhysAddr::new(sim.world().host_ip(host), PORT)));
+        }
+    }
+    let a_events = Rc::new(RefCell::new(Vec::new()));
+    let b_events = Rc::new(RefCell::new(Vec::new()));
+    let host_a = sim.add_host(dom_a, HostSpec::new("vm-a"));
+    let host_b = sim.add_host(dom_b, HostSpec::new("vm-b"));
+    let spare_host = sim.add_host(wan, HostSpec::new("spare"));
+    let ws_a = sim.add_actor_at(
+        host_a,
+        SimTime::from_secs(2),
+        control::workstation(
+            VirtIp::testbed(2),
+            NS,
+            OverlayConfig::default(),
+            TcpConfig::default(),
+            PORT,
+            bootstrap.clone(),
+            seeds.seed_for("ws-a"),
+            Recorder {
+                events: a_events.clone(),
+            },
+        ),
+    );
+    let ws_b = sim.add_actor_at(
+        host_b,
+        SimTime::from_secs(3),
+        control::workstation(
+            VirtIp::testbed(3),
+            NS,
+            OverlayConfig::default(),
+            TcpConfig::default(),
+            PORT,
+            bootstrap,
+            seeds.seed_for("ws-b"),
+            Recorder {
+                events: b_events.clone(),
+            },
+        ),
+    );
+    World {
+        sim,
+        ws_a,
+        ws_b,
+        a_events,
+        b_events,
+        spare_host,
+    }
+}
+
+type Ws = Workstation<Recorder>;
+
+/// Poke a workstation's stack and pump the result into the overlay.
+fn with_stack(sim: &mut Sim, actor: ActorId, f: impl FnOnce(&mut WsHandle<'_, '_, '_>)) {
+    sim.with_actor::<Ws, _>(actor, |ws, ctx| {
+        let (node, app) = ws.node_and_app_mut();
+        let mut h = NodeHandle { node, ctx };
+        {
+            let mut w = WsHandle {
+                stack: app.stack_mut(),
+                h: &mut h,
+            };
+            f(&mut w);
+        }
+        app.pump_external(&mut h);
+    });
+    sim.with_actor::<Ws, _>(actor, |ws, ctx| ws.flush_now(ctx));
+}
+
+#[test]
+fn virtual_ip_ping_end_to_end() {
+    let mut w = setup(11);
+    w.sim.run_until(SimTime::from_secs(40));
+    // A pings B's virtual IP.
+    for seq in 0..5u16 {
+        let at = SimTime::from_secs(40 + seq as u64);
+        let ws_a = w.ws_a;
+        w.sim.schedule(at, move |sim| {
+            with_stack(sim, ws_a, |w| {
+                w.stack
+                    .ping(VirtIp::testbed(3), 1, seq, Bytes::from_static(b"probe"));
+            });
+        });
+    }
+    w.sim.run_until(SimTime::from_secs(60));
+    let replies: Vec<u16> = w
+        .a_events
+        .borrow()
+        .iter()
+        .filter_map(|(_, ev)| match ev {
+            StackEvent::PingReply { from, seq, .. } if *from == VirtIp::testbed(3) => Some(*seq),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        replies.len() >= 4,
+        "at least 4 of 5 pings should be answered, got {replies:?}"
+    );
+}
+
+#[test]
+fn tcp_transfer_across_nats() {
+    let mut w = setup(12);
+    w.sim.run_until(SimTime::from_secs(40));
+    // B listens; A connects and sends 200 KB.
+    let ws_b = w.ws_b;
+    let ws_a = w.ws_a;
+    w.sim.schedule(SimTime::from_secs(40), move |sim| {
+        with_stack(sim, ws_b, |w| w.stack.tcp_listen(5001));
+    });
+    let sock = Rc::new(RefCell::new(None));
+    let sock2 = sock.clone();
+    w.sim.schedule(SimTime::from_secs(41), move |sim| {
+        with_stack(sim, ws_a, move |w| {
+            let now = w.now();
+            let s = w.stack.tcp_connect(now, VirtIp::testbed(3), 5001);
+            *sock2.borrow_mut() = Some(s);
+        });
+    });
+    // Feed data in chunks from control events (the workload is passive).
+    let total = 200 * 1024usize;
+    let sent = Rc::new(RefCell::new(0usize));
+    for k in 0..200u64 {
+        let sock = sock.clone();
+        let sent = sent.clone();
+        w.sim
+            .schedule(SimTime::from_secs(42) + SimDuration::from_millis(k * 200), move |sim| {
+                let Some(s) = *sock.borrow() else { return };
+                let mut done = sent.borrow_mut();
+                if *done >= total {
+                    return;
+                }
+                let chunk = vec![0xAB; 8 * 1024];
+                with_stack(sim, ws_a, |w| {
+                    let now = w.now();
+                    let n = w.stack.tcp_write(now, s, &chunk);
+                    *done += n;
+                });
+            });
+    }
+    w.sim.run_until(SimTime::from_secs(140));
+    // Count bytes readable at B across accepted sockets.
+    let got = Rc::new(RefCell::new(0usize));
+    let got2 = got.clone();
+    let b_events = w.b_events.clone();
+    let ws_b2 = w.ws_b;
+    let accepted: Vec<_> = b_events
+        .borrow()
+        .iter()
+        .filter_map(|(_, ev)| match ev {
+            StackEvent::TcpAccepted { sock, .. } => Some(*sock),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(accepted.len(), 1, "exactly one accept");
+    let server_sock = accepted[0];
+    w.sim.schedule(SimTime::from_secs(141), move |sim| {
+        with_stack(sim, ws_b2, |w| {
+            let now = w.now();
+            let data = w.stack.tcp_read(now, server_sock, usize::MAX);
+            *got2.borrow_mut() += data.len();
+            assert!(data.iter().all(|&b| b == 0xAB));
+        });
+    });
+    w.sim.run_until(SimTime::from_secs(142));
+    let received = *got.borrow();
+    assert!(
+        received >= total,
+        "expected ≥ {total} bytes at the server, got {received}"
+    );
+}
+
+#[test]
+fn migration_preserves_virtual_connectivity() {
+    let mut w = setup(13);
+    w.sim.run_until(SimTime::from_secs(40));
+    // Steady ping traffic A→B for the whole experiment.
+    for k in 0..160u64 {
+        let ws_a = w.ws_a;
+        w.sim
+            .schedule(SimTime::from_secs(40 + k), move |sim| {
+                with_stack(sim, ws_a, |w| {
+                    w.stack
+                        .ping(VirtIp::testbed(3), 2, k as u16, Bytes::from_static(b"p"));
+                });
+            });
+    }
+    // Migrate B at t=60 s to the spare public host; small image so the
+    // outage is ~24 s.
+    let spec = MigrationSpec {
+        actor: w.ws_b,
+        to_host: w.spare_host,
+        image_bytes: 30e6,
+        wan_bytes_per_sec: 1.25e6,
+    };
+    let resume_at = migrate_workstation::<Recorder>(&mut w.sim, spec, SimTime::from_secs(60));
+    assert_eq!(resume_at, SimTime::from_secs(84));
+    w.sim.run_until(SimTime::from_secs(200));
+
+    let replies: Vec<u64> = w
+        .a_events
+        .borrow()
+        .iter()
+        .filter_map(|(at, ev)| match ev {
+            StackEvent::PingReply { from, .. } if *from == VirtIp::testbed(3) => {
+                Some(at.as_micros() / 1_000_000)
+            }
+            _ => None,
+        })
+        .collect();
+    // Replies before the migration.
+    assert!(
+        replies.iter().any(|&t| (41..59).contains(&t)),
+        "pre-migration pings must work: {replies:?}"
+    );
+    // Silence during the outage (allow the first second for in-flight).
+    assert!(
+        !replies.iter().any(|&t| (62..84).contains(&t)),
+        "no replies while suspended: {replies:?}"
+    );
+    // Replies resume after rejoin (give it ~40 s of slack for the rejoin).
+    assert!(
+        replies.iter().any(|&t| t > 84 && t < 130),
+        "pings must resume after migration: {replies:?}"
+    );
+    // The virtual IP — and overlay address — did not change.
+    let addr = w.sim.with_actor::<Ws, _>(w.ws_b, |ws, _| {
+        (ws.app().ip(), ws.node().address())
+    });
+    assert_eq!(addr.0, VirtIp::testbed(3));
+    assert_eq!(addr.1, wow_vnet::ipop::address_for(NS, VirtIp::testbed(3)));
+}

@@ -1,0 +1,70 @@
+//! A WOW as a batch cluster: PBS head + NFS export + workers running
+//! MEME-like jobs over the virtual network (the Fig. 7/8 workload).
+//!
+//! Run with: `cargo run --release -p wow-bench --example batch_cluster`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use wow::testbed::{self, TestbedConfig};
+use wow_bench::roles::Role;
+use wow_middleware::apps::meme;
+use wow_middleware::duo::Both;
+use wow_middleware::nfs::NfsServer;
+use wow_middleware::pbs::{PbsHead, PbsResults, PbsWorker};
+use wow_netsim::prelude::*;
+
+fn main() {
+    // The full Figure-1 testbed, with the paper's middleware stack on top:
+    // node002 is the PBS head and NFS server; everyone else is a worker.
+    let results: Rc<RefCell<PbsResults>> = Rc::new(RefCell::new(PbsResults::default()));
+    let rr = results.clone();
+    let head_ip = wow_vnet::ip::VirtIp::testbed(2);
+    let jobs = 120u32;
+    let mut tb = testbed::build(
+        TestbedConfig {
+            routers: 60,
+            ..TestbedConfig::default()
+        },
+        |_, spec| {
+            if spec.number == 2 {
+                Role::PbsHead(Box::new(Both::new(
+                    PbsHead::new(jobs, SimDuration::from_secs(1), meme::meme_job(), rr.clone())
+                        .start_after(SimDuration::from_secs(280)),
+                    NfsServer::new([("input.fasta".to_string(), 100_000_000u64)]),
+                )))
+            } else {
+                Role::PbsWorker(Box::new(PbsWorker::new(
+                    spec.number,
+                    head_ip,
+                    SimDuration::from_secs(150),
+                )))
+            }
+        },
+    );
+    println!("33-node WOW booting; {jobs} MEME jobs queued at 1 job/s on node002...\n");
+    tb.sim.run_until(SimTime::from_secs(1400));
+
+    let r = results.borrow();
+    println!("jobs completed: {}/{}", r.records.len(), jobs);
+    let walls: Vec<f64> = r.records.iter().map(|x| x.wall().as_secs_f64()).collect();
+    let mean = walls.iter().sum::<f64>() / walls.len().max(1) as f64;
+    println!("mean wall-clock: {mean:.1}s (paper: ~24s with shortcuts)");
+    if let Some(t) = r.throughput_jobs_per_min(SimTime::from_secs(400)) {
+        println!("throughput: {t:.1} jobs/min (paper: 53)");
+    }
+    // Heterogeneity: per-node job counts, as in the paper's discussion.
+    let mut per_node: Vec<(u8, usize)> = Vec::new();
+    for rec in r.records.iter() {
+        match per_node.iter_mut().find(|(n, _)| *n == rec.node) {
+            Some((_, c)) => *c += 1,
+            None => per_node.push((rec.node, 1)),
+        }
+    }
+    per_node.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    println!("\nbusiest nodes (fast CPUs pull more jobs):");
+    for (n, c) in per_node.iter().take(5) {
+        println!("  node{n:03}: {c} jobs");
+    }
+    assert_eq!(r.records.len() as u32, jobs, "all jobs must complete");
+}

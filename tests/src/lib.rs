@@ -1,0 +1,98 @@
+//! Shared helpers for the cross-crate integration tests: a mini-cluster
+//! builder (a scaled-down Figure 1) that wires routers, a head node and
+//! workers with arbitrary workloads.
+
+use wow::simrt::{ForwardingCost, NoApp, OverlayHost};
+use wow::testbed::{IPOP_PORT, NAMESPACE};
+use wow::workstation::{control, Workload, Workstation};
+use wow_netsim::prelude::*;
+use wow_overlay::addr::Address;
+use wow_overlay::config::OverlayConfig;
+use wow_overlay::node::BrunetNode;
+use wow_overlay::uri::TransportUri;
+use wow_vnet::ip::VirtIp;
+use wow_vnet::tcp::TcpConfig;
+
+/// A small overlay + cluster for integration tests.
+pub struct MiniCluster {
+    /// The simulator.
+    pub sim: Sim,
+    /// Bootstrap URIs.
+    pub bootstrap: Vec<TransportUri>,
+    /// Workstation actors, in creation order.
+    pub stations: Vec<ActorId>,
+    /// Their virtual IPs.
+    pub ips: Vec<VirtIp>,
+    /// A time by which the overlay and all stations should have settled.
+    pub settled_by: SimTime,
+}
+
+/// Build `routers` public router nodes and one workstation per entry of
+/// `specs` = (virtual-ip-last-octet, cpu_speed, workload).
+pub fn mini_cluster<W: Workload>(
+    seed: u64,
+    routers: usize,
+    overlay: OverlayConfig,
+    specs: Vec<(u8, f64, W)>,
+) -> MiniCluster {
+    let mut sim = Sim::new(seed);
+    let wan = sim.add_domain(DomainSpec::public("wan"));
+    let seeds = SeedSplitter::new(seed);
+    let mut rng = seeds.rng("addresses");
+    let mut bootstrap: Vec<TransportUri> = Vec::new();
+    for i in 0..routers {
+        let host = sim.add_host(wan, HostSpec::new(format!("r{i}")).link_bps(4e6));
+        let node = BrunetNode::new(
+            Address::random(&mut rng),
+            overlay.clone(),
+            seeds.seed_for_indexed("router", i as u64),
+        );
+        let actor_start = SimTime::from_millis(i as u64 * 100);
+        sim.add_actor_at(
+            host,
+            actor_start,
+            OverlayHost::new(node, IPOP_PORT, bootstrap.clone(), ForwardingCost::router(), NoApp),
+        );
+        if i == 0 {
+            bootstrap.push(TransportUri::udp(PhysAddr::new(
+                sim.world().host_ip(host),
+                IPOP_PORT,
+            )));
+        }
+    }
+    let mut stations = Vec::new();
+    let mut ips = Vec::new();
+    let mut start = SimTime::from_secs(2);
+    for (i, (octet, speed, workload)) in specs.into_iter().enumerate() {
+        let host = sim.add_host(
+            wan,
+            HostSpec::new(format!("ws{octet}"))
+                .cpu_speed(speed)
+                .link_bps(2.5e6),
+        );
+        let ip = VirtIp::testbed(octet);
+        let ws = control::workstation(
+            ip,
+            NAMESPACE,
+            overlay.clone(),
+            TcpConfig::default(),
+            IPOP_PORT,
+            bootstrap.clone(),
+            seeds.seed_for_indexed("ws", i as u64),
+            workload,
+        );
+        start = SimTime::from_secs(2) + SimDuration::from_millis(i as u64 * 500);
+        stations.push(sim.add_actor_at(host, start, ws));
+        ips.push(ip);
+    }
+    MiniCluster {
+        sim,
+        bootstrap,
+        stations,
+        ips,
+        settled_by: start + SimDuration::from_secs(20),
+    }
+}
+
+/// Downcast shorthand.
+pub type Ws<W> = Workstation<W>;

@@ -1,0 +1,261 @@
+//! End-to-end middleware runs on a mini cluster: PBS+NFS batch streams,
+//! PVM master/worker rounds, and the ping probe — everything the paper's
+//! evaluation builds on, at test scale.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use wow::workstation::IdleWorkload;
+use wow_middleware::duo::Both;
+use wow_middleware::nfs::NfsServer;
+use wow_middleware::pbs::{JobTemplate, PbsHead, PbsResults, PbsWorker};
+use wow_middleware::ping::{PingProbe, PingResults};
+use wow_middleware::pvm::{PvmMaster, PvmResults, PvmWorker, RoundSpec};
+use wow_netsim::prelude::*;
+use wow_overlay::config::OverlayConfig;
+use wow_tests::mini_cluster;
+use wow_vnet::ip::VirtIp;
+
+/// A workload wrapper so heterogeneous roles fit one cluster type.
+enum Role {
+    Head(Both<PbsHead, NfsServer>),
+    Worker(PbsWorker),
+    PvmMaster(PvmMaster),
+    PvmWorker(PvmWorker),
+    Probe(PingProbe),
+    Idle(IdleWorkload),
+}
+
+impl wow::workstation::Workload for Role {
+    fn on_boot(&mut self, w: &mut wow::workstation::WsHandle<'_, '_, '_>) {
+        match self {
+            Role::Head(x) => x.on_boot(w),
+            Role::Worker(x) => x.on_boot(w),
+            Role::PvmMaster(x) => x.on_boot(w),
+            Role::PvmWorker(x) => x.on_boot(w),
+            Role::Probe(x) => x.on_boot(w),
+            Role::Idle(x) => x.on_boot(w),
+        }
+    }
+    fn on_event(
+        &mut self,
+        w: &mut wow::workstation::WsHandle<'_, '_, '_>,
+        ev: wow_vnet::stack::StackEvent,
+    ) {
+        match self {
+            Role::Head(x) => x.on_event(w, ev),
+            Role::Worker(x) => x.on_event(w, ev),
+            Role::PvmMaster(x) => x.on_event(w, ev),
+            Role::PvmWorker(x) => x.on_event(w, ev),
+            Role::Probe(x) => x.on_event(w, ev),
+            Role::Idle(x) => x.on_event(w, ev),
+        }
+    }
+    fn on_wake(&mut self, w: &mut wow::workstation::WsHandle<'_, '_, '_>, tag: u64) {
+        match self {
+            Role::Head(x) => x.on_wake(w, tag),
+            Role::Worker(x) => x.on_wake(w, tag),
+            Role::PvmMaster(x) => x.on_wake(w, tag),
+            Role::PvmWorker(x) => x.on_wake(w, tag),
+            Role::Probe(x) => x.on_wake(w, tag),
+            Role::Idle(x) => x.on_wake(w, tag),
+        }
+    }
+    fn on_resumed(&mut self, w: &mut wow::workstation::WsHandle<'_, '_, '_>) {
+        match self {
+            Role::Head(x) => x.on_resumed(w),
+            Role::Worker(x) => x.on_resumed(w),
+            Role::PvmMaster(x) => x.on_resumed(w),
+            Role::PvmWorker(x) => x.on_resumed(w),
+            Role::Probe(x) => x.on_resumed(w),
+            Role::Idle(x) => x.on_resumed(w),
+        }
+    }
+}
+
+#[test]
+fn pbs_stream_completes_with_sane_wall_times() {
+    let head_ip = VirtIp::testbed(2);
+    let results: Rc<RefCell<PbsResults>> = Rc::new(RefCell::new(PbsResults::default()));
+    let template = JobTemplate {
+        nominal: SimDuration::from_secs(10),
+        input_bytes: 200_000,
+        output_bytes: 50_000,
+    };
+    let total_jobs = 24;
+    let mut specs = vec![(
+        2u8,
+        1.0,
+        Role::Head(Both::new(
+            PbsHead::new(
+                total_jobs,
+                SimDuration::from_secs(1),
+                template,
+                results.clone(),
+            ),
+            NfsServer::new([("input.fasta".to_string(), 10_000_000u64)]),
+        )),
+    )];
+    for n in 3..=6u8 {
+        specs.push((
+            n,
+            1.0,
+            Role::Worker(PbsWorker::new(n, head_ip, SimDuration::from_secs(15))),
+        ));
+    }
+    let mut mc = mini_cluster(21, 2, OverlayConfig::default(), specs);
+    mc.sim.run_until(SimTime::from_secs(400));
+    let r = results.borrow();
+    assert_eq!(
+        r.records.len(),
+        total_jobs as usize,
+        "all jobs must complete; got {} (workers seen: {})",
+        r.records.len(),
+        r.workers_seen
+    );
+    assert!(r.all_done.is_some());
+    // Wall time ≈ 10 s × 1.13 + I/O: between 11 and 30 s on this network.
+    for rec in &r.records {
+        let wall = rec.wall().as_secs_f64();
+        assert!(
+            (11.0..30.0).contains(&wall),
+            "job {} wall {wall}s out of range",
+            rec.job
+        );
+    }
+    // Work spread across the four workers.
+    let nodes: std::collections::HashSet<u8> = r.records.iter().map(|x| x.node).collect();
+    assert!(nodes.len() >= 3, "work should spread: {nodes:?}");
+}
+
+#[test]
+fn pbs_slow_node_runs_fewer_longer_jobs() {
+    let head_ip = VirtIp::testbed(2);
+    let results: Rc<RefCell<PbsResults>> = Rc::new(RefCell::new(PbsResults::default()));
+    let template = JobTemplate {
+        nominal: SimDuration::from_secs(10),
+        input_bytes: 100_000,
+        output_bytes: 20_000,
+    };
+    let mut specs = vec![(
+        2u8,
+        1.0,
+        Role::Head(Both::new(
+            PbsHead::new(30, SimDuration::from_secs(1), template, results.clone()),
+            NfsServer::new([("input.fasta".to_string(), 10_000_000u64)]),
+        )),
+    )];
+    specs.push((
+        3,
+        1.0,
+        Role::Worker(PbsWorker::new(3, head_ip, SimDuration::from_secs(15))),
+    ));
+    specs.push((
+        4,
+        0.5, // half-speed node, like the paper's node032
+        Role::Worker(PbsWorker::new(4, head_ip, SimDuration::from_secs(15))),
+    ));
+    let mut mc = mini_cluster(22, 2, OverlayConfig::default(), specs);
+    mc.sim.run_until(SimTime::from_secs(600));
+    let r = results.borrow();
+    assert_eq!(r.records.len(), 30);
+    let fast: Vec<f64> = r
+        .records
+        .iter()
+        .filter(|x| x.node == 3)
+        .map(|x| x.wall().as_secs_f64())
+        .collect();
+    let slow: Vec<f64> = r
+        .records
+        .iter()
+        .filter(|x| x.node == 4)
+        .map(|x| x.wall().as_secs_f64())
+        .collect();
+    assert!(
+        fast.len() > slow.len(),
+        "fast node should run more jobs ({} vs {})",
+        fast.len(),
+        slow.len()
+    );
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        avg(&slow) > avg(&fast) * 1.5,
+        "slow node's jobs should take much longer ({} vs {})",
+        avg(&slow),
+        avg(&fast)
+    );
+}
+
+#[test]
+fn pvm_rounds_run_to_completion_with_barriers() {
+    let master_ip = VirtIp::testbed(2);
+    let results: Rc<RefCell<PvmResults>> = Rc::new(RefCell::new(PvmResults::default()));
+    let rounds: Vec<RoundSpec> = (0..6)
+        .map(|i| RoundSpec {
+            tasks: 3 + 2 * i,
+            nominal_per_task: SimDuration::from_secs(4),
+            arg_bytes: 2_000,
+            result_bytes: 8_000,
+        })
+        .collect();
+    let n_workers = 4usize;
+    let mut specs = vec![(
+        2u8,
+        1.0,
+        Role::PvmMaster(PvmMaster::new(rounds.clone(), n_workers, results.clone())),
+    )];
+    for n in 3..=6u8 {
+        specs.push((
+            n,
+            1.0,
+            Role::PvmWorker(PvmWorker::new(n, master_ip, SimDuration::from_secs(15))),
+        ));
+    }
+    let mut mc = mini_cluster(23, 2, OverlayConfig::default(), specs);
+    mc.sim.run_until(SimTime::from_secs(400));
+    let r = results.borrow();
+    assert_eq!(r.workers, n_workers);
+    assert_eq!(r.round_done.len(), rounds.len(), "all rounds must complete");
+    assert!(r.finished.is_some());
+    // Barrier ordering: round completion times strictly increase.
+    for w in r.round_done.windows(2) {
+        assert!(w[0] < w[1]);
+    }
+    // Sanity on the wall: 6 rounds of (tasks × 4 s / 4 workers)-ish.
+    let wall = r.wall().unwrap().as_secs_f64();
+    assert!(
+        (30.0..240.0).contains(&wall),
+        "parallel wall {wall}s out of expected range"
+    );
+}
+
+#[test]
+fn ping_probe_measures_rtt_through_the_overlay() {
+    let results: Rc<RefCell<PingResults>> = Rc::new(RefCell::new(PingResults::default()));
+    let specs = vec![
+        (2u8, 1.0, Role::Idle(IdleWorkload)),
+        (
+            3u8,
+            1.0,
+            Role::Probe(PingProbe::new(VirtIp::testbed(2), 30, results.clone())),
+        ),
+    ];
+    let mut mc = mini_cluster(24, 2, OverlayConfig::default(), specs);
+    mc.sim.run_until(SimTime::from_secs(120));
+    let r = results.borrow();
+    assert_eq!(r.sent.len(), 30);
+    // The probe starts at boot; the first few probes are lost while the
+    // node joins (regime 1 of Fig. 5), then replies flow.
+    assert!(
+        r.replies.len() >= 20,
+        "most pings should be answered once routable: {}/{}",
+        r.replies.len(),
+        r.sent.len()
+    );
+    // Late pings answered; RTTs are sub-second on this small topology.
+    let late: Vec<_> = r.replies.iter().filter(|(seq, _)| *seq > 20).collect();
+    assert!(!late.is_empty());
+    for (_, rtt) in late {
+        assert!(rtt.as_secs_f64() < 1.0, "rtt {rtt} too high");
+    }
+}

@@ -1,0 +1,150 @@
+//! End-to-end transfer middleware on the mini cluster: ttcp, SCP
+//! server/client, and NFS bulk reads through a PBS worker's client.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use wow::workstation::{IdleWorkload, Workload, WsHandle};
+use wow_middleware::scp::{FileClient, FileServer};
+use wow_middleware::ttcp::{TransferProgress, TtcpReceiver, TtcpSender};
+use wow_netsim::prelude::*;
+use wow_overlay::config::OverlayConfig;
+use wow_tests::mini_cluster;
+use wow_vnet::ip::VirtIp;
+use wow_vnet::stack::StackEvent;
+
+#[allow(dead_code)] // Idle keeps the enum usable for ad-hoc experiments
+enum Xfer {
+    Idle(IdleWorkload),
+    Send(TtcpSender),
+    Recv(TtcpReceiver),
+    Serve(FileServer),
+    Fetch(FileClient),
+}
+
+impl Workload for Xfer {
+    fn on_boot(&mut self, w: &mut WsHandle<'_, '_, '_>) {
+        match self {
+            Xfer::Idle(x) => x.on_boot(w),
+            Xfer::Send(x) => x.on_boot(w),
+            Xfer::Recv(x) => x.on_boot(w),
+            Xfer::Serve(x) => x.on_boot(w),
+            Xfer::Fetch(x) => x.on_boot(w),
+        }
+    }
+    fn on_event(&mut self, w: &mut WsHandle<'_, '_, '_>, ev: StackEvent) {
+        match self {
+            Xfer::Idle(x) => x.on_event(w, ev),
+            Xfer::Send(x) => x.on_event(w, ev),
+            Xfer::Recv(x) => x.on_event(w, ev),
+            Xfer::Serve(x) => x.on_event(w, ev),
+            Xfer::Fetch(x) => x.on_event(w, ev),
+        }
+    }
+    fn on_wake(&mut self, w: &mut WsHandle<'_, '_, '_>, tag: u64) {
+        match self {
+            Xfer::Idle(x) => x.on_wake(w, tag),
+            Xfer::Send(x) => x.on_wake(w, tag),
+            Xfer::Recv(x) => x.on_wake(w, tag),
+            Xfer::Serve(x) => x.on_wake(w, tag),
+            Xfer::Fetch(x) => x.on_wake(w, tag),
+        }
+    }
+}
+
+#[test]
+fn ttcp_moves_exactly_the_requested_bytes() {
+    let bytes = 3_000_000u64;
+    let progress: Rc<RefCell<TransferProgress>> = Rc::new(RefCell::new(TransferProgress::default()));
+    let sender_progress = Rc::new(RefCell::new(TransferProgress::default()));
+    let specs = vec![
+        (
+            2u8,
+            1.0,
+            Xfer::Recv(TtcpReceiver::new(5001, progress.clone())),
+        ),
+        (
+            3u8,
+            1.0,
+            Xfer::Send(TtcpSender::new(
+                VirtIp::testbed(2),
+                5001,
+                bytes,
+                SimDuration::from_secs(30),
+                sender_progress.clone(),
+            )),
+        ),
+    ];
+    let mut mc = mini_cluster(41, 2, OverlayConfig::default(), specs);
+    mc.sim.run_until(SimTime::from_secs(240));
+    let p = progress.borrow();
+    assert_eq!(p.total, bytes, "receiver must count every byte");
+    assert!(p.completed.is_some(), "transfer must complete");
+    assert!(!p.aborted);
+    let sp = sender_progress.borrow();
+    assert_eq!(sp.total, bytes, "sender-side accounting agrees");
+    // Throughput is sane for a 2-hop-at-most overlay path.
+    let kbs = p.throughput_kbs().expect("complete");
+    assert!(kbs > 100.0, "unreasonably slow: {kbs} KB/s");
+}
+
+#[test]
+fn scp_file_server_and_client_roundtrip() {
+    let file = 2_000_000u64;
+    let progress: Rc<RefCell<TransferProgress>> = Rc::new(RefCell::new(TransferProgress::default()));
+    let specs = vec![
+        (2u8, 1.0, Xfer::Serve(FileServer::new(22, file))),
+        (
+            3u8,
+            1.0,
+            Xfer::Fetch(FileClient::new(
+                VirtIp::testbed(2),
+                22,
+                SimDuration::from_secs(30),
+                progress.clone(),
+            )),
+        ),
+    ];
+    let mut mc = mini_cluster(42, 2, OverlayConfig::default(), specs);
+    mc.sim.run_until(SimTime::from_secs(240));
+    let p = progress.borrow();
+    assert_eq!(p.total, file);
+    assert!(p.completed.is_some());
+    // The progress curve is nondecreasing — the Fig. 6 plot depends on it.
+    assert!(p.samples.windows(2).all(|w| w[0].1 <= w[1].1));
+}
+
+#[test]
+fn two_concurrent_scp_clients_share_one_server() {
+    let file = 1_000_000u64;
+    let p1: Rc<RefCell<TransferProgress>> = Rc::new(RefCell::new(TransferProgress::default()));
+    let p2: Rc<RefCell<TransferProgress>> = Rc::new(RefCell::new(TransferProgress::default()));
+    let specs = vec![
+        (2u8, 1.0, Xfer::Serve(FileServer::new(22, file))),
+        (
+            3u8,
+            1.0,
+            Xfer::Fetch(FileClient::new(
+                VirtIp::testbed(2),
+                22,
+                SimDuration::from_secs(30),
+                p1.clone(),
+            )),
+        ),
+        (
+            4u8,
+            1.0,
+            Xfer::Fetch(FileClient::new(
+                VirtIp::testbed(2),
+                22,
+                SimDuration::from_secs(32),
+                p2.clone(),
+            )),
+        ),
+    ];
+    let mut mc = mini_cluster(43, 2, OverlayConfig::default(), specs);
+    mc.sim.run_until(SimTime::from_secs(300));
+    assert_eq!(p1.borrow().total, file);
+    assert_eq!(p2.borrow().total, file);
+    assert!(p1.borrow().completed.is_some() && p2.borrow().completed.is_some());
+}
