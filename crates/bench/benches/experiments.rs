@@ -20,12 +20,12 @@ fn bench_fig4(c: &mut Criterion) {
 
 fn bench_table2(c: &mut Criterion) {
     c.bench_function("table2_transfer_quick", |b| {
-        b.iter(|| {
-            match run_transfer(placements()[1], true, 2_000_000, 30, 0x7AB2) {
+        b.iter(
+            || match run_transfer(placements()[1], true, 2_000_000, 30, 0x7AB2) {
                 Attempt::Done(kbs) => kbs,
                 _ => 0.0,
-            }
-        })
+            },
+        )
     });
 }
 

@@ -68,7 +68,10 @@ pub fn far_k_point(n: usize, k: usize, seed: u64) -> FarKPoint {
             ),
         );
         if i == 0 {
-            bootstrap.push(TransportUri::udp(PhysAddr::new(sim.world().host_ip(host), PORT)));
+            bootstrap.push(TransportUri::udp(PhysAddr::new(
+                sim.world().host_ip(host),
+                PORT,
+            )));
         }
         actors.push(actor);
         addrs.push(addr);
@@ -84,14 +87,8 @@ pub fn far_k_point(n: usize, k: usize, seed: u64) -> FarKPoint {
             t += SimDuration::from_millis(3);
             sim.schedule(t, move |sim| {
                 sim.with_actor::<OverlayHost<NoApp>, _>(actor, |h, ctx| {
-                    h.node_mut().send_app(
-                        ctx.now,
-                        dst,
-                        9,
-                        bytes::Bytes::from_static(b"probe"),
-                    );
+                    h.send_app(ctx, dst, 9, bytes::Bytes::from_static(b"probe"));
                 });
-                sim.with_actor::<OverlayHost<NoApp>, _>(actor, |h, ctx| h.flush_now(ctx));
             });
         }
     }
@@ -156,7 +153,13 @@ pub fn threshold_point(threshold: f64, trials: u64, seed: u64) -> ThresholdPoint
                 sim.add_actor_at(
                     host,
                     SimTime::from_millis(i * 100),
-                    OverlayHost::new(node, PORT, bootstrap.clone(), ForwardingCost::router(), NoApp),
+                    OverlayHost::new(
+                        node,
+                        PORT,
+                        bootstrap.clone(),
+                        ForwardingCost::router(),
+                        NoApp,
+                    ),
                 );
                 if i == 0 {
                     bootstrap.push(TransportUri::udp(PhysAddr::new(
@@ -276,7 +279,13 @@ pub fn uri_order_point(order: UriOrder, trials: u64, seed: u64) -> UriOrderPoint
                 sim.add_actor_at(
                     host,
                     SimTime::from_millis(i * 100),
-                    OverlayHost::new(node, PORT, bootstrap.clone(), ForwardingCost::router(), NoApp),
+                    OverlayHost::new(
+                        node,
+                        PORT,
+                        bootstrap.clone(),
+                        ForwardingCost::router(),
+                        NoApp,
+                    ),
                 );
                 if i == 0 {
                     bootstrap.push(TransportUri::udp(PhysAddr::new(

@@ -35,7 +35,11 @@ fn main() {
         "Ablation 2 -- shortcut score threshold vs time-to-shortcut",
         "the paper's threshold is a constant; lower = eager shortcuts (more maintenance), higher = slow adaptation",
     );
-    let thresholds: &[f64] = if quick { &[5.0, 20.0] } else { &[2.0, 5.0, 10.0, 20.0, 40.0] };
+    let thresholds: &[f64] = if quick {
+        &[5.0, 20.0]
+    } else {
+        &[2.0, 5.0, 10.0, 20.0, 40.0]
+    };
     let mut t = Table::new(&["threshold", "median time-to-shortcut (s)", "missed"]);
     let mut rows = Vec::new();
     for &th in thresholds {
@@ -47,8 +51,12 @@ fn main() {
     write_csv(
         "ablation_threshold.csv",
         "threshold,median_time_to_direct_s,missed",
-        rows.iter()
-            .map(|p| format!("{},{:.1},{}", p.threshold, p.median_time_to_direct, p.missed)),
+        rows.iter().map(|p| {
+            format!(
+                "{},{:.1},{}",
+                p.threshold, p.median_time_to_direct, p.missed
+            )
+        }),
     );
 
     banner(
@@ -59,15 +67,18 @@ fn main() {
     let mut rows = Vec::new();
     for order in [UriOrder::PublicFirst, UriOrder::PrivateFirst] {
         let p = uri_order_point(order, trials, 0xAB3);
-        t.row(&[&format!("{order:?}"), &r1(p.median_time_to_direct), &p.missed]);
+        t.row(&[
+            &format!("{order:?}"),
+            &r1(p.median_time_to_direct),
+            &p.missed,
+        ]);
         rows.push(p);
     }
     t.print();
     write_csv(
         "ablation_uri_order.csv",
         "order,median_time_to_direct_s,missed",
-        rows.iter().map(|p| {
-            format!("{:?},{:.1},{}", p.order, p.median_time_to_direct, p.missed)
-        }),
+        rows.iter()
+            .map(|p| format!("{:?},{:.1},{}", p.order, p.median_time_to_direct, p.missed)),
     );
 }

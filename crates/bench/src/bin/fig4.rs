@@ -3,6 +3,8 @@
 
 use wow_bench::fig4::{run_scenario, window_drop, window_mean, Fig4Config, Scenario};
 use wow_bench::report::{banner, r1, write_csv, Table};
+use wow_netsim::trace::Tally;
+use wow_overlay::telemetry::Counter;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -18,11 +20,20 @@ fn main() {
         "Fig. 4 — ICMP RTT and drop profiles during WOW node join",
         "90% of joins routable <10s; shortcuts: NWU-NWU ~20 pings, UFL-NWU ~30, UFL-UFL ~200; RTT 146ms multi-hop -> 38ms direct",
     );
-    println!("config: {} trials x {} pings, {} routers\n", cfg.trials, cfg.pings, cfg.routers);
+    println!(
+        "config: {} trials x {} pings, {} routers\n",
+        cfg.trials, cfg.pings, cfg.routers
+    );
 
     let mut summary = Table::new(&[
-        "scenario", "drop% seq0-3", "drop% seq4-32", "drop% tail",
-        "rtt(ms) early", "rtt(ms) tail", "median t_routable(s)", "median t_direct(s)",
+        "scenario",
+        "drop% seq0-3",
+        "drop% seq4-32",
+        "drop% tail",
+        "rtt(ms) early",
+        "rtt(ms) tail",
+        "median t_routable(s)",
+        "median t_direct(s)",
     ]);
     for scenario in Scenario::all() {
         let p = run_scenario(scenario, &cfg);
@@ -36,22 +47,97 @@ fn main() {
         let mut direct: Vec<f64> = p.trials.iter().filter_map(|t| t.time_to_direct).collect();
         routable.sort_by(|a, b| a.partial_cmp(b).unwrap());
         direct.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let med = |v: &[f64]| if v.is_empty() { f64::NAN } else { v[v.len() / 2] };
+        let med = |v: &[f64]| {
+            if v.is_empty() {
+                f64::NAN
+            } else {
+                v[v.len() / 2]
+            }
+        };
         summary.row(&[
-            &scenario.label(), &r1(early_drop), &r1(mid_drop), &r1(tail_drop),
-            &r1(early_rtt), &r1(tail_rtt), &r1(med(&routable)), &r1(med(&direct)),
+            &scenario.label(),
+            &r1(early_drop),
+            &r1(mid_drop),
+            &r1(tail_drop),
+            &r1(early_rtt),
+            &r1(tail_rtt),
+            &r1(med(&routable)),
+            &r1(med(&direct)),
         ]);
         write_csv(
-            &format!("fig4_{}.csv", scenario.label().to_lowercase().replace('-', "_")),
+            &format!(
+                "fig4_{}.csv",
+                scenario.label().to_lowercase().replace('-', "_")
+            ),
             "seq,avg_rtt_ms,drop_frac",
             (0..n).map(|i| {
                 format!(
                     "{},{},{}",
                     i,
-                    p.avg_rtt_ms[i].map(|x| format!("{x:.2}")).unwrap_or_default(),
+                    p.avg_rtt_ms[i]
+                        .map(|x| format!("{x:.2}"))
+                        .unwrap_or_default(),
                     p.drop_frac[i]
                 )
             }),
+        );
+        // Per-trial protocol telemetry: why pings were lost (drops by
+        // reason), how hard the join worked (CTM attempts by kind), and
+        // how linking went (trials, races, failures) — one row per trial.
+        let telemetry_header = {
+            let mut h = String::from("trial,time_to_routable_s,time_to_direct_s");
+            for c in Counter::ALL {
+                h.push(',');
+                h.push_str(c.name());
+            }
+            h
+        };
+        let mut tally = Tally::new();
+        for t in &p.trials {
+            for (c, v) in t.counters.iter() {
+                tally.add(c.name(), v);
+            }
+        }
+        write_csv(
+            &format!(
+                "fig4_telemetry_{}.csv",
+                scenario.label().to_lowercase().replace('-', "_")
+            ),
+            &telemetry_header,
+            p.trials.iter().enumerate().map(|(i, t)| {
+                let mut row = format!(
+                    "{},{},{}",
+                    i,
+                    t.time_to_routable
+                        .map(|x| format!("{x:.2}"))
+                        .unwrap_or_default(),
+                    t.time_to_direct
+                        .map(|x| format!("{x:.2}"))
+                        .unwrap_or_default(),
+                );
+                for (_, v) in t.counters.iter() {
+                    row.push_str(&format!(",{v}"));
+                }
+                row
+            }),
+        );
+        let per_trial = |name: &str| tally.get(name) as f64 / p.trials.len().max(1) as f64;
+        println!(
+            "  [telemetry] {}: per trial — drops ttl/relay/decode {:.1}/{:.1}/{:.1}, \
+             ctm join/probe/shortcut/far/near {:.1}/{:.1}/{:.1}/{:.1}/{:.1}, \
+             link sent/backoff/failed {:.1}/{:.1}/{:.1}",
+            scenario.label(),
+            per_trial("dropped_ttl"),
+            per_trial("dropped_relay"),
+            per_trial("dropped_decode"),
+            per_trial("ctm_join"),
+            per_trial("ctm_ring_probe"),
+            per_trial("ctm_shortcut"),
+            per_trial("ctm_far"),
+            per_trial("ctm_near"),
+            per_trial("link_request_sent"),
+            per_trial("link_race_backoff"),
+            per_trial("link_failed"),
         );
         if scenario == Scenario::UflNwu {
             // Fig. 5: the first 50 sequence numbers, drop percentage.

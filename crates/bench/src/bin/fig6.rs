@@ -5,7 +5,11 @@ use wow_bench::report::{banner, r2, write_csv};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { Fig6Config::quick() } else { Fig6Config::default() };
+    let cfg = if quick {
+        Fig6Config::quick()
+    } else {
+        Fig6Config::default()
+    };
     banner(
         "Fig. 6 -- 720 MB SCP transfer across server VM migration (UFL -> NWU)",
         "stalls ~8 min during the image copy + rejoin; resumes without restart; 1.36 MB/s before, 1.83 MB/s after",

@@ -5,7 +5,11 @@ use wow_bench::report::{banner, r1, write_csv};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { Fig7Config::quick() } else { Fig7Config::default() };
+    let cfg = if quick {
+        Fig7Config::quick()
+    } else {
+        Fig7Config::default()
+    };
     banner(
         "Fig. 7 -- PBS/MEME job execution times across worker migration",
         "background load slows jobs; the in-transit job stretches by the WAN copy but completes; post-migration jobs are fast again",

@@ -39,7 +39,12 @@ fn main() {
         );
         println!("  histogram (wall s -> % of jobs):");
         for (centre, _, frac) in r.histogram.buckets() {
-            println!("    {:>4.0}s  {:>5.1}%  {}", centre, frac * 100.0, "#".repeat((frac * 100.0) as usize));
+            println!(
+                "    {:>4.0}s  {:>5.1}%  {}",
+                centre,
+                frac * 100.0,
+                "#".repeat((frac * 100.0) as usize)
+            );
         }
         write_csv(
             &format!("fig8_shortcuts_{label}.csv"),
@@ -48,7 +53,12 @@ fn main() {
         );
         rows.push((label, r));
     }
-    let mut t = Table::new(&["shortcuts", "mean wall (s)", "std (s)", "throughput (jobs/min)"]);
+    let mut t = Table::new(&[
+        "shortcuts",
+        "mean wall (s)",
+        "std (s)",
+        "throughput (jobs/min)",
+    ]);
     for (label, r) in &rows {
         t.row(&[label, &r1(r.mean_s), &r1(r.std_s), &r1(r.throughput_jpm)]);
     }

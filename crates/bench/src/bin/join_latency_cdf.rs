@@ -57,17 +57,19 @@ fn main() {
     write_csv(
         "join_cdf_routable.csv",
         "seconds,fraction",
-        sorted.iter().enumerate().map(|(i, s)| {
-            format!("{s:.2},{:.4}", (i + 1) as f64 / sorted.len() as f64)
-        }),
+        sorted
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{s:.2},{:.4}", (i + 1) as f64 / sorted.len() as f64)),
     );
     let mut sorted = direct.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     write_csv(
         "join_cdf_direct.csv",
         "seconds,fraction",
-        sorted.iter().enumerate().map(|(i, s)| {
-            format!("{s:.2},{:.4}", (i + 1) as f64 / sorted.len() as f64)
-        }),
+        sorted
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{s:.2},{:.4}", (i + 1) as f64 / sorted.len() as f64)),
     );
 }

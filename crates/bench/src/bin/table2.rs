@@ -22,7 +22,13 @@ fn main() {
         cfg.sizes, cfg.repeats, cfg.routers
     );
     let cells = run(&cfg);
-    let mut t = Table::new(&["placement", "shortcuts", "bandwidth KB/s", "stddev", "transfers"]);
+    let mut t = Table::new(&[
+        "placement",
+        "shortcuts",
+        "bandwidth KB/s",
+        "stddev",
+        "transfers",
+    ]);
     for c in &cells {
         let sc: &dyn std::fmt::Display = if c.shortcuts { &"enabled" } else { &"disabled" };
         t.row(&[
@@ -36,8 +42,14 @@ fn main() {
     t.print();
     // Shape check: the improvement factor.
     for label in ["UFL-UFL", "UFL-NWU"] {
-        let on = cells.iter().find(|c| c.label == label && c.shortcuts).unwrap();
-        let off = cells.iter().find(|c| c.label == label && !c.shortcuts).unwrap();
+        let on = cells
+            .iter()
+            .find(|c| c.label == label && c.shortcuts)
+            .unwrap();
+        let off = cells
+            .iter()
+            .find(|c| c.label == label && !c.shortcuts)
+            .unwrap();
         println!(
             "{label}: shortcuts are {:.1}x faster (paper: ~{}x)",
             on.bandwidth_kbs / off.bandwidth_kbs,

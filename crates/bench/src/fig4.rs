@@ -24,6 +24,7 @@ use wow::workstation::{control, IdleWorkload, Workstation};
 use wow_middleware::ping::{PingProbe, PingResults};
 use wow_netsim::prelude::*;
 use wow_netsim::rng::SeedSplitter;
+use wow_overlay::telemetry::TelemetryCounters;
 use wow_vnet::ip::VirtIp;
 
 /// Placement of (A, B).
@@ -120,6 +121,10 @@ pub struct Trial {
     pub time_to_routable: Option<f64>,
     /// Seconds from B's start to a direct connection with A.
     pub time_to_direct: Option<f64>,
+    /// Node B's protocol telemetry over the whole trial: drops by reason,
+    /// CTM attempts by kind, linking trials/backoffs — the *why* behind
+    /// the three regimes.
+    pub counters: TelemetryCounters,
 }
 
 /// Run one trial of one scenario.
@@ -137,9 +142,7 @@ pub fn run_trial(scenario: Scenario, cfg: &Fig4Config, trial: u64) -> Trial {
     // overlay); quick mode shrinks the router pool and trial count instead.
     let mut tb = testbed::build(tb_cfg, |_, _| IdleWorkload);
     let a = tb.node(scenario.a_number()).clone();
-    let join_at = nodes_start
-        + node_gap.mul_f64(34.0)
-        + SimDuration::from_secs(60); // let the WOW nodes settle first
+    let join_at = nodes_start + node_gap.mul_f64(34.0) + SimDuration::from_secs(60); // let the WOW nodes settle first
 
     // Node B: a fresh VM in the scenario's site, with a ring position that
     // varies by trial (the paper's "10 different virtual IP addresses").
@@ -199,10 +202,14 @@ pub fn run_trial(scenario: Scenario, cfg: &Fig4Config, trial: u64) -> Trial {
     }
     let time_to_routable = *routable_at.borrow();
     let time_to_direct = *direct_at.borrow();
+    let counters = tb
+        .sim
+        .with_actor::<Workstation<PingProbe>, _>(b_actor, |ws, _| ws.counters());
     Trial {
         rtts,
         time_to_routable,
         time_to_direct,
+        counters,
     }
 }
 

@@ -92,7 +92,8 @@ pub fn run(cfg: &Fig6Config) -> Fig6Result {
     let server_node = 3u8; // UFL private network
     let client_node = 17u8; // NWU
     let port = 22;
-    let progress: Rc<RefCell<TransferProgress>> = Rc::new(RefCell::new(TransferProgress::default()));
+    let progress: Rc<RefCell<TransferProgress>> =
+        Rc::new(RefCell::new(TransferProgress::default()));
     let client_progress = progress.clone();
     let connect_delay = SimDuration::from_secs(220);
     let file_bytes = cfg.file_bytes;
@@ -117,7 +118,8 @@ pub fn run(cfg: &Fig6Config) -> Fig6Result {
         .iter()
         .position(|n| n.spec.number == client_node)
         .expect("client in table") as f64;
-    let t0 = SimTime::from_secs(120) + SimDuration::from_secs(2).mul_f64(client_idx) + connect_delay;
+    let t0 =
+        SimTime::from_secs(120) + SimDuration::from_secs(2).mul_f64(client_idx) + connect_delay;
 
     // A migration target host at NWU.
     let nwu = tb.domain(Site::Nwu);
@@ -157,16 +159,16 @@ pub fn run(cfg: &Fig6Config) -> Fig6Result {
     let rate_before = before_bytes as f64 / 1e6 / migration_window.0.max(1.0);
     // Rate after: from resume to completion.
     let completed = p.completed.is_some();
-    let end = p.completed.map(rel).unwrap_or_else(|| {
-        curve.last().map(|(t, _)| *t).unwrap_or(migration_window.1)
-    });
+    let end = p
+        .completed
+        .map(rel)
+        .unwrap_or_else(|| curve.last().map(|(t, _)| *t).unwrap_or(migration_window.1));
     // Measure the post-resume rate from shortly after the rejoin (skip the
     // first few seconds of TCP slow-start recovery).
     let resume_settled = migration_window.1 + 5.0;
     let resumed_bytes = bytes_at(resume_settled);
-    let rate_after = (p.total.saturating_sub(resumed_bytes)) as f64
-        / 1e6
-        / (end - resume_settled).max(1.0);
+    let rate_after =
+        (p.total.saturating_sub(resumed_bytes)) as f64 / 1e6 / (end - resume_settled).max(1.0);
     // Stall: the longest gap between samples with unchanged byte counts
     // around the migration window.
     let mut stall = 0.0f64;

@@ -104,7 +104,7 @@ mod tests {
     fn rounding_helpers() {
         assert_eq!(r1(1.26), 1.3);
         assert_eq!(r1(-1.24), -1.2);
-        assert_eq!(r2(3.14159), 3.14);
+        assert_eq!(r2(5.43215), 5.43);
     }
 
     #[test]

@@ -15,14 +15,14 @@ use std::rc::Rc;
 use wow::simrt::{NoApp, OverlayHost};
 use wow::testbed::{self, TestbedConfig};
 use wow::workstation::Workstation;
-use wow_overlay::addr::Address;
-use wow_overlay::conn::NextHop;
 use wow_middleware::duo::Both;
 use wow_middleware::ping::{PingProbe, PingResults};
 use wow_middleware::ttcp::{TransferProgress, TtcpReceiver, TtcpSender};
 use wow_netsim::prelude::*;
 use wow_netsim::rng::SeedSplitter;
 use wow_netsim::trace::{mean, stddev};
+use wow_overlay::addr::Address;
+use wow_overlay::conn::NextHop;
 
 use crate::roles::Role;
 
@@ -158,7 +158,8 @@ pub fn run_transfer(
         router_hosts: 20.min(routers.max(1)),
         ..TestbedConfig::default()
     };
-    let progress: Rc<RefCell<TransferProgress>> = Rc::new(RefCell::new(TransferProgress::default()));
+    let progress: Rc<RefCell<TransferProgress>> =
+        Rc::new(RefCell::new(TransferProgress::default()));
     let recv_progress = progress.clone();
     let port = 5001;
     // The sender warms the pair with 1/s pings from boot (as the paper's
@@ -219,8 +220,8 @@ pub fn run_transfer(
                     }
                     let mut dir: Vec<(Address, ActorId, bool)> = directory.clone();
                     for &r in &router_actors {
-                        let addr = sim
-                            .with_actor::<OverlayHost<NoApp>, _>(r, |h, _| h.node().address());
+                        let addr =
+                            sim.with_actor::<OverlayHost<NoApp>, _>(r, |h, _| h.node().address());
                         dir.push((addr, r, true));
                     }
                     let next_of = |sim: &mut Sim, at: (ActorId, bool), dst: Address| {

@@ -75,7 +75,6 @@ mod tests {
     #[test]
     fn both_fans_out_every_callback() {
         // Drive the composite through a real workstation in a tiny sim.
-        use wow::simrt::NodeHandle;
         use wow_netsim::prelude::*;
 
         let mut sim = Sim::new(5);
@@ -97,8 +96,7 @@ mod tests {
         sim.run_until(SimTime::from_secs(1));
         type W = wow::workstation::Workstation<Both<Counter, Counter>>;
         sim.with_actor::<W, _>(ws, |w, ctx| {
-            let (node, app) = w.node_and_app_mut();
-            let mut h = NodeHandle { node, ctx };
+            let (mut h, app) = w.handle_and_app(ctx);
             let (stack, workload) = app.stack_and_workload_mut();
             let mut wsh = WsHandle { stack, h: &mut h };
             // Fire a synthetic wake through the Workload interface.

@@ -255,8 +255,7 @@ impl Workload for NfsServer {
                         data_len: 0,
                     },
                 };
-                w.stack
-                    .udp_send(from, src_port, NFS_PORT, reply.encode());
+                w.stack.udp_send(from, src_port, NFS_PORT, reply.encode());
             }
             Rpc::WriteReq {
                 xid,
@@ -267,8 +266,12 @@ impl Workload for NfsServer {
                 let size = self.files.entry(name).or_insert(0);
                 *size = (*size).max(offset + u64::from(data_len));
                 self.bytes_written += u64::from(data_len);
-                w.stack
-                    .udp_send(from, src_port, NFS_PORT, Rpc::WriteReply { xid, ok: true }.encode());
+                w.stack.udp_send(
+                    from,
+                    src_port,
+                    NFS_PORT,
+                    Rpc::WriteReply { xid, ok: true }.encode(),
+                );
             }
             _ => {}
         }
@@ -399,13 +402,16 @@ impl NfsClient {
         total: u64,
         kind: OpKind,
     ) {
-        self.transfers.insert(transfer, Transfer {
-            name,
-            kind,
-            total,
-            next_offset: 0,
-            acked: 0,
-        });
+        self.transfers.insert(
+            transfer,
+            Transfer {
+                name,
+                kind,
+                total,
+                next_offset: 0,
+                acked: 0,
+            },
+        );
         if total == 0 {
             self.transfers.remove(&transfer);
             self.completed.push(transfer);
@@ -555,16 +561,19 @@ impl NfsClient {
             let (kind, name) = (t.kind, t.name.clone());
             let rto = self.base_rto().max(MIN_RTO);
             self.rpcs_sent += 1;
-            self.pending.insert(xid, PendingRpc {
-                transfer,
-                kind,
-                offset,
-                len,
-                sent_at: w.now(),
-                first_sent: w.now(),
-                retries: 0,
-                rto,
-            });
+            self.pending.insert(
+                xid,
+                PendingRpc {
+                    transfer,
+                    kind,
+                    offset,
+                    len,
+                    sent_at: w.now(),
+                    first_sent: w.now(),
+                    retries: 0,
+                    rto,
+                },
+            );
             self.send_rpc(w, xid, kind, name, offset, len);
         }
     }

@@ -319,7 +319,12 @@ impl PbsHead {
         // is the virtual network's — this is the head-node queueing the
         // paper observed collapsing throughput without shortcuts.
         self.polling = Some((sock, job, Self::MOM_POLLS));
-        let bytes = frame(&PbsMsg::MomPoll { seq: Self::MOM_POLLS }.encode());
+        let bytes = frame(
+            &PbsMsg::MomPoll {
+                seq: Self::MOM_POLLS,
+            }
+            .encode(),
+        );
         w.stack.tcp_write(now, sock, &bytes);
     }
 
@@ -415,11 +420,14 @@ impl Workload for PbsHead {
     fn on_event(&mut self, w: &mut WsHandle<'_, '_, '_>, ev: StackEvent) {
         match ev {
             StackEvent::TcpAccepted { listener, sock, .. } if listener == PBS_PORT => {
-                self.workers.insert(sock, WorkerConn {
-                    node: 0,
-                    framer: Framer::new(),
-                    busy: None,
-                });
+                self.workers.insert(
+                    sock,
+                    WorkerConn {
+                        node: 0,
+                        framer: Framer::new(),
+                        busy: None,
+                    },
+                );
             }
             StackEvent::TcpReadable { sock } => {
                 if !self.workers.contains_key(&sock) {
@@ -493,7 +501,6 @@ pub struct PbsWorker {
     /// per-node spread).
     pub jobs_done: u32,
     /// NFS diagnostics access.
-
     pending_dispatch: VecDeque<PbsMsg>,
     current: Option<PbsMsg>,
 }

@@ -80,8 +80,12 @@ impl PingProbe {
         let now = w.now();
         self.outstanding.insert(seq, now);
         self.results.borrow_mut().sent.push((seq, now));
-        w.stack
-            .ping(self.target, self.ident, seq, Bytes::from_static(b"wow-fig4"));
+        w.stack.ping(
+            self.target,
+            self.ident,
+            seq,
+            Bytes::from_static(b"wow-fig4"),
+        );
         if self.next_seq < self.count {
             w.wake_after(self.interval, TAG_NEXT_PING);
         }

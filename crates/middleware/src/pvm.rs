@@ -219,7 +219,8 @@ impl PvmMaster {
     }
 
     fn maybe_start(&mut self, w: &mut WsHandle<'_, '_, '_>) {
-        if self.running || self.workers.values().filter(|c| c.node != 0).count() < self.expected_workers
+        if self.running
+            || self.workers.values().filter(|c| c.node != 0).count() < self.expected_workers
         {
             return;
         }
@@ -327,11 +328,14 @@ impl Workload for PvmMaster {
     fn on_event(&mut self, w: &mut WsHandle<'_, '_, '_>, ev: StackEvent) {
         match ev {
             StackEvent::TcpAccepted { listener, sock, .. } if listener == PVM_PORT => {
-                self.workers.insert(sock, PvmWorkerConn {
-                    node: 0,
-                    framer: Framer::new(),
-                    busy: false,
-                });
+                self.workers.insert(
+                    sock,
+                    PvmWorkerConn {
+                        node: 0,
+                        framer: Framer::new(),
+                        busy: false,
+                    },
+                );
             }
             StackEvent::TcpReadable { sock } => {
                 if !self.workers.contains_key(&sock) {
@@ -469,7 +473,8 @@ impl Workload for PvmWorker {
                             result_bytes,
                             ..
                         }) => {
-                            self.queue.push_back((round, task, nominal_ms, result_bytes));
+                            self.queue
+                                .push_back((round, task, nominal_ms, result_bytes));
                         }
                         Some(PvmMsg::Finished) => {
                             w.stack.tcp_close(now, sock);
@@ -499,7 +504,10 @@ mod tests {
                 result_bytes: 10_000,
                 arg_bytes: 2_000,
             },
-            PvmMsg::TaskDone { round: 49, task: 12 },
+            PvmMsg::TaskDone {
+                round: 49,
+                task: 12,
+            },
             PvmMsg::Finished,
         ] {
             assert_eq!(PvmMsg::decode(msg.encode()).expect("decodes"), msg);

@@ -203,10 +203,9 @@ impl Workload for TtcpReceiver {
                 self.progress.borrow_mut().completed = Some(now);
                 w.stack.tcp_close(now, sock);
             }
-            StackEvent::TcpAborted { sock }
-                if self.accepted.remove(&sock).is_some() => {
-                    self.progress.borrow_mut().aborted = true;
-                }
+            StackEvent::TcpAborted { sock } if self.accepted.remove(&sock).is_some() => {
+                self.progress.borrow_mut().aborted = true;
+            }
             _ => {}
         }
     }

@@ -124,7 +124,10 @@ mod tests {
         let a = PhysAddr::new(PhysIp::new(10, 1, 0, 3), 4000);
         assert_eq!(a.to_string(), "10.1.0.3:4000");
         assert_eq!("10.1.0.3:4000".parse::<PhysAddr>().unwrap(), a);
-        assert_eq!("128.227.1.9".parse::<PhysIp>().unwrap(), PhysIp::new(128, 227, 1, 9));
+        assert_eq!(
+            "128.227.1.9".parse::<PhysIp>().unwrap(),
+            PhysIp::new(128, 227, 1, 9)
+        );
     }
 
     #[test]

@@ -110,7 +110,10 @@ impl LinkModel {
         if a == b {
             *self.intra.get(&a).unwrap_or(&self.default_intra)
         } else {
-            *self.inter.get(&Self::key(a, b)).unwrap_or(&self.default_wan)
+            *self
+                .inter
+                .get(&Self::key(a, b))
+                .unwrap_or(&self.default_wan)
         }
     }
 }

@@ -356,7 +356,10 @@ mod tests {
         let remote = addr(9, 9, 9, 9, 80);
         let public = nat.outbound(inside, remote, T0);
         // The contacted remote passes.
-        assert_eq!(nat.inbound(public.port, remote, T0), Inbound::Accept(inside));
+        assert_eq!(
+            nat.inbound(public.port, remote, T0),
+            Inbound::Accept(inside)
+        );
         // Same IP, different port: blocked under AddressAndPort.
         assert_eq!(
             nat.inbound(public.port, addr(9, 9, 9, 9, 81), T0),
@@ -492,7 +495,10 @@ mod tests {
         let inside = addr(10, 0, 0, 5, 5000);
         let remote = addr(9, 9, 9, 9, 80);
         let public = nat.outbound(inside, remote, T0);
-        assert_eq!(nat.inbound(public.port, remote, T0), Inbound::Accept(inside));
+        assert_eq!(
+            nat.inbound(public.port, remote, T0),
+            Inbound::Accept(inside)
+        );
         nat.reset_mappings();
         // The old public endpoint is gone...
         assert_eq!(
@@ -502,7 +508,10 @@ mod tests {
         // ...and fresh outbound traffic earns a different mapping.
         let public2 = nat.outbound(inside, remote, T0);
         assert_ne!(public.port, public2.port);
-        assert_eq!(nat.inbound(public2.port, remote, T0), Inbound::Accept(inside));
+        assert_eq!(
+            nat.inbound(public2.port, remote, T0),
+            Inbound::Accept(inside)
+        );
     }
 
     #[test]

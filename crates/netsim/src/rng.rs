@@ -93,7 +93,10 @@ mod tests {
         let s = SeedSplitter::new(42);
         assert_eq!(s.seed_for("link"), s.seed_for("link"));
         assert_ne!(s.seed_for("link"), s.seed_for("load"));
-        assert_ne!(s.seed_for_indexed("trial", 0), s.seed_for_indexed("trial", 1));
+        assert_ne!(
+            s.seed_for_indexed("trial", 0),
+            s.seed_for_indexed("trial", 1)
+        );
     }
 
     #[test]

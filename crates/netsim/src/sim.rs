@@ -338,10 +338,13 @@ impl World {
                         let path = self.links.path(src_domain_id, src_domain_id);
                         let delay =
                             path.sample_delay(&mut self.rng) + path.sample_delay(&mut self.rng);
-                        self.push(depart + delay, Ev::HostArrive {
-                            host: h2,
-                            dgram: looped,
-                        });
+                        self.push(
+                            depart + delay,
+                            Ev::HostArrive {
+                                host: h2,
+                                dgram: looped,
+                            },
+                        );
                     }
                     Err(r) => self.stats.drop(DropReason::Nat(r)),
                 }
@@ -656,7 +659,8 @@ impl Sim {
 
     /// Schedule arbitrary experiment logic at an absolute time.
     pub fn schedule(&mut self, at: SimTime, f: impl FnOnce(&mut Sim) + 'static) {
-        self.world.push(at.max(self.world.now), Ev::Control(Box::new(f)));
+        self.world
+            .push(at.max(self.world.now), Ev::Control(Box::new(f)));
     }
 
     /// Stop an actor: drop its bindings and ignore its future events.
@@ -835,16 +839,22 @@ mod tests {
     fn public_to_public_delivery() {
         let (mut sim, h1, h2) = two_public_hosts();
         let seen = Rc::new(RefCell::new(Vec::new()));
-        sim.add_actor(h2, Sink {
-            port: 7,
-            seen: seen.clone(),
-        });
+        sim.add_actor(
+            h2,
+            Sink {
+                port: 7,
+                seen: seen.clone(),
+            },
+        );
         let dst = PhysAddr::new(sim.world().host_ip(h2), 7);
-        sim.add_actor(h1, Shot {
-            port: 9,
-            dst,
-            payload: b"hello",
-        });
+        sim.add_actor(
+            h1,
+            Shot {
+                port: 9,
+                dst,
+                payload: b"hello",
+            },
+        );
         sim.run_to_quiescence();
         let seen = seen.borrow();
         assert_eq!(seen.len(), 1);
@@ -861,11 +871,14 @@ mod tests {
     fn unbound_port_counts_drop() {
         let (mut sim, h1, h2) = two_public_hosts();
         let dst = PhysAddr::new(sim.world().host_ip(h2), 7);
-        sim.add_actor(h1, Shot {
-            port: 9,
-            dst,
-            payload: b"x",
-        });
+        sim.add_actor(
+            h1,
+            Shot {
+                port: 9,
+                dst,
+                payload: b"x",
+            },
+        );
         sim.run_to_quiescence();
         assert_eq!(sim.world_ref().stats.dropped(DropReason::PortUnbound), 1);
         assert_eq!(sim.world_ref().stats.delivered, 0);
@@ -875,19 +888,25 @@ mod tests {
     fn down_host_drops() {
         let (mut sim, h1, h2) = two_public_hosts();
         let seen = Rc::new(RefCell::new(Vec::new()));
-        sim.add_actor(h2, Sink {
-            port: 7,
-            seen: seen.clone(),
-        });
+        sim.add_actor(
+            h2,
+            Sink {
+                port: 7,
+                seen: seen.clone(),
+            },
+        );
         // Let the sink bind, then power the host off before the shot.
         sim.run_until(SimTime::from_millis(1));
         sim.world().set_host_up(h2, false);
         let dst = PhysAddr::new(sim.world().host_ip(h2), 7);
-        sim.add_actor(h1, Shot {
-            port: 9,
-            dst,
-            payload: b"x",
-        });
+        sim.add_actor(
+            h1,
+            Shot {
+                port: 9,
+                dst,
+                payload: b"x",
+            },
+        );
         sim.run_to_quiescence();
         assert!(seen.borrow().is_empty());
         assert_eq!(sim.world_ref().stats.dropped(DropReason::HostDown), 1);
@@ -934,11 +953,14 @@ mod tests {
 
         sim.add_actor(p, Echo { port: 80 });
         let p_addr = PhysAddr::new(sim.world().host_ip(p), 80);
-        sim.add_actor(n, Client {
-            port: 5000,
-            dst: p_addr,
-            seen: seen.clone(),
-        });
+        sim.add_actor(
+            n,
+            Client {
+                port: 5000,
+                dst: p_addr,
+                seen: seen.clone(),
+            },
+        );
         sim.run_to_quiescence();
         let seen = seen.borrow();
         assert_eq!(seen.len(), 1, "reply should traverse the NAT");
@@ -957,11 +979,14 @@ mod tests {
         let _n = sim.add_host(home, HostSpec::new("n"));
         // The NAT's public IP is known to the world; blind-fire at a port.
         let nat_ip = sim.world_ref().domain(home).nat.as_ref().unwrap().public_ip;
-        sim.add_actor(p, Shot {
-            port: 9,
-            dst: PhysAddr::new(nat_ip, 40_000),
-            payload: b"x",
-        });
+        sim.add_actor(
+            p,
+            Shot {
+                port: 9,
+                dst: PhysAddr::new(nat_ip, 40_000),
+                payload: b"x",
+            },
+        );
         sim.run_to_quiescence();
         assert_eq!(
             sim.world_ref()
@@ -983,21 +1008,30 @@ mod tests {
         // h1 sending to "its own" private address space reaches the host in
         // ITS domain (itself here), not the other domain's twin.
         let seen = Rc::new(RefCell::new(Vec::new()));
-        sim.add_actor(h1, Sink {
-            port: 7,
-            seen: seen.clone(),
-        });
+        sim.add_actor(
+            h1,
+            Sink {
+                port: 7,
+                seen: seen.clone(),
+            },
+        );
         let other_seen = Rc::new(RefCell::new(Vec::new()));
-        sim.add_actor(h2, Sink {
-            port: 7,
-            seen: other_seen.clone(),
-        });
+        sim.add_actor(
+            h2,
+            Sink {
+                port: 7,
+                seen: other_seen.clone(),
+            },
+        );
         let dst = PhysAddr::new(sim.world().host_ip(h1), 7);
-        sim.add_actor(h1, Shot {
-            port: 9,
-            dst,
-            payload: b"x",
-        });
+        sim.add_actor(
+            h1,
+            Shot {
+                port: 9,
+                dst,
+                payload: b"x",
+            },
+        );
         sim.run_to_quiescence();
         assert_eq!(seen.borrow().len(), 1);
         assert!(other_seen.borrow().is_empty());
@@ -1024,9 +1058,12 @@ mod tests {
                 self.order.borrow_mut().push(tag);
             }
         }
-        sim.add_actor(h, Waker {
-            order: order.clone(),
-        });
+        sim.add_actor(
+            h,
+            Waker {
+                order: order.clone(),
+            },
+        );
         let order2 = order.clone();
         sim.schedule(SimTime::from_secs(2), move |_sim| {
             order2.borrow_mut().push(99);
@@ -1042,10 +1079,13 @@ mod tests {
         // second arrives ~1 ms after the first (plus shared latency).
         let (mut sim, h1, h2) = two_public_hosts();
         let seen = Rc::new(RefCell::new(Vec::new()));
-        sim.add_actor(h2, Sink {
-            port: 7,
-            seen: seen.clone(),
-        });
+        sim.add_actor(
+            h2,
+            Sink {
+                port: 7,
+                seen: seen.clone(),
+            },
+        );
         struct Burst {
             dst: PhysAddr,
         }
@@ -1095,18 +1135,24 @@ mod tests {
     fn stop_actor_drops_bindings_and_events() {
         let (mut sim, h1, h2) = two_public_hosts();
         let seen = Rc::new(RefCell::new(Vec::new()));
-        let sink = sim.add_actor(h2, Sink {
-            port: 7,
-            seen: seen.clone(),
-        });
+        let sink = sim.add_actor(
+            h2,
+            Sink {
+                port: 7,
+                seen: seen.clone(),
+            },
+        );
         sim.run_until(SimTime::from_millis(1));
         sim.stop_actor(sink);
         let dst = PhysAddr::new(sim.world().host_ip(h2), 7);
-        sim.add_actor(h1, Shot {
-            port: 9,
-            dst,
-            payload: b"x",
-        });
+        sim.add_actor(
+            h1,
+            Shot {
+                port: 9,
+                dst,
+                payload: b"x",
+            },
+        );
         sim.run_to_quiescence();
         assert!(seen.borrow().is_empty());
         assert_eq!(sim.world_ref().stats.dropped(DropReason::PortUnbound), 1);
@@ -1116,19 +1162,25 @@ mod tests {
     fn move_actor_unbinds_old_host() {
         let (mut sim, h1, h2) = two_public_hosts();
         let seen = Rc::new(RefCell::new(Vec::new()));
-        let sink = sim.add_actor(h2, Sink {
-            port: 7,
-            seen: seen.clone(),
-        });
+        let sink = sim.add_actor(
+            h2,
+            Sink {
+                port: 7,
+                seen: seen.clone(),
+            },
+        );
         sim.run_until(SimTime::from_millis(1));
         sim.move_actor(sink, h1);
         // Old binding is gone: delivery to h2:7 now drops.
         let dst = PhysAddr::new(sim.world().host_ip(h2), 7);
-        sim.add_actor(h1, Shot {
-            port: 9,
-            dst,
-            payload: b"x",
-        });
+        sim.add_actor(
+            h1,
+            Shot {
+                port: 9,
+                dst,
+                payload: b"x",
+            },
+        );
         sim.run_to_quiescence();
         assert!(seen.borrow().is_empty());
         // The moved actor can rebind on the new host via with_actor.
@@ -1136,11 +1188,14 @@ mod tests {
             ctx.bind(s.port);
         });
         let dst = PhysAddr::new(sim.world().host_ip(h1), 7);
-        sim.add_actor(h2, Shot {
-            port: 9,
-            dst,
-            payload: b"y",
-        });
+        sim.add_actor(
+            h2,
+            Shot {
+                port: 9,
+                dst,
+                payload: b"y",
+            },
+        );
         sim.run_to_quiescence();
         assert_eq!(seen.borrow().len(), 1);
     }
@@ -1153,17 +1208,24 @@ mod tests {
             let h1 = sim.add_host(d, HostSpec::new("a"));
             let h2 = sim.add_host(d, HostSpec::new("b"));
             let seen = Rc::new(RefCell::new(Vec::new()));
-            sim.add_actor(h2, Sink {
-                port: 7,
-                seen: seen.clone(),
-            });
+            sim.add_actor(
+                h2,
+                Sink {
+                    port: 7,
+                    seen: seen.clone(),
+                },
+            );
             let dst = PhysAddr::new(sim.world().host_ip(h2), 7);
             for i in 0..20 {
-                sim.add_actor_at(h1, SimTime::from_millis(i * 10), Shot {
-                    port: (100 + i) as u16,
-                    dst,
-                    payload: b"z",
-                });
+                sim.add_actor_at(
+                    h1,
+                    SimTime::from_millis(i * 10),
+                    Shot {
+                        port: (100 + i) as u16,
+                        dst,
+                        payload: b"z",
+                    },
+                );
             }
             sim.run_to_quiescence();
             let last = seen.borrow().last().map(|(t, _)| *t).unwrap();

@@ -202,12 +202,15 @@ fn whole_sim_determinism() {
         // Only public hosts are directly addressable; chatters aim at those.
         let public: Vec<_> = addrs.iter().step_by(2).copied().collect();
         for &h in &hosts {
-            sim.add_actor(h, Chatter {
-                port: 4000,
-                peers: public.clone(),
-                log: log.clone(),
-                sent: 0,
-            });
+            sim.add_actor(
+                h,
+                Chatter {
+                    port: 4000,
+                    peers: public.clone(),
+                    log: log.clone(),
+                    sent: 0,
+                },
+            );
         }
         sim.run_to_quiescence();
         let stats = &sim.world_ref().stats;

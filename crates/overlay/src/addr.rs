@@ -308,10 +308,7 @@ mod tests {
         let y = a(40);
         assert_eq!(y.dist_cw(x), U160::from(60u64));
         // Going the other way wraps almost all the way around.
-        assert_eq!(
-            x.dist_cw(y),
-            U160::ZERO.wrapping_sub(U160::from(60u64))
-        );
+        assert_eq!(x.dist_cw(y), U160::ZERO.wrapping_sub(U160::from(60u64)));
     }
 
     #[test]

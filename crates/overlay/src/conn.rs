@@ -161,12 +161,15 @@ impl ConnTable {
                 }
             }
             Err(i) => {
-                self.conns.insert(i, Connection {
-                    peer,
-                    types: ConnTypeSet::only(t),
-                    remote,
-                    established_at: now,
-                });
+                self.conns.insert(
+                    i,
+                    Connection {
+                        peer,
+                        types: ConnTypeSet::only(t),
+                        remote,
+                        established_at: now,
+                    },
+                );
                 Upsert {
                     new_peer: true,
                     new_role: true,

@@ -1,0 +1,361 @@
+//! The runtime-agnostic node driver: one event-in / action-out cycle shared
+//! by every runtime.
+//!
+//! [`crate::node::BrunetNode`] is sans-IO: it emits its effects into a
+//! [`NodeSink`] as they happen. On the hot path (routing, forwarding) the
+//! sink hands frames straight to a [`Transport`] — no intermediate
+//! `Vec<NodeAction>` allocation. Cold-path notifications ([`NodeEvent`])
+//! and [`Counter`] bumps are buffered inside the [`NodeDriver`] so the
+//! runtime can dispatch them to its application layer *after* the node
+//! borrow ends, with reusable storage (amortized zero-alloc ping-pong).
+//!
+//! The driver also owns the timer bookkeeping both runtimes used to
+//! duplicate:
+//!
+//! * deadline-armed scheduling for the simulator ([`NodeDriver::arm_hint`] /
+//!   [`NodeDriver::timer_fired`]), and
+//! * due-gated polling for wall-clock loops ([`NodeDriver::tick_due`]).
+//!
+//! Both express the same contract — "call [`NodeDriver::on_tick`] once the
+//! node's next deadline has passed" — which is what makes the two runtimes
+//! byte-identical over one scripted trace (see the differential test in
+//! `crates/overlay/tests/driver_differential.rs`).
+
+use bytes::Bytes;
+
+use wow_netsim::addr::PhysAddr;
+use wow_netsim::time::SimTime;
+
+use crate::addr::Address;
+use crate::conn::ConnType;
+use crate::node::{BrunetNode, NodeAction};
+use crate::telemetry::{Counter, TelemetryCounters};
+use crate::uri::TransportUri;
+
+/// Where outbound frames go: the runtime's wire (simulator context, UDP
+/// socket, in-memory pipe, ...).
+pub trait Transport {
+    /// Transmit one encoded frame to an underlay endpoint.
+    fn transmit(&mut self, to: PhysAddr, frame: Bytes);
+}
+
+/// A cold-path notification for the embedding application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeEvent {
+    /// A tunnelled application payload arrived.
+    Deliver {
+        /// Originating overlay address.
+        src: Address,
+        /// Application protocol discriminator.
+        proto: u8,
+        /// Payload.
+        data: Bytes,
+        /// True when this node was the packet's exact destination.
+        exact: bool,
+    },
+    /// A connection gained a role (possibly a brand-new connection).
+    Connected {
+        /// Peer address.
+        peer: Address,
+        /// Role added.
+        ctype: ConnType,
+    },
+    /// A connection was lost or fully shed.
+    Disconnected {
+        /// Peer address.
+        peer: Address,
+    },
+    /// A linking attempt exhausted every URI.
+    LinkFailed {
+        /// Intended peer.
+        peer: Address,
+        /// Intended role.
+        ctype: ConnType,
+    },
+}
+
+/// The seam [`BrunetNode`] emits into: frames, events, telemetry.
+///
+/// Implementations decide what "emitting" means — transmit now
+/// ([`DriverSink`]), or buffer for inspection ([`ActionSink`]).
+pub trait NodeSink {
+    /// Transmit this frame to an underlay endpoint (hot path).
+    fn send(&mut self, to: PhysAddr, frame: Bytes);
+    /// Report a cold-path notification.
+    fn event(&mut self, event: NodeEvent);
+    /// Bump a telemetry counter.
+    fn count(&mut self, counter: Counter);
+}
+
+/// A buffering sink: collects everything as [`NodeAction`]s plus counters.
+///
+/// This is the migration path for embedders that used the old
+/// `take_actions()` API, and what unit tests inspect.
+#[derive(Debug, Default)]
+pub struct ActionSink {
+    actions: Vec<NodeAction>,
+    /// Counters recorded since construction (never cleared by `take`).
+    pub counters: TelemetryCounters,
+}
+
+impl ActionSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        ActionSink::default()
+    }
+
+    /// Drain the buffered actions.
+    pub fn take(&mut self) -> Vec<NodeAction> {
+        std::mem::take(&mut self.actions)
+    }
+
+    /// Peek at the buffered actions without draining.
+    pub fn actions(&self) -> &[NodeAction] {
+        &self.actions
+    }
+}
+
+impl NodeSink for ActionSink {
+    fn send(&mut self, to: PhysAddr, frame: Bytes) {
+        self.actions.push(NodeAction::Send { to, frame });
+    }
+
+    fn event(&mut self, event: NodeEvent) {
+        self.actions.push(match event {
+            NodeEvent::Deliver {
+                src,
+                proto,
+                data,
+                exact,
+            } => NodeAction::Deliver {
+                src,
+                proto,
+                data,
+                exact,
+            },
+            NodeEvent::Connected { peer, ctype } => NodeAction::Connected { peer, ctype },
+            NodeEvent::Disconnected { peer } => NodeAction::Disconnected { peer },
+            NodeEvent::LinkFailed { peer, ctype } => NodeAction::LinkFailed { peer, ctype },
+        });
+    }
+
+    fn count(&mut self, counter: Counter) {
+        self.counters.record(counter);
+    }
+}
+
+/// The sink a [`NodeDriver`] wires up per call: frames go straight to the
+/// transport, events and counters into the driver's buffers.
+pub struct DriverSink<'a, T: Transport + ?Sized> {
+    transport: &'a mut T,
+    events: &'a mut Vec<NodeEvent>,
+    counters: &'a mut TelemetryCounters,
+}
+
+impl<T: Transport + ?Sized> NodeSink for DriverSink<'_, T> {
+    #[inline]
+    fn send(&mut self, to: PhysAddr, frame: Bytes) {
+        self.transport.transmit(to, frame);
+    }
+
+    #[inline]
+    fn event(&mut self, event: NodeEvent) {
+        self.events.push(event);
+    }
+
+    #[inline]
+    fn count(&mut self, counter: Counter) {
+        self.counters.record(counter);
+    }
+}
+
+/// Owns a [`BrunetNode`] plus the event/telemetry buffers and timer
+/// bookkeeping that every runtime needs. Runtimes stay thin: translate
+/// their wire and clock into `on_datagram` / `on_tick` calls, and drain
+/// [`NodeDriver::take_events`] into their application surface.
+pub struct NodeDriver {
+    node: BrunetNode,
+    events: Vec<NodeEvent>,
+    spare: Vec<NodeEvent>,
+    counters: TelemetryCounters,
+    armed: Option<SimTime>,
+}
+
+impl NodeDriver {
+    /// Wrap a node.
+    pub fn new(node: BrunetNode) -> Self {
+        NodeDriver {
+            node,
+            events: Vec::new(),
+            spare: Vec::new(),
+            counters: TelemetryCounters::new(),
+            armed: None,
+        }
+    }
+
+    /// The driven node (read-only).
+    pub fn node(&self) -> &BrunetNode {
+        &self.node
+    }
+
+    /// The driven node. Mutations that emit effects should go through the
+    /// driver entry points instead, so events and telemetry are captured.
+    pub fn node_mut(&mut self) -> &mut BrunetNode {
+        &mut self.node
+    }
+
+    /// Telemetry accumulated over the node's lifetime.
+    pub fn counters(&self) -> &TelemetryCounters {
+        &self.counters
+    }
+
+    // -------------------------------------------------------- node entry --
+
+    /// Start the node (see [`BrunetNode::start`]).
+    pub fn start<T: Transport + ?Sized>(
+        &mut self,
+        now: SimTime,
+        local_uri: TransportUri,
+        bootstrap: Vec<TransportUri>,
+        transport: &mut T,
+    ) {
+        let mut sink = DriverSink {
+            transport,
+            events: &mut self.events,
+            counters: &mut self.counters,
+        };
+        self.node.start(now, local_uri, bootstrap, &mut sink);
+    }
+
+    /// Restart after a migration (see [`BrunetNode::restart`]).
+    pub fn restart<T: Transport + ?Sized>(
+        &mut self,
+        now: SimTime,
+        local_uri: TransportUri,
+        bootstrap: Vec<TransportUri>,
+        transport: &mut T,
+    ) {
+        let mut sink = DriverSink {
+            transport,
+            events: &mut self.events,
+            counters: &mut self.counters,
+        };
+        self.node.restart(now, local_uri, bootstrap, &mut sink);
+    }
+
+    /// Feed a received datagram.
+    pub fn on_datagram<T: Transport + ?Sized>(
+        &mut self,
+        now: SimTime,
+        src: PhysAddr,
+        data: Bytes,
+        transport: &mut T,
+    ) {
+        let mut sink = DriverSink {
+            transport,
+            events: &mut self.events,
+            counters: &mut self.counters,
+        };
+        self.node.on_datagram(now, src, data, &mut sink);
+    }
+
+    /// Drive timers up to `now`.
+    pub fn on_tick<T: Transport + ?Sized>(&mut self, now: SimTime, transport: &mut T) {
+        let mut sink = DriverSink {
+            transport,
+            events: &mut self.events,
+            counters: &mut self.counters,
+        };
+        self.node.on_tick(now, &mut sink);
+    }
+
+    /// Route an application payload.
+    pub fn send_app<T: Transport + ?Sized>(
+        &mut self,
+        now: SimTime,
+        dst: Address,
+        proto: u8,
+        data: Bytes,
+        transport: &mut T,
+    ) {
+        let mut sink = DriverSink {
+            transport,
+            events: &mut self.events,
+            counters: &mut self.counters,
+        };
+        self.node.send_app(now, dst, proto, data, &mut sink);
+    }
+
+    /// Run `f` with the node and a live sink — the escape hatch for callers
+    /// that drive node internals not covered by the entry points above
+    /// (e.g. the IPOP router pumping batched tunnel traffic).
+    pub fn with_sink<T: Transport + ?Sized, R>(
+        &mut self,
+        transport: &mut T,
+        f: impl FnOnce(&mut BrunetNode, &mut DriverSink<'_, T>) -> R,
+    ) -> R {
+        let mut sink = DriverSink {
+            transport,
+            events: &mut self.events,
+            counters: &mut self.counters,
+        };
+        f(&mut self.node, &mut sink)
+    }
+
+    // ------------------------------------------------------------ events --
+
+    /// True if any events are waiting to be dispatched.
+    pub fn has_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// Take the pending events for dispatch. Pass the vector back through
+    /// [`NodeDriver::recycle_events`] when done so its capacity is reused
+    /// (the two vectors ping-pong; steady state allocates nothing).
+    pub fn take_events(&mut self) -> Vec<NodeEvent> {
+        std::mem::replace(&mut self.events, std::mem::take(&mut self.spare))
+    }
+
+    /// Return a vector obtained from [`NodeDriver::take_events`].
+    pub fn recycle_events(&mut self, mut events: Vec<NodeEvent>) {
+        events.clear();
+        if events.capacity() > self.spare.capacity() {
+            self.spare = events;
+        }
+    }
+
+    // ------------------------------------------------------------ timers --
+
+    /// The earliest time at which [`NodeDriver::on_tick`] has work to do.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.node.next_deadline()
+    }
+
+    /// Wall-clock runtimes: should `on_tick(now)` be called this poll round?
+    pub fn tick_due(&self, now: SimTime) -> bool {
+        self.next_deadline().is_some_and(|d| d <= now)
+    }
+
+    /// Deadline-armed runtimes: after any node activity, returns
+    /// `Some(deadline)` when a (re-)arm is needed — the caller schedules a
+    /// timer wake at that instant. Returns `None` while the currently armed
+    /// wake still covers the earliest deadline.
+    pub fn arm_hint(&mut self, now: SimTime) -> Option<SimTime> {
+        let deadline = self.next_deadline()?;
+        let need = match self.armed {
+            None => true,
+            Some(armed) => deadline < armed || armed <= now,
+        };
+        if need {
+            self.armed = Some(deadline);
+            Some(deadline)
+        } else {
+            None
+        }
+    }
+
+    /// Deadline-armed runtimes: the scheduled timer wake fired.
+    pub fn timer_fired(&mut self) {
+        self.armed = None;
+    }
+}

@@ -9,9 +9,12 @@
 //! coordination.
 //!
 //! The crate is **sans-IO**: [`node::BrunetNode`] consumes timestamped
-//! events and emits [`node::NodeAction`]s. The `wow` crate provides two
-//! drivers — a deterministic simulator adapter (for the paper's
-//! experiments) and a real-UDP runtime (for live use).
+//! events and emits its effects into a [`driver::NodeSink`] — frames on the
+//! hot path, [`driver::NodeEvent`]s and [`telemetry::Counter`]s on the cold
+//! path. [`driver::NodeDriver`] packages the node with event buffering and
+//! timer bookkeeping; the `wow` crate layers two thin runtimes on top — a
+//! deterministic simulator adapter (for the paper's experiments) and a
+//! real-UDP runtime (for live use).
 //!
 //! ## A node in five lines
 //!
@@ -21,9 +24,10 @@
 //! use wow_netsim::time::SimTime;
 //!
 //! let mut node = BrunetNode::new(Address([7; 20]), OverlayConfig::default(), 42);
-//! node.start(SimTime::ZERO, "brunet.udp://10.0.0.2:14000".parse().unwrap(), vec![]);
+//! let mut sink = ActionSink::new();
+//! node.start(SimTime::ZERO, "brunet.udp://10.0.0.2:14000".parse().unwrap(), vec![], &mut sink);
 //! assert!(node.is_running());
-//! assert_eq!(node.take_actions().len(), 0); // first node: nothing to say yet
+//! assert_eq!(sink.take().len(), 0); // first node: nothing to say yet
 //! ```
 //!
 //! Module map:
@@ -37,16 +41,20 @@
 //! * [`overlord`] — near / far / shortcut connection overlords
 //! * [`config`] — tunables, with paper-matched defaults
 //! * [`node`] — the composed state machine
+//! * [`driver`] — the runtime-agnostic sink/driver seam
+//! * [`telemetry`] — structured per-node counters
 
 #![warn(missing_docs)]
 
 pub mod addr;
 pub mod config;
 pub mod conn;
+pub mod driver;
 pub mod linking;
 pub mod node;
 pub mod overlord;
 pub mod ping;
+pub mod telemetry;
 pub mod uri;
 pub mod wire;
 
@@ -55,6 +63,8 @@ pub mod prelude {
     pub use crate::addr::Address;
     pub use crate::config::OverlayConfig;
     pub use crate::conn::{ConnTable, ConnType};
+    pub use crate::driver::{ActionSink, NodeDriver, NodeEvent, NodeSink, Transport};
     pub use crate::node::{BrunetNode, NodeAction, NodeStats};
+    pub use crate::telemetry::{Counter, TelemetryCounters};
     pub use crate::uri::{TransportUri, UriOrder};
 }

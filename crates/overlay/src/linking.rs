@@ -61,9 +61,7 @@ enum AttemptState {
     /// Sending requests; `next_send` is the next (re)transmission time.
     Active,
     /// Stood down after a race; resume at `until`.
-    BackedOff {
-        until: SimTime,
-    },
+    BackedOff { until: SimTime },
 }
 
 #[derive(Clone, Debug)]
@@ -114,9 +112,7 @@ impl LinkingManager {
     /// broken (e.g. we are cone-NAT'd trying to reach a symmetric-NAT'd
     /// node); the race rule should yield rather than deadlock the join.
     pub fn unanswered_sends(&self, peer: Address) -> u32 {
-        self.attempts
-            .get(&peer)
-            .map_or(0, |a| a.unanswered_sends)
+        self.attempts.get(&peer).map_or(0, |a| a.unanswered_sends)
     }
 
     /// Number of attempts in flight.
@@ -131,31 +127,28 @@ impl LinkingManager {
 
     /// Begin linking to `peer` over `uris`. No-op if an attempt is already
     /// in flight or `uris` is empty.
-    pub fn start(
-        &mut self,
-        now: SimTime,
-        peer: Address,
-        ctype: ConnType,
-        uris: Vec<TransportUri>,
-    ) {
+    pub fn start(&mut self, now: SimTime, peer: Address, ctype: ConnType, uris: Vec<TransportUri>) {
         if uris.is_empty() || self.attempts.contains_key(&peer) {
             return;
         }
         let attempt_id = self.next_attempt_id;
         self.next_attempt_id += 1;
-        self.attempts.insert(peer, Attempt {
+        self.attempts.insert(
             peer,
-            ctype,
-            uris,
-            uri_idx: 0,
-            tries_on_uri: 0,
-            cur_rto: SimDuration::ZERO, // set on first poll
-            next_send: now,
-            attempt_id,
-            restarts: 0,
-            state: AttemptState::Active,
-            unanswered_sends: 0,
-        });
+            Attempt {
+                peer,
+                ctype,
+                uris,
+                uri_idx: 0,
+                tries_on_uri: 0,
+                cur_rto: SimDuration::ZERO, // set on first poll
+                next_send: now,
+                attempt_id,
+                restarts: 0,
+                state: AttemptState::Active,
+                unanswered_sends: 0,
+            },
+        );
     }
 
     /// Abandon any attempt to `peer` (e.g. the connection formed passively).
@@ -238,13 +231,7 @@ impl LinkingManager {
     }
 
     /// A `LinkReply` arrived from `from` (at underlay address `via`).
-    pub fn on_reply(
-        &mut self,
-        from: Address,
-        attempt: u64,
-        via: PhysAddr,
-        out: &mut Vec<LinkCmd>,
-    ) {
+    pub fn on_reply(&mut self, from: Address, attempt: u64, via: PhysAddr, out: &mut Vec<LinkCmd>) {
         let Some(a) = self.attempts.get(&from) else {
             return; // stale or duplicate
         };
@@ -358,10 +345,12 @@ mod tests {
     fn retransmits_with_doubling_then_advances_uri() {
         let mut m = LinkingManager::new();
         let c = cfg();
-        m.start(SimTime::ZERO, a(2), ConnType::StructuredNear, vec![
-            uri(1, 1),
-            uri(2, 2),
-        ]);
+        m.start(
+            SimTime::ZERO,
+            a(2),
+            ConnType::StructuredNear,
+            vec![uri(1, 1), uri(2, 2)],
+        );
         let mut all_sends = Vec::new();
         let mut t = SimTime::ZERO;
         // Drive by deadline until the second URI appears.
@@ -375,10 +364,7 @@ mod tests {
             t = m.next_deadline().expect("attempt should still be alive");
         }
         // 5 tries on URI 1, then URI 2 at t = 155 s.
-        let first: Vec<_> = all_sends
-            .iter()
-            .filter(|&&s| s == uri(1, 1).addr)
-            .collect();
+        let first: Vec<_> = all_sends.iter().filter(|&&s| s == uri(1, 1).addr).collect();
         assert_eq!(first.len(), 5);
         assert!(all_sends.contains(&uri(2, 2).addr));
         assert_eq!(t, SimTime::ZERO + c.uri_abandon_time());
@@ -413,17 +399,25 @@ mod tests {
     #[test]
     fn reply_establishes_with_reply_source_as_remote() {
         let mut m = LinkingManager::new();
-        m.start(SimTime::ZERO, a(2), ConnType::StructuredFar, vec![uri(1, 1)]);
+        m.start(
+            SimTime::ZERO,
+            a(2),
+            ConnType::StructuredFar,
+            vec![uri(1, 1)],
+        );
         let mut out = Vec::new();
         m.poll(SimTime::ZERO, &cfg(), &mut out);
         out.clear();
         let via = PhysAddr::new(PhysIp::new(128, 9, 9, 9), 40_002);
         m.on_reply(a(2), 0, via, &mut out);
-        assert_eq!(out, vec![LinkCmd::Established {
-            peer: a(2),
-            ctype: ConnType::StructuredFar,
-            remote: via,
-        }]);
+        assert_eq!(
+            out,
+            vec![LinkCmd::Established {
+                peer: a(2),
+                ctype: ConnType::StructuredFar,
+                remote: via,
+            }]
+        );
         assert!(m.is_empty());
     }
 
@@ -446,10 +440,12 @@ mod tests {
         let mut m = LinkingManager::new();
         let c = cfg();
         let mut rng = SmallRng::seed_from_u64(1);
-        m.start(SimTime::ZERO, a(2), ConnType::Shortcut, vec![
-            uri(1, 1),
-            uri(2, 2),
-        ]);
+        m.start(
+            SimTime::ZERO,
+            a(2),
+            ConnType::Shortcut,
+            vec![uri(1, 1), uri(2, 2)],
+        );
         let mut out = Vec::new();
         m.poll(SimTime::ZERO, &c, &mut out);
         m.on_race_error(SimTime::ZERO, a(2), 0, &c, &mut rng);
@@ -471,10 +467,12 @@ mod tests {
     fn wrong_node_skips_uri_immediately() {
         let mut m = LinkingManager::new();
         let c = cfg();
-        m.start(SimTime::ZERO, a(2), ConnType::StructuredNear, vec![
-            uri(1, 1),
-            uri(2, 2),
-        ]);
+        m.start(
+            SimTime::ZERO,
+            a(2),
+            ConnType::StructuredNear,
+            vec![uri(1, 1), uri(2, 2)],
+        );
         let mut out = Vec::new();
         m.poll(SimTime::ZERO, &c, &mut out);
         out.clear();
@@ -492,7 +490,13 @@ mod tests {
         m.poll(SimTime::ZERO, &cfg(), &mut out);
         // Still the original attempt (leaf, uri 1).
         assert_eq!(out.len(), 1);
-        assert!(matches!(&out[0], LinkCmd::SendRequest { ctype: ConnType::Leaf, .. }));
+        assert!(matches!(
+            &out[0],
+            LinkCmd::SendRequest {
+                ctype: ConnType::Leaf,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -3,9 +3,13 @@
 //!
 //! A [`BrunetNode`] never touches a socket or a clock. Its inputs are
 //! timestamped events — [`BrunetNode::on_datagram`], [`BrunetNode::on_tick`],
-//! [`BrunetNode::send_app`] — and its outputs are [`NodeAction`]s drained by
-//! whatever drives it: the deterministic simulator adapter for experiments,
-//! or the real-UDP runtime for live use. This is what lets one protocol
+//! [`BrunetNode::send_app`] — and its outputs are emitted *as they happen*
+//! into the [`NodeSink`] passed to each call: frames via [`NodeSink::send`]
+//! (straight to the transport on the hot path, no buffering), application
+//! notifications via [`NodeSink::event`], telemetry via [`NodeSink::count`].
+//! Runtimes embed the node behind [`crate::driver::NodeDriver`]; tests and
+//! legacy embedders can collect everything with
+//! [`crate::driver::ActionSink`]. This is what lets one protocol
 //! implementation serve both Fig. 4's 100-trial sweeps and a loopback demo.
 //!
 //! ## Join choreography (§IV-C)
@@ -32,9 +36,11 @@ use wow_netsim::time::{SimDuration, SimTime};
 use crate::addr::Address;
 use crate::config::OverlayConfig;
 use crate::conn::{ConnTable, ConnType, NextHop};
+use crate::driver::{NodeEvent, NodeSink};
 use crate::linking::{LinkCmd, LinkingManager};
 use crate::overlord::{FarOverlord, NearOverlord, OverlordCmd, ShortcutOverlord};
 use crate::ping::{PingCmd, PingManager};
+use crate::telemetry::Counter;
 use crate::uri::{TransportUri, UriSet};
 use crate::wire::{Body, Frame, LinkErrorReason, LinkMsg, Packet};
 
@@ -46,7 +52,12 @@ pub const WILDCARD: Address = Address([0; 20]);
 /// retries are evaluated at this granularity).
 const HOUSEKEEPING: SimDuration = SimDuration::from_secs(2);
 
-/// An externally visible effect requested by the node.
+/// An externally visible effect requested by the node, as buffered by
+/// [`crate::driver::ActionSink`].
+///
+/// The node itself emits into a [`NodeSink`]; this enum survives as the
+/// buffered representation for embedders that want the old
+/// accumulate-then-drain shape, and for tests.
 #[derive(Clone, Debug)]
 pub enum NodeAction {
     /// Transmit this frame to an underlay endpoint.
@@ -139,7 +150,6 @@ pub struct BrunetNode {
     leaf_peer: Option<Address>,
     next_join_attempt: SimTime,
     next_housekeeping: SimTime,
-    actions: Vec<NodeAction>,
     stats: NodeStats,
 }
 
@@ -164,7 +174,6 @@ impl BrunetNode {
             leaf_peer: None,
             next_join_attempt: SimTime::ZERO,
             next_housekeeping: SimTime::ZERO,
-            actions: Vec::new(),
             stats: NodeStats::default(),
         }
     }
@@ -212,7 +221,13 @@ impl BrunetNode {
 
     /// Start the node: bind at `local_uri` and join via `bootstrap` URIs
     /// (empty for the very first node of a new overlay).
-    pub fn start(&mut self, now: SimTime, local_uri: TransportUri, bootstrap: Vec<TransportUri>) {
+    pub fn start<S: NodeSink + ?Sized>(
+        &mut self,
+        now: SimTime,
+        local_uri: TransportUri,
+        bootstrap: Vec<TransportUri>,
+        sink: &mut S,
+    ) {
         self.running = true;
         self.my_uris = UriSet::new(local_uri);
         self.bootstrap = bootstrap;
@@ -221,7 +236,7 @@ impl BrunetNode {
         if !self.bootstrap.is_empty() {
             self.linking
                 .start(now, WILDCARD, ConnType::Leaf, self.bootstrap.clone());
-            self.drive_linking(now);
+            self.drive_linking(now, sink);
         }
     }
 
@@ -229,7 +244,13 @@ impl BrunetNode {
     /// paper's "kill and restart the user-level IPOP program"), the node
     /// re-binds and rejoins, keeping its overlay address and therefore its
     /// ring position.
-    pub fn restart(&mut self, now: SimTime, local_uri: TransportUri, bootstrap: Vec<TransportUri>) {
+    pub fn restart<S: NodeSink + ?Sized>(
+        &mut self,
+        now: SimTime,
+        local_uri: TransportUri,
+        bootstrap: Vec<TransportUri>,
+        sink: &mut S,
+    ) {
         self.conns = ConnTable::new();
         self.linking = LinkingManager::new();
         self.pinger = PingManager::new();
@@ -238,7 +259,7 @@ impl BrunetNode {
         self.shortcut.clear();
         self.pending_ctm.clear();
         self.leaf_peer = None;
-        self.start(now, local_uri, bootstrap);
+        self.start(now, local_uri, bootstrap, sink);
     }
 
     /// Stop the node (no goodbye messages — peers find out via keepalives,
@@ -250,11 +271,6 @@ impl BrunetNode {
     /// Whether the node is running.
     pub fn is_running(&self) -> bool {
         self.running
-    }
-
-    /// Drain the accumulated actions.
-    pub fn take_actions(&mut self) -> Vec<NodeAction> {
-        std::mem::take(&mut self.actions)
     }
 
     /// The earliest time at which [`BrunetNode::on_tick`] has work to do.
@@ -277,7 +293,13 @@ impl BrunetNode {
     // ------------------------------------------------------------ input --
 
     /// Feed a received datagram.
-    pub fn on_datagram(&mut self, now: SimTime, src: PhysAddr, data: Bytes) {
+    pub fn on_datagram<S: NodeSink + ?Sized>(
+        &mut self,
+        now: SimTime,
+        src: PhysAddr,
+        data: Bytes,
+        sink: &mut S,
+    ) {
         if !self.running {
             return;
         }
@@ -285,36 +307,45 @@ impl BrunetNode {
             Ok(f) => f,
             Err(_) => {
                 self.stats.decode_errors += 1;
+                sink.count(Counter::DroppedDecode);
                 return;
             }
         };
         match frame {
-            Frame::Link(msg) => self.on_link_msg(now, src, msg),
-            Frame::Routed(pkt) => self.on_routed(now, src, pkt),
+            Frame::Link(msg) => self.on_link_msg(now, src, msg, sink),
+            Frame::Routed(pkt) => self.on_routed(now, src, pkt, sink),
         }
     }
 
     /// Drive timers up to `now`.
-    pub fn on_tick(&mut self, now: SimTime) {
+    pub fn on_tick<S: NodeSink + ?Sized>(&mut self, now: SimTime, sink: &mut S) {
         if !self.running {
             return;
         }
-        self.drive_linking(now);
-        self.drive_pinger(now);
-        self.drive_overlords(now);
+        self.drive_linking(now, sink);
+        self.drive_pinger(now, sink);
+        self.drive_overlords(now, sink);
         if now >= self.next_housekeeping {
             self.next_housekeeping = now + HOUSEKEEPING;
-            self.housekeeping(now);
+            self.housekeeping(now, sink);
         }
     }
 
     /// Route an application payload to `dst` (the IPOP tunnel entry point).
-    pub fn send_app(&mut self, now: SimTime, dst: Address, proto: u8, data: Bytes) {
+    pub fn send_app<S: NodeSink + ?Sized>(
+        &mut self,
+        now: SimTime,
+        dst: Address,
+        proto: u8,
+        data: Bytes,
+        sink: &mut S,
+    ) {
         if !self.running || dst == self.addr {
             return;
         }
         self.stats.app_sent += 1;
-        self.observe_traffic(now, dst);
+        sink.count(Counter::AppSent);
+        self.observe_traffic(now, dst, sink);
         let pkt = Packet {
             src: self.addr,
             dst,
@@ -323,19 +354,22 @@ impl BrunetNode {
             edge_forwarded: false,
             body: Body::App { proto, data },
         };
-        self.route_packet(now, pkt, None);
+        self.route_packet(now, pkt, None, sink);
     }
 
     // -------------------------------------------------------- link layer --
 
-    fn send_frame(&mut self, to: PhysAddr, frame: Frame) {
-        self.actions.push(NodeAction::Send {
-            to,
-            frame: frame.encode(),
-        });
+    fn send_frame<S: NodeSink + ?Sized>(&self, to: PhysAddr, frame: Frame, sink: &mut S) {
+        sink.send(to, frame.encode());
     }
 
-    fn on_link_msg(&mut self, now: SimTime, src: PhysAddr, msg: LinkMsg) {
+    fn on_link_msg<S: NodeSink + ?Sized>(
+        &mut self,
+        now: SimTime,
+        src: PhysAddr,
+        msg: LinkMsg,
+        sink: &mut S,
+    ) {
         // Endpoint roaming: a link-level message from a known peer arriving
         // from a new underlay address means its NAT mapping changed (the
         // paper's home node did this repeatedly; §VI credits the overlay
@@ -362,48 +396,63 @@ impl BrunetNode {
                     return; // a private-URI collision bounced our own request back
                 }
                 if target != self.addr && target != WILDCARD {
-                    self.send_frame(src, Frame::Link(LinkMsg::LinkError {
-                        from: self.addr,
-                        attempt,
-                        reason: LinkErrorReason::WrongNode,
-                    }));
+                    self.send_frame(
+                        src,
+                        Frame::Link(LinkMsg::LinkError {
+                            from: self.addr,
+                            attempt,
+                            reason: LinkErrorReason::WrongNode,
+                        }),
+                        sink,
+                    );
                     return;
                 }
                 if self.conns.get(from).is_some() {
                     // Duplicate/refresh: stay idempotent.
-                    self.record_conn(now, from, ctype, src);
-                    self.send_frame(src, Frame::Link(LinkMsg::LinkReply {
-                        from: self.addr,
-                        attempt,
-                        observed: src,
-                    }));
+                    self.record_conn(now, from, ctype, src, sink);
+                    self.send_frame(
+                        src,
+                        Frame::Link(LinkMsg::LinkReply {
+                            from: self.addr,
+                            attempt,
+                            observed: src,
+                        }),
+                        sink,
+                    );
                     self.pinger.heard(from, now, &self.cfg);
                     return;
                 }
-                if self.linking.has_active_attempt(from)
-                    && self.linking.unanswered_sends(from) < 3
+                if self.linking.has_active_attempt(from) && self.linking.unanswered_sends(from) < 3
                 {
                     // The paper's race rule: tell the peer to stand down.
                     // Exception: if several of our own requests have already
                     // vanished while the peer's request reached us, their
                     // path works and ours does not (symmetric-NAT peers look
                     // exactly like this) — yield instead of deadlocking.
-                    self.send_frame(src, Frame::Link(LinkMsg::LinkError {
-                        from: self.addr,
-                        attempt,
-                        reason: LinkErrorReason::InRace,
-                    }));
+                    self.send_frame(
+                        src,
+                        Frame::Link(LinkMsg::LinkError {
+                            from: self.addr,
+                            attempt,
+                            reason: LinkErrorReason::InRace,
+                        }),
+                        sink,
+                    );
                     return;
                 }
                 // Passive accept (this also covers the case where our own
                 // attempt is backed off after a race: we yield to the peer).
                 self.linking.satisfied(from);
-                self.record_conn(now, from, ctype, src);
-                self.send_frame(src, Frame::Link(LinkMsg::LinkReply {
-                    from: self.addr,
-                    attempt,
-                    observed: src,
-                }));
+                self.record_conn(now, from, ctype, src, sink);
+                self.send_frame(
+                    src,
+                    Frame::Link(LinkMsg::LinkReply {
+                        from: self.addr,
+                        attempt,
+                        observed: src,
+                    }),
+                    sink,
+                );
             }
             LinkMsg::LinkReply {
                 from,
@@ -425,7 +474,7 @@ impl BrunetNode {
                         }
                     }
                 }
-                self.exec_link_cmds(now, cmds);
+                self.exec_link_cmds(now, cmds, sink);
             }
             LinkMsg::LinkError {
                 from,
@@ -433,35 +482,49 @@ impl BrunetNode {
                 reason,
             } => match reason {
                 LinkErrorReason::InRace => {
-                    self.linking
-                        .on_race_error(now, from, attempt, &self.cfg.clone(), &mut self.rng);
+                    sink.count(Counter::LinkRaceBackoff);
+                    self.linking.on_race_error(
+                        now,
+                        from,
+                        attempt,
+                        &self.cfg.clone(),
+                        &mut self.rng,
+                    );
                 }
                 LinkErrorReason::WrongNode => {
                     self.linking.on_wrong_node(now, attempt);
-                    self.drive_linking(now);
+                    self.drive_linking(now, sink);
                 }
                 LinkErrorReason::NotConnected => {
                     // Our keepalive hit a peer that no longer knows us.
                     if self.conns.remove(from).is_some() {
                         self.pinger.untrack(from);
-                        self.actions.push(NodeAction::Disconnected { peer: from });
+                        sink.event(NodeEvent::Disconnected { peer: from });
                     }
                 }
             },
             LinkMsg::Ping { from, nonce } => {
                 if self.conns.get(from).is_some() {
                     self.pinger.heard(from, now, &self.cfg);
-                    self.send_frame(src, Frame::Link(LinkMsg::Pong {
-                        from: self.addr,
-                        nonce,
-                        observed: src,
-                    }));
+                    self.send_frame(
+                        src,
+                        Frame::Link(LinkMsg::Pong {
+                            from: self.addr,
+                            nonce,
+                            observed: src,
+                        }),
+                        sink,
+                    );
                 } else {
-                    self.send_frame(src, Frame::Link(LinkMsg::LinkError {
-                        from: self.addr,
-                        attempt: nonce,
-                        reason: LinkErrorReason::NotConnected,
-                    }));
+                    self.send_frame(
+                        src,
+                        Frame::Link(LinkMsg::LinkError {
+                            from: self.addr,
+                            attempt: nonce,
+                            reason: LinkErrorReason::NotConnected,
+                        }),
+                        sink,
+                    );
                 }
             }
             LinkMsg::Pong {
@@ -478,10 +541,14 @@ impl BrunetNode {
                     let mut neighbors = self.conns.nearest_cw(self.addr, self.cfg.near_per_side);
                     neighbors.extend(self.conns.nearest_ccw(self.addr, self.cfg.near_per_side));
                     neighbors.dedup();
-                    self.send_frame(src, Frame::Link(LinkMsg::NeighborReply {
-                        from: self.addr,
-                        neighbors,
-                    }));
+                    self.send_frame(
+                        src,
+                        Frame::Link(LinkMsg::NeighborReply {
+                            from: self.addr,
+                            neighbors,
+                        }),
+                        sink,
+                    );
                 }
             }
             LinkMsg::NeighborReply { from, neighbors } => {
@@ -495,7 +562,7 @@ impl BrunetNode {
                         &self.cfg,
                         &mut cmds,
                     );
-                    self.exec_overlord_cmds(now, cmds);
+                    self.exec_overlord_cmds(now, cmds, sink);
                 }
             }
         }
@@ -503,19 +570,30 @@ impl BrunetNode {
 
     // ------------------------------------------------------ routed layer --
 
-    fn on_routed(&mut self, now: SimTime, src: PhysAddr, pkt: Packet) {
+    fn on_routed<S: NodeSink + ?Sized>(
+        &mut self,
+        now: SimTime,
+        src: PhysAddr,
+        pkt: Packet,
+        sink: &mut S,
+    ) {
         // Suppress bouncing a packet straight back where it came from.
         let exclude = self.conns.iter().find(|c| c.remote == src).map(|c| c.peer);
-        self.route_packet(now, pkt, exclude);
+        self.route_packet(now, pkt, exclude, sink);
     }
 
     /// Forward or deliver a routed packet (from the wire or self-originated).
-    fn route_packet(&mut self, now: SimTime, mut pkt: Packet, exclude: Option<Address>) {
+    fn route_packet<S: NodeSink + ?Sized>(
+        &mut self,
+        now: SimTime,
+        mut pkt: Packet,
+        exclude: Option<Address>,
+        sink: &mut S,
+    ) {
         // Self-addressed CTMs (joins and ring probes) must reach the
         // nearest node *other than their source*; never forward them to
         // the source itself.
-        let probe_exclude = if pkt.src == pkt.dst && matches!(pkt.body, Body::CtmRequest { .. })
-        {
+        let probe_exclude = if pkt.src == pkt.dst && matches!(pkt.body, Body::CtmRequest { .. }) {
             Some(pkt.dst)
         } else {
             None
@@ -529,19 +607,22 @@ impl BrunetNode {
                         Some(c) => {
                             let remote = c.remote;
                             pkt.dst = for_node;
-                            self.send_frame(remote, Frame::Routed(pkt));
+                            self.send_frame(remote, Frame::Routed(pkt), sink);
                         }
-                        None => self.stats.dropped_relay += 1,
+                        None => {
+                            self.stats.dropped_relay += 1;
+                            sink.count(Counter::DroppedRelay);
+                        }
                     }
                     return;
                 }
             }
-            self.deliver_local(now, pkt, true);
+            self.deliver_local(now, pkt, true, sink);
             return;
         }
         // Edge-forwarded CTMs are processed where they land.
         if pkt.edge_forwarded && matches!(pkt.body, Body::CtmRequest { .. }) {
-            self.deliver_local(now, pkt, false);
+            self.deliver_local(now, pkt, false, sink);
             return;
         }
         let mut excludes: Vec<Address> = Vec::with_capacity(2);
@@ -555,18 +636,26 @@ impl BrunetNode {
             NextHop::Relay(c) => {
                 if pkt.hops >= pkt.ttl {
                     self.stats.dropped_ttl += 1;
+                    sink.count(Counter::DroppedTtl);
                     return;
                 }
                 pkt.hops += 1;
                 let remote = c.remote;
                 self.stats.forwarded += 1;
-                self.send_frame(remote, Frame::Routed(pkt));
+                sink.count(Counter::Forwarded);
+                self.send_frame(remote, Frame::Routed(pkt), sink);
             }
-            NextHop::Local => self.deliver_local(now, pkt, false),
+            NextHop::Local => self.deliver_local(now, pkt, false, sink),
         }
     }
 
-    fn deliver_local(&mut self, now: SimTime, pkt: Packet, exact: bool) {
+    fn deliver_local<S: NodeSink + ?Sized>(
+        &mut self,
+        now: SimTime,
+        pkt: Packet,
+        exact: bool,
+        sink: &mut S,
+    ) {
         match pkt.body {
             Body::CtmRequest {
                 token,
@@ -594,9 +683,9 @@ impl BrunetNode {
                         for_node: pkt.src,
                     },
                 };
-                self.route_packet(now, reply, None);
+                self.route_packet(now, reply, None, sink);
                 // Start linking toward the requester (bidirectional rule).
-                self.connect_to(now, pkt.src, ctype, uris.clone());
+                self.connect_to(now, pkt.src, ctype, uris.clone(), sink);
                 // Nearest-delivery join semantics: hand one copy to the
                 // neighbour on the other side of the requested address so
                 // both future ring neighbours answer.
@@ -621,7 +710,7 @@ impl BrunetNode {
                                     },
                                     ..pkt
                                 };
-                                self.send_frame(c.remote, Frame::Routed(fwd));
+                                self.send_frame(c.remote, Frame::Routed(fwd), sink);
                             }
                         }
                     }
@@ -637,17 +726,19 @@ impl BrunetNode {
                     return; // stale or duplicate
                 };
                 let ctype = pending.ctype;
-                self.connect_to(now, responder, ctype, uris);
+                self.connect_to(now, responder, ctype, uris, sink);
             }
             Body::App { proto, data } => {
                 if exact {
                     self.stats.delivered += 1;
                     self.stats.hops_sum += u64::from(pkt.hops);
-                    self.observe_traffic(now, pkt.src);
+                    sink.count(Counter::DeliveredExact);
+                    self.observe_traffic(now, pkt.src, sink);
                 } else {
                     self.stats.delivered_nearest += 1;
+                    sink.count(Counter::DeliveredNearest);
                 }
-                self.actions.push(NodeAction::Deliver {
+                sink.event(NodeEvent::Deliver {
                     src: pkt.src,
                     proto,
                     data,
@@ -660,39 +751,53 @@ impl BrunetNode {
     // -------------------------------------------------- protocol drivers --
 
     /// Establish (or upgrade) a connection to `peer` using its URI list.
-    fn connect_to(&mut self, now: SimTime, peer: Address, ctype: ConnType, uris: Vec<TransportUri>) {
+    fn connect_to<S: NodeSink + ?Sized>(
+        &mut self,
+        now: SimTime,
+        peer: Address,
+        ctype: ConnType,
+        uris: Vec<TransportUri>,
+        sink: &mut S,
+    ) {
         if peer == self.addr {
             return;
         }
         if let Some(c) = self.conns.get(peer) {
             let remote = c.remote;
-            self.record_conn(now, peer, ctype, remote);
+            self.record_conn(now, peer, ctype, remote, sink);
             return;
         }
         if self.linking.has_attempt(peer) {
             return;
         }
         self.linking.start(now, peer, ctype, uris);
-        self.drive_linking(now);
+        self.drive_linking(now, sink);
     }
 
-    /// Record an established connection / added role, and emit actions.
-    fn record_conn(&mut self, now: SimTime, peer: Address, ctype: ConnType, remote: PhysAddr) {
+    /// Record an established connection / added role, and emit events.
+    fn record_conn<S: NodeSink + ?Sized>(
+        &mut self,
+        now: SimTime,
+        peer: Address,
+        ctype: ConnType,
+        remote: PhysAddr,
+        sink: &mut S,
+    ) {
         let outcome = self.conns.upsert(peer, ctype, remote, now);
         if outcome.new_peer {
             self.pinger.track(peer, now, &self.cfg);
         }
         if outcome.new_role {
-            self.actions.push(NodeAction::Connected { peer, ctype });
+            sink.event(NodeEvent::Connected { peer, ctype });
         }
         if ctype == ConnType::Leaf && self.leaf_peer.is_none() {
             self.leaf_peer = Some(peer);
-            self.send_join_ctm(now);
+            self.send_join_ctm(now, sink);
         }
     }
 
     /// Send the self-addressed CTM that discovers our ring neighbours.
-    fn send_join_ctm(&mut self, now: SimTime) {
+    fn send_join_ctm<S: NodeSink + ?Sized>(&mut self, now: SimTime, sink: &mut S) {
         let Some(leaf) = self.leaf_peer else {
             return;
         };
@@ -700,7 +805,13 @@ impl BrunetNode {
             return;
         };
         let remote = c.remote;
-        let token = self.alloc_ctm(now, self.addr, ConnType::StructuredNear);
+        let token = self.alloc_ctm(
+            now,
+            self.addr,
+            ConnType::StructuredNear,
+            Counter::CtmJoin,
+            sink,
+        );
         let pkt = Packet {
             src: self.addr,
             dst: self.addr,
@@ -714,12 +825,23 @@ impl BrunetNode {
                 reply_relay: Some(leaf),
             },
         };
-        self.send_frame(remote, Frame::Routed(pkt));
+        self.send_frame(remote, Frame::Routed(pkt), sink);
     }
 
     /// Send a routed CTM to a target address.
-    fn send_ctm(&mut self, now: SimTime, target: Address, ctype: ConnType) {
-        let token = self.alloc_ctm(now, target, ctype);
+    fn send_ctm<S: NodeSink + ?Sized>(
+        &mut self,
+        now: SimTime,
+        target: Address,
+        ctype: ConnType,
+        sink: &mut S,
+    ) {
+        let kind = match ctype {
+            ConnType::Shortcut => Counter::CtmShortcut,
+            ConnType::StructuredFar => Counter::CtmFar,
+            _ => Counter::CtmNear,
+        };
+        let token = self.alloc_ctm(now, target, ctype, kind, sink);
         let pkt = Packet {
             src: self.addr,
             dst: target,
@@ -733,7 +855,7 @@ impl BrunetNode {
                 reply_relay: None,
             },
         };
-        self.route_packet(now, pkt, None);
+        self.route_packet(now, pkt, None, sink);
     }
 
     /// Verify our ring position: a self-addressed CTM launched through a
@@ -741,7 +863,7 @@ impl BrunetNode {
     /// probe lands on the true nearest *other* node — escaping the local
     /// optima that neighbour-of-neighbour stabilization alone can reach
     /// when a mass join leaves a node with distant "near" links.
-    fn send_ring_probe(&mut self, now: SimTime) {
+    fn send_ring_probe<S: NodeSink + ?Sized>(&mut self, now: SimTime, sink: &mut S) {
         use rand::seq::IteratorRandom;
         let Some((relay_peer, first_hop)) = self
             .conns
@@ -752,7 +874,13 @@ impl BrunetNode {
         else {
             return;
         };
-        let token = self.alloc_ctm(now, self.addr, ConnType::StructuredNear);
+        let token = self.alloc_ctm(
+            now,
+            self.addr,
+            ConnType::StructuredNear,
+            Counter::CtmRingProbe,
+            sink,
+        );
         let pkt = Packet {
             src: self.addr,
             dst: self.addr,
@@ -770,18 +898,29 @@ impl BrunetNode {
                 reply_relay: Some(relay_peer),
             },
         };
-        self.send_frame(first_hop, Frame::Routed(pkt));
+        self.send_frame(first_hop, Frame::Routed(pkt), sink);
     }
 
-    fn alloc_ctm(&mut self, now: SimTime, target: Address, ctype: ConnType) -> u64 {
+    fn alloc_ctm<S: NodeSink + ?Sized>(
+        &mut self,
+        now: SimTime,
+        target: Address,
+        ctype: ConnType,
+        kind: Counter,
+        sink: &mut S,
+    ) -> u64 {
         let token = self.next_token;
         self.next_token += 1;
         self.stats.ctm_sent += 1;
-        self.pending_ctm.insert(token, PendingCtm {
-            target,
-            ctype,
-            expires: now + self.cfg.ctm_timeout,
-        });
+        sink.count(kind);
+        self.pending_ctm.insert(
+            token,
+            PendingCtm {
+                target,
+                ctype,
+                expires: now + self.cfg.ctm_timeout,
+            },
+        );
         token
     }
 
@@ -798,9 +937,13 @@ impl BrunetNode {
 
     /// Count one tunnelled packet to/from `peer` and trigger a shortcut CTM
     /// when the score rule fires.
-    fn observe_traffic(&mut self, now: SimTime, peer: Address) {
+    fn observe_traffic<S: NodeSink + ?Sized>(&mut self, now: SimTime, peer: Address, sink: &mut S) {
         let crossed = self.shortcut.on_traffic(now, peer, &self.cfg);
-        if !crossed || self.cfg.max_shortcuts == 0 {
+        if !crossed {
+            return;
+        }
+        sink.count(Counter::ShortcutCross);
+        if self.cfg.max_shortcuts == 0 {
             return;
         }
         if let Some(c) = self.conns.get(peer) {
@@ -808,7 +951,7 @@ impl BrunetNode {
                 // Already directly linked for another reason; claim the
                 // shortcut role so the idle logic manages it.
                 let remote = c.remote;
-                self.record_conn(now, peer, ConnType::Shortcut, remote);
+                self.record_conn(now, peer, ConnType::Shortcut, remote, sink);
             }
             return;
         }
@@ -819,17 +962,22 @@ impl BrunetNode {
         {
             return;
         }
-        self.send_ctm(now, peer, ConnType::Shortcut);
+        self.send_ctm(now, peer, ConnType::Shortcut, sink);
     }
 
-    fn drive_linking(&mut self, now: SimTime) {
+    fn drive_linking<S: NodeSink + ?Sized>(&mut self, now: SimTime, sink: &mut S) {
         let mut cmds = Vec::new();
         let cfg = self.cfg.clone();
         self.linking.poll(now, &cfg, &mut cmds);
-        self.exec_link_cmds(now, cmds);
+        self.exec_link_cmds(now, cmds, sink);
     }
 
-    fn exec_link_cmds(&mut self, now: SimTime, cmds: Vec<LinkCmd>) {
+    fn exec_link_cmds<S: NodeSink + ?Sized>(
+        &mut self,
+        now: SimTime,
+        cmds: Vec<LinkCmd>,
+        sink: &mut S,
+    ) {
         for cmd in cmds {
             match cmd {
                 LinkCmd::SendRequest {
@@ -838,26 +986,35 @@ impl BrunetNode {
                     ctype,
                     attempt,
                 } => {
-                    self.send_frame(to, Frame::Link(LinkMsg::LinkRequest {
-                        from: self.addr,
-                        target,
-                        ctype,
-                        attempt,
-                    }));
+                    sink.count(Counter::LinkRequestSent);
+                    self.send_frame(
+                        to,
+                        Frame::Link(LinkMsg::LinkRequest {
+                            from: self.addr,
+                            target,
+                            ctype,
+                            attempt,
+                        }),
+                        sink,
+                    );
                 }
                 LinkCmd::Established {
                     peer,
                     ctype,
                     remote,
-                } => self.record_conn(now, peer, ctype, remote),
+                } => {
+                    sink.count(Counter::LinkEstablished);
+                    self.record_conn(now, peer, ctype, remote, sink);
+                }
                 LinkCmd::Failed { peer, ctype } => {
-                    self.actions.push(NodeAction::LinkFailed { peer, ctype });
+                    sink.count(Counter::LinkFailed);
+                    sink.event(NodeEvent::LinkFailed { peer, ctype });
                 }
             }
         }
     }
 
-    fn drive_pinger(&mut self, now: SimTime) {
+    fn drive_pinger<S: NodeSink + ?Sized>(&mut self, now: SimTime, sink: &mut S) {
         let mut cmds = Vec::new();
         let cfg = self.cfg.clone();
         self.pinger.poll(now, &cfg, &mut cmds);
@@ -866,17 +1023,22 @@ impl BrunetNode {
                 PingCmd::SendPing { peer, nonce } => {
                     if let Some(c) = self.conns.get(peer) {
                         let remote = c.remote;
-                        self.send_frame(remote, Frame::Link(LinkMsg::Ping {
-                            from: self.addr,
-                            nonce,
-                        }));
+                        self.send_frame(
+                            remote,
+                            Frame::Link(LinkMsg::Ping {
+                                from: self.addr,
+                                nonce,
+                            }),
+                            sink,
+                        );
                     } else {
                         self.pinger.untrack(peer);
                     }
                 }
                 PingCmd::Dead { peer } => {
                     if self.conns.remove(peer).is_some() {
-                        self.actions.push(NodeAction::Disconnected { peer });
+                        sink.count(Counter::PeerDead);
+                        sink.event(NodeEvent::Disconnected { peer });
                         if self.leaf_peer == Some(peer) {
                             self.leaf_peer = None;
                         }
@@ -886,7 +1048,7 @@ impl BrunetNode {
         }
     }
 
-    fn drive_overlords(&mut self, now: SimTime) {
+    fn drive_overlords<S: NodeSink + ?Sized>(&mut self, now: SimTime, sink: &mut S) {
         let cfg = self.cfg.clone();
         let mut cmds = Vec::new();
         self.near.poll(now, self.addr, &self.conns, &cfg, &mut cmds);
@@ -899,10 +1061,15 @@ impl BrunetNode {
             &mut self.rng,
             &mut cmds,
         );
-        self.exec_overlord_cmds(now, cmds);
+        self.exec_overlord_cmds(now, cmds, sink);
     }
 
-    fn exec_overlord_cmds(&mut self, now: SimTime, cmds: Vec<OverlordCmd>) {
+    fn exec_overlord_cmds<S: NodeSink + ?Sized>(
+        &mut self,
+        now: SimTime,
+        cmds: Vec<OverlordCmd>,
+        sink: &mut S,
+    ) {
         for cmd in cmds {
             match cmd {
                 OverlordCmd::RequestCtm { target, ctype } => {
@@ -911,50 +1078,52 @@ impl BrunetNode {
                         && !self.has_pending_ctm(target)
                         && !self.linking.has_attempt(target)
                     {
-                        self.send_ctm(now, target, ctype);
+                        self.send_ctm(now, target, ctype, sink);
                     }
                 }
                 OverlordCmd::DropRole { peer, ctype } => {
                     if self.conns.remove_role(peer, ctype) {
                         self.pinger.untrack(peer);
-                        self.actions.push(NodeAction::Disconnected { peer });
+                        sink.event(NodeEvent::Disconnected { peer });
                         if self.leaf_peer == Some(peer) {
                             self.leaf_peer = None;
                         }
                     }
                 }
-                OverlordCmd::RingProbe => self.send_ring_probe(now),
+                OverlordCmd::RingProbe => self.send_ring_probe(now, sink),
                 OverlordCmd::SendNeighborQuery { peer } => {
                     if let Some(c) = self.conns.get(peer) {
                         let remote = c.remote;
-                        self.send_frame(remote, Frame::Link(LinkMsg::NeighborQuery {
-                            from: self.addr,
-                        }));
+                        self.send_frame(
+                            remote,
+                            Frame::Link(LinkMsg::NeighborQuery { from: self.addr }),
+                            sink,
+                        );
                     }
                 }
             }
         }
     }
 
-    fn housekeeping(&mut self, now: SimTime) {
+    fn housekeeping<S: NodeSink + ?Sized>(&mut self, now: SimTime, sink: &mut S) {
         self.pending_ctm.retain(|_, p| p.expires > now);
         // Shortcut idle release.
         let cfg = self.cfg.clone();
         let mut cmds = Vec::new();
         self.shortcut.poll(now, &self.conns, &cfg, &mut cmds);
-        self.exec_overlord_cmds(now, cmds);
+        self.exec_overlord_cmds(now, cmds, sink);
         // Join retry: not yet routable and the retry timer elapsed.
         if !self.is_routable() && now >= self.next_join_attempt {
             self.next_join_attempt = now + self.cfg.join_retry;
             if self.leaf_peer.is_some() {
-                self.send_join_ctm(now);
+                self.send_join_ctm(now, sink);
             } else if !self.bootstrap.is_empty()
                 && !self.linking.has_attempt(WILDCARD)
                 && self.conns.with_type(ConnType::Leaf).next().is_none()
             {
                 self.linking
                     .start(now, WILDCARD, ConnType::Leaf, self.bootstrap.clone());
-                self.drive_linking(now);
+                self.drive_linking(now, sink);
             }
         }
     }
@@ -964,6 +1133,7 @@ impl BrunetNode {
 mod tests {
     use super::*;
     use crate::addr::U160;
+    use crate::driver::ActionSink;
     use wow_netsim::addr::PhysIp;
 
     fn a(v: u64) -> Address {
@@ -980,10 +1150,11 @@ mod tests {
 
     const T0: SimTime = SimTime::ZERO;
 
-    fn started(addr: Address, bootstrap: Vec<TransportUri>) -> BrunetNode {
+    fn started(addr: Address, bootstrap: Vec<TransportUri>) -> (BrunetNode, ActionSink) {
         let mut n = BrunetNode::new(addr, OverlayConfig::default(), 7);
-        n.start(T0, uri(1, 4000), bootstrap);
-        n
+        let mut sk = ActionSink::new();
+        n.start(T0, uri(1, 4000), bootstrap, &mut sk);
+        (n, sk)
     }
 
     fn sends(actions: &[NodeAction]) -> Vec<(PhysAddr, Frame)> {
@@ -1000,16 +1171,16 @@ mod tests {
 
     #[test]
     fn first_node_idles_without_bootstrap() {
-        let mut n = started(a(100), Vec::new());
-        let acts = n.take_actions();
+        let (n, mut sk) = started(a(100), Vec::new());
+        let acts = sk.take();
         assert!(sends(&acts).is_empty());
         assert!(!n.is_routable());
     }
 
     #[test]
     fn start_sends_wildcard_link_request_to_bootstrap() {
-        let mut n = started(a(100), vec![uri(9, 4000)]);
-        let acts = n.take_actions();
+        let (_n, mut sk) = started(a(100), vec![uri(9, 4000)]);
+        let acts = sk.take();
         let s = sends(&acts);
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].0, ep(9, 4000));
@@ -1020,12 +1191,13 @@ mod tests {
             }
             other => panic!("expected link request, got {other:?}"),
         }
+        assert_eq!(sk.counters.get(Counter::LinkRequestSent), 1);
     }
 
     #[test]
     fn leaf_reply_triggers_join_ctm_via_leaf() {
-        let mut n = started(a(100), vec![uri(9, 4000)]);
-        n.take_actions();
+        let (mut n, mut sk) = started(a(100), vec![uri(9, 4000)]);
+        sk.take();
         // Bootstrap (addr 500) replies.
         n.on_datagram(
             T0 + SimDuration::from_millis(50),
@@ -1036,8 +1208,9 @@ mod tests {
                 observed: ep(77, 1234), // our NAT mapping as seen by them
             })
             .encode(),
+            &mut sk,
         );
-        let acts = n.take_actions();
+        let acts = sk.take();
         // Learned the observed URI.
         assert!(n
             .advertised_uris()
@@ -1067,6 +1240,8 @@ mod tests {
             }
             other => panic!("expected CTM request, got {other:?}"),
         }
+        assert_eq!(sk.counters.get(Counter::CtmJoin), 1);
+        assert_eq!(sk.counters.get(Counter::LinkEstablished), 1);
     }
 
     #[test]
@@ -1074,11 +1249,11 @@ mod tests {
         // Node 500 is in a ring with near conns to 400 and 600; a joiner at
         // 520 CTMs via a relay (700). 500 should reply via the relay, start
         // linking to 520, and edge-forward to 600 (the other side of 520).
-        let mut n = started(a(500), Vec::new());
-        n.record_conn(T0, a(400), ConnType::StructuredNear, ep(40, 1));
-        n.record_conn(T0, a(600), ConnType::StructuredNear, ep(60, 1));
-        n.record_conn(T0, a(700), ConnType::StructuredFar, ep(70, 1));
-        n.take_actions();
+        let (mut n, mut sk) = started(a(500), Vec::new());
+        n.record_conn(T0, a(400), ConnType::StructuredNear, ep(40, 1), &mut sk);
+        n.record_conn(T0, a(600), ConnType::StructuredNear, ep(60, 1), &mut sk);
+        n.record_conn(T0, a(700), ConnType::StructuredFar, ep(70, 1), &mut sk);
+        sk.take();
         let ctm = Packet {
             src: a(520),
             dst: a(520),
@@ -1092,8 +1267,8 @@ mod tests {
                 reply_relay: Some(a(700)),
             },
         };
-        n.on_datagram(T0, ep(70, 1), Frame::Routed(ctm).encode());
-        let acts = n.take_actions();
+        n.on_datagram(T0, ep(70, 1), Frame::Routed(ctm).encode(), &mut sk);
+        let acts = sk.take();
         let s = sends(&acts);
         // 1: CTM reply routed toward the relay 700.
         let reply = s
@@ -1120,10 +1295,10 @@ mod tests {
 
     #[test]
     fn greedy_forwarding_decrements_budget_and_picks_closest() {
-        let mut n = started(a(0), Vec::new());
-        n.record_conn(T0, a(1000), ConnType::StructuredNear, ep(10, 1));
-        n.record_conn(T0, a(5000), ConnType::StructuredFar, ep(50, 1));
-        n.take_actions();
+        let (mut n, mut sk) = started(a(0), Vec::new());
+        n.record_conn(T0, a(1000), ConnType::StructuredNear, ep(10, 1), &mut sk);
+        n.record_conn(T0, a(5000), ConnType::StructuredFar, ep(50, 1), &mut sk);
+        sk.take();
         let pkt = Packet {
             src: a(9999),
             dst: a(4800),
@@ -1135,8 +1310,8 @@ mod tests {
                 data: Bytes::from_static(b"x"),
             },
         };
-        n.on_datagram(T0, ep(99, 9), Frame::Routed(pkt).encode());
-        let acts = n.take_actions();
+        n.on_datagram(T0, ep(99, 9), Frame::Routed(pkt).encode(), &mut sk);
+        let acts = sk.take();
         let s = sends(&acts);
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].0, ep(50, 1), "far link is closest to 4800");
@@ -1145,13 +1320,14 @@ mod tests {
             other => panic!("expected routed, got {other:?}"),
         }
         assert_eq!(n.stats().forwarded, 1);
+        assert_eq!(sk.counters.get(Counter::Forwarded), 1);
     }
 
     #[test]
     fn ttl_exhaustion_drops() {
-        let mut n = started(a(0), Vec::new());
-        n.record_conn(T0, a(5000), ConnType::StructuredFar, ep(50, 1));
-        n.take_actions();
+        let (mut n, mut sk) = started(a(0), Vec::new());
+        n.record_conn(T0, a(5000), ConnType::StructuredFar, ep(50, 1), &mut sk);
+        sk.take();
         let pkt = Packet {
             src: a(9999),
             dst: a(4800),
@@ -1163,16 +1339,18 @@ mod tests {
                 data: Bytes::from_static(b"x"),
             },
         };
-        n.on_datagram(T0, ep(99, 9), Frame::Routed(pkt).encode());
-        assert!(sends(&n.take_actions()).is_empty());
+        n.on_datagram(T0, ep(99, 9), Frame::Routed(pkt).encode(), &mut sk);
+        assert!(sends(&sk.take()).is_empty());
         assert_eq!(n.stats().dropped_ttl, 1);
+        assert_eq!(sk.counters.get(Counter::DroppedTtl), 1);
+        assert_eq!(sk.counters.dropped_total(), 1);
     }
 
     #[test]
     fn exact_delivery_vs_nearest_delivery() {
-        let mut n = started(a(100), Vec::new());
-        n.record_conn(T0, a(5000), ConnType::StructuredNear, ep(50, 1));
-        n.take_actions();
+        let (mut n, mut sk) = started(a(100), Vec::new());
+        n.record_conn(T0, a(5000), ConnType::StructuredNear, ep(50, 1), &mut sk);
+        sk.take();
         // Exact.
         let exact = Packet {
             src: a(5000),
@@ -1185,8 +1363,8 @@ mod tests {
                 data: Bytes::from_static(b"hello"),
             },
         };
-        n.on_datagram(T0, ep(50, 1), Frame::Routed(exact).encode());
-        let acts = n.take_actions();
+        n.on_datagram(T0, ep(50, 1), Frame::Routed(exact).encode(), &mut sk);
+        let acts = sk.take();
         assert!(acts.iter().any(|x| matches!(x,
             NodeAction::Deliver { src, proto: 7, exact: true, .. } if *src == a(5000))));
         // Nearest: dst 120 does not exist; we hold the closest address.
@@ -1201,20 +1379,23 @@ mod tests {
                 data: Bytes::from_static(b"stray"),
             },
         };
-        n.on_datagram(T0, ep(50, 1), Frame::Routed(near).encode());
-        let acts = n.take_actions();
-        assert!(acts.iter().any(|x| matches!(x,
-            NodeAction::Deliver { exact: false, .. })));
+        n.on_datagram(T0, ep(50, 1), Frame::Routed(near).encode(), &mut sk);
+        let acts = sk.take();
+        assert!(acts
+            .iter()
+            .any(|x| matches!(x, NodeAction::Deliver { exact: false, .. })));
         assert_eq!(n.stats().delivered, 1);
         assert_eq!(n.stats().delivered_nearest, 1);
+        assert_eq!(sk.counters.get(Counter::DeliveredExact), 1);
+        assert_eq!(sk.counters.get(Counter::DeliveredNearest), 1);
     }
 
     #[test]
     fn race_request_gets_in_race_error() {
-        let mut n = started(a(100), Vec::new());
+        let (mut n, mut sk) = started(a(100), Vec::new());
         // Start an active attempt to 200.
-        n.connect_to(T0, a(200), ConnType::Shortcut, vec![uri(20, 1)]);
-        n.take_actions();
+        n.connect_to(T0, a(200), ConnType::Shortcut, vec![uri(20, 1)], &mut sk);
+        sk.take();
         // 200's own request arrives.
         n.on_datagram(
             T0,
@@ -1226,18 +1407,25 @@ mod tests {
                 attempt: 9,
             })
             .encode(),
+            &mut sk,
         );
-        let s = sends(&n.take_actions());
-        assert!(s.iter().any(|(_, f)| matches!(f,
-            Frame::Link(LinkMsg::LinkError { reason: LinkErrorReason::InRace, attempt: 9, .. }))));
+        let s = sends(&sk.take());
+        assert!(s.iter().any(|(_, f)| matches!(
+            f,
+            Frame::Link(LinkMsg::LinkError {
+                reason: LinkErrorReason::InRace,
+                attempt: 9,
+                ..
+            })
+        )));
         // We did NOT record a connection.
         assert!(!n.has_direct(a(200)));
     }
 
     #[test]
     fn wrong_node_request_is_rejected() {
-        let mut n = started(a(100), Vec::new());
-        n.take_actions();
+        let (mut n, mut sk) = started(a(100), Vec::new());
+        sk.take();
         n.on_datagram(
             T0,
             ep(20, 1),
@@ -1248,16 +1436,22 @@ mod tests {
                 attempt: 3,
             })
             .encode(),
+            &mut sk,
         );
-        let s = sends(&n.take_actions());
-        assert!(s.iter().any(|(_, f)| matches!(f,
-            Frame::Link(LinkMsg::LinkError { reason: LinkErrorReason::WrongNode, .. }))));
+        let s = sends(&sk.take());
+        assert!(s.iter().any(|(_, f)| matches!(
+            f,
+            Frame::Link(LinkMsg::LinkError {
+                reason: LinkErrorReason::WrongNode,
+                ..
+            })
+        )));
     }
 
     #[test]
     fn passive_accept_records_connection_and_replies() {
-        let mut n = started(a(100), Vec::new());
-        n.take_actions();
+        let (mut n, mut sk) = started(a(100), Vec::new());
+        sk.take();
         n.on_datagram(
             T0,
             ep(20, 1),
@@ -1268,8 +1462,9 @@ mod tests {
                 attempt: 3,
             })
             .encode(),
+            &mut sk,
         );
-        let acts = n.take_actions();
+        let acts = sk.take();
         assert!(n.has_direct(a(200)));
         assert!(acts.iter().any(|x| matches!(x,
             NodeAction::Connected { peer, ctype: ConnType::StructuredNear } if *peer == a(200))));
@@ -1282,8 +1477,8 @@ mod tests {
 
     #[test]
     fn ping_from_stranger_answered_not_connected() {
-        let mut n = started(a(100), Vec::new());
-        n.take_actions();
+        let (mut n, mut sk) = started(a(100), Vec::new());
+        sk.take();
         n.on_datagram(
             T0,
             ep(20, 1),
@@ -1292,17 +1487,23 @@ mod tests {
                 nonce: 4,
             })
             .encode(),
+            &mut sk,
         );
-        let s = sends(&n.take_actions());
-        assert!(s.iter().any(|(_, f)| matches!(f,
-            Frame::Link(LinkMsg::LinkError { reason: LinkErrorReason::NotConnected, .. }))));
+        let s = sends(&sk.take());
+        assert!(s.iter().any(|(_, f)| matches!(
+            f,
+            Frame::Link(LinkMsg::LinkError {
+                reason: LinkErrorReason::NotConnected,
+                ..
+            })
+        )));
     }
 
     #[test]
     fn not_connected_error_drops_our_state() {
-        let mut n = started(a(100), Vec::new());
-        n.record_conn(T0, a(200), ConnType::Shortcut, ep(20, 1));
-        n.take_actions();
+        let (mut n, mut sk) = started(a(100), Vec::new());
+        n.record_conn(T0, a(200), ConnType::Shortcut, ep(20, 1), &mut sk);
+        sk.take();
         n.on_datagram(
             T0,
             ep(20, 1),
@@ -1312,8 +1513,9 @@ mod tests {
                 reason: LinkErrorReason::NotConnected,
             })
             .encode(),
+            &mut sk,
         );
-        let acts = n.take_actions();
+        let acts = sk.take();
         assert!(!n.has_direct(a(200)));
         assert!(acts.iter().any(|x| matches!(x,
             NodeAction::Disconnected { peer } if *peer == a(200))));
@@ -1321,18 +1523,18 @@ mod tests {
 
     #[test]
     fn dead_peer_detected_by_keepalive_timeouts() {
-        let mut n = started(a(100), Vec::new());
-        n.record_conn(T0, a(200), ConnType::StructuredNear, ep(20, 1));
-        n.take_actions();
+        let (mut n, mut sk) = started(a(100), Vec::new());
+        n.record_conn(T0, a(200), ConnType::StructuredNear, ep(20, 1), &mut sk);
+        sk.take();
         // Let keepalives run with no answers until the conn dies.
         let mut t = T0;
         let mut dead = false;
         for _ in 0..64 {
             let Some(next) = n.next_deadline() else { break };
             t = next;
-            n.on_tick(t);
-            if n
-                .take_actions()
+            n.on_tick(t, &mut sk);
+            if sk
+                .take()
                 .iter()
                 .any(|x| matches!(x, NodeAction::Disconnected { peer } if *peer == a(200)))
             {
@@ -1342,59 +1544,73 @@ mod tests {
         }
         assert!(dead, "unanswered pings must kill the connection");
         // interval 15 + 2+4+8+16 backoff ≈ 45 s.
-        assert!(t >= SimTime::from_secs(40) && t <= SimTime::from_secs(60), "died at {t}");
+        assert!(
+            t >= SimTime::from_secs(40) && t <= SimTime::from_secs(60),
+            "died at {t}"
+        );
+        assert_eq!(sk.counters.get(Counter::PeerDead), 1);
     }
 
     #[test]
     fn sustained_app_traffic_triggers_shortcut_ctm() {
-        let mut n = started(a(100), Vec::new());
-        n.record_conn(T0, a(90_000), ConnType::StructuredNear, ep(90, 1));
-        n.take_actions();
+        let (mut n, mut sk) = started(a(100), Vec::new());
+        n.record_conn(T0, a(90_000), ConnType::StructuredNear, ep(90, 1), &mut sk);
+        sk.take();
         let peer = a(70_000);
         let mut ctm_seen = false;
         for i in 0..200u64 {
             let t = T0 + SimDuration::from_millis(i * 500);
-            n.send_app(t, peer, 1, Bytes::from_static(b"data"));
-            let s = sends(&n.take_actions());
-            if s.iter().any(|(_, f)| matches!(f,
+            n.send_app(t, peer, 1, Bytes::from_static(b"data"), &mut sk);
+            let s = sends(&sk.take());
+            if s.iter().any(|(_, f)| {
+                matches!(f,
                 Frame::Routed(p) if matches!(&p.body,
-                    Body::CtmRequest { ctype: ConnType::Shortcut, .. }) && p.dst == peer))
-            {
+                    Body::CtmRequest { ctype: ConnType::Shortcut, .. }) && p.dst == peer)
+            }) {
                 ctm_seen = true;
                 break;
             }
         }
         assert!(ctm_seen, "2 pkt/s must cross the shortcut threshold");
+        assert_eq!(sk.counters.get(Counter::ShortcutCross), 1);
+        assert_eq!(sk.counters.get(Counter::CtmShortcut), 1);
     }
 
     #[test]
     fn shortcuts_disabled_never_requests() {
         let cfg = OverlayConfig::default().without_shortcuts();
         let mut n = BrunetNode::new(a(100), cfg, 7);
-        n.start(T0, uri(1, 4000), Vec::new());
-        n.record_conn(T0, a(90_000), ConnType::StructuredNear, ep(90, 1));
-        n.take_actions();
+        let mut sk = ActionSink::new();
+        n.start(T0, uri(1, 4000), Vec::new(), &mut sk);
+        n.record_conn(T0, a(90_000), ConnType::StructuredNear, ep(90, 1), &mut sk);
+        sk.take();
         for i in 0..500u64 {
             let t = T0 + SimDuration::from_millis(i * 100);
-            n.send_app(t, a(70_000), 1, Bytes::from_static(b"data"));
-            let s = sends(&n.take_actions());
+            n.send_app(t, a(70_000), 1, Bytes::from_static(b"data"), &mut sk);
+            let s = sends(&sk.take());
             assert!(!s.iter().any(|(_, f)| matches!(f,
                 Frame::Routed(p) if matches!(&p.body, Body::CtmRequest { ctype: ConnType::Shortcut, .. }))));
         }
+        assert_eq!(sk.counters.get(Counter::CtmShortcut), 0);
     }
 
     #[test]
     fn restart_clears_state_but_keeps_address() {
-        let mut n = started(a(100), vec![uri(9, 4000)]);
-        n.record_conn(T0, a(200), ConnType::StructuredNear, ep(20, 1));
-        n.take_actions();
+        let (mut n, mut sk) = started(a(100), vec![uri(9, 4000)]);
+        n.record_conn(T0, a(200), ConnType::StructuredNear, ep(20, 1), &mut sk);
+        sk.take();
         assert!(n.is_routable());
-        n.restart(SimTime::from_secs(100), uri(2, 4000), vec![uri(9, 4000)]);
+        n.restart(
+            SimTime::from_secs(100),
+            uri(2, 4000),
+            vec![uri(9, 4000)],
+            &mut sk,
+        );
         assert_eq!(n.address(), a(100));
         assert!(!n.is_routable());
         assert!(!n.has_direct(a(200)));
         // It immediately tries to re-join.
-        let s = sends(&n.take_actions());
+        let s = sends(&sk.take());
         assert!(s.iter().any(|(to, f)| matches!(f,
             Frame::Link(LinkMsg::LinkRequest { target, .. }) if *target == WILDCARD)
             && *to == ep(9, 4000)));
@@ -1402,7 +1618,7 @@ mod tests {
 
     #[test]
     fn stopped_node_ignores_everything() {
-        let mut n = started(a(100), Vec::new());
+        let (mut n, mut sk) = started(a(100), Vec::new());
         n.stop();
         n.on_datagram(
             T0,
@@ -1412,10 +1628,11 @@ mod tests {
                 nonce: 4,
             })
             .encode(),
+            &mut sk,
         );
-        n.on_tick(SimTime::from_secs(100));
-        n.send_app(T0, a(200), 1, Bytes::from_static(b"x"));
-        assert!(n.take_actions().is_empty());
+        n.on_tick(SimTime::from_secs(100), &mut sk);
+        n.send_app(T0, a(200), 1, Bytes::from_static(b"x"), &mut sk);
+        assert!(sk.take().is_empty());
         assert_eq!(n.next_deadline(), None);
     }
 
@@ -1423,9 +1640,9 @@ mod tests {
     fn link_messages_roam_the_peer_endpoint() {
         // A known peer's keepalive arriving from a new underlay address
         // (NAT renumbering) must retarget the connection.
-        let mut n = started(a(100), Vec::new());
-        n.record_conn(T0, a(200), ConnType::StructuredNear, ep(20, 1));
-        n.take_actions();
+        let (mut n, mut sk) = started(a(100), Vec::new());
+        n.record_conn(T0, a(200), ConnType::StructuredNear, ep(20, 1), &mut sk);
+        sk.take();
         let new_src = ep(21, 9);
         n.on_datagram(
             T0,
@@ -1435,26 +1652,28 @@ mod tests {
                 nonce: 4,
             })
             .encode(),
+            &mut sk,
         );
         assert_eq!(n.conns().get(a(200)).unwrap().remote, new_src);
         // The pong goes back to the new address.
-        let s = sends(&n.take_actions());
-        assert!(s.iter().any(|(to, f)| matches!(f, Frame::Link(LinkMsg::Pong { .. }))
-            && *to == new_src));
+        let s = sends(&sk.take());
+        assert!(s
+            .iter()
+            .any(|(to, f)| matches!(f, Frame::Link(LinkMsg::Pong { .. })) && *to == new_src));
     }
 
     #[test]
     fn stale_race_yields_to_reachable_peer() {
         // Our attempt has burned 3+ unanswered sends; the peer's request
         // reaching us proves their path works — accept instead of InRace.
-        let mut n = started(a(100), Vec::new());
-        n.connect_to(T0, a(200), ConnType::Shortcut, vec![uri(20, 1)]);
-        n.take_actions();
+        let (mut n, mut sk) = started(a(100), Vec::new());
+        n.connect_to(T0, a(200), ConnType::Shortcut, vec![uri(20, 1)], &mut sk);
+        sk.take();
         // Let three transmissions go unanswered: the initial send plus the
         // retransmissions at +5 s and +15 s (default RTO, doubling).
         for secs in [6u64, 16] {
-            n.on_tick(T0 + SimDuration::from_secs(secs));
-            n.take_actions();
+            n.on_tick(T0 + SimDuration::from_secs(secs), &mut sk);
+            sk.take();
         }
         let t = T0 + SimDuration::from_secs(17);
         n.on_datagram(
@@ -1467,34 +1686,49 @@ mod tests {
                 attempt: 9,
             })
             .encode(),
+            &mut sk,
         );
-        let acts = n.take_actions();
+        let acts = sk.take();
         assert!(n.has_direct(a(200)), "must yield and accept");
         let s = sends(&acts);
-        assert!(s.iter().any(|(_, f)| matches!(f, Frame::Link(LinkMsg::LinkReply { .. }))));
-        assert!(!s.iter().any(|(_, f)| matches!(f,
-            Frame::Link(LinkMsg::LinkError { reason: LinkErrorReason::InRace, .. }))));
+        assert!(s
+            .iter()
+            .any(|(_, f)| matches!(f, Frame::Link(LinkMsg::LinkReply { .. }))));
+        assert!(!s.iter().any(|(_, f)| matches!(
+            f,
+            Frame::Link(LinkMsg::LinkError {
+                reason: LinkErrorReason::InRace,
+                ..
+            })
+        )));
     }
 
     #[test]
     fn garbage_datagrams_count_decode_errors() {
-        let mut n = started(a(100), Vec::new());
-        n.on_datagram(T0, ep(20, 1), Bytes::from_static(&[0xde, 0xad, 0xbe, 0xef]));
+        let (mut n, mut sk) = started(a(100), Vec::new());
+        n.on_datagram(
+            T0,
+            ep(20, 1),
+            Bytes::from_static(&[0xde, 0xad, 0xbe, 0xef]),
+            &mut sk,
+        );
         assert_eq!(n.stats().decode_errors, 1);
+        assert_eq!(sk.counters.get(Counter::DroppedDecode), 1);
     }
 
     #[test]
     fn neighbor_query_answered_for_connected_peer_only() {
-        let mut n = started(a(100), Vec::new());
-        n.record_conn(T0, a(200), ConnType::StructuredNear, ep(20, 1));
-        n.record_conn(T0, a(300), ConnType::StructuredNear, ep(30, 1));
-        n.take_actions();
+        let (mut n, mut sk) = started(a(100), Vec::new());
+        n.record_conn(T0, a(200), ConnType::StructuredNear, ep(20, 1), &mut sk);
+        n.record_conn(T0, a(300), ConnType::StructuredNear, ep(30, 1), &mut sk);
+        sk.take();
         n.on_datagram(
             T0,
             ep(20, 1),
             Frame::Link(LinkMsg::NeighborQuery { from: a(200) }).encode(),
+            &mut sk,
         );
-        let s = sends(&n.take_actions());
+        let s = sends(&sk.take());
         let reply = s.iter().find_map(|(_, f)| match f {
             Frame::Link(LinkMsg::NeighborReply { neighbors, .. }) => Some(neighbors.clone()),
             _ => None,
@@ -1506,7 +1740,8 @@ mod tests {
             T0,
             ep(99, 1),
             Frame::Link(LinkMsg::NeighborQuery { from: a(999) }).encode(),
+            &mut sk,
         );
-        assert!(sends(&n.take_actions()).is_empty());
+        assert!(sends(&sk.take()).is_empty());
     }
 }

@@ -259,8 +259,7 @@ impl ShortcutOverlord {
         });
         // The paper's virtual work queue: drain at rate c, add the arrival.
         let dt = now.saturating_since(e.last_update).as_secs_f64();
-        e.score = (e.score - cfg.shortcut_service_rate * dt).max(0.0)
-            + cfg.shortcut_arrival_weight;
+        e.score = (e.score - cfg.shortcut_service_rate * dt).max(0.0) + cfg.shortcut_arrival_weight;
         e.last_update = now;
         self.last_traffic.insert(peer, now);
         e.score >= cfg.shortcut_threshold
@@ -352,7 +351,13 @@ mod tests {
         assert!(queried.contains(&a(990)));
         // Not due again until the interval passes.
         out.clear();
-        near.poll(T0 + SimDuration::from_secs(1), a(500), &conns, &cfg(), &mut out);
+        near.poll(
+            T0 + SimDuration::from_secs(1),
+            a(500),
+            &conns,
+            &cfg(),
+            &mut out,
+        );
         assert!(out.is_empty());
     }
 
@@ -425,9 +430,13 @@ mod tests {
         let mut out = Vec::new();
         far.poll(T0, a(0), &conns, 0, &c, &mut rng, &mut out);
         assert_eq!(out.len(), 1);
-        assert!(
-            matches!(&out[0], OverlordCmd::RequestCtm { ctype: ConnType::StructuredFar, .. })
-        );
+        assert!(matches!(
+            &out[0],
+            OverlordCmd::RequestCtm {
+                ctype: ConnType::StructuredFar,
+                ..
+            }
+        ));
         // Pending requests count against the target.
         let mut out2 = Vec::new();
         let mut far2 = FarOverlord::new();
@@ -453,13 +462,24 @@ mod tests {
         let mut out = Vec::new();
         far.poll(T0, a(0), &conns, 0, &c, &mut rng, &mut out);
         assert!(
-            !out.iter().any(|cmd| matches!(cmd, OverlordCmd::DropRole { .. })),
+            !out.iter()
+                .any(|cmd| matches!(cmd, OverlordCmd::DropRole { .. })),
             "k+2 surplus is tolerated"
         );
         // Beyond the band (8 links, k=4): everything past k is shed,
         // newest first preserved order.
-        conns.upsert(a(7000), ConnType::StructuredFar, ep(7), SimTime::from_secs(6));
-        conns.upsert(a(8000), ConnType::StructuredFar, ep(8), SimTime::from_secs(7));
+        conns.upsert(
+            a(7000),
+            ConnType::StructuredFar,
+            ep(7),
+            SimTime::from_secs(6),
+        );
+        conns.upsert(
+            a(8000),
+            ConnType::StructuredFar,
+            ep(8),
+            SimTime::from_secs(7),
+        );
         let mut far2 = FarOverlord::new();
         let mut out2 = Vec::new();
         far2.poll(T0, a(0), &conns, 0, &c, &mut rng, &mut out2);
@@ -479,7 +499,7 @@ mod tests {
     fn score_follows_queueing_recurrence() {
         let mut sc = ShortcutOverlord::new();
         let c = cfg(); // arrival 1.0, service 1.5/s, threshold 10
-        // A burst of 5 packets at the same instant: score 5.
+                       // A burst of 5 packets at the same instant: score 5.
         for _ in 0..5 {
             sc.on_traffic(T0, a(1), &c);
         }
@@ -528,10 +548,13 @@ mod tests {
         sc.poll(T0 + SimDuration::from_secs(60), &conns, &c, &mut out);
         assert!(out.is_empty(), "not idle yet");
         sc.poll(T0 + SimDuration::from_secs(121), &conns, &c, &mut out);
-        assert_eq!(out, vec![OverlordCmd::DropRole {
-            peer: a(1),
-            ctype: ConnType::Shortcut,
-        }]);
+        assert_eq!(
+            out,
+            vec![OverlordCmd::DropRole {
+                peer: a(1),
+                ctype: ConnType::Shortcut,
+            }]
+        );
     }
 
     #[test]

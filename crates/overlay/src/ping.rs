@@ -89,7 +89,13 @@ impl PingManager {
     }
 
     /// A pong arrived. Returns true if it matched an outstanding ping.
-    pub fn on_pong(&mut self, peer: Address, nonce: u64, now: SimTime, cfg: &OverlayConfig) -> bool {
+    pub fn on_pong(
+        &mut self,
+        peer: Address,
+        nonce: u64,
+        now: SimTime,
+        cfg: &OverlayConfig,
+    ) -> bool {
         match self.peers.get_mut(&peer) {
             Some(PeerState::Awaiting { nonce: n, .. }) if *n == nonce => {
                 self.heard(peer, now, cfg);

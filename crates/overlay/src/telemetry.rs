@@ -1,0 +1,202 @@
+//! Structured per-node telemetry.
+//!
+//! The Brunet/IPOP lineage papers stress that overlay debugging lives or
+//! dies on visibility into linking retries, CTM traffic and per-hop
+//! forwarding. This module gives [`crate::node::BrunetNode`] a structured
+//! way to report those occurrences: every interesting protocol event bumps
+//! a [`Counter`] through the [`crate::driver::NodeSink`] seam, landing in a
+//! fixed-size [`TelemetryCounters`] array — cheap enough for the hot path
+//! (one indexed add), rich enough for experiments to explain *why* pings
+//! were lost per regime, not just that they were.
+
+use std::fmt;
+
+/// One countable protocol occurrence.
+///
+/// The discriminants index [`TelemetryCounters`]; keep [`Counter::ALL`] in
+/// sync when adding variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Routed packets forwarded for other nodes.
+    Forwarded,
+    /// Routed packets delivered locally to their exact destination.
+    DeliveredExact,
+    /// Routed packets delivered locally by nearest-delivery.
+    DeliveredNearest,
+    /// Packets dropped: hop budget exhausted.
+    DroppedTtl,
+    /// Packets dropped: a CTM relay had no link to the joining node.
+    DroppedRelay,
+    /// Datagrams dropped: frame decode failure.
+    DroppedDecode,
+    /// Join CTMs sent (self-addressed, relayed via the leaf).
+    CtmJoin,
+    /// Ring-repair probe CTMs sent (self-addressed, via a random link).
+    CtmRingProbe,
+    /// Shortcut CTMs sent (traffic-score triggered).
+    CtmShortcut,
+    /// Structured-far CTMs sent (far overlord acquisitions).
+    CtmFar,
+    /// Structured-near CTMs sent (near overlord repairs).
+    CtmNear,
+    /// Link requests transmitted (initial sends and retransmissions).
+    LinkRequestSent,
+    /// Linking attempts backed off after losing a race.
+    LinkRaceBackoff,
+    /// Linking attempts that established a connection.
+    LinkEstablished,
+    /// Linking attempts that exhausted every URI.
+    LinkFailed,
+    /// Shortcut score threshold crossings observed.
+    ShortcutCross,
+    /// Peers declared dead by the keepalive failure detector.
+    PeerDead,
+    /// Application packets originated.
+    AppSent,
+}
+
+/// Number of [`Counter`] variants.
+pub const NUM_COUNTERS: usize = Counter::ALL.len();
+
+impl Counter {
+    /// Every counter, in discriminant order.
+    pub const ALL: [Counter; 18] = [
+        Counter::Forwarded,
+        Counter::DeliveredExact,
+        Counter::DeliveredNearest,
+        Counter::DroppedTtl,
+        Counter::DroppedRelay,
+        Counter::DroppedDecode,
+        Counter::CtmJoin,
+        Counter::CtmRingProbe,
+        Counter::CtmShortcut,
+        Counter::CtmFar,
+        Counter::CtmNear,
+        Counter::LinkRequestSent,
+        Counter::LinkRaceBackoff,
+        Counter::LinkEstablished,
+        Counter::LinkFailed,
+        Counter::ShortcutCross,
+        Counter::PeerDead,
+        Counter::AppSent,
+    ];
+
+    /// Stable snake_case label, used as CSV column name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Forwarded => "forwarded",
+            Counter::DeliveredExact => "delivered_exact",
+            Counter::DeliveredNearest => "delivered_nearest",
+            Counter::DroppedTtl => "dropped_ttl",
+            Counter::DroppedRelay => "dropped_relay",
+            Counter::DroppedDecode => "dropped_decode",
+            Counter::CtmJoin => "ctm_join",
+            Counter::CtmRingProbe => "ctm_ring_probe",
+            Counter::CtmShortcut => "ctm_shortcut",
+            Counter::CtmFar => "ctm_far",
+            Counter::CtmNear => "ctm_near",
+            Counter::LinkRequestSent => "link_request_sent",
+            Counter::LinkRaceBackoff => "link_race_backoff",
+            Counter::LinkEstablished => "link_established",
+            Counter::LinkFailed => "link_failed",
+            Counter::ShortcutCross => "shortcut_cross",
+            Counter::PeerDead => "peer_dead",
+            Counter::AppSent => "app_sent",
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fixed array of counts, one slot per [`Counter`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TelemetryCounters {
+    counts: [u64; NUM_COUNTERS],
+}
+
+impl TelemetryCounters {
+    /// All-zero counters.
+    pub const fn new() -> Self {
+        TelemetryCounters {
+            counts: [0; NUM_COUNTERS],
+        }
+    }
+
+    /// Bump one counter.
+    #[inline]
+    pub fn record(&mut self, counter: Counter) {
+        self.counts[counter as usize] += 1;
+    }
+
+    /// Read one counter.
+    #[inline]
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counts[counter as usize]
+    }
+
+    /// Iterate `(counter, count)` pairs in discriminant order.
+    pub fn iter(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
+        Counter::ALL.iter().map(|&c| (c, self.get(c)))
+    }
+
+    /// Add another set of counters into this one (per-slot sum).
+    pub fn merge(&mut self, other: &TelemetryCounters) {
+        for (slot, v) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *slot += v;
+        }
+    }
+
+    /// Sum of the drop counters (by any reason).
+    pub fn dropped_total(&self) -> u64 {
+        self.get(Counter::DroppedTtl)
+            + self.get(Counter::DroppedRelay)
+            + self.get(Counter::DroppedDecode)
+    }
+
+    /// Sum of the CTM counters (attempts of any kind).
+    pub fn ctm_total(&self) -> u64 {
+        self.get(Counter::CtmJoin)
+            + self.get(Counter::CtmRingProbe)
+            + self.get(Counter::CtmShortcut)
+            + self.get(Counter::CtmFar)
+            + self.get(Counter::CtmNear)
+    }
+
+    /// Reset every counter to zero.
+    pub fn clear(&mut self) {
+        self.counts = [0; NUM_COUNTERS];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discriminants_match_all_order() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i, "Counter::ALL out of order at {}", c.name());
+        }
+    }
+
+    #[test]
+    fn record_get_merge() {
+        let mut a = TelemetryCounters::new();
+        a.record(Counter::Forwarded);
+        a.record(Counter::Forwarded);
+        a.record(Counter::DroppedTtl);
+        let mut b = TelemetryCounters::new();
+        b.record(Counter::DroppedRelay);
+        b.merge(&a);
+        assert_eq!(b.get(Counter::Forwarded), 2);
+        assert_eq!(b.dropped_total(), 2);
+        assert_eq!(b.iter().map(|(_, v)| v).sum::<u64>(), 4);
+        b.clear();
+        assert_eq!(b.iter().map(|(_, v)| v).sum::<u64>(), 0);
+    }
+}

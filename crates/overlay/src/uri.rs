@@ -193,7 +193,10 @@ mod tests {
         let mut s = UriSet::new(uri(10, 0, 0, 2, 4000));
         assert!(s.learn_observed(uri(128, 8, 1, 1, 40001)));
         assert!(!s.learn_observed(uri(128, 8, 1, 1, 40001)));
-        assert!(!s.learn_observed(uri(10, 0, 0, 2, 4000)), "local not re-learned");
+        assert!(
+            !s.learn_observed(uri(10, 0, 0, 2, 4000)),
+            "local not re-learned"
+        );
         assert_eq!(s.advertised(UriOrder::PublicFirst).len(), 2);
     }
 

@@ -349,8 +349,7 @@ impl LinkMsg {
             2 => LinkMsg::LinkError {
                 from: get_address(bytes)?,
                 attempt: get_u64(bytes)?,
-                reason: LinkErrorReason::from_wire_id(get_u8(bytes)?)
-                    .ok_or(WireError::BadTag)?,
+                reason: LinkErrorReason::from_wire_id(get_u8(bytes)?).ok_or(WireError::BadTag)?,
             },
             3 => LinkMsg::Ping {
                 from: get_address(bytes)?,

@@ -17,7 +17,10 @@ fn addr(v: u64) -> Address {
 }
 
 fn uri(i: u16) -> TransportUri {
-    TransportUri::udp(PhysAddr::new(PhysIp::new(10, 0, (i >> 8) as u8, i as u8), 4000))
+    TransportUri::udp(PhysAddr::new(
+        PhysIp::new(10, 0, (i >> 8) as u8, i as u8),
+        4000,
+    ))
 }
 
 proptest! {

@@ -18,7 +18,10 @@ fn arb_phys() -> impl Strategy<Value = PhysAddr> {
 }
 
 fn arb_uri() -> impl Strategy<Value = TransportUri> {
-    (prop_oneof![Just(Scheme::Udp), Just(Scheme::Tcp)], arb_phys())
+    (
+        prop_oneof![Just(Scheme::Udp), Just(Scheme::Tcp)],
+        arb_phys(),
+    )
         .prop_map(|(scheme, addr)| TransportUri { scheme, addr })
 }
 
@@ -71,9 +74,8 @@ fn arb_link_msg() -> impl Strategy<Value = LinkMsg> {
             }
         }),
         arb_address().prop_map(|from| LinkMsg::NeighborQuery { from }),
-        (arb_address(), prop::collection::vec(arb_address(), 0..8)).prop_map(
-            |(from, neighbors)| LinkMsg::NeighborReply { from, neighbors }
-        ),
+        (arb_address(), prop::collection::vec(arb_address(), 0..8))
+            .prop_map(|(from, neighbors)| LinkMsg::NeighborReply { from, neighbors }),
     ]
 }
 

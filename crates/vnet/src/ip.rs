@@ -325,7 +325,7 @@ mod tests {
         );
         let mut raw = pkt.encode().to_vec();
         raw[9] = 99; // protocol
-        // Fix the checksum for the altered byte.
+                     // Fix the checksum for the altered byte.
         raw[10] = 0;
         raw[11] = 0;
         let csum = internet_checksum(&raw[..IPV4_HEADER_LEN]);

@@ -13,6 +13,7 @@ use bytes::Bytes;
 
 use wow_netsim::time::SimTime;
 use wow_overlay::addr::Address;
+use wow_overlay::driver::NodeSink;
 use wow_overlay::node::BrunetNode;
 
 use crate::ip::{IpProto, Ipv4Packet, VirtIp};
@@ -72,12 +73,19 @@ impl IpopRouter {
         address_for(&self.namespace, ip)
     }
 
-    /// Move every packet the stack has queued into the overlay.
-    pub fn pump_out(&mut self, now: SimTime, stack: &mut NetStack, node: &mut BrunetNode) {
+    /// Move every packet the stack has queued into the overlay. Outbound
+    /// frames, events and telemetry go through `sink`.
+    pub fn pump_out<S: NodeSink + ?Sized>(
+        &mut self,
+        now: SimTime,
+        stack: &mut NetStack,
+        node: &mut BrunetNode,
+        sink: &mut S,
+    ) {
         for pkt in stack.take_packets() {
             let dst = self.overlay_address(pkt.dst);
             self.stats.tunnelled_out += 1;
-            node.send_app(now, dst, PROTO_IPOP, pkt.encode());
+            node.send_app(now, dst, PROTO_IPOP, pkt.encode(), sink);
         }
     }
 
@@ -85,13 +93,7 @@ impl IpopRouter {
     /// overlay's delivery mode: nearest-delivery strays (their owner is
     /// down or migrating) never match our stack's IP and are dropped, as
     /// the paper's tap device drops packets for foreign IPs.
-    pub fn deliver_in(
-        &mut self,
-        now: SimTime,
-        stack: &mut NetStack,
-        data: Bytes,
-        exact: bool,
-    ) {
+    pub fn deliver_in(&mut self, now: SimTime, stack: &mut NetStack, data: Bytes, exact: bool) {
         let pkt = match Ipv4Packet::decode(data) {
             Ok(p) => p,
             Err(_) => {
@@ -159,7 +161,12 @@ mod tests {
         assert_eq!(r.stats.stray, 1);
         // Nearest-delivery for someone else.
         let for_us_but_nearest = raw_ping(VirtIp::testbed(9), VirtIp::testbed(2), 1, 1);
-        r.deliver_in(SimTime::ZERO, &mut stack, for_us_but_nearest.encode(), false);
+        r.deliver_in(
+            SimTime::ZERO,
+            &mut stack,
+            for_us_but_nearest.encode(),
+            false,
+        );
         assert_eq!(r.stats.stray, 2);
         // Garbage.
         r.deliver_in(SimTime::ZERO, &mut stack, Bytes::from_static(b"junk"), true);

@@ -18,9 +18,9 @@ use wow_netsim::time::SimTime;
 
 use crate::icmp::IcmpMessage;
 use crate::ip::{IpProto, Ipv4Packet, VirtIp};
-use crate::tcp::{TcpConfig, TcpConn, TcpEvent, TcpSegment, TcpState};
 #[allow(unused_imports)]
 use crate::tcp::MSS;
+use crate::tcp::{TcpConfig, TcpConn, TcpEvent, TcpSegment, TcpState};
 use crate::udp::UdpDatagram;
 
 /// Identifier for a TCP socket within one stack.
@@ -244,12 +244,15 @@ impl NetStack {
         let sock = SocketId(self.next_sock);
         self.next_sock += 1;
         self.by_tuple.insert((local_port, dst, port), sock);
-        self.conns.insert(sock, ConnEntry {
-            conn,
-            remote: (dst, port),
-            local_port,
-            finished: false,
-        });
+        self.conns.insert(
+            sock,
+            ConnEntry {
+                conn,
+                remote: (dst, port),
+                local_port,
+                finished: false,
+            },
+        );
         self.drain_conn(sock);
         sock
     }
@@ -291,7 +294,10 @@ impl NetStack {
     }
 
     /// Congestion diagnostics for a socket (see [`TcpConn::diag`]).
-    pub fn tcp_diag(&self, sock: SocketId) -> Option<(f64, f64, wow_netsim::time::SimDuration, Option<f64>, usize)> {
+    pub fn tcp_diag(
+        &self,
+        sock: SocketId,
+    ) -> Option<(f64, f64, wow_netsim::time::SimDuration, Option<f64>, usize)> {
         self.conns.get(&sock).map(|e| e.conn.diag())
     }
 
@@ -395,12 +401,15 @@ impl NetStack {
             let sock = SocketId(self.next_sock);
             self.next_sock += 1;
             self.by_tuple.insert(tuple, sock);
-            self.conns.insert(sock, ConnEntry {
-                conn,
-                remote: (from, seg.src_port),
-                local_port: seg.dst_port,
-                finished: false,
-            });
+            self.conns.insert(
+                sock,
+                ConnEntry {
+                    conn,
+                    remote: (from, seg.src_port),
+                    local_port: seg.dst_port,
+                    finished: false,
+                },
+            );
             self.events.push(StackEvent::TcpAccepted {
                 listener: seg.dst_port,
                 sock,
@@ -416,7 +425,9 @@ impl NetStack {
                 src_port: seg.dst_port,
                 dst_port: seg.src_port,
                 seq: seg.ack,
-                ack: seg.seq.wrapping_add(seg.payload.len() as u32 + seg.flags.syn as u32),
+                ack: seg
+                    .seq
+                    .wrapping_add(seg.payload.len() as u32 + seg.flags.syn as u32),
                 flags: crate::tcp::TcpFlags {
                     rst: true,
                     ack: true,
@@ -535,11 +546,14 @@ mod tests {
         let (mut a, mut b) = pair();
         a.ping(b.ip(), 7, 1, Bytes::from_static(b"payload"));
         pump(T0, &mut a, &mut b);
-        assert_eq!(a.take_events(), vec![StackEvent::PingReply {
-            from: VirtIp::testbed(3),
-            ident: 7,
-            seq: 1,
-        }]);
+        assert_eq!(
+            a.take_events(),
+            vec![StackEvent::PingReply {
+                from: VirtIp::testbed(3),
+                ident: 7,
+                seq: 1,
+            }]
+        );
     }
 
     #[test]
@@ -551,8 +565,10 @@ mod tests {
         pump(T0, &mut a, &mut b);
         let evs = b.take_events();
         assert_eq!(evs.len(), 1);
-        assert!(matches!(&evs[0], StackEvent::UdpIn { dst_port: 2049, data, .. }
-            if &data[..] == b"rpc"));
+        assert!(
+            matches!(&evs[0], StackEvent::UdpIn { dst_port: 2049, data, .. }
+            if &data[..] == b"rpc")
+        );
         assert_eq!(b.stats.no_socket, 1);
     }
 

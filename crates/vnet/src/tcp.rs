@@ -252,11 +252,24 @@ pub struct TcpConn {
 
 impl TcpConn {
     /// Active open: returns the connection with a SYN queued for output.
-    pub fn connect(now: SimTime, local_port: u16, remote_port: u16, iss: u32, cfg: TcpConfig) -> Self {
+    pub fn connect(
+        now: SimTime,
+        local_port: u16,
+        remote_port: u16,
+        iss: u32,
+        cfg: TcpConfig,
+    ) -> Self {
         let mut c = Self::raw(local_port, remote_port, iss, cfg);
         c.state = TcpState::SynSent;
         c.snd_nxt = iss.wrapping_add(1);
-        let seg = c.make_segment(iss, TcpFlags { syn: true, ..Default::default() }, Bytes::new());
+        let seg = c.make_segment(
+            iss,
+            TcpFlags {
+                syn: true,
+                ..Default::default()
+            },
+            Bytes::new(),
+        );
         c.out.push(seg);
         c.arm_rtx(now);
         c
@@ -789,11 +802,12 @@ impl TcpConn {
                     self.cwnd += (MSS * MSS) as f64 / self.cwnd; // AIMD
                 }
                 // Re-arm or clear the retransmission timer.
-                let all_acked = self.inflight == 0
-                    && self
-                        .fin_seq
-                        .is_none_or(|f| seq_lt(f, ack));
-                self.rtx_deadline = if all_acked { None } else { Some(now + self.rto) };
+                let all_acked = self.inflight == 0 && self.fin_seq.is_none_or(|f| seq_lt(f, ack));
+                self.rtx_deadline = if all_acked {
+                    None
+                } else {
+                    Some(now + self.rto)
+                };
                 if self.write_blocked && self.send_space() > 0 {
                     self.write_blocked = false;
                     self.events.push(TcpEvent::Writable);
@@ -891,7 +905,11 @@ impl TcpConn {
                 .range(..=self.rcv_nxt)
                 .next_back()
                 .map(|(&s, _)| s)
-                .or(if seq0 == self.rcv_nxt { Some(seq0) } else { None });
+                .or(if seq0 == self.rcv_nxt {
+                    Some(seq0)
+                } else {
+                    None
+                });
             let Some(s) = candidate else { break };
             let chunk = self.ooo.remove(&s).expect("present");
             let offset = self.rcv_nxt.wrapping_sub(s) as usize;
@@ -1081,7 +1099,10 @@ mod tests {
                 }
             }
         }
-        assert!(got_rtx, "head segment must be fast-retransmitted on dup ACK 3");
+        assert!(
+            got_rtx,
+            "head segment must be fast-retransmitted on dup ACK 3"
+        );
     }
 
     #[test]
@@ -1123,7 +1144,7 @@ mod tests {
         let (mut c, mut s) = handshake(T0);
         c.write(T0, &[9u8; 4000]);
         let _lost = c.take_output(); // blackout: nothing gets through
-        // 8 minutes of retries into the void.
+                                     // 8 minutes of retries into the void.
         let mut now = T0;
         while now < SimTime::from_secs(480) {
             let Some(d) = c.next_deadline() else { break };

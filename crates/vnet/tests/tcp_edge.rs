@@ -39,7 +39,11 @@ fn duplicate_data_segments_are_idempotent() {
         s.on_segment(T0, seg.clone());
     }
     assert_eq!(&s.read(T0, 64)[..], b"hello world");
-    assert_eq!(s.read(T0, 64).len(), 0, "duplicates must not duplicate data");
+    assert_eq!(
+        s.read(T0, 64).len(),
+        0,
+        "duplicates must not duplicate data"
+    );
 }
 
 #[test]
@@ -197,9 +201,12 @@ fn icmp_ident_mismatch_still_reported_with_fields() {
         a.on_ip(T0, p);
     }
     let evs = a.take_events();
-    assert_eq!(evs, vec![StackEvent::PingReply {
-        from: VirtIp::testbed(3),
-        ident: 42,
-        seq: 7,
-    }]);
+    assert_eq!(
+        evs,
+        vec![StackEvent::PingReply {
+            from: VirtIp::testbed(3),
+            ident: 42,
+            seq: 7,
+        }]
+    );
 }

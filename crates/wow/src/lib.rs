@@ -20,8 +20,8 @@
 
 pub mod migrate;
 pub mod simrt;
-pub mod udprt;
 pub mod testbed;
+pub mod udprt;
 pub mod workstation;
 
 pub use wow_netsim as netsim;

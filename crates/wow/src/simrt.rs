@@ -1,13 +1,17 @@
 //! Simulator runtime: drive [`BrunetNode`]s as `wow-netsim` actors.
 //!
-//! [`OverlayHost`] adapts the sans-IO node to the discrete-event simulator
-//! and adds the one cost the protocol code cannot know about: *forwarding
-//! compute*. The paper's overlay routers are user-level processes on shared
-//! PlanetLab hosts; every packet they relay costs CPU, and on a loaded host
-//! that queueing delay — not the WAN — dominates multi-hop latency and
-//! caps multi-hop bandwidth (Table II's 84 KB/s). Incoming datagrams are
-//! therefore run through the host's FIFO CPU queue before the node sees
-//! them.
+//! [`OverlayHost`] is a thin adapter over the shared
+//! [`wow_overlay::driver::NodeDriver`]: it translates simulator datagrams
+//! and wakes into driver calls, hands outbound frames straight to the
+//! simulated wire (no intermediate action buffer), and dispatches the
+//! driver's buffered [`NodeEvent`]s to the attached application. The one
+//! cost it adds — the cost the protocol code cannot know about — is
+//! *forwarding compute*. The paper's overlay routers are user-level
+//! processes on shared PlanetLab hosts; every packet they relay costs CPU,
+//! and on a loaded host that queueing delay — not the WAN — dominates
+//! multi-hop latency and caps multi-hop bandwidth (Table II's 84 KB/s).
+//! Incoming datagrams are therefore run through the host's FIFO CPU queue
+//! before the node sees them.
 //!
 //! Application logic (the IPOP/vnet stack, measurement probes) attaches via
 //! [`OverlayApp`]; [`NodeHandle`] is its interface back to the node and the
@@ -17,11 +21,14 @@ use std::collections::VecDeque;
 
 use bytes::Bytes;
 
+use wow_netsim::addr::PhysAddr;
 use wow_netsim::prelude::*;
 use wow_netsim::sim::Datagram;
 use wow_overlay::addr::Address;
 use wow_overlay::conn::ConnType;
-use wow_overlay::node::{BrunetNode, NodeAction};
+use wow_overlay::driver::{NodeDriver, NodeEvent, NodeSink, Transport};
+use wow_overlay::node::BrunetNode;
+use wow_overlay::telemetry::TelemetryCounters;
 use wow_overlay::uri::TransportUri;
 
 /// Wake-tag namespace: the node's protocol tick.
@@ -36,6 +43,19 @@ const TAG_APP_BASE: u64 = 2;
 /// [`NodeHandle::wake_after`]) must use this mapping.
 pub fn app_wake_tag(user: u64) -> u64 {
     TAG_APP_BASE + (user << 2) + 2
+}
+
+/// [`Transport`] adapter: outbound frames become simulator datagrams from
+/// this host's bound port.
+struct CtxTransport<'a, 'c> {
+    ctx: &'a mut Ctx<'c>,
+    port: u16,
+}
+
+impl Transport for CtxTransport<'_, '_> {
+    fn transmit(&mut self, to: PhysAddr, frame: Bytes) {
+        self.ctx.send(self.port, to, frame);
+    }
 }
 
 /// Per-packet forwarding compute model.
@@ -110,10 +130,10 @@ impl OverlayApp for NoApp {}
 
 /// The application's interface to its node and the simulator.
 pub struct NodeHandle<'a, 'c> {
-    /// The overlay node (routing table, stats, send_app…).
-    pub node: &'a mut BrunetNode,
+    driver: &'a mut NodeDriver,
     /// The simulator context (time, RNG, CPU, timers).
     pub ctx: &'a mut Ctx<'c>,
+    port: u16,
 }
 
 impl NodeHandle<'_, '_> {
@@ -122,9 +142,37 @@ impl NodeHandle<'_, '_> {
         self.ctx.now
     }
 
-    /// Route an application payload to an overlay address.
+    /// The overlay node (routing table, stats, …).
+    pub fn node(&self) -> &BrunetNode {
+        self.driver.node()
+    }
+
+    /// Telemetry accumulated by the node.
+    pub fn counters(&self) -> &TelemetryCounters {
+        self.driver.counters()
+    }
+
+    /// Route an application payload to an overlay address. Frames go
+    /// straight onto the simulated wire.
     pub fn send(&mut self, dst: Address, proto: u8, data: Bytes) {
-        self.node.send_app(self.ctx.now, dst, proto, data);
+        let now = self.ctx.now;
+        let mut t = CtxTransport {
+            ctx: &mut *self.ctx,
+            port: self.port,
+        };
+        self.driver.send_app(now, dst, proto, data, &mut t);
+    }
+
+    /// Run `f` with the node and a live sink — for glue (like the IPOP
+    /// router) that drives node internals directly. Frames emitted through
+    /// the sink go straight onto the simulated wire; events and counters
+    /// land in the driver for the host's next dispatch.
+    pub fn with_node<R>(&mut self, f: impl FnOnce(&mut BrunetNode, &mut dyn NodeSink) -> R) -> R {
+        let mut t = CtxTransport {
+            ctx: &mut *self.ctx,
+            port: self.port,
+        };
+        self.driver.with_sink(&mut t, |node, sink| f(node, sink))
     }
 
     /// Schedule [`OverlayApp::on_wake`] with `tag` after `after`.
@@ -145,13 +193,12 @@ impl NodeHandle<'_, '_> {
 
 /// A simulated host running one overlay node plus an application.
 pub struct OverlayHost<A: OverlayApp> {
-    node: BrunetNode,
+    driver: NodeDriver,
     app: A,
     port: u16,
     bootstrap: Vec<TransportUri>,
     cost: ForwardingCost,
     queue: VecDeque<Datagram>,
-    armed_tick: Option<SimTime>,
 }
 
 impl<A: OverlayApp> OverlayHost<A> {
@@ -165,24 +212,30 @@ impl<A: OverlayApp> OverlayHost<A> {
         app: A,
     ) -> Self {
         OverlayHost {
-            node,
+            driver: NodeDriver::new(node),
             app,
             port,
             bootstrap,
             cost,
             queue: VecDeque::new(),
-            armed_tick: None,
         }
     }
 
     /// The node (for assertions and measurements between sim steps).
     pub fn node(&self) -> &BrunetNode {
-        &self.node
+        self.driver.node()
     }
 
     /// Mutable node access (experiment orchestration via `with_actor`).
+    /// Effects emitted by poked entry points are NOT captured — prefer
+    /// [`OverlayHost::send_app`] or [`OverlayHost::handle_and_app`].
     pub fn node_mut(&mut self) -> &mut BrunetNode {
-        &mut self.node
+        self.driver.node_mut()
+    }
+
+    /// Telemetry accumulated over the node's lifetime.
+    pub fn counters(&self) -> TelemetryCounters {
+        *self.driver.counters()
     }
 
     /// The application.
@@ -200,83 +253,102 @@ impl<A: OverlayApp> OverlayHost<A> {
         self.port
     }
 
+    /// Route an application payload from this node, flushing all resulting
+    /// effects into the simulator (orchestration entry point for
+    /// `Sim::with_actor` closures).
+    pub fn send_app(&mut self, ctx: &mut Ctx<'_>, dst: Address, proto: u8, data: Bytes) {
+        let now = ctx.now;
+        {
+            let mut t = CtxTransport {
+                ctx: &mut *ctx,
+                port: self.port,
+            };
+            self.driver.send_app(now, dst, proto, data, &mut t);
+        }
+        self.flush(ctx);
+    }
+
     /// Restart the node on its current host (used after VM migration: the
     /// paper kills and restarts IPOP; physical connection state is void).
     pub fn restart_node(&mut self, ctx: &mut Ctx<'_>) {
         let local = ctx.bind(self.port);
         self.queue.clear();
-        self.armed_tick = None;
-        self.node
-            .restart(ctx.now, TransportUri::udp(local), self.bootstrap.clone());
+        self.driver.timer_fired();
+        let now = ctx.now;
+        {
+            let mut t = CtxTransport {
+                ctx: &mut *ctx,
+                port: self.port,
+            };
+            self.driver.restart(
+                now,
+                TransportUri::udp(local),
+                self.bootstrap.clone(),
+                &mut t,
+            );
+        }
         self.flush(ctx);
     }
 
     /// Disjoint mutable access to the node and the application together
     /// (orchestration helpers need both at once).
     pub fn node_and_app_mut(&mut self) -> (&mut BrunetNode, &mut A) {
-        (&mut self.node, &mut self.app)
+        (self.driver.node_mut(), &mut self.app)
     }
 
-    /// Drain pending node actions into the simulator (for orchestration
-    /// code that poked the node via [`OverlayHost::node_mut`]).
+    /// A [`NodeHandle`] plus the application, borrowed together — the
+    /// orchestration seam for code that drives app glue by hand (tests,
+    /// `control::resume`). Follow up with [`OverlayHost::flush_now`] from a
+    /// fresh `with_actor` closure to dispatch any events the glue produced.
+    pub fn handle_and_app<'a, 'c>(
+        &'a mut self,
+        ctx: &'a mut Ctx<'c>,
+    ) -> (NodeHandle<'a, 'c>, &'a mut A) {
+        (
+            NodeHandle {
+                driver: &mut self.driver,
+                ctx,
+                port: self.port,
+            },
+            &mut self.app,
+        )
+    }
+
+    /// Dispatch pending node events and re-arm the protocol tick (for
+    /// orchestration code that poked the node or app between sim steps).
     pub fn flush_now(&mut self, ctx: &mut Ctx<'_>) {
         self.flush(ctx);
     }
 
-    /// Drain node actions into simulator effects and app callbacks, then
-    /// re-arm the protocol tick.
+    /// Dispatch the driver's buffered events to app callbacks until
+    /// quiescent, then re-arm the protocol tick.
     fn flush(&mut self, ctx: &mut Ctx<'_>) {
-        loop {
-            let actions = self.node.take_actions();
-            if actions.is_empty() {
-                break;
-            }
-            for action in actions {
-                match action {
-                    NodeAction::Send { to, frame } => ctx.send(self.port, to, frame),
-                    NodeAction::Deliver {
+        while self.driver.has_events() {
+            let mut events = self.driver.take_events();
+            for ev in events.drain(..) {
+                let mut h = NodeHandle {
+                    driver: &mut self.driver,
+                    ctx,
+                    port: self.port,
+                };
+                match ev {
+                    NodeEvent::Deliver {
                         src,
                         proto,
                         data,
                         exact,
-                    } => {
-                        let mut h = NodeHandle {
-                            node: &mut self.node,
-                            ctx,
-                        };
-                        self.app.on_deliver(&mut h, src, proto, data, exact);
+                    } => self.app.on_deliver(&mut h, src, proto, data, exact),
+                    NodeEvent::Connected { peer, ctype } => {
+                        self.app.on_connected(&mut h, peer, ctype)
                     }
-                    NodeAction::Connected { peer, ctype } => {
-                        let mut h = NodeHandle {
-                            node: &mut self.node,
-                            ctx,
-                        };
-                        self.app.on_connected(&mut h, peer, ctype);
-                    }
-                    NodeAction::Disconnected { peer } => {
-                        let mut h = NodeHandle {
-                            node: &mut self.node,
-                            ctx,
-                        };
-                        self.app.on_disconnected(&mut h, peer);
-                    }
-                    NodeAction::LinkFailed { .. } => {}
+                    NodeEvent::Disconnected { peer } => self.app.on_disconnected(&mut h, peer),
+                    NodeEvent::LinkFailed { .. } => {}
                 }
             }
+            self.driver.recycle_events(events);
         }
-        self.arm_tick(ctx);
-    }
-
-    fn arm_tick(&mut self, ctx: &mut Ctx<'_>) {
-        if let Some(deadline) = self.node.next_deadline() {
-            let need_arm = match self.armed_tick {
-                Some(armed) => deadline < armed || armed <= ctx.now,
-                None => true,
-            };
-            if need_arm {
-                ctx.wake_at(deadline, TAG_TICK);
-                self.armed_tick = Some(deadline);
-            }
+        if let Some(deadline) = self.driver.arm_hint(ctx.now) {
+            ctx.wake_at(deadline, TAG_TICK);
         }
     }
 }
@@ -284,12 +356,24 @@ impl<A: OverlayApp> OverlayHost<A> {
 impl<A: OverlayApp> Actor for OverlayHost<A> {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         let local = ctx.bind(self.port);
-        self.node
-            .start(ctx.now, TransportUri::udp(local), self.bootstrap.clone());
+        let now = ctx.now;
+        {
+            let mut t = CtxTransport {
+                ctx: &mut *ctx,
+                port: self.port,
+            };
+            self.driver.start(
+                now,
+                TransportUri::udp(local),
+                self.bootstrap.clone(),
+                &mut t,
+            );
+        }
         self.flush(ctx);
         let mut h = NodeHandle {
-            node: &mut self.node,
+            driver: &mut self.driver,
             ctx,
+            port: self.port,
         };
         self.app.on_start(&mut h);
         self.flush(ctx);
@@ -311,21 +395,37 @@ impl<A: OverlayApp> Actor for OverlayHost<A> {
     fn on_wake(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
         match tag {
             TAG_TICK => {
-                self.armed_tick = None;
-                self.node.on_tick(ctx.now);
+                self.driver.timer_fired();
+                let now = ctx.now;
+                {
+                    let mut t = CtxTransport {
+                        ctx: &mut *ctx,
+                        port: self.port,
+                    };
+                    self.driver.on_tick(now, &mut t);
+                }
                 self.flush(ctx);
             }
             TAG_PROC => {
                 if let Some(dgram) = self.queue.pop_front() {
-                    self.node.on_datagram(ctx.now, dgram.src, dgram.payload);
+                    let now = ctx.now;
+                    {
+                        let mut t = CtxTransport {
+                            ctx: &mut *ctx,
+                            port: self.port,
+                        };
+                        self.driver
+                            .on_datagram(now, dgram.src, dgram.payload, &mut t);
+                    }
                     self.flush(ctx);
                 }
             }
             app_tag => {
                 let user = (app_tag - TAG_APP_BASE) >> 2;
                 let mut h = NodeHandle {
-                    node: &mut self.node,
+                    driver: &mut self.driver,
                     ctx,
+                    port: self.port,
                 };
                 self.app.on_wake(&mut h, user);
                 self.flush(ctx);

@@ -231,18 +231,30 @@ pub fn build<W: Workload>(
     // ---- domains ----
     let planetlab = sim.add_domain(DomainSpec::public("planetlab"));
     let sites = [
-        (Site::Ufl, DomainSpec::natted("ufl.edu", NatConfig::typical())),
+        (
+            Site::Ufl,
+            DomainSpec::natted("ufl.edu", NatConfig::typical()),
+        ),
         (
             Site::Nwu,
             DomainSpec::natted("northwestern.edu", NatConfig::hairpinning()),
         ),
-        (Site::Lsu, DomainSpec::natted("lsu.edu", NatConfig::typical())),
+        (
+            Site::Lsu,
+            DomainSpec::natted("lsu.edu", NatConfig::typical()),
+        ),
         (
             Site::Ncgrid,
             DomainSpec::natted("ncgrid.org", NatConfig::typical()),
         ),
-        (Site::Vims, DomainSpec::natted("vims.edu", NatConfig::typical())),
-        (Site::Gru, DomainSpec::natted("gru.net", NatConfig::symmetric())),
+        (
+            Site::Vims,
+            DomainSpec::natted("vims.edu", NatConfig::typical()),
+        ),
+        (
+            Site::Gru,
+            DomainSpec::natted("gru.net", NatConfig::symmetric()),
+        ),
     ];
     let mut domains = Vec::new();
     for (site, spec) in sites {

@@ -1,10 +1,13 @@
 //! Live runtime: the same overlay state machine over real UDP sockets.
 //!
-//! Proof that the protocol kernel is not simulator-bound: [`UdpNode`] drives
-//! a [`BrunetNode`] from a background thread that owns a `std::net`
-//! UDP socket, translating wall-clock time to the state machine's
-//! timestamps. Used by `examples/live_udp.rs` to form a real ring on
-//! loopback — no privileges, no tun device, no network configuration.
+//! Proof that the protocol kernel is not simulator-bound: [`UdpNode`] runs
+//! the shared [`NodeDriver`] from a background thread that owns a
+//! `std::net` UDP socket, translating wall-clock time to the state
+//! machine's timestamps. Outbound frames go straight from the node to the
+//! socket through a [`Transport`]; the driver's due-gated polling
+//! ([`NodeDriver::tick_due`]) replaces a hand-rolled deadline check. Used
+//! by `examples/live_udp.rs` to form a real ring on loopback — no
+//! privileges, no tun device, no network configuration.
 //!
 //! The control surface is deliberately small: send an application payload,
 //! observe deliveries/connections via a crossbeam channel, inspect
@@ -24,7 +27,9 @@ use wow_netsim::time::SimTime;
 use wow_overlay::addr::Address;
 use wow_overlay::config::OverlayConfig;
 use wow_overlay::conn::ConnType;
-use wow_overlay::node::{BrunetNode, NodeAction};
+use wow_overlay::driver::{NodeDriver, NodeEvent, Transport};
+use wow_overlay::node::BrunetNode;
+use wow_overlay::telemetry::TelemetryCounters;
 use wow_overlay::uri::TransportUri;
 
 /// Events surfaced to the embedding application.
@@ -56,7 +61,11 @@ pub enum UdpEvent {
 }
 
 enum Cmd {
-    SendApp { dst: Address, proto: u8, data: Bytes },
+    SendApp {
+        dst: Address,
+        proto: u8,
+        data: Bytes,
+    },
     Stop,
 }
 
@@ -69,6 +78,19 @@ pub struct NodeSnapshot {
     pub connections: usize,
     /// Direct-link peers.
     pub peers: Vec<Address>,
+    /// Telemetry accumulated since the node started.
+    pub counters: TelemetryCounters,
+}
+
+/// [`Transport`] adapter: outbound frames go straight to the UDP socket.
+struct SocketTransport<'a> {
+    socket: &'a UdpSocket,
+}
+
+impl Transport for SocketTransport<'_> {
+    fn transmit(&mut self, to: PhysAddr, frame: Bytes) {
+        let _ = self.socket.send_to(&frame, to_sock(to));
+    }
 }
 
 fn to_sock(addr: PhysAddr) -> SocketAddr {
@@ -119,15 +141,21 @@ impl UdpNode {
             .spawn(move || {
                 let epoch = Instant::now();
                 let now = |e: Instant| SimTime::from_micros(e.elapsed().as_micros() as u64);
-                let mut node = BrunetNode::new(addr, cfg, seed);
-                node.start(now(epoch), TransportUri::udp(local), bootstrap);
+                let mut driver = NodeDriver::new(BrunetNode::new(addr, cfg, seed));
+                let mut transport = SocketTransport { socket: &socket };
+                driver.start(
+                    now(epoch),
+                    TransportUri::udp(local),
+                    bootstrap,
+                    &mut transport,
+                );
                 let mut buf = [0u8; 65_536];
                 'main: loop {
                     // Commands.
                     while let Ok(cmd) = cmd_rx.try_recv() {
                         match cmd {
                             Cmd::SendApp { dst, proto, data } => {
-                                node.send_app(now(epoch), dst, proto, data);
+                                driver.send_app(now(epoch), dst, proto, data, &mut transport);
                             }
                             Cmd::Stop => break 'main,
                         }
@@ -135,10 +163,11 @@ impl UdpNode {
                     // Socket.
                     match socket.recv_from(&mut buf) {
                         Ok((n, src)) => {
-                            node.on_datagram(
+                            driver.on_datagram(
                                 now(epoch),
                                 from_sock(src),
                                 Bytes::copy_from_slice(&buf[..n]),
+                                &mut transport,
                             );
                         }
                         Err(e)
@@ -146,45 +175,49 @@ impl UdpNode {
                                 || e.kind() == std::io::ErrorKind::TimedOut => {}
                         Err(_) => break 'main,
                     }
-                    // Timers.
+                    // Timers: due-gated polling — this wall-clock loop wakes
+                    // at least every read-timeout, so ticking when the next
+                    // deadline has passed is enough.
                     let t = now(epoch);
-                    if node.next_deadline().is_some_and(|d| d <= t) {
-                        node.on_tick(t);
+                    if driver.tick_due(t) {
+                        driver.on_tick(t, &mut transport);
                     }
-                    // Effects.
-                    for action in node.take_actions() {
-                        match action {
-                            NodeAction::Send { to, frame } => {
-                                let _ = socket.send_to(&frame, to_sock(to));
-                            }
-                            NodeAction::Deliver {
-                                src,
-                                proto,
-                                data,
-                                exact,
-                            } => {
-                                let _ = ev_tx.send(UdpEvent::Deliver {
+                    // Dispatch buffered events (frames already went out
+                    // through the transport above).
+                    if driver.has_events() {
+                        let mut events = driver.take_events();
+                        for ev in events.drain(..) {
+                            let _ = match ev {
+                                NodeEvent::Deliver {
                                     src,
                                     proto,
                                     data,
                                     exact,
-                                });
-                            }
-                            NodeAction::Connected { peer, ctype } => {
-                                let _ = ev_tx.send(UdpEvent::Connected { peer, ctype });
-                            }
-                            NodeAction::Disconnected { peer } => {
-                                let _ = ev_tx.send(UdpEvent::Disconnected { peer });
-                            }
-                            NodeAction::LinkFailed { .. } => {}
+                                } => ev_tx.send(UdpEvent::Deliver {
+                                    src,
+                                    proto,
+                                    data,
+                                    exact,
+                                }),
+                                NodeEvent::Connected { peer, ctype } => {
+                                    ev_tx.send(UdpEvent::Connected { peer, ctype })
+                                }
+                                NodeEvent::Disconnected { peer } => {
+                                    ev_tx.send(UdpEvent::Disconnected { peer })
+                                }
+                                NodeEvent::LinkFailed { .. } => Ok(()),
+                            };
                         }
+                        driver.recycle_events(events);
                     }
                     // Publish a snapshot.
                     {
+                        let node = driver.node();
                         let mut s = snap.lock();
                         s.routable = node.is_routable();
                         s.connections = node.conns().len();
                         s.peers = node.conns().iter().map(|c| c.peer).collect();
+                        s.counters = *driver.counters();
                     }
                 }
             })?;

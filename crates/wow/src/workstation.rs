@@ -88,7 +88,13 @@ const TAG_STACK_TICK: u64 = 0;
 
 impl<W: Workload> WsApp<W> {
     /// Build the glue for a workstation with the given virtual IP.
-    pub fn new(ip: VirtIp, namespace: &str, tcp: wow_vnet::tcp::TcpConfig, seed: u64, workload: W) -> Self {
+    pub fn new(
+        ip: VirtIp,
+        namespace: &str,
+        tcp: wow_vnet::tcp::TcpConfig,
+        seed: u64,
+        workload: W,
+    ) -> Self {
         WsApp {
             stack: NetStack::new(ip, tcp, seed),
             ipop: IpopRouter::new(namespace),
@@ -162,7 +168,8 @@ impl<W: Workload> WsApp<W> {
             // Replay immediately; the time that "passed" during suspension
             // is the migration outage the paper measures. The tags were
             // captured post-unwrapping, so re-wrap them for the host.
-            h.ctx.wake_after(SimDuration::from_micros(1), app_wake_tag(tag));
+            h.ctx
+                .wake_after(SimDuration::from_micros(1), app_wake_tag(tag));
         }
         let mut w = WsHandle {
             stack: &mut self.stack,
@@ -183,7 +190,8 @@ impl<W: Workload> WsApp<W> {
     fn pump(&mut self, h: &mut NodeHandle<'_, '_>) {
         loop {
             let now = h.now();
-            self.ipop.pump_out(now, &mut self.stack, h.node);
+            let (stack, ipop) = (&mut self.stack, &mut self.ipop);
+            h.with_node(|node, sink| ipop.pump_out(now, stack, node, sink));
             let events = self.stack.take_events();
             if events.is_empty() {
                 break;
@@ -301,11 +309,10 @@ pub mod control {
     pub fn resume<W: Workload>(sim: &mut Sim, actor: ActorId) {
         sim.with_actor::<Workstation<W>, _>(actor, |ws, ctx| {
             ws.restart_node(ctx);
-            let (node, app) = ws.node_and_app_mut();
-            let mut h = NodeHandle { node, ctx };
+            let (mut h, app) = ws.handle_and_app(ctx);
             app.resume(&mut h);
         });
-        // Flush any actions the restart produced.
+        // Dispatch any events the restart/resume produced.
         sim.with_actor::<Workstation<W>, _>(actor, |ws, ctx| {
             ws.flush_now(ctx);
         });

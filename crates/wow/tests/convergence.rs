@@ -33,7 +33,11 @@ fn public_overlay(seed: u64, n: usize) -> Net {
     for i in 0..n {
         let host = sim.add_host(wan, HostSpec::new(format!("h{i}")));
         let addr = Address::random(&mut rng);
-        let node = BrunetNode::new(addr, OverlayConfig::default(), seeds.seed_for_indexed("node", i as u64));
+        let node = BrunetNode::new(
+            addr,
+            OverlayConfig::default(),
+            seeds.seed_for_indexed("node", i as u64),
+        );
         let actor = sim.add_actor_at(
             host,
             SimTime::from_millis(i as u64 * 200),
@@ -46,7 +50,10 @@ fn public_overlay(seed: u64, n: usize) -> Net {
             ),
         );
         if i == 0 {
-            bootstrap.push(TransportUri::udp(PhysAddr::new(sim.world().host_ip(host), PORT)));
+            bootstrap.push(TransportUri::udp(PhysAddr::new(
+                sim.world().host_ip(host),
+                PORT,
+            )));
         }
         actors.push(actor);
         addrs.push(addr);
@@ -59,12 +66,8 @@ fn public_overlay(seed: u64, n: usize) -> Net {
 /// closest clockwise structured peer is exactly the next node in address
 /// order.
 fn assert_ring_consistent(net: &mut Net) {
-    let mut order: Vec<(Address, usize)> = net
-        .addrs
-        .iter()
-        .copied()
-        .zip(0..net.addrs.len())
-        .collect();
+    let mut order: Vec<(Address, usize)> =
+        net.addrs.iter().copied().zip(0..net.addrs.len()).collect();
     order.sort();
     let n = order.len();
     for i in 0..n {
@@ -105,10 +108,7 @@ fn ring_of_sixteen_converges_and_is_consistent() {
         let (routable, nears) = net.sim.with_actor::<OverlayHost<NoApp>, _>(actor, |h, _| {
             (
                 h.node().is_routable(),
-                h.node()
-                    .conns()
-                    .with_type(ConnType::StructuredNear)
-                    .count(),
+                h.node().conns().with_type(ConnType::StructuredNear).count(),
             )
         });
         assert!(routable, "node {i} not routable");
@@ -185,9 +185,13 @@ fn app_payloads_route_across_the_ring() {
         let actor = sim.add_actor_at(
             host,
             SimTime::from_millis(i as u64 * 100),
-            OverlayHost::new(node, PORT, bootstrap.clone(), ForwardingCost::end_node(), Recorder {
-                seen: seen.clone(),
-            }),
+            OverlayHost::new(
+                node,
+                PORT,
+                bootstrap.clone(),
+                ForwardingCost::end_node(),
+                Recorder { seen: seen.clone() },
+            ),
         );
         if i == 0 {
             bootstrap.push(TransportUri::udp(PhysAddr::new(
@@ -206,17 +210,7 @@ fn app_payloads_route_across_the_ring() {
                 continue;
             }
             sim.with_actor::<OverlayHost<Recorder>, _>(actor, |host, ctx| {
-                host.node_mut()
-                    .send_app(ctx.now, dst, 9, Bytes::from(vec![i as u8, j as u8]));
-            });
-            // Flush the send actions through the actor interface.
-            sim.with_actor::<OverlayHost<Recorder>, _>(actor, |host, ctx| {
-                let actions = host.node_mut().take_actions();
-                for a in actions {
-                    if let wow_overlay::node::NodeAction::Send { to, frame } = a {
-                        ctx.send(PORT, to, frame);
-                    }
-                }
+                host.send_app(ctx, dst, 9, Bytes::from(vec![i as u8, j as u8]));
             });
         }
     }
@@ -255,7 +249,13 @@ fn natted_nodes_join_via_public_bootstrap_and_form_shortcuts() {
         let actor = sim.add_actor_at(
             host,
             SimTime::from_millis(i * 100),
-            OverlayHost::new(node, PORT, bootstrap.clone(), ForwardingCost::router(), NoApp),
+            OverlayHost::new(
+                node,
+                PORT,
+                bootstrap.clone(),
+                ForwardingCost::router(),
+                NoApp,
+            ),
         );
         if i == 0 {
             bootstrap.push(TransportUri::udp(PhysAddr::new(
@@ -291,7 +291,8 @@ fn natted_nodes_join_via_public_bootstrap_and_form_shortcuts() {
     }
     sim.run_until(SimTime::from_secs(60));
     for (i, &actor) in nat_actors.iter().enumerate() {
-        let routable = sim.with_actor::<OverlayHost<NoApp>, _>(actor, |h, _| h.node().is_routable());
+        let routable =
+            sim.with_actor::<OverlayHost<NoApp>, _>(actor, |h, _| h.node().is_routable());
         assert!(routable, "NATted node {i} failed to join");
     }
     // Drive sustained traffic A→B (2 packets per second, like the ping
@@ -302,19 +303,13 @@ fn natted_nodes_join_via_public_bootstrap_and_form_shortcuts() {
         let t = SimTime::from_secs(60) + SimDuration::from_millis(k * 500);
         sim.schedule(t, move |sim| {
             sim.with_actor::<OverlayHost<NoApp>, _>(a_actor, |host, ctx| {
-                host.node_mut()
-                    .send_app(ctx.now, b_addr, 9, Bytes::from_static(b"traffic"));
-                let actions = host.node_mut().take_actions();
-                for a in actions {
-                    if let wow_overlay::node::NodeAction::Send { to, frame } = a {
-                        ctx.send(PORT, to, frame);
-                    }
-                }
+                host.send_app(ctx, b_addr, 9, Bytes::from_static(b"traffic"));
             });
         });
     }
     sim.run_until(SimTime::from_secs(240));
-    let direct = sim.with_actor::<OverlayHost<NoApp>, _>(a_actor, |h, _| h.node().has_direct(b_addr));
+    let direct =
+        sim.with_actor::<OverlayHost<NoApp>, _>(a_actor, |h, _| h.node().has_direct(b_addr));
     assert!(
         direct,
         "sustained traffic across two NATs must produce a hole-punched shortcut"

@@ -7,7 +7,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 
 use wow::simrt::{ForwardingCost, NoApp, OverlayHost};
-use wow::workstation::{control, WsHandle, Workload, Workstation};
+use wow::workstation::{control, Workload, Workstation, WsHandle};
 use wow_netsim::prelude::*;
 use wow_overlay::addr::Address;
 use wow_overlay::config::OverlayConfig;
@@ -57,10 +57,19 @@ fn suspension_defers_timers_and_drops_traffic() {
         sim.add_actor_at(
             host,
             SimTime::from_millis(i * 100),
-            OverlayHost::new(node, PORT, bootstrap.clone(), ForwardingCost::router(), NoApp),
+            OverlayHost::new(
+                node,
+                PORT,
+                bootstrap.clone(),
+                ForwardingCost::router(),
+                NoApp,
+            ),
         );
         if i == 0 {
-            bootstrap.push(TransportUri::udp(PhysAddr::new(sim.world().host_ip(host), PORT)));
+            bootstrap.push(TransportUri::udp(PhysAddr::new(
+                sim.world().host_ip(host),
+                PORT,
+            )));
         }
     }
     let fired = Rc::new(RefCell::new(Vec::new()));

@@ -7,8 +7,8 @@ use std::rc::Rc;
 use bytes::Bytes;
 
 use wow::migrate::{migrate_workstation, MigrationSpec};
-use wow::simrt::{ForwardingCost, NoApp, NodeHandle, OverlayHost};
-use wow::workstation::{control, WsHandle, Workload, Workstation};
+use wow::simrt::{ForwardingCost, NoApp, OverlayHost};
+use wow::workstation::{control, Workload, Workstation, WsHandle};
 use wow_netsim::prelude::*;
 use wow_overlay::addr::Address;
 use wow_overlay::config::OverlayConfig;
@@ -61,10 +61,19 @@ fn setup(seed: u64) -> World {
         sim.add_actor_at(
             host,
             SimTime::from_millis(i * 100),
-            OverlayHost::new(node, PORT, bootstrap.clone(), ForwardingCost::router(), NoApp),
+            OverlayHost::new(
+                node,
+                PORT,
+                bootstrap.clone(),
+                ForwardingCost::router(),
+                NoApp,
+            ),
         );
         if i == 0 {
-            bootstrap.push(TransportUri::udp(PhysAddr::new(sim.world().host_ip(host), PORT)));
+            bootstrap.push(TransportUri::udp(PhysAddr::new(
+                sim.world().host_ip(host),
+                PORT,
+            )));
         }
     }
     let a_events = Rc::new(RefCell::new(Vec::new()));
@@ -119,8 +128,7 @@ type Ws = Workstation<Recorder>;
 /// Poke a workstation's stack and pump the result into the overlay.
 fn with_stack(sim: &mut Sim, actor: ActorId, f: impl FnOnce(&mut WsHandle<'_, '_, '_>)) {
     sim.with_actor::<Ws, _>(actor, |ws, ctx| {
-        let (node, app) = ws.node_and_app_mut();
-        let mut h = NodeHandle { node, ctx };
+        let (mut h, app) = ws.handle_and_app(ctx);
         {
             let mut w = WsHandle {
                 stack: app.stack_mut(),
@@ -189,8 +197,9 @@ fn tcp_transfer_across_nats() {
     for k in 0..200u64 {
         let sock = sock.clone();
         let sent = sent.clone();
-        w.sim
-            .schedule(SimTime::from_secs(42) + SimDuration::from_millis(k * 200), move |sim| {
+        w.sim.schedule(
+            SimTime::from_secs(42) + SimDuration::from_millis(k * 200),
+            move |sim| {
                 let Some(s) = *sock.borrow() else { return };
                 let mut done = sent.borrow_mut();
                 if *done >= total {
@@ -202,7 +211,8 @@ fn tcp_transfer_across_nats() {
                     let n = w.stack.tcp_write(now, s, &chunk);
                     *done += n;
                 });
-            });
+            },
+        );
     }
     w.sim.run_until(SimTime::from_secs(140));
     // Count bytes readable at B across accepted sockets.
@@ -243,13 +253,12 @@ fn migration_preserves_virtual_connectivity() {
     // Steady ping traffic A→B for the whole experiment.
     for k in 0..160u64 {
         let ws_a = w.ws_a;
-        w.sim
-            .schedule(SimTime::from_secs(40 + k), move |sim| {
-                with_stack(sim, ws_a, |w| {
-                    w.stack
-                        .ping(VirtIp::testbed(3), 2, k as u16, Bytes::from_static(b"p"));
-                });
+        w.sim.schedule(SimTime::from_secs(40 + k), move |sim| {
+            with_stack(sim, ws_a, |w| {
+                w.stack
+                    .ping(VirtIp::testbed(3), 2, k as u16, Bytes::from_static(b"p"));
             });
+        });
     }
     // Migrate B at t=60 s to the spare public host; small image so the
     // outage is ~24 s.
@@ -290,9 +299,9 @@ fn migration_preserves_virtual_connectivity() {
         "pings must resume after migration: {replies:?}"
     );
     // The virtual IP — and overlay address — did not change.
-    let addr = w.sim.with_actor::<Ws, _>(w.ws_b, |ws, _| {
-        (ws.app().ip(), ws.node().address())
-    });
+    let addr = w
+        .sim
+        .with_actor::<Ws, _>(w.ws_b, |ws, _| (ws.app().ip(), ws.node().address()));
     assert_eq!(addr.0, VirtIp::testbed(3));
     assert_eq!(addr.1, wow_vnet::ipop::address_for(NS, VirtIp::testbed(3)));
 }

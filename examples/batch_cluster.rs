@@ -29,8 +29,13 @@ fn main() {
         |_, spec| {
             if spec.number == 2 {
                 Role::PbsHead(Box::new(Both::new(
-                    PbsHead::new(jobs, SimDuration::from_secs(1), meme::meme_job(), rr.clone())
-                        .start_after(SimDuration::from_secs(280)),
+                    PbsHead::new(
+                        jobs,
+                        SimDuration::from_secs(1),
+                        meme::meme_job(),
+                        rr.clone(),
+                    )
+                    .start_after(SimDuration::from_secs(280)),
                     NfsServer::new([("input.fasta".to_string(), 100_000_000u64)]),
                 )))
             } else {

@@ -26,7 +26,11 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(0xCAFE);
     let first = UdpNode::spawn(Address::random(&mut rng), quick.clone(), 0, Vec::new(), 1)
         .expect("bind first node");
-    println!("bootstrap node {} at {}", first.address().short(), first.uri());
+    println!(
+        "bootstrap node {} at {}",
+        first.address().short(),
+        first.uri()
+    );
     let bootstrap = vec![first.uri()];
     let mut nodes = Vec::new();
     for i in 0..5u64 {
@@ -59,7 +63,11 @@ fn main() {
     }
     // Route a payload from the last joiner to the bootstrap node.
     let last = nodes.last().expect("nonempty");
-    last.send_app(first.address(), 9, Bytes::from_static(b"hello from real sockets"));
+    last.send_app(
+        first.address(),
+        9,
+        Bytes::from_static(b"hello from real sockets"),
+    );
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     loop {
         match first.events().recv_timeout(Duration::from_millis(200)) {

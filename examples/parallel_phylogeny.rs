@@ -65,7 +65,10 @@ fn main() {
     // Sequential equivalent on the baseline node, at the same scale.
     let seq = fastdnaml::SEQUENTIAL_BASELINE.as_secs_f64() * 0.05;
     println!("parallel wall: {wall:.0}s  sequential equivalent: {seq:.0}s");
-    println!("speedup: {:.1}x on {n_workers} heterogeneous workers", seq / wall);
+    println!(
+        "speedup: {:.1}x on {n_workers} heterogeneous workers",
+        seq / wall
+    );
     println!("(barriers at each tree-optimization round cap the speedup, as in Table III)");
     assert_eq!(r.round_done.len(), rounds.len());
 }

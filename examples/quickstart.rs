@@ -44,10 +44,19 @@ fn main() {
         sim.add_actor_at(
             host,
             SimTime::from_millis(i * 200),
-            OverlayHost::new(node, PORT, bootstrap.clone(), ForwardingCost::router(), NoApp),
+            OverlayHost::new(
+                node,
+                PORT,
+                bootstrap.clone(),
+                ForwardingCost::router(),
+                NoApp,
+            ),
         );
         if i == 0 {
-            bootstrap.push(TransportUri::udp(PhysAddr::new(sim.world().host_ip(host), PORT)));
+            bootstrap.push(TransportUri::udp(PhysAddr::new(
+                sim.world().host_ip(host),
+                PORT,
+            )));
         }
     }
 
@@ -62,8 +71,14 @@ fn main() {
         host_a,
         SimTime::from_secs(2),
         control::workstation(
-            ip_a, "quickstart", OverlayConfig::default(), TcpConfig::default(),
-            PORT, bootstrap.clone(), seeds.seed_for("vm-a"), IdleWorkload,
+            ip_a,
+            "quickstart",
+            OverlayConfig::default(),
+            TcpConfig::default(),
+            PORT,
+            bootstrap.clone(),
+            seeds.seed_for("vm-a"),
+            IdleWorkload,
         ),
     );
     let probe = PingProbe::new(ip_a, 90, results.clone());
@@ -71,8 +86,14 @@ fn main() {
         host_b,
         SimTime::from_secs(4),
         control::workstation(
-            ip_b, "quickstart", OverlayConfig::default(), TcpConfig::default(),
-            PORT, bootstrap, seeds.seed_for("vm-b"), probe,
+            ip_b,
+            "quickstart",
+            OverlayConfig::default(),
+            TcpConfig::default(),
+            PORT,
+            bootstrap,
+            seeds.seed_for("vm-b"),
+            probe,
         ),
     );
 
@@ -82,7 +103,11 @@ fn main() {
 
     // ---- what happened? ----
     let r = results.borrow();
-    println!("pings sent: {}, answered: {}", r.sent.len(), r.replies.len());
+    println!(
+        "pings sent: {}, answered: {}",
+        r.sent.len(),
+        r.replies.len()
+    );
     let mut seqs: Vec<u16> = r.replies.iter().map(|(s, _)| *s).collect();
     seqs.sort_unstable();
     println!(
@@ -99,7 +124,10 @@ fn main() {
             .collect();
         if !rtts.is_empty() {
             let avg = rtts.iter().sum::<f64>() / rtts.len() as f64;
-            println!("avg RTT for pings {:>2}-{:>2}: {avg:>6.1} ms", window.0, window.1);
+            println!(
+                "avg RTT for pings {:>2}-{:>2}: {avg:>6.1} ms",
+                window.0, window.1
+            );
         }
     }
     let direct = sim.with_actor::<Workstation<PingProbe>, _>(ws_b, |ws, _| {

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI would run, in the order that fails fastest
+# after a refactor. Run from the repo root (or anywhere inside it).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace --all-targets
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "All checks passed."

@@ -51,7 +51,13 @@ pub fn mini_cluster<W: Workload>(
         sim.add_actor_at(
             host,
             actor_start,
-            OverlayHost::new(node, IPOP_PORT, bootstrap.clone(), ForwardingCost::router(), NoApp),
+            OverlayHost::new(
+                node,
+                IPOP_PORT,
+                bootstrap.clone(),
+                ForwardingCost::router(),
+                NoApp,
+            ),
         );
         if i == 0 {
             bootstrap.push(TransportUri::udp(PhysAddr::new(

@@ -10,7 +10,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 
 use wow::simrt::{ForwardingCost, NoApp, OverlayHost};
-use wow::workstation::{control, IdleWorkload, WsHandle, Workload};
+use wow::workstation::{control, IdleWorkload, Workload, WsHandle};
 use wow_netsim::prelude::*;
 use wow_overlay::addr::Address;
 use wow_overlay::config::OverlayConfig;
@@ -71,10 +71,19 @@ fn setup(seed: u64) -> World {
         let actor = sim.add_actor_at(
             host,
             SimTime::from_millis(i * 100),
-            OverlayHost::new(node, PORT, bootstrap.clone(), ForwardingCost::router(), NoApp),
+            OverlayHost::new(
+                node,
+                PORT,
+                bootstrap.clone(),
+                ForwardingCost::router(),
+                NoApp,
+            ),
         );
         if i < 3 {
-            bootstrap.push(TransportUri::udp(PhysAddr::new(sim.world().host_ip(host), PORT)));
+            bootstrap.push(TransportUri::udp(PhysAddr::new(
+                sim.world().host_ip(host),
+                PORT,
+            )));
         }
         routers.push(actor);
     }

@@ -55,7 +55,8 @@ impl Workload for Xfer {
 #[test]
 fn ttcp_moves_exactly_the_requested_bytes() {
     let bytes = 3_000_000u64;
-    let progress: Rc<RefCell<TransferProgress>> = Rc::new(RefCell::new(TransferProgress::default()));
+    let progress: Rc<RefCell<TransferProgress>> =
+        Rc::new(RefCell::new(TransferProgress::default()));
     let sender_progress = Rc::new(RefCell::new(TransferProgress::default()));
     let specs = vec![
         (
@@ -91,7 +92,8 @@ fn ttcp_moves_exactly_the_requested_bytes() {
 #[test]
 fn scp_file_server_and_client_roundtrip() {
     let file = 2_000_000u64;
-    let progress: Rc<RefCell<TransferProgress>> = Rc::new(RefCell::new(TransferProgress::default()));
+    let progress: Rc<RefCell<TransferProgress>> =
+        Rc::new(RefCell::new(TransferProgress::default()));
     let specs = vec![
         (2u8, 1.0, Xfer::Serve(FileServer::new(22, file))),
         (

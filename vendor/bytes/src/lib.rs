@@ -1,0 +1,481 @@
+//! Minimal, offline stand-in for the `bytes` crate.
+//!
+//! Implements exactly the API surface this workspace uses: [`Bytes`]
+//! (cheap-to-clone immutable byte buffer backed by an `Arc` or a static
+//! slice), [`BytesMut`] (growable builder), and the big-endian [`Buf`] /
+//! [`BufMut`] cursor traits. Semantics match the real crate for this
+//! subset; anything else is intentionally absent.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<[u8]>),
+}
+
+/// An immutable, cheaply clonable contiguous byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub const fn new() -> Self {
+        Bytes {
+            repr: Repr::Static(&[]),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// Wrap a static slice without copying.
+    pub const fn from_static(s: &'static [u8]) -> Self {
+        Bytes {
+            repr: Repr::Static(s),
+            off: 0,
+            len: s.len(),
+        }
+    }
+
+    /// Copy a slice into a new shared buffer.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Bytes {
+            len: s.len(),
+            repr: Repr::Shared(Arc::from(s)),
+            off: 0,
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn backing(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared(a) => a,
+        }
+    }
+
+    /// A sub-view of this buffer, sharing the same backing storage.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end && end <= self.len, "slice out of bounds");
+        Bytes {
+            repr: self.repr.clone(),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// Split off and return the first `at` bytes, advancing `self` past them.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len, "split_to out of bounds");
+        let head = Bytes {
+            repr: self.repr.clone(),
+            off: self.off,
+            len: at,
+        };
+        self.off += at;
+        self.len -= at;
+        head
+    }
+
+    /// Split off and return the bytes from `at` onward, truncating `self`.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len, "split_off out of bounds");
+        let tail = Bytes {
+            repr: self.repr.clone(),
+            off: self.off + at,
+            len: self.len - at,
+        };
+        self.len = at;
+        tail
+    }
+
+    /// Copy the contents out into a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.backing()[self.off..self.off + self.len]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            len: v.len(),
+            repr: Repr::Shared(Arc::from(v)),
+            off: 0,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Self {
+        b.freeze()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self[..] == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self[..].cmp(&other[..])
+    }
+}
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+/// A growable byte buffer used to build frames before freezing.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the builder is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    /// Split off and return the first `at` bytes, removing them from `self`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.buf.len(), "split_to out of bounds");
+        let tail = self.buf.split_off(at);
+        BytesMut {
+            buf: std::mem::replace(&mut self.buf, tail),
+        }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> Self {
+        BytesMut { buf: s.to_vec() }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&Bytes::copy_from_slice(&self.buf), f)
+    }
+}
+
+/// Read cursor over a contiguous byte buffer (big-endian getters).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+    /// Consume `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copy `dst.len()` bytes out, consuming them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "copy_to_slice underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Consume a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Consume a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Consume a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len, "advance out of bounds");
+        self.off += cnt;
+        self.len -= cnt;
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        &self.buf
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.buf.len(), "advance out of bounds");
+        self.buf.drain(..cnt);
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Write cursor appending to a byte buffer (big-endian putters).
+pub trait BufMut {
+    /// Append a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.put_slice(&vec![val; cnt]);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_views() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(1);
+        b.put_u16(0x0203);
+        b.put_u32(0x0405_0607);
+        b.put_u64(0x1122_3344_5566_7788);
+        b.put_slice(b"xy");
+        let frozen = b.freeze();
+        assert_eq!(frozen.len(), 17);
+        let mut r = frozen.clone();
+        assert_eq!(r.get_u8(), 1);
+        assert_eq!(r.get_u16(), 0x0203);
+        assert_eq!(r.get_u32(), 0x0405_0607);
+        assert_eq!(r.get_u64(), 0x1122_3344_5566_7788);
+        assert_eq!(r.chunk(), b"xy");
+        let tail = frozen.slice(15..17);
+        assert_eq!(&tail[..], b"xy");
+    }
+
+    #[test]
+    fn split_and_static() {
+        let mut b = Bytes::from_static(b"hello world");
+        let head = b.split_to(5);
+        assert_eq!(&head[..], b"hello");
+        assert_eq!(&b[..], b" world");
+        let tail = b.split_off(1);
+        assert_eq!(&b[..], b" ");
+        assert_eq!(&tail[..], b"world");
+    }
+
+    #[test]
+    fn slice_buf_impl() {
+        let mut s: &[u8] = &[0, 1, 0, 2];
+        assert_eq!(s.get_u16(), 1);
+        assert_eq!(s.get_u16(), 2);
+        assert!(!s.has_remaining());
+    }
+}

@@ -1,0 +1,188 @@
+//! Minimal, offline stand-in for `criterion`.
+//!
+//! Runs each benchmark for a calibrated number of iterations per sample,
+//! takes `sample_size` samples, and prints min/median/mean per-iteration
+//! times. No statistical regression analysis, plots, or baselines — just
+//! stable wall-clock numbers suitable for eyeballing relative changes.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] for API compatibility.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. All variants behave the same
+/// here: setup runs once per measured invocation and is excluded from timing.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small routine inputs.
+    SmallInput,
+    /// Large routine inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Measures one benchmark routine.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    /// Per-iteration nanoseconds, one entry per sample.
+    results_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f`, calling it many times per sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.results_ns
+                .push(elapsed.as_nanos() as f64 / self.iters_per_sample as f64);
+        }
+    }
+
+    /// Time `routine` on inputs produced by `setup`; setup time is excluded.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        for _ in 0..self.samples {
+            let mut total = Duration::ZERO;
+            for _ in 0..self.iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            self.results_ns
+                .push(total.as_nanos() as f64 / self.iters_per_sample as f64);
+        }
+    }
+}
+
+/// Benchmark harness configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+    /// Target wall-clock budget per benchmark used for calibration.
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            target: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark and print its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Calibrate: run once with a single iteration to estimate cost.
+        let mut probe = Bencher {
+            iters_per_sample: 1,
+            samples: 1,
+            results_ns: Vec::new(),
+        };
+        f(&mut probe);
+        let est_ns = probe.results_ns.first().copied().unwrap_or(1.0).max(1.0);
+        let budget_ns = self.target.as_nanos() as f64 / self.sample_size as f64;
+        let iters = (budget_ns / est_ns).clamp(1.0, 1e7) as u64;
+
+        let mut bencher = Bencher {
+            iters_per_sample: iters,
+            samples: self.sample_size,
+            results_ns: Vec::with_capacity(self.sample_size),
+        };
+        f(&mut bencher);
+        let mut ns = bencher.results_ns;
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("benchmark time is finite"));
+        let min = ns.first().copied().unwrap_or(0.0);
+        let median = ns[ns.len() / 2];
+        let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+        println!(
+            "{name:<40} min {:>12} median {:>12} mean {:>12} ({} iters x {} samples)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            iters,
+            ns.len(),
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion {
+            sample_size: 3,
+            target: Duration::from_millis(5),
+        };
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls = calls.wrapping_add(1)));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        assert!(calls > 0);
+    }
+}

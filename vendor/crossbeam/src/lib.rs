@@ -1,0 +1,109 @@
+//! Minimal, offline stand-in for `crossbeam`.
+//!
+//! Only the `channel` module is provided, backed by `std::sync::mpsc`.
+//! The receiver is wrapped in a mutex so it is `Sync` like crossbeam's
+//! (callers here never contend on the receiving side).
+
+#![warn(missing_docs)]
+
+/// Multi-producer channels with crossbeam's API shape.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value; fails only if all receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// The receiving half of an unbounded channel (shareable, unlike mpsc's).
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn with<R>(&self, f: impl FnOnce(&mpsc::Receiver<T>) -> R) -> R {
+            let guard = match self.inner.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            f(&guard)
+        }
+
+        /// Block until a value arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.with(|rx| rx.recv())
+        }
+
+        /// Return a pending value without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.with(|rx| rx.try_recv())
+        }
+
+        /// Block up to `timeout` for a value.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.with(|rx| rx.recv_timeout(timeout))
+        }
+
+        /// Drain all currently pending values.
+        pub fn try_iter(&self) -> Vec<T> {
+            self.with(|rx| rx.try_iter().collect())
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv() {
+            let (tx, rx) = unbounded();
+            tx.send(5).unwrap();
+            assert_eq!(rx.recv().unwrap(), 5);
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            ));
+            drop(tx);
+            assert!(rx.recv().is_err());
+        }
+    }
+}

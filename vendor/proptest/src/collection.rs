@@ -1,0 +1,65 @@
+//! Collection strategies (`prop::collection::{vec, hash_set}`).
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    elem: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// A vector whose length is drawn uniformly from `size`.
+pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(!size.is_empty(), "collection::vec: empty size range");
+    VecStrategy { elem, size }
+}
+
+/// Strategy for `HashSet<S::Value>` with a target size drawn from `size`.
+pub struct HashSetStrategy<S> {
+    elem: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = rng.gen_range(self.size.clone());
+        let mut out = HashSet::with_capacity(target);
+        let mut attempts = 0usize;
+        while out.len() < target {
+            out.insert(self.elem.generate(rng));
+            attempts += 1;
+            assert!(
+                attempts < 100 * (target + 1),
+                "collection::hash_set: element domain too small for requested size"
+            );
+        }
+        out
+    }
+}
+
+/// A hash set whose size is drawn uniformly from `size` (distinct elements).
+pub fn hash_set<S: Strategy>(elem: S, size: Range<usize>) -> HashSetStrategy<S>
+where
+    S::Value: Hash + Eq,
+{
+    assert!(!size.is_empty(), "collection::hash_set: empty size range");
+    HashSetStrategy { elem, size }
+}

@@ -1,0 +1,179 @@
+//! Minimal, offline stand-in for `proptest`.
+//!
+//! Implements the subset used by this workspace: [`strategy::Strategy`] with
+//! `prop_map`, [`strategy::Just`], `prop_oneof!`, tuple/range strategies,
+//! `any::<T>()`, `prop::collection::{vec, hash_set}`, `prop::option::of`, and
+//! the `proptest!` / `prop_assert*` / `prop_assume!` macros. Cases are fully
+//! deterministic (seeded from the test name) and there is **no shrinking** —
+//! a failure reports the case number so it can be replayed by re-running.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod test_runner;
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+    /// Namespaced access to strategy modules (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Define property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running a fixed number of deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__proptest_rng| {
+                        $(
+                            let $pat = $crate::strategy::Strategy::generate(
+                                &($strat),
+                                __proptest_rng,
+                            );
+                        )+
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Uniformly choose between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::union_arm($arm)),+
+        ])
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        ::std::format!(
+                            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                            l,
+                            r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        ::std::format!($($fmt)+),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Discard the current case (it counts as rejected, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn tuple_map_and_ranges(
+            (a, b) in (1u32..10, 0u8..4).prop_map(|(a, b)| (a * 2, b)),
+            f in 0.25f64..0.75,
+            xs in prop::collection::vec(any::<u8>(), 2..5),
+            o in prop::option::of(Just(7u8)),
+            pick in prop_oneof![Just(1u8), Just(2), Just(3)],
+        ) {
+            prop_assert!((2..20).contains(&a));
+            prop_assert!(b < 4);
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!(xs.len() >= 2 && xs.len() < 5);
+            if let Some(v) = o {
+                prop_assert_eq!(v, 7);
+            }
+            prop_assert!((1..=3).contains(&pick));
+        }
+
+        #[test]
+        fn assume_rejects(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0, "odd case leaked through: {}", n);
+        }
+    }
+
+    #[test]
+    fn hash_set_sizes() {
+        crate::test_runner::run("hash_set_sizes", |rng| {
+            let s = collection::hash_set(any::<u64>(), 2..20).generate(rng);
+            prop_assert!(s.len() >= 2 && s.len() < 20);
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn failing_property_panics() {
+        crate::test_runner::run("failing_property_panics", |rng| {
+            let n = (0u32..10).generate(rng);
+            prop_assert!(n > 100);
+            Ok(())
+        });
+    }
+
+    use crate::collection;
+    use crate::strategy::Strategy;
+}

@@ -1,0 +1,70 @@
+//! Deterministic case runner and RNG.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property was violated; the message describes how.
+    Fail(String),
+    /// `prop_assume!` filtered this case out; it is not counted.
+    Reject,
+}
+
+/// The RNG handed to strategies; deterministic per (test name, case index).
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Number of cases per property; override with `PROPTEST_CASES`.
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Run `f` over deterministic cases, panicking on the first failure.
+///
+/// There is no shrinking: the panic message carries the test name and the
+/// case index, which is enough to replay (generation is a pure function of
+/// both).
+pub fn run(name: &str, f: impl Fn(&mut TestRng) -> Result<(), TestCaseError>) {
+    let wanted = cases();
+    let base = fnv1a(name);
+    let mut passed = 0u32;
+    let mut attempt = 0u32;
+    while passed < wanted {
+        attempt += 1;
+        assert!(
+            attempt <= wanted.saturating_mul(20).max(1000),
+            "property '{name}': too many cases rejected by prop_assume!"
+        );
+        let mut rng = TestRng {
+            inner: SmallRng::seed_from_u64(base ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        };
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property '{name}' failed (case {attempt} of {wanted}):\n{msg}")
+            }
+        }
+    }
+}
