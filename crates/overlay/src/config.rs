@@ -53,6 +53,12 @@ pub struct OverlayConfig {
     /// Upper bound on simultaneous shortcut connections (the paper notes
     /// connection maintenance overhead bounds this in practice).
     pub max_shortcuts: usize,
+    /// Forward transit application frames without a full decode (peek the
+    /// routed header, patch the hop count in the received buffer, send it
+    /// on). Behaviour is byte-identical either way; disabling this forces
+    /// the decode → re-encode path, which differential tests use to prove
+    /// that identity.
+    pub transit_fast_path: bool,
 }
 
 impl Default for OverlayConfig {
@@ -77,6 +83,7 @@ impl Default for OverlayConfig {
             shortcut_threshold: 10.0,
             shortcut_idle_timeout: SimDuration::from_secs(120),
             max_shortcuts: 16,
+            transit_fast_path: true,
         }
     }
 }

@@ -115,8 +115,13 @@ pub struct Connection {
 /// The connection table of one node, ordered by peer address.
 #[derive(Clone, Debug, Default)]
 pub struct ConnTable {
-    // Sorted by peer address; n is small (tens), so Vec beats a tree.
+    // Sorted by peer address (= ring order); lookups binary-search.
     conns: Vec<Connection>,
+    // Ordered ring index: the addresses of routing-eligible (structured)
+    // connections, sorted. Maintained incrementally by every mutation, so
+    // `next_hop` can binary-search the destination's ring position instead
+    // of scanning the whole table — O(log n + excludes) per hop.
+    structured: Vec<Address>,
 }
 
 impl ConnTable {
@@ -148,9 +153,25 @@ impl ConnTable {
             .map(|i| &self.conns[i])
     }
 
+    /// Re-sync the ring index entry for `peer` after a type-set mutation.
+    fn index_update(&mut self, peer: Address) {
+        let eligible = self
+            .conns
+            .binary_search_by(|c| c.peer.cmp(&peer))
+            .ok()
+            .is_some_and(|i| self.conns[i].types.is_structured());
+        match self.structured.binary_search(&peer) {
+            Ok(i) if !eligible => {
+                self.structured.remove(i);
+            }
+            Err(i) if eligible => self.structured.insert(i, peer),
+            _ => {}
+        }
+    }
+
     /// Insert a new connection or add a role to an existing one.
     pub fn upsert(&mut self, peer: Address, t: ConnType, remote: PhysAddr, now: SimTime) -> Upsert {
-        match self.conns.binary_search_by(|c| c.peer.cmp(&peer)) {
+        let outcome = match self.conns.binary_search_by(|c| c.peer.cmp(&peer)) {
             Ok(i) => {
                 let new_role = !self.conns[i].types.contains(t);
                 self.conns[i].types.insert(t);
@@ -175,7 +196,9 @@ impl ConnTable {
                     new_role: true,
                 }
             }
-        }
+        };
+        self.index_update(peer);
+        outcome
     }
 
     /// Update the proven underlay endpoint for a peer (NAT renumbering:
@@ -194,22 +217,26 @@ impl ConnTable {
     /// Remove a role from a connection; drops the connection entirely when
     /// its last role is removed. Returns true if the connection was dropped.
     pub fn remove_role(&mut self, peer: Address, t: ConnType) -> bool {
+        let mut dropped = false;
         if let Ok(i) = self.conns.binary_search_by(|c| c.peer.cmp(&peer)) {
             self.conns[i].types.remove(t);
             if self.conns[i].types.is_empty() {
                 self.conns.remove(i);
-                return true;
+                dropped = true;
             }
         }
-        false
+        self.index_update(peer);
+        dropped
     }
 
     /// Remove a connection entirely (link failure).
     pub fn remove(&mut self, peer: Address) -> Option<Connection> {
-        match self.conns.binary_search_by(|c| c.peer.cmp(&peer)) {
+        let removed = match self.conns.binary_search_by(|c| c.peer.cmp(&peer)) {
             Ok(i) => Some(self.conns.remove(i)),
             Err(_) => None,
-        }
+        };
+        self.index_update(peer);
+        removed
     }
 
     /// Connections that carry a given role.
@@ -267,10 +294,101 @@ impl ConnTable {
             return NextHop::Local;
         }
         let excluded = |p: Address| exclude.contains(&p);
+        // A direct link to the destination is ring distance zero — nothing
+        // can beat it. This also covers the leaf exact-delivery rule
+        // (bootstrap targets hand replies back to leaf-connected joiners).
+        if let Some(c) = self.get(dst) {
+            if !excluded(dst) {
+                return NextHop::Relay(c);
+            }
+        }
+        // The nearest structured peer to `dst` (by circular distance) is
+        // either the first index entry clockwise of `dst` or the first
+        // counter-clockwise — locate both by binary search, stepping past
+        // excluded entries. On an equal-distance tie the smaller address
+        // wins, matching the linear scan's first-in-address-order rule.
+        let n = self.structured.len();
+        let mut best: Option<Address> = None;
+        let mut best_dist = me.ring_dist(dst);
+        if n > 0 {
+            let start = match self.structured.binary_search(&dst) {
+                // `dst` itself can sit in the index only when its conn was
+                // excluded above; the walks skip it via the exclude check.
+                Ok(i) | Err(i) => i,
+            };
+            let succ = (0..n)
+                .map(|k| self.structured[(start + k) % n])
+                .find(|&p| !excluded(p));
+            let pred = (1..=n)
+                .map(|k| self.structured[(start + n - k) % n])
+                .find(|&p| !excluded(p));
+            for p in [pred, succ].into_iter().flatten() {
+                let d = p.ring_dist(dst);
+                let wins = match best {
+                    _ if d < best_dist => true,
+                    Some(b) => d == best_dist && p < b,
+                    None => false,
+                };
+                if wins {
+                    best_dist = d;
+                    best = Some(p);
+                }
+            }
+        }
+        match best {
+            Some(p) => NextHop::Relay(self.get(p).expect("indexed peer has a connection")),
+            None => {
+                // Gateway rule: a node with no structured connections (a
+                // joiner) forwards everything through a leaf link.
+                if self.structured.is_empty() {
+                    if let Some(leaf) = self
+                        .conns
+                        .iter()
+                        .find(|c| c.types.contains(ConnType::Leaf) && !excluded(c.peer))
+                    {
+                        return NextHop::Relay(leaf);
+                    }
+                }
+                NextHop::Local
+            }
+        }
+    }
+
+    /// The pre-index linear scan, kept as the reference implementation:
+    /// differential tests assert [`ConnTable::next_hop`] agrees with it on
+    /// arbitrary tables, and the criterion benches measure the index
+    /// against it. Excludes are merge-walked against the address-sorted
+    /// table, so the scan itself is O(conns + excludes), not O(conns ×
+    /// excludes).
+    pub fn next_hop_scan(&self, me: Address, dst: Address, exclude: &[Address]) -> NextHop<'_> {
+        if dst == me {
+            return NextHop::Local;
+        }
+        // Sort the (tiny) exclude list once so the ascending-address walk
+        // over `conns` can advance a cursor instead of re-scanning it.
+        let mut inline = [Address::ZERO; 4];
+        let mut heap = Vec::new();
+        let sorted_ex: &[Address] = if exclude.len() <= inline.len() {
+            let s = &mut inline[..exclude.len()];
+            s.copy_from_slice(exclude);
+            s.sort_unstable();
+            s
+        } else {
+            heap.extend_from_slice(exclude);
+            heap.sort_unstable();
+            &heap
+        };
+        let mut ex_cursor = 0usize;
+        let mut excluded_ascending = move |p: Address| {
+            while ex_cursor < sorted_ex.len() && sorted_ex[ex_cursor] < p {
+                ex_cursor += 1;
+            }
+            ex_cursor < sorted_ex.len() && sorted_ex[ex_cursor] == p
+        };
         let mut best: Option<&Connection> = None;
         let mut best_dist = me.ring_dist(dst);
         for c in &self.conns {
-            if excluded(c.peer) {
+            if excluded_ascending(c.peer) {
                 continue;
             }
             let eligible = c.types.is_structured() || c.peer == dst;
@@ -286,13 +404,19 @@ impl ConnTable {
         match best {
             Some(c) => NextHop::Relay(c),
             None => {
-                // Gateway rule: a node with no structured connections (a
-                // joiner) forwards everything through a leaf link.
+                // Gateway rule, with a fresh cursor for the second walk.
+                let mut ex_cursor = 0usize;
+                let mut excluded_ascending = |p: Address| {
+                    while ex_cursor < sorted_ex.len() && sorted_ex[ex_cursor] < p {
+                        ex_cursor += 1;
+                    }
+                    ex_cursor < sorted_ex.len() && sorted_ex[ex_cursor] == p
+                };
                 if !self.conns.iter().any(|c| c.types.is_structured()) {
                     if let Some(leaf) = self
                         .conns
                         .iter()
-                        .find(|c| c.types.contains(ConnType::Leaf) && !excluded(c.peer))
+                        .find(|c| c.types.contains(ConnType::Leaf) && !excluded_ascending(c.peer))
                     {
                         return NextHop::Relay(leaf);
                     }
@@ -470,6 +594,68 @@ mod tests {
         match t.next_hop(a(0), a(100), &[a(100)]) {
             NextHop::Local => {}
             other => panic!("expected local, got {other:?}"),
+        }
+    }
+
+    /// The ordered-index `next_hop` must agree with the linear-scan
+    /// reference on arbitrary tables, destinations and exclude lists —
+    /// including tables churned by role removal and full peer removal (which
+    /// exercise the incremental index maintenance).
+    #[test]
+    fn next_hop_index_agrees_with_scan_on_random_tables() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+
+        let types = [
+            ConnType::Leaf,
+            ConnType::StructuredNear,
+            ConnType::StructuredFar,
+            ConnType::Shortcut,
+        ];
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+        for _case in 0..400 {
+            let mut t = ConnTable::new();
+            // Small address universe so exact matches, ties at dst ± d and
+            // excluded-destination cases all actually occur.
+            let universe = rng.gen_range(4u64..40);
+            for _ in 0..rng.gen_range(0usize..24) {
+                let peer = a(rng.gen_range(0..universe));
+                let ty = types[rng.gen_range(0..types.len())];
+                t.upsert(peer, ty, ep(rng.gen_range(1u16..9999)), T0);
+            }
+            // Churn: some role drops and full removals.
+            for _ in 0..rng.gen_range(0usize..6) {
+                let peer = a(rng.gen_range(0..universe));
+                if rng.gen_bool(0.5) {
+                    t.remove_role(peer, types[rng.gen_range(0..types.len())]);
+                } else {
+                    t.remove(peer);
+                }
+            }
+            for _query in 0..20 {
+                let me = a(rng.gen_range(0..universe));
+                let dst = a(rng.gen_range(0..universe));
+                let mut exclude = Vec::new();
+                for _ in 0..rng.gen_range(0usize..6) {
+                    exclude.push(a(rng.gen_range(0..universe)));
+                }
+                let fast = t.next_hop(me, dst, &exclude);
+                let slow = t.next_hop_scan(me, dst, &exclude);
+                match (&fast, &slow) {
+                    (NextHop::Local, NextHop::Local) => {}
+                    (NextHop::Relay(f), NextHop::Relay(s)) => {
+                        assert_eq!(
+                            f.peer, s.peer,
+                            "index and scan disagree: me={me:?} dst={dst:?} \
+                             exclude={exclude:?}"
+                        );
+                    }
+                    _ => panic!(
+                        "index {fast:?} vs scan {slow:?}: me={me:?} dst={dst:?} \
+                         exclude={exclude:?}"
+                    ),
+                }
+            }
         }
     }
 }

@@ -4,7 +4,7 @@
 //! [`crate::node::BrunetNode`] is sans-IO: it emits its effects into a
 //! [`NodeSink`] as they happen. On the hot path (routing, forwarding) the
 //! sink hands frames straight to a [`Transport`] — no intermediate
-//! `Vec<NodeAction>` allocation. Cold-path notifications ([`NodeEvent`])
+//! action-buffer allocation. Cold-path notifications ([`NodeEvent`])
 //! and [`Counter`] bumps are buffered inside the [`NodeDriver`] so the
 //! runtime can dispatch them to its application layer *after* the node
 //! borrow ends, with reusable storage (amortized zero-alloc ping-pong).
@@ -28,7 +28,7 @@ use wow_netsim::time::SimTime;
 
 use crate::addr::Address;
 use crate::conn::ConnType;
-use crate::node::{BrunetNode, NodeAction};
+use crate::node::BrunetNode;
 use crate::telemetry::{Counter, TelemetryCounters};
 use crate::uri::TransportUri;
 
@@ -77,7 +77,7 @@ pub enum NodeEvent {
 /// The seam [`BrunetNode`] emits into: frames, events, telemetry.
 ///
 /// Implementations decide what "emitting" means — transmit now
-/// ([`DriverSink`]), or buffer for inspection ([`ActionSink`]).
+/// ([`DriverSink`]), or buffer for inspection (test sinks).
 pub trait NodeSink {
     /// Transmit this frame to an underlay endpoint (hot path).
     fn send(&mut self, to: PhysAddr, frame: Bytes);
@@ -85,62 +85,13 @@ pub trait NodeSink {
     fn event(&mut self, event: NodeEvent);
     /// Bump a telemetry counter.
     fn count(&mut self, counter: Counter);
-}
-
-/// A buffering sink: collects everything as [`NodeAction`]s plus counters.
-///
-/// This is the migration path for embedders that used the old
-/// `take_actions()` API, and what unit tests inspect.
-#[derive(Debug, Default)]
-pub struct ActionSink {
-    actions: Vec<NodeAction>,
-    /// Counters recorded since construction (never cleared by `take`).
-    pub counters: TelemetryCounters,
-}
-
-impl ActionSink {
-    /// An empty sink.
-    pub fn new() -> Self {
-        ActionSink::default()
-    }
-
-    /// Drain the buffered actions.
-    pub fn take(&mut self) -> Vec<NodeAction> {
-        std::mem::take(&mut self.actions)
-    }
-
-    /// Peek at the buffered actions without draining.
-    pub fn actions(&self) -> &[NodeAction] {
-        &self.actions
-    }
-}
-
-impl NodeSink for ActionSink {
-    fn send(&mut self, to: PhysAddr, frame: Bytes) {
-        self.actions.push(NodeAction::Send { to, frame });
-    }
-
-    fn event(&mut self, event: NodeEvent) {
-        self.actions.push(match event {
-            NodeEvent::Deliver {
-                src,
-                proto,
-                data,
-                exact,
-            } => NodeAction::Deliver {
-                src,
-                proto,
-                data,
-                exact,
-            },
-            NodeEvent::Connected { peer, ctype } => NodeAction::Connected { peer, ctype },
-            NodeEvent::Disconnected { peer } => NodeAction::Disconnected { peer },
-            NodeEvent::LinkFailed { peer, ctype } => NodeAction::LinkFailed { peer, ctype },
-        });
-    }
-
-    fn count(&mut self, counter: Counter) {
-        self.counters.record(counter);
+    /// Add `n` to a telemetry counter (byte counters on the transit path).
+    /// Sinks backed by [`TelemetryCounters`] override this with one indexed
+    /// add; the default preserves correctness for ad-hoc sinks.
+    fn add_count(&mut self, counter: Counter, n: u64) {
+        for _ in 0..n {
+            self.count(counter);
+        }
     }
 }
 
@@ -166,6 +117,11 @@ impl<T: Transport + ?Sized> NodeSink for DriverSink<'_, T> {
     #[inline]
     fn count(&mut self, counter: Counter) {
         self.counters.record(counter);
+    }
+
+    #[inline]
+    fn add_count(&mut self, counter: Counter, n: u64) {
+        self.counters.add(counter, n);
     }
 }
 

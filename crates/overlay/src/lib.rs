@@ -21,13 +21,18 @@
 //! ```
 //! use wow_overlay::prelude::*;
 //! use wow_overlay::addr::Address;
-//! use wow_netsim::time::SimTime;
+//! use wow_netsim::{addr::PhysAddr, time::SimTime};
 //!
-//! let mut node = BrunetNode::new(Address([7; 20]), OverlayConfig::default(), 42);
-//! let mut sink = ActionSink::new();
-//! node.start(SimTime::ZERO, "brunet.udp://10.0.0.2:14000".parse().unwrap(), vec![], &mut sink);
-//! assert!(node.is_running());
-//! assert_eq!(sink.take().len(), 0); // first node: nothing to say yet
+//! struct Null;
+//! impl Transport for Null {
+//!     fn transmit(&mut self, _to: PhysAddr, _frame: bytes::Bytes) {}
+//! }
+//!
+//! let node = BrunetNode::new(Address([7; 20]), OverlayConfig::default(), 42);
+//! let mut driver = NodeDriver::new(node);
+//! driver.start(SimTime::ZERO, "brunet.udp://10.0.0.2:14000".parse().unwrap(), vec![], &mut Null);
+//! assert!(driver.node().is_running());
+//! assert!(!driver.has_events()); // first node: nothing to say yet
 //! ```
 //!
 //! Module map:
@@ -63,8 +68,8 @@ pub mod prelude {
     pub use crate::addr::Address;
     pub use crate::config::OverlayConfig;
     pub use crate::conn::{ConnTable, ConnType};
-    pub use crate::driver::{ActionSink, NodeDriver, NodeEvent, NodeSink, Transport};
-    pub use crate::node::{BrunetNode, NodeAction, NodeStats};
+    pub use crate::driver::{NodeDriver, NodeEvent, NodeSink, Transport};
+    pub use crate::node::{BrunetNode, NodeStats};
     pub use crate::telemetry::{Counter, TelemetryCounters};
     pub use crate::uri::{TransportUri, UriOrder};
 }

@@ -7,10 +7,22 @@
 //! into the [`NodeSink`] passed to each call: frames via [`NodeSink::send`]
 //! (straight to the transport on the hot path, no buffering), application
 //! notifications via [`NodeSink::event`], telemetry via [`NodeSink::count`].
-//! Runtimes embed the node behind [`crate::driver::NodeDriver`]; tests and
-//! legacy embedders can collect everything with
-//! [`crate::driver::ActionSink`]. This is what lets one protocol
-//! implementation serve both Fig. 4's 100-trial sweeps and a loopback demo.
+//! Runtimes embed the node behind [`crate::driver::NodeDriver`]. This is
+//! what lets one protocol implementation serve both Fig. 4's 100-trial
+//! sweeps and a loopback demo.
+//!
+//! ## Decode-free transit
+//!
+//! The per-hop cost of forwarding is the overlay's hottest operation (the
+//! paper's Table II multi-hop throughput gap is per-hop cost times path
+//! length). A transit node therefore never fully decodes an application
+//! frame: [`BrunetNode::on_datagram`] peeks the routed header in place
+//! ([`crate::wire::RoutedHeader`]), consults the routing index, patches the
+//! hop count inside the received buffer and forwards the *same* `Bytes` —
+//! no allocation, no payload copy. Full decode happens only at the edges:
+//! local delivery, malformed frames, and protocol traffic (CTM, linking).
+//! The two paths are byte-identical by construction, which
+//! `tests/driver_differential.rs` proves over a relay trace.
 //!
 //! ## Join choreography (§IV-C)
 //!
@@ -42,7 +54,7 @@ use crate::overlord::{FarOverlord, NearOverlord, OverlordCmd, ShortcutOverlord};
 use crate::ping::{PingCmd, PingManager};
 use crate::telemetry::Counter;
 use crate::uri::{TransportUri, UriSet};
-use crate::wire::{Body, Frame, LinkErrorReason, LinkMsg, Packet};
+use crate::wire::{Body, Frame, LinkErrorReason, LinkMsg, Packet, RoutedHeader};
 
 /// The wildcard target address used when linking to a bootstrap node whose
 /// overlay address is not yet known.
@@ -51,54 +63,6 @@ pub const WILDCARD: Address = Address([0; 20]);
 /// Housekeeping cadence (pending-CTM expiry, shortcut idle checks, join
 /// retries are evaluated at this granularity).
 const HOUSEKEEPING: SimDuration = SimDuration::from_secs(2);
-
-/// An externally visible effect requested by the node, as buffered by
-/// [`crate::driver::ActionSink`].
-///
-/// The node itself emits into a [`NodeSink`]; this enum survives as the
-/// buffered representation for embedders that want the old
-/// accumulate-then-drain shape, and for tests.
-#[derive(Clone, Debug)]
-pub enum NodeAction {
-    /// Transmit this frame to an underlay endpoint.
-    Send {
-        /// Destination endpoint.
-        to: PhysAddr,
-        /// Encoded frame.
-        frame: Bytes,
-    },
-    /// A tunnelled application payload arrived.
-    Deliver {
-        /// Originating overlay address.
-        src: Address,
-        /// Application protocol discriminator.
-        proto: u8,
-        /// Payload.
-        data: Bytes,
-        /// True when this node was the packet's exact destination; false
-        /// for nearest-delivery (the destination is absent from the ring).
-        exact: bool,
-    },
-    /// A connection gained a role (possibly a brand-new connection).
-    Connected {
-        /// Peer address.
-        peer: Address,
-        /// Role added.
-        ctype: ConnType,
-    },
-    /// A connection was lost or fully shed.
-    Disconnected {
-        /// Peer address.
-        peer: Address,
-    },
-    /// A linking attempt exhausted every URI.
-    LinkFailed {
-        /// Intended peer.
-        peer: Address,
-        /// Intended role.
-        ctype: ConnType,
-    },
-}
 
 /// Counters exposed for experiments and tests.
 #[derive(Clone, Copy, Debug, Default)]
@@ -297,11 +261,29 @@ impl BrunetNode {
         &mut self,
         now: SimTime,
         src: PhysAddr,
-        data: Bytes,
+        mut data: Bytes,
         sink: &mut S,
     ) {
         if !self.running {
             return;
+        }
+        // Transit fast path: a canonical application frame for someone else
+        // is forwarded from the received buffer — header peek, index
+        // lookup, hop byte patched in place. Everything else (local
+        // delivery, protocol traffic, malformed input, or a destination we
+        // are nearest to) falls through to the full decode below, which
+        // behaves exactly as before.
+        if self.cfg.transit_fast_path {
+            if let Ok(h) = RoutedHeader::peek(&data) {
+                if h.dst != self.addr {
+                    match self.transit_forward(src, &h, data, sink) {
+                        None => return,
+                        // Routing says we are the nearest node: take the
+                        // buffer back and decode for nearest-delivery.
+                        Some(d) => data = d,
+                    }
+                }
+            }
         }
         let frame = match Frame::decode(data) {
             Ok(f) => f,
@@ -315,6 +297,43 @@ impl BrunetNode {
             Frame::Link(msg) => self.on_link_msg(now, src, msg, sink),
             Frame::Routed(pkt) => self.on_routed(now, src, pkt, sink),
         }
+    }
+
+    /// Try to forward a peeked transit frame without decoding it. Returns
+    /// `None` when the datagram was fully handled (forwarded, or dropped on
+    /// TTL); returns the buffer back when routing says we are the nearest
+    /// node — the caller then decodes for nearest-delivery, exactly one
+    /// decode total.
+    fn transit_forward<S: NodeSink + ?Sized>(
+        &mut self,
+        src: PhysAddr,
+        h: &RoutedHeader,
+        data: Bytes,
+        sink: &mut S,
+    ) -> Option<Bytes> {
+        // Same bounce-back suppression as the decode path.
+        let exclude = self.conns.iter().find(|c| c.remote == src).map(|c| c.peer);
+        let excludes: &[Address] = match &exclude {
+            Some(e) => std::slice::from_ref(e),
+            None => &[],
+        };
+        let remote = match self.conns.next_hop(self.addr, h.dst, excludes) {
+            NextHop::Relay(c) => c.remote,
+            NextHop::Local => return Some(data),
+        };
+        if h.hops >= h.ttl {
+            self.stats.dropped_ttl += 1;
+            sink.count(Counter::DroppedTtl);
+            return None;
+        }
+        self.stats.forwarded += 1;
+        sink.count(Counter::Forwarded);
+        sink.count(Counter::TransitFastPath);
+        sink.add_count(Counter::TransitBytes, data.len() as u64);
+        // A freshly received datagram uniquely owns its buffer, so the hop
+        // byte is patched in place and the same allocation goes back out.
+        sink.send(remote, RoutedHeader::patch_hops(data, h.hops + 1));
+        None
     }
 
     /// Drive timers up to `now`.
@@ -354,7 +373,7 @@ impl BrunetNode {
             edge_forwarded: false,
             body: Body::App { proto, data },
         };
-        self.route_packet(now, pkt, None, sink);
+        self.route_packet(now, pkt, None, false, sink);
     }
 
     // -------------------------------------------------------- link layer --
@@ -579,15 +598,18 @@ impl BrunetNode {
     ) {
         // Suppress bouncing a packet straight back where it came from.
         let exclude = self.conns.iter().find(|c| c.remote == src).map(|c| c.peer);
-        self.route_packet(now, pkt, exclude, sink);
+        self.route_packet(now, pkt, exclude, true, sink);
     }
 
-    /// Forward or deliver a routed packet (from the wire or self-originated).
+    /// Forward or deliver a routed packet. `transit` marks packets that
+    /// arrived from the wire (as opposed to self-originated ones), so
+    /// decode-path transit forwards are visible next to the fast path's.
     fn route_packet<S: NodeSink + ?Sized>(
         &mut self,
         now: SimTime,
         mut pkt: Packet,
         exclude: Option<Address>,
+        transit: bool,
         sink: &mut S,
     ) {
         // Self-addressed CTMs (joins and ring probes) must reach the
@@ -643,7 +665,12 @@ impl BrunetNode {
                 let remote = c.remote;
                 self.stats.forwarded += 1;
                 sink.count(Counter::Forwarded);
-                self.send_frame(remote, Frame::Routed(pkt), sink);
+                let frame = Frame::Routed(pkt).encode();
+                if transit {
+                    sink.count(Counter::TransitSlowPath);
+                    sink.add_count(Counter::TransitBytes, frame.len() as u64);
+                }
+                sink.send(remote, frame);
             }
             NextHop::Local => self.deliver_local(now, pkt, false, sink),
         }
@@ -683,7 +710,7 @@ impl BrunetNode {
                         for_node: pkt.src,
                     },
                 };
-                self.route_packet(now, reply, None, sink);
+                self.route_packet(now, reply, None, false, sink);
                 // Start linking toward the requester (bidirectional rule).
                 self.connect_to(now, pkt.src, ctype, uris.clone(), sink);
                 // Nearest-delivery join semantics: hand one copy to the
@@ -855,7 +882,7 @@ impl BrunetNode {
                 reply_relay: None,
             },
         };
-        self.route_packet(now, pkt, None, sink);
+        self.route_packet(now, pkt, None, false, sink);
     }
 
     /// Verify our ring position: a self-addressed CTM launched through a
@@ -1133,8 +1160,63 @@ impl BrunetNode {
 mod tests {
     use super::*;
     use crate::addr::U160;
-    use crate::driver::ActionSink;
+    use crate::telemetry::TelemetryCounters;
     use wow_netsim::addr::PhysIp;
+
+    /// The unit-test sink: buffers frames and events, accumulates counters.
+    #[derive(Debug, Default)]
+    struct TestSink {
+        frames: Vec<(PhysAddr, Bytes)>,
+        events: Vec<NodeEvent>,
+        counters: TelemetryCounters,
+    }
+
+    impl TestSink {
+        fn new() -> Self {
+            TestSink::default()
+        }
+
+        /// Drain the buffered frames, decoded.
+        fn take_sends(&mut self) -> Vec<(PhysAddr, Frame)> {
+            self.frames
+                .drain(..)
+                .map(|(to, frame)| (to, Frame::decode(frame).expect("decode")))
+                .collect()
+        }
+
+        /// Drain the buffered events.
+        fn take_events(&mut self) -> Vec<NodeEvent> {
+            std::mem::take(&mut self.events)
+        }
+
+        /// Discard everything buffered so far (counters keep accumulating).
+        fn clear(&mut self) {
+            self.frames.clear();
+            self.events.clear();
+        }
+
+        fn is_empty(&self) -> bool {
+            self.frames.is_empty() && self.events.is_empty()
+        }
+    }
+
+    impl NodeSink for TestSink {
+        fn send(&mut self, to: PhysAddr, frame: Bytes) {
+            self.frames.push((to, frame));
+        }
+
+        fn event(&mut self, event: NodeEvent) {
+            self.events.push(event);
+        }
+
+        fn count(&mut self, counter: Counter) {
+            self.counters.record(counter);
+        }
+
+        fn add_count(&mut self, counter: Counter, n: u64) {
+            self.counters.add(counter, n);
+        }
+    }
 
     fn a(v: u64) -> Address {
         Address::from(U160::from(v))
@@ -1150,38 +1232,24 @@ mod tests {
 
     const T0: SimTime = SimTime::ZERO;
 
-    fn started(addr: Address, bootstrap: Vec<TransportUri>) -> (BrunetNode, ActionSink) {
+    fn started(addr: Address, bootstrap: Vec<TransportUri>) -> (BrunetNode, TestSink) {
         let mut n = BrunetNode::new(addr, OverlayConfig::default(), 7);
-        let mut sk = ActionSink::new();
+        let mut sk = TestSink::new();
         n.start(T0, uri(1, 4000), bootstrap, &mut sk);
         (n, sk)
-    }
-
-    fn sends(actions: &[NodeAction]) -> Vec<(PhysAddr, Frame)> {
-        actions
-            .iter()
-            .filter_map(|a| match a {
-                NodeAction::Send { to, frame } => {
-                    Some((*to, Frame::decode(frame.clone()).expect("decode")))
-                }
-                _ => None,
-            })
-            .collect()
     }
 
     #[test]
     fn first_node_idles_without_bootstrap() {
         let (n, mut sk) = started(a(100), Vec::new());
-        let acts = sk.take();
-        assert!(sends(&acts).is_empty());
+        assert!(sk.take_sends().is_empty());
         assert!(!n.is_routable());
     }
 
     #[test]
     fn start_sends_wildcard_link_request_to_bootstrap() {
         let (_n, mut sk) = started(a(100), vec![uri(9, 4000)]);
-        let acts = sk.take();
-        let s = sends(&acts);
+        let s = sk.take_sends();
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].0, ep(9, 4000));
         match &s[0].1 {
@@ -1197,7 +1265,7 @@ mod tests {
     #[test]
     fn leaf_reply_triggers_join_ctm_via_leaf() {
         let (mut n, mut sk) = started(a(100), vec![uri(9, 4000)]);
-        sk.take();
+        sk.clear();
         // Bootstrap (addr 500) replies.
         n.on_datagram(
             T0 + SimDuration::from_millis(50),
@@ -1210,16 +1278,15 @@ mod tests {
             .encode(),
             &mut sk,
         );
-        let acts = sk.take();
         // Learned the observed URI.
         assert!(n
             .advertised_uris()
             .contains(&TransportUri::udp(ep(77, 1234))));
-        // Connected action for the leaf + a routed self-CTM via the leaf.
-        assert!(acts
-            .iter()
-            .any(|x| matches!(x, NodeAction::Connected { peer, ctype: ConnType::Leaf } if *peer == a(500))));
-        let s = sends(&acts);
+        // Connected event for the leaf + a routed self-CTM via the leaf.
+        assert!(sk.take_events().iter().any(
+            |x| matches!(x, NodeEvent::Connected { peer, ctype: ConnType::Leaf } if *peer == a(500))
+        ));
+        let s = sk.take_sends();
         let routed: Vec<_> = s
             .iter()
             .filter_map(|(to, f)| match f {
@@ -1253,7 +1320,7 @@ mod tests {
         n.record_conn(T0, a(400), ConnType::StructuredNear, ep(40, 1), &mut sk);
         n.record_conn(T0, a(600), ConnType::StructuredNear, ep(60, 1), &mut sk);
         n.record_conn(T0, a(700), ConnType::StructuredFar, ep(70, 1), &mut sk);
-        sk.take();
+        sk.clear();
         let ctm = Packet {
             src: a(520),
             dst: a(520),
@@ -1268,8 +1335,7 @@ mod tests {
             },
         };
         n.on_datagram(T0, ep(70, 1), Frame::Routed(ctm).encode(), &mut sk);
-        let acts = sk.take();
-        let s = sends(&acts);
+        let s = sk.take_sends();
         // 1: CTM reply routed toward the relay 700.
         let reply = s
             .iter()
@@ -1298,7 +1364,7 @@ mod tests {
         let (mut n, mut sk) = started(a(0), Vec::new());
         n.record_conn(T0, a(1000), ConnType::StructuredNear, ep(10, 1), &mut sk);
         n.record_conn(T0, a(5000), ConnType::StructuredFar, ep(50, 1), &mut sk);
-        sk.take();
+        sk.clear();
         let pkt = Packet {
             src: a(9999),
             dst: a(4800),
@@ -1311,8 +1377,7 @@ mod tests {
             },
         };
         n.on_datagram(T0, ep(99, 9), Frame::Routed(pkt).encode(), &mut sk);
-        let acts = sk.take();
-        let s = sends(&acts);
+        let s = sk.take_sends();
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].0, ep(50, 1), "far link is closest to 4800");
         match &s[0].1 {
@@ -1327,7 +1392,7 @@ mod tests {
     fn ttl_exhaustion_drops() {
         let (mut n, mut sk) = started(a(0), Vec::new());
         n.record_conn(T0, a(5000), ConnType::StructuredFar, ep(50, 1), &mut sk);
-        sk.take();
+        sk.clear();
         let pkt = Packet {
             src: a(9999),
             dst: a(4800),
@@ -1340,7 +1405,7 @@ mod tests {
             },
         };
         n.on_datagram(T0, ep(99, 9), Frame::Routed(pkt).encode(), &mut sk);
-        assert!(sends(&sk.take()).is_empty());
+        assert!(sk.take_sends().is_empty());
         assert_eq!(n.stats().dropped_ttl, 1);
         assert_eq!(sk.counters.get(Counter::DroppedTtl), 1);
         assert_eq!(sk.counters.dropped_total(), 1);
@@ -1350,7 +1415,7 @@ mod tests {
     fn exact_delivery_vs_nearest_delivery() {
         let (mut n, mut sk) = started(a(100), Vec::new());
         n.record_conn(T0, a(5000), ConnType::StructuredNear, ep(50, 1), &mut sk);
-        sk.take();
+        sk.clear();
         // Exact.
         let exact = Packet {
             src: a(5000),
@@ -1364,9 +1429,9 @@ mod tests {
             },
         };
         n.on_datagram(T0, ep(50, 1), Frame::Routed(exact).encode(), &mut sk);
-        let acts = sk.take();
-        assert!(acts.iter().any(|x| matches!(x,
-            NodeAction::Deliver { src, proto: 7, exact: true, .. } if *src == a(5000))));
+        let ev = sk.take_events();
+        assert!(ev.iter().any(|x| matches!(x,
+            NodeEvent::Deliver { src, proto: 7, exact: true, .. } if *src == a(5000))));
         // Nearest: dst 120 does not exist; we hold the closest address.
         let near = Packet {
             src: a(5000),
@@ -1380,10 +1445,10 @@ mod tests {
             },
         };
         n.on_datagram(T0, ep(50, 1), Frame::Routed(near).encode(), &mut sk);
-        let acts = sk.take();
-        assert!(acts
+        let ev = sk.take_events();
+        assert!(ev
             .iter()
-            .any(|x| matches!(x, NodeAction::Deliver { exact: false, .. })));
+            .any(|x| matches!(x, NodeEvent::Deliver { exact: false, .. })));
         assert_eq!(n.stats().delivered, 1);
         assert_eq!(n.stats().delivered_nearest, 1);
         assert_eq!(sk.counters.get(Counter::DeliveredExact), 1);
@@ -1395,7 +1460,7 @@ mod tests {
         let (mut n, mut sk) = started(a(100), Vec::new());
         // Start an active attempt to 200.
         n.connect_to(T0, a(200), ConnType::Shortcut, vec![uri(20, 1)], &mut sk);
-        sk.take();
+        sk.clear();
         // 200's own request arrives.
         n.on_datagram(
             T0,
@@ -1409,7 +1474,7 @@ mod tests {
             .encode(),
             &mut sk,
         );
-        let s = sends(&sk.take());
+        let s = sk.take_sends();
         assert!(s.iter().any(|(_, f)| matches!(
             f,
             Frame::Link(LinkMsg::LinkError {
@@ -1425,7 +1490,7 @@ mod tests {
     #[test]
     fn wrong_node_request_is_rejected() {
         let (mut n, mut sk) = started(a(100), Vec::new());
-        sk.take();
+        sk.clear();
         n.on_datagram(
             T0,
             ep(20, 1),
@@ -1438,7 +1503,7 @@ mod tests {
             .encode(),
             &mut sk,
         );
-        let s = sends(&sk.take());
+        let s = sk.take_sends();
         assert!(s.iter().any(|(_, f)| matches!(
             f,
             Frame::Link(LinkMsg::LinkError {
@@ -1451,7 +1516,7 @@ mod tests {
     #[test]
     fn passive_accept_records_connection_and_replies() {
         let (mut n, mut sk) = started(a(100), Vec::new());
-        sk.take();
+        sk.clear();
         n.on_datagram(
             T0,
             ep(20, 1),
@@ -1464,11 +1529,10 @@ mod tests {
             .encode(),
             &mut sk,
         );
-        let acts = sk.take();
         assert!(n.has_direct(a(200)));
-        assert!(acts.iter().any(|x| matches!(x,
-            NodeAction::Connected { peer, ctype: ConnType::StructuredNear } if *peer == a(200))));
-        let s = sends(&acts);
+        assert!(sk.take_events().iter().any(|x| matches!(x,
+            NodeEvent::Connected { peer, ctype: ConnType::StructuredNear } if *peer == a(200))));
+        let s = sk.take_sends();
         assert!(s.iter().any(|(to, f)| matches!(f,
             Frame::Link(LinkMsg::LinkReply { attempt: 3, observed, .. }) if *observed == ep(20, 1))
             && *to == ep(20, 1)));
@@ -1478,7 +1542,7 @@ mod tests {
     #[test]
     fn ping_from_stranger_answered_not_connected() {
         let (mut n, mut sk) = started(a(100), Vec::new());
-        sk.take();
+        sk.clear();
         n.on_datagram(
             T0,
             ep(20, 1),
@@ -1489,7 +1553,7 @@ mod tests {
             .encode(),
             &mut sk,
         );
-        let s = sends(&sk.take());
+        let s = sk.take_sends();
         assert!(s.iter().any(|(_, f)| matches!(
             f,
             Frame::Link(LinkMsg::LinkError {
@@ -1503,7 +1567,7 @@ mod tests {
     fn not_connected_error_drops_our_state() {
         let (mut n, mut sk) = started(a(100), Vec::new());
         n.record_conn(T0, a(200), ConnType::Shortcut, ep(20, 1), &mut sk);
-        sk.take();
+        sk.clear();
         n.on_datagram(
             T0,
             ep(20, 1),
@@ -1515,17 +1579,16 @@ mod tests {
             .encode(),
             &mut sk,
         );
-        let acts = sk.take();
         assert!(!n.has_direct(a(200)));
-        assert!(acts.iter().any(|x| matches!(x,
-            NodeAction::Disconnected { peer } if *peer == a(200))));
+        assert!(sk.take_events().iter().any(|x| matches!(x,
+            NodeEvent::Disconnected { peer } if *peer == a(200))));
     }
 
     #[test]
     fn dead_peer_detected_by_keepalive_timeouts() {
         let (mut n, mut sk) = started(a(100), Vec::new());
         n.record_conn(T0, a(200), ConnType::StructuredNear, ep(20, 1), &mut sk);
-        sk.take();
+        sk.clear();
         // Let keepalives run with no answers until the conn dies.
         let mut t = T0;
         let mut dead = false;
@@ -1533,11 +1596,12 @@ mod tests {
             let Some(next) = n.next_deadline() else { break };
             t = next;
             n.on_tick(t, &mut sk);
-            if sk
-                .take()
+            let died = sk
+                .take_events()
                 .iter()
-                .any(|x| matches!(x, NodeAction::Disconnected { peer } if *peer == a(200)))
-            {
+                .any(|x| matches!(x, NodeEvent::Disconnected { peer } if *peer == a(200)));
+            sk.clear();
+            if died {
                 dead = true;
                 break;
             }
@@ -1555,13 +1619,13 @@ mod tests {
     fn sustained_app_traffic_triggers_shortcut_ctm() {
         let (mut n, mut sk) = started(a(100), Vec::new());
         n.record_conn(T0, a(90_000), ConnType::StructuredNear, ep(90, 1), &mut sk);
-        sk.take();
+        sk.clear();
         let peer = a(70_000);
         let mut ctm_seen = false;
         for i in 0..200u64 {
             let t = T0 + SimDuration::from_millis(i * 500);
             n.send_app(t, peer, 1, Bytes::from_static(b"data"), &mut sk);
-            let s = sends(&sk.take());
+            let s = sk.take_sends();
             if s.iter().any(|(_, f)| {
                 matches!(f,
                 Frame::Routed(p) if matches!(&p.body,
@@ -1580,14 +1644,14 @@ mod tests {
     fn shortcuts_disabled_never_requests() {
         let cfg = OverlayConfig::default().without_shortcuts();
         let mut n = BrunetNode::new(a(100), cfg, 7);
-        let mut sk = ActionSink::new();
+        let mut sk = TestSink::new();
         n.start(T0, uri(1, 4000), Vec::new(), &mut sk);
         n.record_conn(T0, a(90_000), ConnType::StructuredNear, ep(90, 1), &mut sk);
-        sk.take();
+        sk.clear();
         for i in 0..500u64 {
             let t = T0 + SimDuration::from_millis(i * 100);
             n.send_app(t, a(70_000), 1, Bytes::from_static(b"data"), &mut sk);
-            let s = sends(&sk.take());
+            let s = sk.take_sends();
             assert!(!s.iter().any(|(_, f)| matches!(f,
                 Frame::Routed(p) if matches!(&p.body, Body::CtmRequest { ctype: ConnType::Shortcut, .. }))));
         }
@@ -1598,7 +1662,7 @@ mod tests {
     fn restart_clears_state_but_keeps_address() {
         let (mut n, mut sk) = started(a(100), vec![uri(9, 4000)]);
         n.record_conn(T0, a(200), ConnType::StructuredNear, ep(20, 1), &mut sk);
-        sk.take();
+        sk.clear();
         assert!(n.is_routable());
         n.restart(
             SimTime::from_secs(100),
@@ -1610,7 +1674,7 @@ mod tests {
         assert!(!n.is_routable());
         assert!(!n.has_direct(a(200)));
         // It immediately tries to re-join.
-        let s = sends(&sk.take());
+        let s = sk.take_sends();
         assert!(s.iter().any(|(to, f)| matches!(f,
             Frame::Link(LinkMsg::LinkRequest { target, .. }) if *target == WILDCARD)
             && *to == ep(9, 4000)));
@@ -1632,7 +1696,7 @@ mod tests {
         );
         n.on_tick(SimTime::from_secs(100), &mut sk);
         n.send_app(T0, a(200), 1, Bytes::from_static(b"x"), &mut sk);
-        assert!(sk.take().is_empty());
+        assert!(sk.is_empty());
         assert_eq!(n.next_deadline(), None);
     }
 
@@ -1642,7 +1706,7 @@ mod tests {
         // (NAT renumbering) must retarget the connection.
         let (mut n, mut sk) = started(a(100), Vec::new());
         n.record_conn(T0, a(200), ConnType::StructuredNear, ep(20, 1), &mut sk);
-        sk.take();
+        sk.clear();
         let new_src = ep(21, 9);
         n.on_datagram(
             T0,
@@ -1656,7 +1720,7 @@ mod tests {
         );
         assert_eq!(n.conns().get(a(200)).unwrap().remote, new_src);
         // The pong goes back to the new address.
-        let s = sends(&sk.take());
+        let s = sk.take_sends();
         assert!(s
             .iter()
             .any(|(to, f)| matches!(f, Frame::Link(LinkMsg::Pong { .. })) && *to == new_src));
@@ -1668,12 +1732,12 @@ mod tests {
         // reaching us proves their path works — accept instead of InRace.
         let (mut n, mut sk) = started(a(100), Vec::new());
         n.connect_to(T0, a(200), ConnType::Shortcut, vec![uri(20, 1)], &mut sk);
-        sk.take();
+        sk.clear();
         // Let three transmissions go unanswered: the initial send plus the
         // retransmissions at +5 s and +15 s (default RTO, doubling).
         for secs in [6u64, 16] {
             n.on_tick(T0 + SimDuration::from_secs(secs), &mut sk);
-            sk.take();
+            sk.clear();
         }
         let t = T0 + SimDuration::from_secs(17);
         n.on_datagram(
@@ -1688,9 +1752,8 @@ mod tests {
             .encode(),
             &mut sk,
         );
-        let acts = sk.take();
         assert!(n.has_direct(a(200)), "must yield and accept");
-        let s = sends(&acts);
+        let s = sk.take_sends();
         assert!(s
             .iter()
             .any(|(_, f)| matches!(f, Frame::Link(LinkMsg::LinkReply { .. }))));
@@ -1721,14 +1784,14 @@ mod tests {
         let (mut n, mut sk) = started(a(100), Vec::new());
         n.record_conn(T0, a(200), ConnType::StructuredNear, ep(20, 1), &mut sk);
         n.record_conn(T0, a(300), ConnType::StructuredNear, ep(30, 1), &mut sk);
-        sk.take();
+        sk.clear();
         n.on_datagram(
             T0,
             ep(20, 1),
             Frame::Link(LinkMsg::NeighborQuery { from: a(200) }).encode(),
             &mut sk,
         );
-        let s = sends(&sk.take());
+        let s = sk.take_sends();
         let reply = s.iter().find_map(|(_, f)| match f {
             Frame::Link(LinkMsg::NeighborReply { neighbors, .. }) => Some(neighbors.clone()),
             _ => None,
@@ -1742,6 +1805,6 @@ mod tests {
             Frame::Link(LinkMsg::NeighborQuery { from: a(999) }).encode(),
             &mut sk,
         );
-        assert!(sends(&sk.take()).is_empty());
+        assert!(sk.take_sends().is_empty());
     }
 }

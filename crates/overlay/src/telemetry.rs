@@ -54,6 +54,12 @@ pub enum Counter {
     PeerDead,
     /// Application packets originated.
     AppSent,
+    /// Transit forwards taken by the decode-free fast path.
+    TransitFastPath,
+    /// Transit forwards that fell back to full decode / re-encode.
+    TransitSlowPath,
+    /// Bytes of routed frames forwarded in transit (either path).
+    TransitBytes,
 }
 
 /// Number of [`Counter`] variants.
@@ -61,7 +67,7 @@ pub const NUM_COUNTERS: usize = Counter::ALL.len();
 
 impl Counter {
     /// Every counter, in discriminant order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 21] = [
         Counter::Forwarded,
         Counter::DeliveredExact,
         Counter::DeliveredNearest,
@@ -80,6 +86,9 @@ impl Counter {
         Counter::ShortcutCross,
         Counter::PeerDead,
         Counter::AppSent,
+        Counter::TransitFastPath,
+        Counter::TransitSlowPath,
+        Counter::TransitBytes,
     ];
 
     /// Stable snake_case label, used as CSV column name.
@@ -103,6 +112,9 @@ impl Counter {
             Counter::ShortcutCross => "shortcut_cross",
             Counter::PeerDead => "peer_dead",
             Counter::AppSent => "app_sent",
+            Counter::TransitFastPath => "transit_fast_path",
+            Counter::TransitSlowPath => "transit_slow_path",
+            Counter::TransitBytes => "transit_bytes",
         }
     }
 }
@@ -131,6 +143,12 @@ impl TelemetryCounters {
     #[inline]
     pub fn record(&mut self, counter: Counter) {
         self.counts[counter as usize] += 1;
+    }
+
+    /// Add `n` to one counter (byte counters, batched bumps).
+    #[inline]
+    pub fn add(&mut self, counter: Counter, n: u64) {
+        self.counts[counter as usize] += n;
     }
 
     /// Read one counter.
@@ -190,12 +208,14 @@ mod tests {
         a.record(Counter::Forwarded);
         a.record(Counter::Forwarded);
         a.record(Counter::DroppedTtl);
+        a.add(Counter::TransitBytes, 1200);
         let mut b = TelemetryCounters::new();
         b.record(Counter::DroppedRelay);
         b.merge(&a);
         assert_eq!(b.get(Counter::Forwarded), 2);
+        assert_eq!(b.get(Counter::TransitBytes), 1200);
         assert_eq!(b.dropped_total(), 2);
-        assert_eq!(b.iter().map(|(_, v)| v).sum::<u64>(), 4);
+        assert_eq!(b.iter().map(|(_, v)| v).sum::<u64>(), 1204);
         b.clear();
         assert_eq!(b.iter().map(|(_, v)| v).sum::<u64>(), 0);
     }

@@ -482,6 +482,141 @@ impl Packet {
     }
 }
 
+// ---------- borrowed transit view ----------
+
+/// Byte offsets of the routed-frame header prefix. Every routed frame
+/// starts `tag(1) src(20) dst(20) hops(1) ttl(1) edge(1) body_tag(1)`;
+/// App bodies continue `proto(1) len(4) payload(len)`. This layout is
+/// wire-stable: [`RoutedHeader::peek`] depends on it, and DESIGN.md
+/// documents it as a compatibility contract.
+mod routed_layout {
+    /// Frame tag byte (1 = routed).
+    pub const TAG: usize = 0;
+    /// Source overlay address (20 bytes).
+    pub const SRC: usize = 1;
+    /// Destination overlay address (20 bytes).
+    pub const DST: usize = 21;
+    /// Hop count taken so far.
+    pub const HOPS: usize = 41;
+    /// Hop budget.
+    pub const TTL: usize = 42;
+    /// Edge-forwarded flag (canonical encoding: 0 or 1).
+    pub const EDGE: usize = 43;
+    /// Body discriminator (0 = CtmRequest, 1 = CtmReply, 2 = App).
+    pub const BODY_TAG: usize = 44;
+    /// App body: protocol discriminator.
+    pub const APP_PROTO: usize = 45;
+    /// App body: big-endian u32 payload length.
+    pub const APP_LEN: usize = 46;
+    /// App body: payload start.
+    pub const APP_DATA: usize = 50;
+}
+
+/// A borrowed view of a routed **App** frame's header, decoded without
+/// allocating or touching the payload.
+///
+/// [`RoutedHeader::peek`] succeeds only when the buffer is a *canonically
+/// encoded* application frame — the exact byte string [`Frame::encode`]
+/// would produce for some `Frame::Routed(Packet { body: Body::App { .. },
+/// .. })`. That guarantee is what lets a transit node skip the full decode:
+/// patching the hop byte in the original buffer is then byte-for-byte
+/// identical to decode → `hops += 1` → re-encode. Anything else — link
+/// frames, CTM bodies (which need protocol handling), truncation, trailing
+/// garbage, a non-canonical edge flag — returns an error and the caller
+/// falls back to [`Frame::decode`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoutedHeader {
+    /// Originating overlay address.
+    pub src: Address,
+    /// Destination overlay address.
+    pub dst: Address,
+    /// Hops taken so far.
+    pub hops: u8,
+    /// Remaining hop budget; packets with `hops == ttl` are dropped.
+    pub ttl: u8,
+    /// Edge-forwarded flag.
+    pub edge_forwarded: bool,
+    /// Application protocol discriminator.
+    pub proto: u8,
+}
+
+impl RoutedHeader {
+    /// Validate `frame` as a canonical routed App frame and expose its
+    /// header fields. Cost: a few bounds checks and two 20-byte copies —
+    /// no allocation, payload untouched.
+    pub fn peek(frame: &Bytes) -> Result<RoutedHeader, WireError> {
+        use routed_layout as L;
+        let buf: &[u8] = frame;
+        if buf.len() < L::APP_DATA {
+            return Err(WireError::Truncated);
+        }
+        if buf[L::TAG] != 1 {
+            return Err(WireError::BadTag);
+        }
+        if buf[L::BODY_TAG] != 2 {
+            return Err(WireError::BadTag);
+        }
+        // Decode normalizes any nonzero edge byte to `true` and re-encode
+        // writes 1 — a non-canonical byte would break transit byte-identity,
+        // so it is not fast-path eligible.
+        if buf[L::EDGE] > 1 {
+            return Err(WireError::BadTag);
+        }
+        let len = u32::from_be_bytes([
+            buf[L::APP_LEN],
+            buf[L::APP_LEN + 1],
+            buf[L::APP_LEN + 2],
+            buf[L::APP_LEN + 3],
+        ]) as usize;
+        if len > MAX_APP_DATA {
+            return Err(WireError::TooLong);
+        }
+        if buf.len() < L::APP_DATA + len {
+            return Err(WireError::Truncated);
+        }
+        if buf.len() > L::APP_DATA + len {
+            return Err(WireError::BadTag); // trailing garbage
+        }
+        let mut src = [0u8; 20];
+        src.copy_from_slice(&buf[L::SRC..L::SRC + 20]);
+        let mut dst = [0u8; 20];
+        dst.copy_from_slice(&buf[L::DST..L::DST + 20]);
+        Ok(RoutedHeader {
+            src: Address(src),
+            dst: Address(dst),
+            hops: buf[L::HOPS],
+            ttl: buf[L::TTL],
+            edge_forwarded: buf[L::EDGE] != 0,
+            proto: buf[L::APP_PROTO],
+        })
+    }
+
+    /// The zero-copy payload view of a frame [`RoutedHeader::peek`]
+    /// accepted: a slice of the same backing storage, no copy.
+    pub fn payload(frame: &Bytes) -> Bytes {
+        frame.slice(routed_layout::APP_DATA..)
+    }
+
+    /// Overwrite the hop count of a frame [`RoutedHeader::peek`] accepted,
+    /// in place when this handle uniquely owns the buffer (the usual case
+    /// for a freshly received datagram), otherwise via one copy. Either
+    /// way the result is byte-identical to decode → set hops → re-encode.
+    pub fn patch_hops(mut frame: Bytes, hops: u8) -> Bytes {
+        debug_assert!(RoutedHeader::peek(&frame).is_ok());
+        match frame.try_mut() {
+            Some(buf) => {
+                buf[routed_layout::HOPS] = hops;
+                frame
+            }
+            None => {
+                let mut copy = BytesMut::from(&frame[..]);
+                copy[routed_layout::HOPS] = hops;
+                copy.freeze()
+            }
+        }
+    }
+}
+
 // ---------- decoding primitives ----------
 
 fn get_u8(b: &mut Bytes) -> Result<u8, WireError> {
@@ -730,5 +865,91 @@ mod tests {
         buf.put_u8(1); // ctype near
         buf.put_u8(200); // uri count — over MAX_URIS
         assert_eq!(Frame::decode(buf.freeze()), Err(WireError::TooLong));
+    }
+
+    fn app_frame() -> (Packet, Bytes) {
+        let pkt = Packet {
+            src: a(7),
+            dst: a(9),
+            hops: 3,
+            ttl: 64,
+            edge_forwarded: true,
+            body: Body::App {
+                proto: 4,
+                data: Bytes::from_static(b"tunnelled ip packet"),
+            },
+        };
+        let enc = Frame::Routed(pkt.clone()).encode();
+        (pkt, enc)
+    }
+
+    #[test]
+    fn peek_matches_decode_on_app_frames() {
+        let (pkt, enc) = app_frame();
+        let h = RoutedHeader::peek(&enc).expect("canonical app frame");
+        assert_eq!(h.src, pkt.src);
+        assert_eq!(h.dst, pkt.dst);
+        assert_eq!(h.hops, pkt.hops);
+        assert_eq!(h.ttl, pkt.ttl);
+        assert_eq!(h.edge_forwarded, pkt.edge_forwarded);
+        assert_eq!(h.proto, 4);
+        assert_eq!(&RoutedHeader::payload(&enc)[..], b"tunnelled ip packet");
+    }
+
+    #[test]
+    fn peek_rejects_non_app_and_malformed() {
+        // Link frame.
+        let link = Frame::Link(LinkMsg::Ping {
+            from: a(1),
+            nonce: 1,
+        })
+        .encode();
+        assert!(RoutedHeader::peek(&link).is_err());
+        // CTM body.
+        let ctm = Frame::Routed(Packet {
+            src: a(1),
+            dst: a(2),
+            hops: 0,
+            ttl: 64,
+            edge_forwarded: false,
+            body: Body::CtmRequest {
+                token: 1,
+                ctype: ConnType::StructuredNear,
+                uris: Vec::new(),
+                reply_relay: None,
+            },
+        })
+        .encode();
+        assert!(RoutedHeader::peek(&ctm).is_err());
+        // Every truncation of a valid app frame.
+        let (_, enc) = app_frame();
+        for cut in 0..enc.len() {
+            assert!(RoutedHeader::peek(&enc.slice(..cut)).is_err());
+        }
+        // Trailing garbage.
+        let mut extra = BytesMut::from(&enc[..]);
+        extra.put_u8(0);
+        assert!(RoutedHeader::peek(&extra.freeze()).is_err());
+        // Non-canonical edge byte: decodes fine, but re-encode would
+        // normalize it — not fast-path eligible.
+        let mut noncanon = BytesMut::from(&enc[..]);
+        noncanon[43] = 2;
+        let noncanon = noncanon.freeze();
+        assert!(Frame::decode(noncanon.clone()).is_ok());
+        assert!(RoutedHeader::peek(&noncanon).is_err());
+    }
+
+    #[test]
+    fn patch_hops_identical_to_reencode() {
+        let (mut pkt, enc) = app_frame();
+        // Shared handle: patch must copy, original must stay intact.
+        let patched = RoutedHeader::patch_hops(enc.clone(), 42);
+        pkt.hops = 42;
+        assert_eq!(patched, Frame::Routed(pkt.clone()).encode());
+        assert_eq!(RoutedHeader::peek(&enc).unwrap().hops, 3, "original kept");
+        // Unique handle: patch in place, same bytes.
+        let unique = Bytes::copy_from_slice(&enc[..]);
+        let patched = RoutedHeader::patch_hops(unique, 42);
+        assert_eq!(patched, Frame::Routed(pkt).encode());
     }
 }

@@ -15,7 +15,7 @@
 //! the disciplines to coincide exactly.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use bytes::Bytes;
 
@@ -23,10 +23,12 @@ use wow_netsim::addr::{PhysAddr, PhysIp};
 use wow_netsim::time::{SimDuration, SimTime};
 use wow_overlay::addr::Address;
 use wow_overlay::config::OverlayConfig;
+use wow_overlay::conn::ConnType;
 use wow_overlay::driver::{NodeDriver, NodeEvent, Transport};
 use wow_overlay::node::BrunetNode;
-use wow_overlay::telemetry::TelemetryCounters;
+use wow_overlay::telemetry::{Counter, TelemetryCounters};
 use wow_overlay::uri::TransportUri;
+use wow_overlay::wire::{Body, Frame, LinkMsg, Packet};
 
 const A_SEED: u64 = 7;
 const HORIZON_SECS: u64 = 30;
@@ -405,6 +407,223 @@ fn replay_armed(script: &[ScriptItem]) -> (Transcript, TelemetryCounters) {
     }
     drain_events(&mut d, &mut transcript.events);
     (transcript, *d.counters())
+}
+
+// ---------------------------------------------------------------------------
+// Transit fast path vs forced decode path
+// ---------------------------------------------------------------------------
+
+/// A three-node relay chain driven purely by datagram injection (no timers
+/// fire), used to compare the decode-free transit fast path against the
+/// forced decode → re-encode path over the exact same inputs.
+fn chain_addr(b: u8) -> Address {
+    Address([b; 20])
+}
+
+fn chain_phys(i: usize) -> PhysAddr {
+    PhysAddr::new(PhysIp::new(10, 0, 1, i as u8 + 1), 15000)
+}
+
+fn stranger_phys() -> PhysAddr {
+    PhysAddr::new(PhysIp::new(10, 0, 9, 9), 15000)
+}
+
+/// Everything the chain did, in arrival order: per-node frame transcripts,
+/// per-node event transcripts, per-node counters.
+struct ChainRun {
+    frames: Vec<(usize, PhysAddr, Bytes)>,
+    events: Vec<(usize, NodeEvent)>,
+    counters: Vec<TelemetryCounters>,
+}
+
+/// Run the scripted relay-chain session with the transit fast path on or
+/// off. Nodes 0–2 sit on a short ring arc (0x10.., 0x18.., 0x20..) so
+/// greedy forwarding genuinely relays along the chain, each
+/// structured-connected to its neighbours; every frame a node emits toward
+/// another chain node is delivered, everything else (replies to synthetic
+/// endpoints) is captured but dropped.
+fn run_relay_chain(fast: bool) -> ChainRun {
+    let addrs = [chain_addr(0x10), chain_addr(0x18), chain_addr(0x20)];
+    let cfg = OverlayConfig {
+        transit_fast_path: fast,
+        ..OverlayConfig::default()
+    };
+    let mut drivers: Vec<NodeDriver> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| NodeDriver::new(BrunetNode::new(a, cfg.clone(), 100 + i as u64)))
+        .collect();
+    let mut run = ChainRun {
+        frames: Vec::new(),
+        events: Vec::new(),
+        counters: Vec::new(),
+    };
+    let t0 = SimTime::ZERO;
+    let node_at = |phys: PhysAddr| (0..3).find(|&i| chain_phys(i) == phys);
+
+    // Start all nodes (no bootstrap: nothing emitted), then establish the
+    // chain links via passive accepts. Setup frames (link replies) are
+    // logged but not delivered — a deterministic lossy wire, identical in
+    // both configurations.
+    for (i, d) in drivers.iter_mut().enumerate() {
+        let mut scratch = Vec::new();
+        let mut cap = CapTransport { out: &mut scratch };
+        d.start(t0, TransportUri::udp(chain_phys(i)), vec![], &mut cap);
+        assert!(scratch.is_empty(), "bootstrap-less start emits nothing");
+    }
+    for (i, j) in [(0usize, 1usize), (1, 0), (1, 2), (2, 1)] {
+        let req = Frame::Link(LinkMsg::LinkRequest {
+            from: addrs[j],
+            target: addrs[i],
+            ctype: ConnType::StructuredNear,
+            attempt: 1,
+        })
+        .encode();
+        let mut out = Vec::new();
+        {
+            let mut cap = CapTransport { out: &mut out };
+            drivers[i].on_datagram(t0, chain_phys(j), req, &mut cap);
+        }
+        for (to, f) in out {
+            run.frames.push((i, to, f));
+        }
+        let mut evs = Vec::new();
+        drain_events(&mut drivers[i], &mut evs);
+        run.events.extend(evs.into_iter().map(|e| (i, e)));
+    }
+
+    // The scripted injections, all entering the chain as received
+    // datagrams. `(entry node, from, frame)`.
+    let app = |dst: Address, hops: u8, payload: &'static [u8]| {
+        Frame::Routed(Packet {
+            src: chain_addr(0x95),
+            dst,
+            hops,
+            ttl: 64,
+            edge_forwarded: false,
+            body: Body::App {
+                proto: 9,
+                data: Bytes::from_static(payload),
+            },
+        })
+        .encode()
+    };
+    let injections: Vec<(usize, PhysAddr, Bytes)> = vec![
+        // Two transit hops, then exact delivery at node 2.
+        (0, stranger_phys(), app(addrs[2], 0, b"relay me end to end")),
+        // Transit to node 2, nearest-delivery there (no node at 0x22..).
+        (0, stranger_phys(), app(chain_addr(0x22), 0, b"to nobody")),
+        // Forwarded once, then dropped at node 1 with the budget exhausted.
+        (0, stranger_phys(), app(addrs[2], 63, b"nearly dead")),
+        // Arrives at node 1 *from node 0's endpoint*: the bounce-back
+        // exclude forces the routing decision away from the closest peer.
+        (
+            1,
+            chain_phys(0),
+            app(chain_addr(0x08), 1, b"no bounce back"),
+        ),
+        // A routed CTM: transit at node 0 must take the decode path in both
+        // configurations (only app frames are peekable).
+        (
+            0,
+            stranger_phys(),
+            Frame::Routed(Packet {
+                src: chain_addr(0x95),
+                dst: addrs[1],
+                hops: 0,
+                ttl: 64,
+                edge_forwarded: false,
+                body: Body::CtmRequest {
+                    token: 77,
+                    ctype: ConnType::Shortcut,
+                    uris: vec![TransportUri::udp(stranger_phys())],
+                    reply_relay: None,
+                },
+            })
+            .encode(),
+        ),
+        // Garbage: decode failure, counted identically.
+        (0, stranger_phys(), Bytes::from_static(&[0xde, 0xad, 0xbe])),
+    ];
+
+    let mut queue: VecDeque<(usize, PhysAddr, Bytes)> = injections.into();
+    while let Some((node, from, frame)) = queue.pop_front() {
+        let mut out = Vec::new();
+        {
+            let mut cap = CapTransport { out: &mut out };
+            drivers[node].on_datagram(t0, from, frame, &mut cap);
+        }
+        let mut evs = Vec::new();
+        drain_events(&mut drivers[node], &mut evs);
+        run.events.extend(evs.into_iter().map(|e| (node, e)));
+        for (to, f) in out {
+            run.frames.push((node, to, f.clone()));
+            if let Some(next) = node_at(to) {
+                queue.push_back((next, chain_phys(node), f));
+            }
+        }
+    }
+
+    run.counters = drivers.iter().map(|d| *d.counters()).collect();
+    run
+}
+
+#[test]
+fn transit_fast_and_slow_paths_are_byte_identical() {
+    let fast = run_relay_chain(true);
+    let slow = run_relay_chain(false);
+
+    // Byte-identical frame transcripts: same frames, same order, same
+    // destinations, from every node in the chain.
+    assert_eq!(
+        fast.frames.len(),
+        slow.frames.len(),
+        "transcript lengths differ"
+    );
+    for (i, (f, s)) in fast.frames.iter().zip(slow.frames.iter()).enumerate() {
+        assert_eq!(f, s, "frame #{i} differs between fast and slow paths");
+    }
+    assert_eq!(fast.events, slow.events, "event transcripts differ");
+
+    // The trace must actually exercise what it claims to.
+    let sum = |run: &ChainRun, c: Counter| -> u64 { run.counters.iter().map(|t| t.get(c)).sum() };
+    assert!(
+        sum(&fast, Counter::TransitFastPath) >= 3,
+        "fast run must take the fast path for the app relays"
+    );
+    assert!(
+        sum(&fast, Counter::TransitSlowPath) >= 1,
+        "the routed CTM must take the decode path even in the fast run"
+    );
+    assert_eq!(
+        sum(&slow, Counter::TransitFastPath),
+        0,
+        "disabled fast path must never fire"
+    );
+    assert_eq!(
+        sum(&fast, Counter::TransitFastPath) + sum(&fast, Counter::TransitSlowPath),
+        sum(&slow, Counter::TransitSlowPath),
+        "every transit forward must be attributed to exactly one path"
+    );
+    assert!(sum(&fast, Counter::DroppedTtl) >= 1, "TTL drop must occur");
+    assert!(
+        sum(&fast, Counter::DeliveredExact) >= 1 && sum(&fast, Counter::DeliveredNearest) >= 1,
+        "both delivery modes must occur"
+    );
+
+    // Telemetry identical modulo the path-attribution counters.
+    for (i, (f, s)) in fast.counters.iter().zip(slow.counters.iter()).enumerate() {
+        for c in Counter::ALL {
+            if matches!(c, Counter::TransitFastPath | Counter::TransitSlowPath) {
+                continue;
+            }
+            assert_eq!(
+                f.get(c),
+                s.get(c),
+                "node {i} counter {c} differs between fast and slow paths"
+            );
+        }
+    }
 }
 
 #[test]

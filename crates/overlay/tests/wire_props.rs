@@ -7,7 +7,7 @@ use wow_netsim::addr::{PhysAddr, PhysIp};
 use wow_overlay::addr::{Address, U160};
 use wow_overlay::conn::ConnType;
 use wow_overlay::uri::{Scheme, TransportUri};
-use wow_overlay::wire::{Body, Frame, LinkErrorReason, LinkMsg, Packet};
+use wow_overlay::wire::{Body, Frame, LinkErrorReason, LinkMsg, Packet, RoutedHeader};
 
 fn arb_address() -> impl Strategy<Value = Address> {
     any::<[u8; 20]>().prop_map(Address)
@@ -133,6 +133,33 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
         })
 }
 
+/// Routed packets with an application body — the set the transit fast path
+/// is allowed to peek at.
+fn arb_app_packet() -> impl Strategy<Value = Packet> {
+    (
+        arb_address(),
+        arb_address(),
+        any::<u8>(),
+        any::<u8>(),
+        any::<bool>(),
+        any::<u8>(),
+        prop::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(
+            |(src, dst, hops, ttl, edge_forwarded, proto, data)| Packet {
+                src,
+                dst,
+                hops,
+                ttl,
+                edge_forwarded,
+                body: Body::App {
+                    proto,
+                    data: Bytes::from(data),
+                },
+            },
+        )
+}
+
 fn arb_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
         arb_link_msg().prop_map(Frame::Link),
@@ -195,5 +222,72 @@ proptest! {
         let d = U160::from(delta);
         let shifted = a.wrapping_add(d).dist_cw(b.wrapping_add(d));
         prop_assert_eq!(shifted, a.dist_cw(b));
+    }
+
+    /// The borrowed header view agrees with the full decode on every
+    /// canonically-encoded routed application frame, payload included.
+    #[test]
+    fn peek_agrees_with_decode_on_app_frames(pkt in arb_app_packet()) {
+        let encoded = Frame::Routed(pkt.clone()).encode();
+        let h = RoutedHeader::peek(&encoded).expect("canonical app frame must peek");
+        prop_assert_eq!(h.src, pkt.src);
+        prop_assert_eq!(h.dst, pkt.dst);
+        prop_assert_eq!(h.hops, pkt.hops);
+        prop_assert_eq!(h.ttl, pkt.ttl);
+        prop_assert_eq!(h.edge_forwarded, pkt.edge_forwarded);
+        let Body::App { proto, data } = &pkt.body else { unreachable!() };
+        prop_assert_eq!(h.proto, *proto);
+        prop_assert_eq!(RoutedHeader::payload(&encoded), data.clone());
+    }
+
+    /// Patching the hop count in the received buffer is byte-for-byte the
+    /// same frame the slow path produces by decode → mutate → re-encode.
+    #[test]
+    fn patch_hops_identical_to_reencode(pkt in arb_app_packet(), new_hops in any::<u8>()) {
+        let encoded = Frame::Routed(pkt).encode();
+        // Reference: the decode → mutate → re-encode slow path.
+        let mut reference = match Frame::decode(encoded.clone()).expect("app frame decodes") {
+            Frame::Routed(p) => p,
+            other => panic!("app frame decoded as {other:?}"),
+        };
+        reference.hops = new_hops;
+        let reencoded = Frame::Routed(reference).encode();
+        // `encoded.clone()` above keeps a second handle alive, so this also
+        // exercises the shared-storage copy fallback inside patch_hops.
+        let patched = RoutedHeader::patch_hops(encoded, new_hops);
+        prop_assert_eq!(patched, reencoded);
+    }
+
+    /// Peeking arbitrary bytes never panics, and wherever it succeeds the
+    /// full decoder agrees — so the fast path can never forward a frame the
+    /// slow path would have rejected or read differently.
+    #[test]
+    fn peek_on_arbitrary_bytes_is_sound(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+        let buf = Bytes::from(bytes);
+        if let Ok(h) = RoutedHeader::peek(&buf) {
+            match Frame::decode(buf.clone()) {
+                Ok(Frame::Routed(p)) => {
+                    prop_assert_eq!(h.src, p.src);
+                    prop_assert_eq!(h.dst, p.dst);
+                    prop_assert_eq!(h.hops, p.hops);
+                    prop_assert_eq!(h.ttl, p.ttl);
+                    prop_assert!(matches!(p.body, Body::App { .. }));
+                }
+                other => prop_assert!(false, "peek accepted what decode rejects: {other:?}"),
+            }
+        }
+    }
+
+    /// Every strict prefix of an app frame is rejected by peek (truncation
+    /// falls back cleanly), as is the frame with trailing garbage.
+    #[test]
+    fn peek_rejects_truncations_and_trailing_garbage(pkt in arb_app_packet(), extra in any::<u8>()) {
+        let encoded = Frame::Routed(pkt).encode();
+        for cut in 0..encoded.len() {
+            prop_assert!(RoutedHeader::peek(&encoded.slice(..cut)).is_err());
+        }
+        let mut longer = encoded.to_vec();
+        longer.push(extra);
+        prop_assert!(RoutedHeader::peek(&Bytes::from(longer)).is_err());
     }
 }

@@ -93,6 +93,12 @@ impl IpopRouter {
     /// overlay's delivery mode: nearest-delivery strays (their owner is
     /// down or migrating) never match our stack's IP and are dropped, as
     /// the paper's tap device drops packets for foreign IPs.
+    ///
+    /// `data` is a zero-copy slice of the received overlay frame: the
+    /// wire decoder hands the app payload out as a `Bytes` view of the
+    /// datagram buffer, so a tunnelled IP packet crosses the whole
+    /// overlay → vnet hand-off without being copied (and transit nodes
+    /// never looked inside it at all).
     pub fn deliver_in(&mut self, now: SimTime, stack: &mut NetStack, data: Bytes, exact: bool) {
         let pkt = match Ipv4Packet::decode(data) {
             Ok(p) => p,

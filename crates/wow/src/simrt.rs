@@ -11,7 +11,9 @@
 //! and on a loaded host that queueing delay — not the WAN — dominates
 //! multi-hop latency and caps multi-hop bandwidth (Table II's 84 KB/s).
 //! Incoming datagrams are therefore run through the host's FIFO CPU queue
-//! before the node sees them.
+//! before the node sees them. (The node's decode-free transit fast path
+//! rides through unchanged: a forwarded frame re-enters the wire as the
+//! same `Bytes` allocation it arrived in, hop count patched in place.)
 //!
 //! Application logic (the IPOP/vnet stack, measurement probes) attaches via
 //! [`OverlayApp`]; [`NodeHandle`] is its interface back to the node and the

@@ -160,7 +160,10 @@ impl UdpNode {
                             Cmd::Stop => break 'main,
                         }
                     }
-                    // Socket.
+                    // Socket. Each datagram gets its own uniquely-owned
+                    // Bytes, which is what lets the node's transit fast
+                    // path patch the hop count in place and forward the
+                    // same allocation without a copy.
                     match socket.recv_from(&mut buf) {
                         Ok((n, src)) => {
                             driver.on_datagram(

@@ -121,6 +121,20 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_ref().to_vec()
     }
+
+    /// Mutable access to this view's bytes, available only when this handle
+    /// is the sole owner of its backing storage (the uniqueness-checked
+    /// subset of the real crate's `try_into_mut`). Returns `None` for
+    /// static buffers and for shared storage — callers fall back to a copy.
+    pub fn try_mut(&mut self) -> Option<&mut [u8]> {
+        match &mut self.repr {
+            Repr::Static(_) => None,
+            Repr::Shared(arc) => {
+                let storage = Arc::get_mut(arc)?;
+                Some(&mut storage[self.off..self.off + self.len])
+            }
+        }
+    }
 }
 
 impl Default for Bytes {
@@ -469,6 +483,27 @@ mod tests {
         let tail = b.split_off(1);
         assert_eq!(&b[..], b" ");
         assert_eq!(&tail[..], b"world");
+    }
+
+    #[test]
+    fn try_mut_unique_vs_shared() {
+        // Static storage is never writable.
+        let mut s = Bytes::from_static(b"abc");
+        assert!(s.try_mut().is_none());
+        // Unique shared storage is writable in place, honouring the view.
+        let mut u = Bytes::copy_from_slice(b"hello");
+        let tail = u.split_off(4);
+        drop(tail);
+        // `tail` dropped, but the Arc was cloned for it — uniqueness is
+        // about the Arc count *now*, so this is writable again.
+        u.try_mut().expect("unique after clone dropped")[0] = b'H';
+        assert_eq!(&u[..], b"Hell");
+        // A live clone blocks mutation.
+        let mut a = Bytes::copy_from_slice(b"xy");
+        let b = a.clone();
+        assert!(a.try_mut().is_none());
+        drop(b);
+        assert!(a.try_mut().is_some());
     }
 
     #[test]
