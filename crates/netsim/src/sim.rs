@@ -274,6 +274,20 @@ impl World {
 
     /// Hand the datagram to the network at the current time.
     fn send(&mut self, from_host: HostId, src_port: u16, dst: PhysAddr, payload: Bytes) {
+        self.send_from(self.now, from_host, src_port, dst, payload);
+    }
+
+    /// Hand the datagram to the network at `now` (hoisted by batch sends:
+    /// the clock cannot advance inside one actor callback, so a whole
+    /// burst shares a single timestamp read).
+    fn send_from(
+        &mut self,
+        now: SimTime,
+        from_host: HostId,
+        src_port: u16,
+        dst: PhysAddr,
+        payload: Bytes,
+    ) {
         self.stats.sent += 1;
         let size = payload.len() + UDP_IP_OVERHEAD;
         let (src_domain_id, src_ip, depart) = {
@@ -283,7 +297,7 @@ impl World {
                 self.stats.drop(DropReason::HostDown);
                 return;
             }
-            let start = self.now.max(h.uplink_free_at);
+            let start = now.max(h.uplink_free_at);
             let depart = start + serialization_delay(size, h.spec.uplink_bps);
             h.uplink_free_at = depart;
             (h.domain, h.ip, depart)
@@ -313,7 +327,6 @@ impl World {
                 .public_ip;
             if dst.ip == nat_ip {
                 // Inside → own public address: hairpin case.
-                let now = self.now;
                 let nat = self.domains[src_domain_id.0 as usize]
                     .nat
                     .as_mut()
@@ -351,7 +364,6 @@ impl World {
                 return;
             }
             // Ordinary egress: translate the source.
-            let now = self.now;
             let nat = self.domains[src_domain_id.0 as usize]
                 .nat
                 .as_mut()
@@ -490,6 +502,28 @@ impl Ctx<'_> {
             "sending from a port this actor has not bound"
         );
         self.world.send(self.host, src_port, dst, payload);
+    }
+
+    /// Send a burst of datagrams from one bound local port, amortizing the
+    /// port check and the timestamp read over the whole batch. Each frame
+    /// is routed, accounted and (possibly) dropped independently — a frame
+    /// that drops mid-batch never drops or reorders its successors, and
+    /// per-frame [`DropReason`] accounting is identical to looping
+    /// [`Ctx::send`].
+    pub fn send_batch<I>(&mut self, src_port: u16, frames: I)
+    where
+        I: IntoIterator<Item = (PhysAddr, Bytes)>,
+    {
+        debug_assert_eq!(
+            self.world.ports.get(&(self.host, src_port)),
+            Some(&self.actor),
+            "sending from a port this actor has not bound"
+        );
+        let now = self.now;
+        let host = self.host;
+        for (dst, payload) in frames {
+            self.world.send_from(now, host, src_port, dst, payload);
+        }
     }
 
     /// Schedule `on_wake(tag)` at an absolute time.

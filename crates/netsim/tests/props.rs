@@ -222,7 +222,185 @@ fn whole_sim_determinism() {
     assert_eq!(run(12), run(12));
 }
 
+/// Shared harness for the batched-send differentials: one sender blasting a
+/// fixed frame list — via one `send_batch` call or a per-frame `send` loop —
+/// at a receiver that logs payload tags in arrival order.
+mod batch_harness {
+    use bytes::Bytes;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    use wow_netsim::prelude::*;
+
+    pub struct Blast {
+        pub port: u16,
+        pub frames: Vec<(PhysAddr, Bytes)>,
+        pub batched: bool,
+    }
+    impl Actor for Blast {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.bind(self.port);
+            let frames = std::mem::take(&mut self.frames);
+            if self.batched {
+                ctx.send_batch(self.port, frames);
+            } else {
+                for (dst, payload) in frames {
+                    ctx.send(self.port, dst, payload);
+                }
+            }
+        }
+    }
+
+    pub struct Order {
+        pub port: u16,
+        pub seen: Rc<RefCell<Vec<u8>>>,
+    }
+    impl Actor for Order {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.bind(self.port);
+        }
+        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, d: Datagram) {
+            self.seen.borrow_mut().push(d.payload[0]);
+        }
+    }
+
+    /// Sorted (reason, count) pairs, comparable across runs.
+    pub fn drop_map(stats: &NetStats) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = stats.drops().map(|(r, c)| (format!("{r:?}"), c)).collect();
+        v.sort();
+        v
+    }
+}
+
+/// A mid-batch drop must neither stall nor reorder the frames behind it,
+/// and every failing frame must be accounted under its own [`DropReason`] —
+/// exactly as if the frames had been sent one at a time.
+#[test]
+fn batched_send_preserves_per_frame_drop_accounting() {
+    use batch_harness::{drop_map, Blast, Order};
+    use bytes::Bytes;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn run(batched: bool) -> (Vec<u8>, u64, u64, Vec<(String, u64)>) {
+        let mut sim = Sim::new(77);
+        let wan = sim.add_domain(DomainSpec::public("wan"));
+        let sender = sim.add_host(wan, HostSpec::new("sender"));
+        let receiver = sim.add_host(wan, HostSpec::new("receiver"));
+        let down = sim.add_host(wan, HostSpec::new("down"));
+        sim.world().set_host_up(down, false);
+
+        let good = PhysAddr::new(sim.world().host_ip(receiver), 7);
+        let unbound = PhysAddr::new(sim.world().host_ip(receiver), 8);
+        let dead = PhysAddr::new(sim.world().host_ip(down), 7);
+        let nowhere = PhysAddr::new(PhysIp::new(8, 8, 8, 8), 7);
+
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        sim.add_actor(
+            receiver,
+            Order {
+                port: 7,
+                seen: seen.clone(),
+            },
+        );
+        // Good frames interleaved with one of each failure mode.
+        let frames = vec![
+            (good, Bytes::from(vec![0u8])),
+            (nowhere, Bytes::from(vec![100u8])),
+            (good, Bytes::from(vec![1u8])),
+            (unbound, Bytes::from(vec![101u8])),
+            (good, Bytes::from(vec![2u8])),
+            (dead, Bytes::from(vec![102u8])),
+            (good, Bytes::from(vec![3u8])),
+        ];
+        sim.add_actor(
+            sender,
+            Blast {
+                port: 9,
+                frames,
+                batched,
+            },
+        );
+        sim.run_to_quiescence();
+        let stats = &sim.world_ref().stats;
+        let seen = seen.borrow().clone();
+        (seen, stats.sent, stats.delivered, drop_map(stats))
+    }
+
+    let (seen, sent, delivered, drops) = run(true);
+    assert_eq!(
+        seen,
+        vec![0, 1, 2, 3],
+        "survivors of mid-batch drops must arrive complete and in order"
+    );
+    assert_eq!(sent, 7, "every batched frame must be counted as sent");
+    assert_eq!(delivered, 4);
+    assert_eq!(
+        drops,
+        vec![
+            ("HostDown".to_string(), 1),
+            ("NoSuchIp".to_string(), 1),
+            ("PortUnbound".to_string(), 1),
+        ],
+        "each failing frame must land under its own DropReason"
+    );
+    assert_eq!(
+        run(true),
+        run(false),
+        "batched and per-frame sends must account identically"
+    );
+}
+
 proptest! {
+    /// Under random WAN loss, a batched burst is indistinguishable from a
+    /// per-frame send loop: same seed → same deliveries in the same order
+    /// and the same per-reason drop counts (the batch path must consume the
+    /// loss RNG frame by frame, exactly like `Ctx::send`).
+    #[test]
+    fn batched_send_matches_per_frame_under_loss(seed in any::<u64>(), n in 1usize..40) {
+        use batch_harness::{drop_map, Blast, Order};
+        use bytes::Bytes;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let run = |batched: bool| {
+            let mut sim = Sim::new(seed);
+            let wan = sim.add_domain(DomainSpec::public("wan"));
+            let mut lm = LinkModel::default();
+            lm.default_wan.loss = 0.3;
+            sim.world().links = lm;
+            let sender = sim.add_host(wan, HostSpec::new("sender"));
+            let receiver = sim.add_host(wan, HostSpec::new("receiver"));
+            let good = PhysAddr::new(sim.world().host_ip(receiver), 7);
+            let nowhere = PhysAddr::new(PhysIp::new(8, 8, 8, 8), 7);
+            let seen = Rc::new(RefCell::new(Vec::new()));
+            sim.add_actor(receiver, Order { port: 7, seen: seen.clone() });
+            let frames: Vec<(PhysAddr, Bytes)> = (0..n)
+                .map(|i| {
+                    let dst = if i % 5 == 3 { nowhere } else { good };
+                    (dst, Bytes::from(vec![i as u8]))
+                })
+                .collect();
+            sim.add_actor(sender, Blast { port: 9, frames, batched });
+            sim.run_to_quiescence();
+            let seen = seen.borrow().clone();
+            let stats = &sim.world_ref().stats;
+            (seen, stats.sent, stats.delivered, drop_map(stats))
+        };
+
+        let batched = run(true);
+        let per_frame = run(false);
+        prop_assert_eq!(&batched, &per_frame, "batched burst diverged from per-frame sends");
+        let (seen, sent, ..) = batched;
+        prop_assert_eq!(sent, n as u64);
+        // Loss never reorders the surviving subsequence.
+        prop_assert!(
+            seen.windows(2).all(|w| w[0] < w[1]),
+            "survivors reordered: {:?}",
+            &seen
+        );
+    }
+
     /// Per-flow FIFO: datagrams between one (src, dst) pair are delivered
     /// in send order, whatever the jitter draws.
     #[test]

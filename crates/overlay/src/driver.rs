@@ -20,6 +20,21 @@
 //! node's next deadline has passed" — which is what makes the two runtimes
 //! byte-identical over one scripted trace (see the differential test in
 //! `crates/overlay/tests/driver_differential.rs`).
+//!
+//! ## The flush boundary
+//!
+//! One input event can fan out into a burst of frames — a routed forward
+//! plus CTM replies plus linking traffic. By default the driver coalesces
+//! everything a node emits during **one event cycle** (one `start` /
+//! `restart` / `on_datagram` / `on_tick` / `send_app` / `with_sink` call)
+//! into a reusable [`FrameBatch`] and hands the whole burst to the
+//! transport in a single [`Transport::transmit_batch`] call. Emission
+//! order is preserved exactly — batching changes *when* the transport sees
+//! the frames (end of cycle instead of mid-cycle), never their order or
+//! bytes — so runtimes can amortize per-frame costs (syscalls on the UDP
+//! path, context borrows in the simulator) without observable effect.
+//! [`NodeDriver::set_batching`] forces the legacy per-frame path, which the
+//! batched-vs-unbatched differential test uses to prove that identity.
 
 use bytes::Bytes;
 
@@ -32,11 +47,80 @@ use crate::node::BrunetNode;
 use crate::telemetry::{Counter, TelemetryCounters};
 use crate::uri::TransportUri;
 
+/// An ordered burst of outbound frames accumulated over one event cycle.
+///
+/// The buffer is owned by the [`NodeDriver`] and reused across cycles
+/// (steady state allocates nothing). Frames are stored in emission order;
+/// [`Transport::transmit_batch`] implementations must preserve that order
+/// per destination (and in practice preserve it globally).
+#[derive(Debug, Default)]
+pub struct FrameBatch {
+    frames: Vec<(PhysAddr, Bytes)>,
+}
+
+impl FrameBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        FrameBatch::default()
+    }
+
+    /// Append a frame (kept in emission order).
+    #[inline]
+    pub fn push(&mut self, to: PhysAddr, frame: Bytes) {
+        self.frames.push((to, frame));
+    }
+
+    /// Number of buffered frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the batch holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The buffered frames in emission order (for vectored transmits that
+    /// need slice access; pair with [`FrameBatch::clear`]).
+    pub fn frames(&self) -> &[(PhysAddr, Bytes)] {
+        &self.frames
+    }
+
+    /// Remove all frames, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.frames.clear();
+    }
+
+    /// Drain the frames in emission order, keeping the allocation.
+    pub fn drain(&mut self) -> impl Iterator<Item = (PhysAddr, Bytes)> + '_ {
+        self.frames.drain(..)
+    }
+}
+
 /// Where outbound frames go: the runtime's wire (simulator context, UDP
 /// socket, in-memory pipe, ...).
 pub trait Transport {
-    /// Transmit one encoded frame to an underlay endpoint.
-    fn transmit(&mut self, to: PhysAddr, frame: Bytes);
+    /// Transmit one encoded frame to an underlay endpoint. Returns `false`
+    /// when the transport failed to hand the frame to the wire (the driver
+    /// counts it under [`Counter::SendFailed`]); lossy-by-design wires
+    /// (the simulator's WAN) still return `true` — loss there is modelled,
+    /// not an emission failure.
+    fn transmit(&mut self, to: PhysAddr, frame: Bytes) -> bool;
+
+    /// Transmit one event cycle's burst, leaving the batch empty. Returns
+    /// the number of frames that could not be handed to the wire. The
+    /// default forwards frame-by-frame, preserving every existing
+    /// transport; runtimes override it to amortize per-frame costs
+    /// (`sendmmsg` on the UDP path, one context borrow in the simulator).
+    fn transmit_batch(&mut self, batch: &mut FrameBatch) -> u64 {
+        let mut failed = 0;
+        for (to, frame) in batch.drain() {
+            if !self.transmit(to, frame) {
+                failed += 1;
+            }
+        }
+        failed
+    }
 }
 
 /// A cold-path notification for the embedding application.
@@ -95,10 +179,14 @@ pub trait NodeSink {
     }
 }
 
-/// The sink a [`NodeDriver`] wires up per call: frames go straight to the
-/// transport, events and counters into the driver's buffers.
+/// The sink a [`NodeDriver`] wires up per call: frames go into the cycle's
+/// [`FrameBatch`] (or straight to the transport when batching is off),
+/// events and counters into the driver's buffers.
 pub struct DriverSink<'a, T: Transport + ?Sized> {
     transport: &'a mut T,
+    /// `Some` while batching: frames accumulate here until the cycle's
+    /// flush. `None` forces the legacy per-frame transmit.
+    batch: Option<&'a mut FrameBatch>,
     events: &'a mut Vec<NodeEvent>,
     counters: &'a mut TelemetryCounters,
 }
@@ -106,7 +194,14 @@ pub struct DriverSink<'a, T: Transport + ?Sized> {
 impl<T: Transport + ?Sized> NodeSink for DriverSink<'_, T> {
     #[inline]
     fn send(&mut self, to: PhysAddr, frame: Bytes) {
-        self.transport.transmit(to, frame);
+        match self.batch.as_deref_mut() {
+            Some(batch) => batch.push(to, frame),
+            None => {
+                if !self.transport.transmit(to, frame) {
+                    self.counters.record(Counter::SendFailed);
+                }
+            }
+        }
     }
 
     #[inline]
@@ -135,10 +230,12 @@ pub struct NodeDriver {
     spare: Vec<NodeEvent>,
     counters: TelemetryCounters,
     armed: Option<SimTime>,
+    batch: FrameBatch,
+    batching: bool,
 }
 
 impl NodeDriver {
-    /// Wrap a node.
+    /// Wrap a node. Batched emission is on by default.
     pub fn new(node: BrunetNode) -> Self {
         NodeDriver {
             node,
@@ -146,7 +243,26 @@ impl NodeDriver {
             spare: Vec::new(),
             counters: TelemetryCounters::new(),
             armed: None,
+            batch: FrameBatch::new(),
+            batching: true,
         }
+    }
+
+    /// Enable or disable batched emission. Off forces the legacy
+    /// frame-at-a-time [`Transport::transmit`] path — behaviour is
+    /// byte-identical either way (the batched-vs-unbatched differential
+    /// test proves it); disabling exists for that proof and for debugging.
+    pub fn set_batching(&mut self, batching: bool) {
+        debug_assert!(
+            self.batch.is_empty(),
+            "toggling batching with frames pending"
+        );
+        self.batching = batching;
+    }
+
+    /// Whether batched emission is enabled.
+    pub fn batching(&self) -> bool {
+        self.batching
     }
 
     /// The driven node (read-only).
@@ -167,6 +283,49 @@ impl NodeDriver {
 
     // -------------------------------------------------------- node entry --
 
+    /// One event cycle: run `f` against the node with a live sink, then
+    /// flush whatever the node emitted as a single batch.
+    fn cycle<T: Transport + ?Sized, R>(
+        &mut self,
+        transport: &mut T,
+        f: impl FnOnce(&mut BrunetNode, &mut DriverSink<'_, T>) -> R,
+    ) -> R {
+        let mut sink = DriverSink {
+            transport,
+            batch: self.batching.then_some(&mut self.batch),
+            events: &mut self.events,
+            counters: &mut self.counters,
+        };
+        let out = f(&mut self.node, &mut sink);
+        self.flush_frames(transport);
+        out
+    }
+
+    /// Flush any frames buffered for the current cycle as one batch.
+    ///
+    /// Called automatically at the end of every driver entry point; safe
+    /// (and a no-op) on an empty batch, so calling it again is idempotent.
+    /// Each non-empty flush bumps [`Counter::BatchFlushes`],
+    /// [`Counter::BatchFrames`] and the batch-size histogram bucket;
+    /// frames the transport reports as unsendable land in
+    /// [`Counter::SendFailed`].
+    pub fn flush_frames<T: Transport + ?Sized>(&mut self, transport: &mut T) {
+        let n = self.batch.len();
+        if n == 0 {
+            return;
+        }
+        self.counters.record(Counter::BatchFlushes);
+        self.counters.add(Counter::BatchFrames, n as u64);
+        self.counters.record(Counter::batch_size_bucket(n));
+        let failed = transport.transmit_batch(&mut self.batch);
+        // The transport contract says "leave the batch empty"; enforce it
+        // so a sloppy implementation cannot replay frames next cycle.
+        self.batch.clear();
+        if failed > 0 {
+            self.counters.add(Counter::SendFailed, failed);
+        }
+    }
+
     /// Start the node (see [`BrunetNode::start`]).
     pub fn start<T: Transport + ?Sized>(
         &mut self,
@@ -175,12 +334,9 @@ impl NodeDriver {
         bootstrap: Vec<TransportUri>,
         transport: &mut T,
     ) {
-        let mut sink = DriverSink {
-            transport,
-            events: &mut self.events,
-            counters: &mut self.counters,
-        };
-        self.node.start(now, local_uri, bootstrap, &mut sink);
+        self.cycle(transport, |node, sink| {
+            node.start(now, local_uri, bootstrap, sink)
+        });
     }
 
     /// Restart after a migration (see [`BrunetNode::restart`]).
@@ -191,12 +347,9 @@ impl NodeDriver {
         bootstrap: Vec<TransportUri>,
         transport: &mut T,
     ) {
-        let mut sink = DriverSink {
-            transport,
-            events: &mut self.events,
-            counters: &mut self.counters,
-        };
-        self.node.restart(now, local_uri, bootstrap, &mut sink);
+        self.cycle(transport, |node, sink| {
+            node.restart(now, local_uri, bootstrap, sink)
+        });
     }
 
     /// Feed a received datagram.
@@ -207,22 +360,14 @@ impl NodeDriver {
         data: Bytes,
         transport: &mut T,
     ) {
-        let mut sink = DriverSink {
-            transport,
-            events: &mut self.events,
-            counters: &mut self.counters,
-        };
-        self.node.on_datagram(now, src, data, &mut sink);
+        self.cycle(transport, |node, sink| {
+            node.on_datagram(now, src, data, sink)
+        });
     }
 
     /// Drive timers up to `now`.
     pub fn on_tick<T: Transport + ?Sized>(&mut self, now: SimTime, transport: &mut T) {
-        let mut sink = DriverSink {
-            transport,
-            events: &mut self.events,
-            counters: &mut self.counters,
-        };
-        self.node.on_tick(now, &mut sink);
+        self.cycle(transport, |node, sink| node.on_tick(now, sink));
     }
 
     /// Route an application payload.
@@ -234,28 +379,22 @@ impl NodeDriver {
         data: Bytes,
         transport: &mut T,
     ) {
-        let mut sink = DriverSink {
-            transport,
-            events: &mut self.events,
-            counters: &mut self.counters,
-        };
-        self.node.send_app(now, dst, proto, data, &mut sink);
+        self.cycle(transport, |node, sink| {
+            node.send_app(now, dst, proto, data, sink)
+        });
     }
 
     /// Run `f` with the node and a live sink — the escape hatch for callers
     /// that drive node internals not covered by the entry points above
-    /// (e.g. the IPOP router pumping batched tunnel traffic).
+    /// (e.g. the IPOP router pumping batched tunnel traffic). The closure
+    /// is one event cycle: everything it emits flushes as one batch when it
+    /// returns.
     pub fn with_sink<T: Transport + ?Sized, R>(
         &mut self,
         transport: &mut T,
         f: impl FnOnce(&mut BrunetNode, &mut DriverSink<'_, T>) -> R,
     ) -> R {
-        let mut sink = DriverSink {
-            transport,
-            events: &mut self.events,
-            counters: &mut self.counters,
-        };
-        f(&mut self.node, &mut sink)
+        self.cycle(transport, f)
     }
 
     // ------------------------------------------------------------ events --

@@ -25,7 +25,9 @@
 //!
 //! struct Null;
 //! impl Transport for Null {
-//!     fn transmit(&mut self, _to: PhysAddr, _frame: bytes::Bytes) {}
+//!     fn transmit(&mut self, _to: PhysAddr, _frame: bytes::Bytes) -> bool {
+//!         true
+//!     }
 //! }
 //!
 //! let node = BrunetNode::new(Address([7; 20]), OverlayConfig::default(), 42);
@@ -68,7 +70,7 @@ pub mod prelude {
     pub use crate::addr::Address;
     pub use crate::config::OverlayConfig;
     pub use crate::conn::{ConnTable, ConnType};
-    pub use crate::driver::{NodeDriver, NodeEvent, NodeSink, Transport};
+    pub use crate::driver::{FrameBatch, NodeDriver, NodeEvent, NodeSink, Transport};
     pub use crate::node::{BrunetNode, NodeStats};
     pub use crate::telemetry::{Counter, TelemetryCounters};
     pub use crate::uri::{TransportUri, UriOrder};

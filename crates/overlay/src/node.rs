@@ -4,10 +4,15 @@
 //! A [`BrunetNode`] never touches a socket or a clock. Its inputs are
 //! timestamped events — [`BrunetNode::on_datagram`], [`BrunetNode::on_tick`],
 //! [`BrunetNode::send_app`] — and its outputs are emitted *as they happen*
-//! into the [`NodeSink`] passed to each call: frames via [`NodeSink::send`]
-//! (straight to the transport on the hot path, no buffering), application
-//! notifications via [`NodeSink::event`], telemetry via [`NodeSink::count`].
-//! Runtimes embed the node behind [`crate::driver::NodeDriver`]. This is
+//! into the [`NodeSink`] passed to each call: frames via [`NodeSink::send`],
+//! application notifications via [`NodeSink::event`], telemetry via
+//! [`NodeSink::count`]. One input event can emit a *burst* of frames (a
+//! routed forward plus CTM replies plus linking traffic); the node makes no
+//! assumption about when those frames reach the wire, only that they keep
+//! emission order — which is what lets
+//! [`crate::driver::NodeDriver`] coalesce each call's burst and flush it as
+//! one batch at the end of the cycle (see "The flush boundary" in
+//! [`crate::driver`]). Runtimes embed the node behind that driver. This is
 //! what lets one protocol implementation serve both Fig. 4's 100-trial
 //! sweeps and a loopback demo.
 //!

@@ -60,6 +60,24 @@ pub enum Counter {
     TransitSlowPath,
     /// Bytes of routed frames forwarded in transit (either path).
     TransitBytes,
+    /// Non-empty frame batches flushed to the transport (one per event
+    /// cycle that emitted at least one frame).
+    BatchFlushes,
+    /// Frames carried by those batch flushes.
+    BatchFrames,
+    /// Frames the transport failed to hand to the wire (e.g. a UDP
+    /// `send_to` error).
+    SendFailed,
+    /// Batch-size histogram: flushes carrying exactly 1 frame.
+    BatchSize1,
+    /// Batch-size histogram: flushes carrying exactly 2 frames.
+    BatchSize2,
+    /// Batch-size histogram: flushes carrying 3–4 frames.
+    BatchSize3To4,
+    /// Batch-size histogram: flushes carrying 5–8 frames.
+    BatchSize5To8,
+    /// Batch-size histogram: flushes carrying 9 or more frames.
+    BatchSize9Plus,
 }
 
 /// Number of [`Counter`] variants.
@@ -67,7 +85,7 @@ pub const NUM_COUNTERS: usize = Counter::ALL.len();
 
 impl Counter {
     /// Every counter, in discriminant order.
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 29] = [
         Counter::Forwarded,
         Counter::DeliveredExact,
         Counter::DeliveredNearest,
@@ -89,7 +107,26 @@ impl Counter {
         Counter::TransitFastPath,
         Counter::TransitSlowPath,
         Counter::TransitBytes,
+        Counter::BatchFlushes,
+        Counter::BatchFrames,
+        Counter::SendFailed,
+        Counter::BatchSize1,
+        Counter::BatchSize2,
+        Counter::BatchSize3To4,
+        Counter::BatchSize5To8,
+        Counter::BatchSize9Plus,
     ];
+
+    /// The histogram bucket a flush of `frames` frames falls in.
+    pub fn batch_size_bucket(frames: usize) -> Counter {
+        match frames {
+            0 | 1 => Counter::BatchSize1,
+            2 => Counter::BatchSize2,
+            3..=4 => Counter::BatchSize3To4,
+            5..=8 => Counter::BatchSize5To8,
+            _ => Counter::BatchSize9Plus,
+        }
+    }
 
     /// Stable snake_case label, used as CSV column name.
     pub fn name(self) -> &'static str {
@@ -115,6 +152,14 @@ impl Counter {
             Counter::TransitFastPath => "transit_fast_path",
             Counter::TransitSlowPath => "transit_slow_path",
             Counter::TransitBytes => "transit_bytes",
+            Counter::BatchFlushes => "batch_flushes",
+            Counter::BatchFrames => "batch_frames",
+            Counter::SendFailed => "send_failed",
+            Counter::BatchSize1 => "batch_size_1",
+            Counter::BatchSize2 => "batch_size_2",
+            Counter::BatchSize3To4 => "batch_size_3_4",
+            Counter::BatchSize5To8 => "batch_size_5_8",
+            Counter::BatchSize9Plus => "batch_size_9_plus",
         }
     }
 }
@@ -200,6 +245,18 @@ mod tests {
         for (i, c) in Counter::ALL.iter().enumerate() {
             assert_eq!(*c as usize, i, "Counter::ALL out of order at {}", c.name());
         }
+    }
+
+    #[test]
+    fn batch_size_buckets_partition_the_sizes() {
+        assert_eq!(Counter::batch_size_bucket(1), Counter::BatchSize1);
+        assert_eq!(Counter::batch_size_bucket(2), Counter::BatchSize2);
+        assert_eq!(Counter::batch_size_bucket(3), Counter::BatchSize3To4);
+        assert_eq!(Counter::batch_size_bucket(4), Counter::BatchSize3To4);
+        assert_eq!(Counter::batch_size_bucket(5), Counter::BatchSize5To8);
+        assert_eq!(Counter::batch_size_bucket(8), Counter::BatchSize5To8);
+        assert_eq!(Counter::batch_size_bucket(9), Counter::BatchSize9Plus);
+        assert_eq!(Counter::batch_size_bucket(1000), Counter::BatchSize9Plus);
     }
 
     #[test]

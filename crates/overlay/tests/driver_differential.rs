@@ -92,8 +92,9 @@ struct CapTransport<'a> {
 }
 
 impl Transport for CapTransport<'_> {
-    fn transmit(&mut self, to: PhysAddr, frame: Bytes) {
+    fn transmit(&mut self, to: PhysAddr, frame: Bytes) -> bool {
         self.out.push((to, frame));
+        true
     }
 }
 
@@ -107,13 +108,14 @@ struct PipeTransport<'a> {
 }
 
 impl Transport for PipeTransport<'_> {
-    fn transmit(&mut self, to: PhysAddr, frame: Bytes) {
+    fn transmit(&mut self, to: PhysAddr, frame: Bytes) -> bool {
         if let Some(cap) = self.capture.as_deref_mut() {
             cap.push((to, frame.clone()));
         }
         if to == self.peer_phys {
             self.inbox.push((self.deliver_at, frame));
         }
+        true
     }
 }
 
@@ -287,8 +289,9 @@ fn record() -> (Vec<ScriptItem>, Transcript, TelemetryCounters) {
 }
 
 /// Replay the script under the wall-clock discipline: 1 ms due-gated polls.
-fn replay_poll(script: &[ScriptItem]) -> (Transcript, TelemetryCounters) {
+fn replay_poll(script: &[ScriptItem], batching: bool) -> (Transcript, TelemetryCounters) {
     let mut d = fresh_a();
+    d.set_batching(batching);
     let mut transcript = Transcript::default();
     {
         let mut cap = CapTransport {
@@ -335,8 +338,9 @@ fn replay_poll(script: &[ScriptItem]) -> (Transcript, TelemetryCounters) {
 
 /// Replay the script under the simulator discipline: wakes armed at exact
 /// deadlines via `arm_hint`, fired through `timer_fired` + `on_tick`.
-fn replay_armed(script: &[ScriptItem]) -> (Transcript, TelemetryCounters) {
+fn replay_armed(script: &[ScriptItem], batching: bool) -> (Transcript, TelemetryCounters) {
     let mut d = fresh_a();
+    d.set_batching(batching);
     let mut transcript = Transcript::default();
     let mut wakes: BinaryHeap<Reverse<SimTime>> = BinaryHeap::new();
 
@@ -442,7 +446,7 @@ struct ChainRun {
 /// structured-connected to its neighbours; every frame a node emits toward
 /// another chain node is delivered, everything else (replies to synthetic
 /// endpoints) is captured but dropped.
-fn run_relay_chain(fast: bool) -> ChainRun {
+fn run_relay_chain(fast: bool, batching: bool) -> ChainRun {
     let addrs = [chain_addr(0x10), chain_addr(0x18), chain_addr(0x20)];
     let cfg = OverlayConfig {
         transit_fast_path: fast,
@@ -451,7 +455,11 @@ fn run_relay_chain(fast: bool) -> ChainRun {
     let mut drivers: Vec<NodeDriver> = addrs
         .iter()
         .enumerate()
-        .map(|(i, &a)| NodeDriver::new(BrunetNode::new(a, cfg.clone(), 100 + i as u64)))
+        .map(|(i, &a)| {
+            let mut d = NodeDriver::new(BrunetNode::new(a, cfg.clone(), 100 + i as u64));
+            d.set_batching(batching);
+            d
+        })
         .collect();
     let mut run = ChainRun {
         frames: Vec::new(),
@@ -570,8 +578,8 @@ fn run_relay_chain(fast: bool) -> ChainRun {
 
 #[test]
 fn transit_fast_and_slow_paths_are_byte_identical() {
-    let fast = run_relay_chain(true);
-    let slow = run_relay_chain(false);
+    let fast = run_relay_chain(true, true);
+    let slow = run_relay_chain(false, true);
 
     // Byte-identical frame transcripts: same frames, same order, same
     // destinations, from every node in the chain.
@@ -643,8 +651,8 @@ fn timer_disciplines_are_byte_identical() {
         "node A must link up during the session"
     );
 
-    let (poll, poll_counters) = replay_poll(&script);
-    let (armed, armed_counters) = replay_armed(&script);
+    let (poll, poll_counters) = replay_poll(&script, true);
+    let (armed, armed_counters) = replay_armed(&script, true);
 
     // The poll replay reproduces the live session exactly (determinism of
     // the driver given identical inputs).
@@ -659,4 +667,150 @@ fn timer_disciplines_are_byte_identical() {
     );
     assert_eq!(armed, poll, "disciplines diverged");
     assert_eq!(armed_counters, poll_counters, "telemetry diverged");
+}
+
+// ---------------------------------------------------------------------------
+// Batched vs unbatched emission
+// ---------------------------------------------------------------------------
+
+/// Counters that only describe the flush mechanism itself — the one place
+/// batched and unbatched runs are *allowed* to differ. `SendFailed` is
+/// deliberately not here: both paths must attribute failures identically.
+fn is_batch_bookkeeping(c: Counter) -> bool {
+    matches!(
+        c,
+        Counter::BatchFlushes
+            | Counter::BatchFrames
+            | Counter::BatchSize1
+            | Counter::BatchSize2
+            | Counter::BatchSize3To4
+            | Counter::BatchSize5To8
+            | Counter::BatchSize9Plus
+    )
+}
+
+fn assert_counters_match_modulo_batching(
+    batched: &TelemetryCounters,
+    unbatched: &TelemetryCounters,
+    what: &str,
+) {
+    for c in Counter::ALL {
+        if is_batch_bookkeeping(c) {
+            continue;
+        }
+        assert_eq!(
+            batched.get(c),
+            unbatched.get(c),
+            "{what}: counter {c} differs between batched and unbatched runs"
+        );
+    }
+    assert_eq!(
+        unbatched.get(Counter::BatchFlushes),
+        0,
+        "{what}: unbatched run must never flush a batch"
+    );
+    assert_eq!(
+        unbatched.get(Counter::BatchFrames),
+        0,
+        "{what}: unbatched run must never count batched frames"
+    );
+}
+
+/// The tentpole proof for the join-plus-traffic session: replaying the same
+/// recorded script with batching on and off — under *both* timer
+/// disciplines — produces byte-identical frame and event transcripts, and
+/// telemetry that differs only in the flush bookkeeping.
+#[test]
+fn batched_and_unbatched_emission_are_byte_identical() {
+    let (script, recorded, _) = record();
+    assert!(
+        script
+            .iter()
+            .any(|s| matches!(s, ScriptItem::Datagram { .. })),
+        "the session must actually exchange frames"
+    );
+
+    let (poll_on, poll_on_c) = replay_poll(&script, true);
+    let (poll_off, poll_off_c) = replay_poll(&script, false);
+    assert_eq!(
+        poll_on, poll_off,
+        "poll discipline: batching changed the transcript"
+    );
+    assert_eq!(
+        poll_on, recorded,
+        "batched poll replay diverged from the live recording"
+    );
+    assert_counters_match_modulo_batching(&poll_on_c, &poll_off_c, "poll discipline");
+
+    let (armed_on, armed_on_c) = replay_armed(&script, true);
+    let (armed_off, armed_off_c) = replay_armed(&script, false);
+    assert_eq!(
+        armed_on, armed_off,
+        "armed discipline: batching changed the transcript"
+    );
+    assert_eq!(armed_on, poll_on, "disciplines diverged under batching");
+    assert_counters_match_modulo_batching(&armed_on_c, &armed_off_c, "armed discipline");
+
+    // The batched runs must genuinely batch: every emitted frame is
+    // accounted to exactly one flush, and multi-frame bursts occur (a join
+    // handshake emits several frames in one cycle).
+    for (what, transcript, counters) in [
+        ("poll", &poll_on, &poll_on_c),
+        ("armed", &armed_on, &armed_on_c),
+    ] {
+        assert!(
+            counters.get(Counter::BatchFlushes) > 0,
+            "{what}: batched run recorded no flushes"
+        );
+        assert_eq!(
+            counters.get(Counter::BatchFrames),
+            transcript.frames.len() as u64,
+            "{what}: every transmitted frame must be attributed to a flush"
+        );
+        assert!(
+            counters.get(Counter::BatchFlushes) < counters.get(Counter::BatchFrames),
+            "{what}: the session must contain at least one multi-frame burst"
+        );
+    }
+}
+
+/// The same proof for the second runtime shape: the relay-chain session
+/// (transit fast path on) is transcript-identical with batching on and off.
+#[test]
+fn relay_chain_is_identical_batched_and_unbatched() {
+    let batched = run_relay_chain(true, true);
+    let unbatched = run_relay_chain(true, false);
+
+    assert_eq!(
+        batched.frames, unbatched.frames,
+        "relay chain frame transcripts differ"
+    );
+    assert_eq!(
+        batched.events, unbatched.events,
+        "relay chain event transcripts differ"
+    );
+    for (i, (b, u)) in batched
+        .counters
+        .iter()
+        .zip(unbatched.counters.iter())
+        .enumerate()
+    {
+        assert_counters_match_modulo_batching(b, u, &format!("chain node {i}"));
+    }
+    let flushes: u64 = batched
+        .counters
+        .iter()
+        .map(|c| c.get(Counter::BatchFlushes))
+        .sum();
+    let frames: u64 = batched
+        .counters
+        .iter()
+        .map(|c| c.get(Counter::BatchFrames))
+        .sum();
+    assert!(flushes > 0, "the chain must flush batches");
+    assert_eq!(
+        frames,
+        batched.frames.len() as u64,
+        "every chain frame must be attributed to a flush"
+    );
 }

@@ -1,6 +1,8 @@
 //! Property tests for the protocol managers: the linking state machine's
-//! send budget and termination, and keepalive accounting.
+//! send budget and termination, keepalive accounting, and the driver's
+//! flush boundary (batched emission must be unobservable beyond telemetry).
 
+use bytes::Bytes;
 use proptest::prelude::*;
 
 use wow_netsim::addr::{PhysAddr, PhysIp};
@@ -8,8 +10,11 @@ use wow_netsim::time::{SimDuration, SimTime};
 use wow_overlay::addr::{Address, U160};
 use wow_overlay::config::OverlayConfig;
 use wow_overlay::conn::ConnType;
+use wow_overlay::driver::{FrameBatch, NodeDriver, NodeSink, Transport};
 use wow_overlay::linking::{LinkCmd, LinkingManager};
+use wow_overlay::node::BrunetNode;
 use wow_overlay::ping::{PingCmd, PingManager};
+use wow_overlay::telemetry::{Counter, TelemetryCounters};
 use wow_overlay::uri::TransportUri;
 
 fn addr(v: u64) -> Address {
@@ -21,6 +26,63 @@ fn uri(i: u16) -> TransportUri {
         PhysIp::new(10, 0, (i >> 8) as u8, i as u8),
         4000,
     ))
+}
+
+// ---------------------------------------------------------------------------
+// Flush-boundary properties
+// ---------------------------------------------------------------------------
+
+fn dest_phys(i: u8) -> PhysAddr {
+    PhysAddr::new(PhysIp::new(10, 1, 0, i), 5000)
+}
+
+/// Capture transport that also records every batch flush it receives, so
+/// the properties can check flush boundaries — not just the frame stream.
+#[derive(Default)]
+struct FlushCap {
+    out: Vec<(PhysAddr, Bytes)>,
+    flush_sizes: Vec<usize>,
+}
+
+impl Transport for FlushCap {
+    fn transmit(&mut self, to: PhysAddr, frame: Bytes) -> bool {
+        self.out.push((to, frame));
+        true
+    }
+
+    fn transmit_batch(&mut self, batch: &mut FrameBatch) -> u64 {
+        self.flush_sizes.push(batch.len());
+        for (to, frame) in batch.drain() {
+            self.out.push((to, frame));
+        }
+        0
+    }
+}
+
+/// One generated emission: `(destination index, payload)`. The outer vec is
+/// the event cycle; the driver must flush each cycle as one batch.
+type Cycles = Vec<Vec<(u8, Vec<u8>)>>;
+
+fn cycles_strategy() -> impl Strategy<Value = Cycles> {
+    prop::collection::vec(
+        prop::collection::vec((0u8..4, prop::collection::vec(any::<u8>(), 0..12)), 0..12),
+        0..10,
+    )
+}
+
+/// Push every generated cycle through a fresh driver via `with_sink`.
+fn run_cycles(cycles: &Cycles, batching: bool) -> (FlushCap, TelemetryCounters) {
+    let mut d = NodeDriver::new(BrunetNode::new(addr(0x42), OverlayConfig::default(), 5));
+    d.set_batching(batching);
+    let mut transport = FlushCap::default();
+    for cycle in cycles {
+        d.with_sink(&mut transport, |_node, sink| {
+            for (dest, payload) in cycle {
+                sink.send(dest_phys(*dest), Bytes::copy_from_slice(payload));
+            }
+        });
+    }
+    (transport, *d.counters())
 }
 
 proptest! {
@@ -142,5 +204,114 @@ proptest! {
             prop_assert!(died);
             prop_assert_eq!(sends, retries);
         }
+    }
+
+    /// Across arbitrary emission interleavings and cycle boundaries,
+    /// batching never reorders frames: the global transmit order, and the
+    /// per-destination subsequences, match the emission order exactly —
+    /// batched and unbatched runs are frame-for-frame identical.
+    #[test]
+    fn batching_preserves_emission_order(cycles in cycles_strategy()) {
+        let (batched, batched_c) = run_cycles(&cycles, true);
+        let (unbatched, unbatched_c) = run_cycles(&cycles, false);
+
+        let expected: Vec<(PhysAddr, Bytes)> = cycles
+            .iter()
+            .flatten()
+            .map(|(dest, payload)| (dest_phys(*dest), Bytes::copy_from_slice(payload)))
+            .collect();
+        prop_assert_eq!(&batched.out, &expected, "batched run reordered frames");
+        prop_assert_eq!(&unbatched.out, &expected, "unbatched run reordered frames");
+
+        for dest in 0u8..4 {
+            let sub = |frames: &[(PhysAddr, Bytes)]| -> Vec<Bytes> {
+                frames
+                    .iter()
+                    .filter(|(to, _)| *to == dest_phys(dest))
+                    .map(|(_, f)| f.clone())
+                    .collect()
+            };
+            prop_assert_eq!(
+                sub(&batched.out),
+                sub(&expected),
+                "per-destination order broken for destination {}",
+                dest
+            );
+        }
+
+        // Flush boundaries coincide with cycle boundaries: one flush per
+        // non-empty cycle, sized exactly as that cycle's burst.
+        let per_cycle: Vec<usize> = cycles
+            .iter()
+            .map(|c| c.len())
+            .filter(|&n| n > 0)
+            .collect();
+        prop_assert_eq!(&batched.flush_sizes, &per_cycle);
+        prop_assert!(unbatched.flush_sizes.is_empty(), "unbatched run must not flush");
+
+        // Telemetry mirrors the same accounting.
+        let total: u64 = per_cycle.iter().map(|&n| n as u64).sum();
+        prop_assert_eq!(batched_c.get(Counter::BatchFlushes), per_cycle.len() as u64);
+        prop_assert_eq!(batched_c.get(Counter::BatchFrames), total);
+        let histogram: u64 = [
+            Counter::BatchSize1,
+            Counter::BatchSize2,
+            Counter::BatchSize3To4,
+            Counter::BatchSize5To8,
+            Counter::BatchSize9Plus,
+        ]
+        .into_iter()
+        .map(|c| batched_c.get(c))
+        .sum();
+        prop_assert_eq!(
+            histogram,
+            per_cycle.len() as u64,
+            "every flush lands in exactly one histogram bucket"
+        );
+        prop_assert_eq!(unbatched_c.get(Counter::BatchFlushes), 0);
+        prop_assert_eq!(unbatched_c.get(Counter::BatchFrames), 0);
+    }
+
+    /// Flushing is idempotent and empty-batch safe: once a cycle's frames
+    /// are out, any number of extra `flush_frames` calls transmit nothing
+    /// and bump no counters — and a cycle that emits nothing never counts
+    /// as a flush.
+    #[test]
+    fn flush_is_idempotent_and_empty_batch_safe(
+        burst in prop::collection::vec((0u8..4, prop::collection::vec(any::<u8>(), 0..8)), 0..6),
+        extra_flushes in 1usize..5,
+        empty_cycles in 0usize..4,
+    ) {
+        let mut d = NodeDriver::new(BrunetNode::new(addr(0x43), OverlayConfig::default(), 6));
+        let mut transport = FlushCap::default();
+        d.with_sink(&mut transport, |_node, sink| {
+            for (dest, payload) in &burst {
+                sink.send(dest_phys(*dest), Bytes::copy_from_slice(payload));
+            }
+        });
+        for _ in 0..empty_cycles {
+            d.with_sink(&mut transport, |_node, _sink| {});
+        }
+        let frames_after_cycle = transport.out.len();
+        let counters_after_cycle = *d.counters();
+        for _ in 0..extra_flushes {
+            d.flush_frames(&mut transport);
+        }
+        prop_assert_eq!(
+            transport.out.len(),
+            frames_after_cycle,
+            "an empty flush transmitted frames"
+        );
+        prop_assert_eq!(
+            *d.counters(),
+            counters_after_cycle,
+            "an empty flush changed telemetry"
+        );
+        let expected_flushes = u64::from(!burst.is_empty());
+        prop_assert_eq!(counters_after_cycle.get(Counter::BatchFlushes), expected_flushes);
+        prop_assert_eq!(
+            counters_after_cycle.get(Counter::BatchFrames),
+            burst.len() as u64
+        );
     }
 }

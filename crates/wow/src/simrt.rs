@@ -28,7 +28,7 @@ use wow_netsim::prelude::*;
 use wow_netsim::sim::Datagram;
 use wow_overlay::addr::Address;
 use wow_overlay::conn::ConnType;
-use wow_overlay::driver::{NodeDriver, NodeEvent, NodeSink, Transport};
+use wow_overlay::driver::{FrameBatch, NodeDriver, NodeEvent, NodeSink, Transport};
 use wow_overlay::node::BrunetNode;
 use wow_overlay::telemetry::TelemetryCounters;
 use wow_overlay::uri::TransportUri;
@@ -55,8 +55,18 @@ struct CtxTransport<'a, 'c> {
 }
 
 impl Transport for CtxTransport<'_, '_> {
-    fn transmit(&mut self, to: PhysAddr, frame: Bytes) {
+    fn transmit(&mut self, to: PhysAddr, frame: Bytes) -> bool {
         self.ctx.send(self.port, to, frame);
+        // The simulated wire models its own loss; handing a frame to the
+        // world never fails as an emission.
+        true
+    }
+
+    fn transmit_batch(&mut self, batch: &mut FrameBatch) -> u64 {
+        // One context borrow and one timestamp read for the whole burst;
+        // the world still routes and accounts each frame independently.
+        self.ctx.send_batch(self.port, batch.drain());
+        0
     }
 }
 

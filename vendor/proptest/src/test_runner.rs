@@ -57,7 +57,9 @@ pub fn run(name: &str, f: impl Fn(&mut TestRng) -> Result<(), TestCaseError>) {
             "property '{name}': too many cases rejected by prop_assume!"
         );
         let mut rng = TestRng {
-            inner: SmallRng::seed_from_u64(base ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            inner: SmallRng::seed_from_u64(
+                base ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
         };
         match f(&mut rng) {
             Ok(()) => passed += 1,
