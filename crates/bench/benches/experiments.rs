@@ -22,7 +22,7 @@ fn bench_table2(c: &mut Criterion) {
     c.bench_function("table2_transfer_quick", |b| {
         b.iter(
             || match run_transfer(placements()[1], true, 2_000_000, 30, 0x7AB2) {
-                Attempt::Done(kbs) => kbs,
+                Attempt::Done(kbs, _) => kbs,
                 _ => 0.0,
             },
         )

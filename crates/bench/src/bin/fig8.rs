@@ -29,6 +29,12 @@ fn main() {
             r1(r.std_s),
             r1(r.throughput_jpm)
         );
+        println!(
+            "  transit: {} fast-path / {} slow-path frames, {:.1} MB through routers",
+            r.transit.fast_path,
+            r.transit.slow_path,
+            r.transit.bytes as f64 / 1e6
+        );
         // Per-node spread: the slow and fast outliers the paper names.
         let share = |n: u8| {
             100.0 * r.per_node.get(&n).copied().unwrap_or(0) as f64 / r.completed.max(1) as f64
@@ -58,10 +64,29 @@ fn main() {
         "mean wall (s)",
         "std (s)",
         "throughput (jobs/min)",
+        "transit fast/slow",
+        "transit MB",
     ]);
     for (label, r) in &rows {
-        t.row(&[label, &r1(r.mean_s), &r1(r.std_s), &r1(r.throughput_jpm)]);
+        t.row(&[
+            label,
+            &r1(r.mean_s),
+            &r1(r.std_s),
+            &r1(r.throughput_jpm),
+            &format!("{}/{}", r.transit.fast_path, r.transit.slow_path),
+            &r1(r.transit.bytes as f64 / 1e6),
+        ]);
     }
     t.print();
+    write_csv(
+        "fig8_transit.csv",
+        "shortcuts,transit_fast_path,transit_slow_path,transit_bytes",
+        rows.iter().map(|(label, r)| {
+            format!(
+                "{},{},{},{}",
+                label, r.transit.fast_path, r.transit.slow_path, r.transit.bytes
+            )
+        }),
+    );
     println!("\npaper: 24.1s/6.5 at 53 jobs/min (on) vs 32.2s/9.7 at 22 jobs/min (off)");
 }

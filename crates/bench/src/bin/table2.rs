@@ -28,6 +28,8 @@ fn main() {
         "bandwidth KB/s",
         "stddev",
         "transfers",
+        "transit fast/slow",
+        "transit MB",
     ]);
     for c in &cells {
         let sc: &dyn std::fmt::Display = if c.shortcuts { &"enabled" } else { &"disabled" };
@@ -37,6 +39,8 @@ fn main() {
             &r1(c.bandwidth_kbs),
             &r1(c.stddev_kbs),
             &format!("{}/{}", c.completed, c.attempted),
+            &format!("{}/{}", c.transit.fast_path, c.transit.slow_path),
+            &r1(c.transit.bytes as f64 / 1e6),
         ]);
     }
     t.print();
@@ -58,11 +62,17 @@ fn main() {
     }
     write_csv(
         "table2.csv",
-        "placement,shortcuts,bandwidth_kbs,stddev_kbs",
+        "placement,shortcuts,bandwidth_kbs,stddev_kbs,transit_fast_path,transit_slow_path,transit_bytes",
         cells.iter().map(|c| {
             format!(
-                "{},{},{:.1},{:.1}",
-                c.label, c.shortcuts, c.bandwidth_kbs, c.stddev_kbs
+                "{},{},{:.1},{:.1},{},{},{}",
+                c.label,
+                c.shortcuts,
+                c.bandwidth_kbs,
+                c.stddev_kbs,
+                c.transit.fast_path,
+                c.transit.slow_path,
+                c.transit.bytes
             )
         }),
     );

@@ -1,0 +1,80 @@
+//! Churn recovery: the faultlab kill-k-nodes experiment swept over seeds.
+//!
+//! §V-A of the paper kills overlay nodes and watches the ring re-form.
+//! This harness drives [`wow::churn`] across a matrix of scenario seeds and
+//! collects per-batch repair times plus merged node telemetry, so the
+//! self-healing behaviour ships as a results artefact (`churn_recovery.csv`
+//! / `churn_counters.csv`) alongside the bandwidth tables.
+
+use wow::churn::{run, ChurnConfig, ChurnOutcome};
+use wow_netsim::prelude::SimDuration;
+
+/// Experiment knobs: one churn scenario repeated across `seeds`.
+#[derive(Clone, Debug)]
+pub struct ChurnBenchConfig {
+    /// Scenario seeds — each replays an independent fault transcript.
+    pub seeds: Vec<u64>,
+    /// Overlay size before any faults.
+    pub nodes: usize,
+    /// Nodes killed simultaneously per batch.
+    pub kill: usize,
+    /// Kill batches per scenario.
+    pub batches: usize,
+    /// If set, victims restart after this downtime and must rejoin.
+    pub restart_after: Option<SimDuration>,
+}
+
+impl Default for ChurnBenchConfig {
+    fn default() -> Self {
+        ChurnBenchConfig {
+            seeds: vec![0xC4A0, 0xC4A1, 0xC4A2, 0xC4A3],
+            nodes: 16,
+            kill: 3,
+            batches: 2,
+            restart_after: None,
+        }
+    }
+}
+
+impl ChurnBenchConfig {
+    /// Criterion/CI scale: two seeds, smaller ring.
+    pub fn quick() -> Self {
+        ChurnBenchConfig {
+            seeds: vec![0xC4A0, 0xC4A1],
+            nodes: 10,
+            kill: 2,
+            batches: 1,
+            ..ChurnBenchConfig::default()
+        }
+    }
+}
+
+/// One scenario's outcome, labelled by the seed that produced it.
+#[derive(Debug)]
+pub struct SeedOutcome {
+    /// The scenario seed.
+    pub seed: u64,
+    /// What the run produced.
+    pub outcome: ChurnOutcome,
+}
+
+/// Run the scenario once per seed.
+pub fn run_matrix(cfg: &ChurnBenchConfig) -> Vec<SeedOutcome> {
+    cfg.seeds
+        .iter()
+        .map(|&seed| {
+            let scenario = ChurnConfig {
+                seed,
+                nodes: cfg.nodes,
+                kill: cfg.kill,
+                batches: cfg.batches,
+                restart_after: cfg.restart_after,
+                ..ChurnConfig::default()
+            };
+            SeedOutcome {
+                seed,
+                outcome: run(&scenario),
+            }
+        })
+        .collect()
+}

@@ -23,6 +23,7 @@ use wow_netsim::prelude::*;
 use wow_netsim::trace::{mean, stddev, Histogram};
 
 use crate::roles::Role;
+use crate::transit::TransitStats;
 
 /// Experiment knobs.
 #[derive(Clone, Debug)]
@@ -81,6 +82,10 @@ pub struct Fig8Result {
     pub per_node: HashMap<u8, u32>,
     /// Histogram over the paper's 8–88 s axis.
     pub histogram: Histogram,
+    /// Transit forwarding totals over the whole run: with shortcuts the
+    /// NFS traffic bypasses routers, without it this is the router load
+    /// that collapses throughput.
+    pub transit: TransitStats,
 }
 
 /// Run one configuration.
@@ -132,6 +137,7 @@ pub fn run(shortcuts: bool, cfg: &Fig8Config) -> Fig8Result {
         + SimDuration::from_secs((u64::from(jobs) * 3).max(600))
         + SimDuration::from_secs(300);
     tb.sim.run_until(horizon);
+    let transit = TransitStats::harvest::<Role>(&mut tb);
 
     let r = results.borrow();
     let mut walls = Vec::with_capacity(r.records.len());
@@ -152,5 +158,6 @@ pub fn run(shortcuts: bool, cfg: &Fig8Config) -> Fig8Result {
         walls,
         per_node,
         histogram,
+        transit,
     }
 }

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod ablate;
+pub mod churn;
 pub mod fig4;
 pub mod fig6;
 pub mod fig7;
@@ -17,3 +18,4 @@ pub mod report;
 pub mod roles;
 pub mod table2;
 pub mod table3;
+pub mod transit;

@@ -25,6 +25,7 @@ use wow_overlay::addr::Address;
 use wow_overlay::conn::NextHop;
 
 use crate::roles::Role;
+use crate::transit::TransitStats;
 
 /// A Table II cell: one placement, one shortcut setting.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -128,8 +129,8 @@ fn steady_bandwidth(p: &TransferProgress) -> Option<f64> {
 
 /// Outcome of one transfer attempt.
 pub enum Attempt {
-    /// Steady-state KB/s.
-    Done(f64),
+    /// Steady-state KB/s, plus the run's transit-forwarding totals.
+    Done(f64, TransitStats),
     /// The pair happened to share a direct overlay link before traffic
     /// flowed, which would contaminate a shortcuts-disabled cell; the
     /// caller resamples with a different seed.
@@ -280,9 +281,10 @@ pub fn run_transfer(
     if *chance_direct.borrow() {
         return Attempt::ChanceDirect;
     }
+    let transit = TransitStats::harvest::<Role>(&mut tb);
     let p = progress.borrow();
     match steady_bandwidth(&p) {
-        Some(kbs) => Attempt::Done(kbs),
+        Some(kbs) => Attempt::Done(kbs, transit),
         None => Attempt::Incomplete,
     }
 }
@@ -302,6 +304,10 @@ pub struct Cell {
     pub completed: usize,
     /// Transfers attempted.
     pub attempted: usize,
+    /// Transit forwarding totals summed over the completed transfers — the
+    /// multi-hop traffic shortcuts exist to remove, so the enabled cells
+    /// should show far less of it than the disabled ones.
+    pub transit: TransitStats,
 }
 
 /// Run the full table.
@@ -312,6 +318,7 @@ pub fn run(cfg: &Table2Config) -> Vec<Cell> {
         for shortcuts in [true, false] {
             let mut xs = Vec::new();
             let mut attempted = 0;
+            let mut transit = TransitStats::default();
             for (si, &size) in cfg.sizes.iter().enumerate() {
                 for rep in 0..cfg.repeats {
                     attempted += 1;
@@ -325,8 +332,9 @@ pub fn run(cfg: &Table2Config) -> Vec<Cell> {
                                 | rep as u64,
                         );
                         match run_transfer(placement, shortcuts, size, cfg.routers, seed) {
-                            Attempt::Done(kbs) => {
+                            Attempt::Done(kbs, t) => {
                                 xs.push(kbs);
+                                transit.merge(t);
                                 break;
                             }
                             Attempt::ChanceDirect => continue,
@@ -342,6 +350,7 @@ pub fn run(cfg: &Table2Config) -> Vec<Cell> {
                 stddev_kbs: stddev(&xs).unwrap_or(0.0),
                 completed: xs.len(),
                 attempted,
+                transit,
             });
         }
     }

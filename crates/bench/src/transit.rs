@@ -1,0 +1,61 @@
+//! Transit-forwarding telemetry harvested from a finished testbed run.
+//!
+//! Routers forward frames for other nodes either through the decode-free
+//! fast path (the borrowed-header peek) or the decode → re-encode slow
+//! path. The experiment reports surface both counts plus the transit
+//! payload volume, so a table/figure run shows how much of its traffic
+//! actually crossed intermediate overlay routers — the quantity shortcuts
+//! exist to eliminate.
+
+use wow::simrt::{NoApp, OverlayHost};
+use wow::testbed::Testbed;
+use wow::workstation::{Workload, Workstation};
+use wow_overlay::prelude::{Counter, TelemetryCounters};
+
+/// Transit forwarding totals summed over every overlay member of a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransitStats {
+    /// Frames forwarded without a full decode (header peek + hop patch).
+    pub fast_path: u64,
+    /// Frames that took the decode → re-encode slow path in transit.
+    pub slow_path: u64,
+    /// Application payload bytes carried in transit on the slow path.
+    pub bytes: u64,
+}
+
+impl TransitStats {
+    /// Fold one node's counters in.
+    pub fn absorb(&mut self, c: &TelemetryCounters) {
+        self.fast_path += c.get(Counter::TransitFastPath);
+        self.slow_path += c.get(Counter::TransitSlowPath);
+        self.bytes += c.get(Counter::TransitBytes);
+    }
+
+    /// Accumulate another summary (for aggregating across runs).
+    pub fn merge(&mut self, other: TransitStats) {
+        self.fast_path += other.fast_path;
+        self.slow_path += other.slow_path;
+        self.bytes += other.bytes;
+    }
+
+    /// Sum the transit counters of every router and workstation in a
+    /// finished testbed. `W` is the workload type the testbed was built
+    /// with (all workstation actors share it).
+    pub fn harvest<W: Workload>(tb: &mut Testbed) -> TransitStats {
+        let mut t = TransitStats::default();
+        for r in tb.routers.clone() {
+            let c = tb
+                .sim
+                .with_actor::<OverlayHost<NoApp>, _>(r, |h, _| h.counters());
+            t.absorb(&c);
+        }
+        let actors: Vec<_> = tb.nodes.iter().map(|n| n.actor).collect();
+        for a in actors {
+            let c = tb
+                .sim
+                .with_actor::<Workstation<W>, _>(a, |h, _| h.counters());
+            t.absorb(&c);
+        }
+        t
+    }
+}

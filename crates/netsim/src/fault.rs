@@ -1,0 +1,410 @@
+//! faultlab — seeded, deterministic fault injection.
+//!
+//! The WOW paper's headline claim is self-organization under churn: nodes
+//! crash and rejoin, middleboxes renumber, yet the ring repairs itself and
+//! unmodified middleware keeps running (paper §3, §5). This module makes
+//! those disturbances first-class simulator citizens:
+//!
+//! * **Host crash / restart** — a crash powers the host off mid-flight; a
+//!   restart brings it back *clean-slate*: stale port bindings and NAT
+//!   mappings from the previous incarnation are gone, and the link/CPU
+//!   queues are empty (contrast [`crate::sim::World::set_host_up`], which
+//!   models VM suspend/resume with sockets intact).
+//! * **Link blackhole** — one domain pair silently drops all WAN traffic.
+//! * **Domain partition / heal** — one domain loses all WAN connectivity.
+//! * **NAT mapping expiry** — a domain's NAT forgets every dynamic mapping
+//!   at once (ISP renumbering, middlebox power cycle).
+//! * **Chaos windows** — packet duplication and reordering with configured
+//!   probabilities while the window is open.
+//!
+//! Every fault application is appended to a transcript on the [`World`],
+//! and every random draw — both plan generation and per-packet chaos
+//! decisions — comes from a dedicated `"faultlab"` stream of the root
+//! [`SeedSplitter`]. The determinism contract: *one seed reproduces the
+//! exact fault transcript*, and enabling faultlab never perturbs the
+//! jitter/loss streams existing experiments consume.
+//!
+//! [`World`]: crate::sim::World
+//! [`SeedSplitter`]: crate::rng::SeedSplitter
+
+use std::collections::HashSet;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::rng::SeedSplitter;
+use crate::sim::Sim;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{DomainId, HostId};
+
+/// One injectable fault. `Copy` + `Eq` so transcripts can be compared by
+/// record/replay tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Power a host off abruptly (process state is lost).
+    Crash {
+        /// The crashing host.
+        host: HostId,
+    },
+    /// Power a crashed host back on with a clean slate: its previous port
+    /// bindings are gone, its NAT mappings are purged, and its link/CPU
+    /// queues are empty. Actors must re-bind to receive traffic again.
+    Restart {
+        /// The restarting host.
+        host: HostId,
+    },
+    /// Silently drop all WAN traffic between two domains (both directions).
+    Blackhole {
+        /// One endpoint domain.
+        a: DomainId,
+        /// The other endpoint domain.
+        b: DomainId,
+    },
+    /// Lift a [`FaultKind::Blackhole`] between the same pair.
+    HealBlackhole {
+        /// One endpoint domain.
+        a: DomainId,
+        /// The other endpoint domain.
+        b: DomainId,
+    },
+    /// Cut one domain off from the WAN entirely (all pairs involving it).
+    Partition {
+        /// The partitioned domain.
+        domain: DomainId,
+    },
+    /// Lift a [`FaultKind::Partition`].
+    HealPartition {
+        /// The healed domain.
+        domain: DomainId,
+    },
+    /// Flush every dynamic mapping and permission on a domain's NAT, as an
+    /// ISP-renumbered or power-cycled middlebox would. No-op for public
+    /// domains.
+    NatExpiry {
+        /// The domain whose NAT forgets its state.
+        domain: DomainId,
+    },
+    /// Open a chaos window: WAN packets are duplicated and/or delayed past
+    /// the per-path FIFO clamp (true reordering) with the given per-mille
+    /// probabilities until [`FaultKind::ChaosClose`].
+    ChaosOpen {
+        /// Probability of duplicating a WAN packet, in 1/1000.
+        dup_per_mille: u16,
+        /// Probability of reordering a WAN packet, in 1/1000.
+        reorder_per_mille: u16,
+        /// Maximum extra delay applied to duplicated/reordered copies.
+        extra: SimDuration,
+    },
+    /// Close the chaos window.
+    ChaosClose,
+}
+
+/// One entry of the fault transcript: what was applied, and when.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Simulated time the fault took effect.
+    pub at: SimTime,
+    /// The fault.
+    pub kind: FaultKind,
+}
+
+/// A fault scheduled for future injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// When to apply it.
+    pub at: SimTime,
+    /// What to apply.
+    pub kind: FaultKind,
+}
+
+/// Knobs for drawing a randomized [`FaultPlan`]. Empty candidate lists (the
+/// default) contribute no events, so a spec enables only the fault classes
+/// an experiment cares about.
+#[derive(Clone, Debug)]
+pub struct FaultSpec {
+    /// Hosts eligible to crash (sampled without replacement).
+    pub crash_candidates: Vec<HostId>,
+    /// Number of crashes to draw.
+    pub crashes: usize,
+    /// Optional downtime: each crashed host restarts this long after its
+    /// crash. `None` leaves crashed hosts down.
+    pub downtime: Option<SimDuration>,
+    /// Domain pairs eligible for blackholes (sampled without replacement).
+    pub blackhole_candidates: Vec<(DomainId, DomainId)>,
+    /// Number of blackholes to draw; each heals after `hold`.
+    pub blackholes: usize,
+    /// Domains eligible for partition (sampled without replacement).
+    pub partition_candidates: Vec<DomainId>,
+    /// Number of partitions to draw; each heals after `hold`.
+    pub partitions: usize,
+    /// Domains whose NATs may forget their mappings.
+    pub nat_expiry_candidates: Vec<DomainId>,
+    /// Number of NAT expiries to draw.
+    pub nat_expiries: usize,
+    /// Number of chaos windows to draw; each closes after `hold`.
+    pub chaos_windows: usize,
+    /// Duplication probability inside chaos windows, in 1/1000.
+    pub chaos_dup_per_mille: u16,
+    /// Reordering probability inside chaos windows, in 1/1000.
+    pub chaos_reorder_per_mille: u16,
+    /// Maximum extra delay for duplicated/reordered packets.
+    pub chaos_extra: SimDuration,
+    /// Faults are scheduled uniformly inside `[window.0, window.1)`.
+    pub window: (SimTime, SimTime),
+    /// How long transient faults (blackholes, partitions, chaos) hold
+    /// before their matching heal event.
+    pub hold: SimDuration,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            crash_candidates: Vec::new(),
+            crashes: 0,
+            downtime: None,
+            blackhole_candidates: Vec::new(),
+            blackholes: 0,
+            partition_candidates: Vec::new(),
+            partitions: 0,
+            nat_expiry_candidates: Vec::new(),
+            nat_expiries: 0,
+            chaos_windows: 0,
+            chaos_dup_per_mille: 100,
+            chaos_reorder_per_mille: 100,
+            chaos_extra: SimDuration::from_millis(200),
+            window: (SimTime::ZERO, SimTime::from_secs(60)),
+            hold: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// A concrete, ordered list of scheduled faults — either drawn from a
+/// [`FaultSpec`] or assembled by hand with [`FaultPlan::at`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The scheduled faults, sorted by time.
+    pub events: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Append one fault (builder style); re-sorts on inject, so order of
+    /// calls does not matter.
+    pub fn at(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.events.push(ScheduledFault { at, kind });
+        self
+    }
+
+    /// Draw a randomized plan from `spec`, deterministically: the same
+    /// `(seeds, spec)` always yields the same plan. All draws come from the
+    /// splitter's `"faultlab"` stream, so plan generation never perturbs
+    /// the world's jitter/loss randomness.
+    pub fn draw(spec: &FaultSpec, seeds: &SeedSplitter) -> FaultPlan {
+        let mut rng = seeds.rng("faultlab");
+        let mut plan = FaultPlan::new();
+        let span = spec
+            .window
+            .1
+            .as_micros()
+            .saturating_sub(spec.window.0.as_micros());
+        let when = |rng: &mut SmallRng| {
+            spec.window.0
+                + SimDuration::from_micros(if span == 0 { 0 } else { rng.gen_range(0..span) })
+        };
+        for &host in sample(&spec.crash_candidates, spec.crashes, &mut rng).iter() {
+            let at = when(&mut rng);
+            plan.events.push(ScheduledFault {
+                at,
+                kind: FaultKind::Crash { host },
+            });
+            if let Some(downtime) = spec.downtime {
+                plan.events.push(ScheduledFault {
+                    at: at + downtime,
+                    kind: FaultKind::Restart { host },
+                });
+            }
+        }
+        for &(a, b) in sample(&spec.blackhole_candidates, spec.blackholes, &mut rng).iter() {
+            let at = when(&mut rng);
+            plan.events.push(ScheduledFault {
+                at,
+                kind: FaultKind::Blackhole { a, b },
+            });
+            plan.events.push(ScheduledFault {
+                at: at + spec.hold,
+                kind: FaultKind::HealBlackhole { a, b },
+            });
+        }
+        for &domain in sample(&spec.partition_candidates, spec.partitions, &mut rng).iter() {
+            let at = when(&mut rng);
+            plan.events.push(ScheduledFault {
+                at,
+                kind: FaultKind::Partition { domain },
+            });
+            plan.events.push(ScheduledFault {
+                at: at + spec.hold,
+                kind: FaultKind::HealPartition { domain },
+            });
+        }
+        for &domain in sample(&spec.nat_expiry_candidates, spec.nat_expiries, &mut rng).iter() {
+            plan.events.push(ScheduledFault {
+                at: when(&mut rng),
+                kind: FaultKind::NatExpiry { domain },
+            });
+        }
+        for _ in 0..spec.chaos_windows {
+            let at = when(&mut rng);
+            plan.events.push(ScheduledFault {
+                at,
+                kind: FaultKind::ChaosOpen {
+                    dup_per_mille: spec.chaos_dup_per_mille,
+                    reorder_per_mille: spec.chaos_reorder_per_mille,
+                    extra: spec.chaos_extra,
+                },
+            });
+            plan.events.push(ScheduledFault {
+                at: at + spec.hold,
+                kind: FaultKind::ChaosClose,
+            });
+        }
+        plan.events.sort_by_key(|e| e.at);
+        plan
+    }
+
+    /// Register every event with the simulator; each fires as a control
+    /// event calling [`crate::sim::World::apply_fault`] at its time.
+    pub fn inject(&self, sim: &mut Sim) {
+        let mut events = self.events.clone();
+        events.sort_by_key(|e| e.at);
+        for ev in events {
+            sim.schedule(ev.at, move |sim| sim.world().apply_fault(ev.kind));
+        }
+    }
+}
+
+/// Sample `count` items from `pool` without replacement (partial
+/// Fisher–Yates); returns fewer when the pool is smaller.
+fn sample<T: Copy>(pool: &[T], count: usize, rng: &mut SmallRng) -> Vec<T> {
+    let mut items: Vec<T> = pool.to_vec();
+    let take = count.min(items.len());
+    for i in 0..take {
+        let j = rng.gen_range(i..items.len());
+        items.swap(i, j);
+    }
+    items.truncate(take);
+    items
+}
+
+/// A chaos window's live parameters.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ChaosWindow {
+    pub(crate) dup_per_mille: u16,
+    pub(crate) reorder_per_mille: u16,
+    pub(crate) extra: SimDuration,
+}
+
+/// The [`crate::sim::World`]'s live fault state. All per-packet chaos draws
+/// come from `rng` (the `"faultlab"` stream), never from the world RNG.
+pub(crate) struct FaultState {
+    pub(crate) partitioned: HashSet<DomainId>,
+    pub(crate) blackholes: HashSet<(DomainId, DomainId)>,
+    pub(crate) chaos: Option<ChaosWindow>,
+    pub(crate) rng: SmallRng,
+    pub(crate) transcript: Vec<FaultRecord>,
+}
+
+impl FaultState {
+    pub(crate) fn new(rng: SmallRng) -> Self {
+        FaultState {
+            partitioned: HashSet::new(),
+            blackholes: HashSet::new(),
+            chaos: None,
+            rng,
+            transcript: Vec::new(),
+        }
+    }
+
+    /// True when an active partition or blackhole severs `a` ↔ `b`.
+    pub(crate) fn blocks(&self, a: DomainId, b: DomainId) -> bool {
+        if self.partitioned.is_empty() && self.blackholes.is_empty() {
+            return false;
+        }
+        self.partitioned.contains(&a)
+            || self.partitioned.contains(&b)
+            || self.blackholes.contains(&norm_pair(a, b))
+    }
+}
+
+/// Canonical (unordered) form of a domain pair.
+pub(crate) fn norm_pair(a: DomainId, b: DomainId) -> (DomainId, DomainId) {
+    if a.0 <= b.0 {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draw_is_deterministic() {
+        let spec = FaultSpec {
+            crash_candidates: (0..8).map(HostId).collect(),
+            crashes: 3,
+            downtime: Some(SimDuration::from_secs(10)),
+            blackhole_candidates: vec![(DomainId(0), DomainId(1))],
+            blackholes: 1,
+            nat_expiry_candidates: vec![DomainId(1)],
+            nat_expiries: 1,
+            chaos_windows: 1,
+            ..FaultSpec::default()
+        };
+        let seeds = SeedSplitter::new(0xFA17);
+        let a = FaultPlan::draw(&spec, &seeds);
+        let b = FaultPlan::draw(&spec, &seeds);
+        assert_eq!(a, b, "same seed must draw the same plan");
+        let other = FaultPlan::draw(&spec, &SeedSplitter::new(0xFA18));
+        assert_ne!(a, other, "different seed should draw a different plan");
+        // 3 crashes + 3 restarts + blackhole open/heal + expiry + chaos
+        // open/close.
+        assert_eq!(a.events.len(), 11);
+        // Sorted by time.
+        assert!(a.events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn crash_sampling_is_without_replacement() {
+        let spec = FaultSpec {
+            crash_candidates: (0..4).map(HostId).collect(),
+            crashes: 16, // more than the pool
+            window: (SimTime::ZERO, SimTime::from_secs(1)),
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::draw(&spec, &SeedSplitter::new(1));
+        let mut crashed: Vec<HostId> = plan
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Crash { host } => Some(host),
+                _ => None,
+            })
+            .collect();
+        crashed.sort();
+        crashed.dedup();
+        assert_eq!(crashed.len(), 4, "each host crashes at most once");
+    }
+
+    #[test]
+    fn norm_pair_is_order_insensitive() {
+        assert_eq!(
+            norm_pair(DomainId(3), DomainId(1)),
+            norm_pair(DomainId(1), DomainId(3))
+        );
+    }
+}

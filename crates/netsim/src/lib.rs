@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod fault;
 pub mod link;
 pub mod nat;
 pub mod rng;
@@ -58,6 +59,7 @@ pub mod trace;
 /// The commonly-used names, for glob import.
 pub mod prelude {
     pub use crate::addr::{PhysAddr, PhysIp};
+    pub use crate::fault::{FaultKind, FaultPlan, FaultRecord, FaultSpec, ScheduledFault};
     pub use crate::link::{LinkModel, PathModel};
     pub use crate::nat::{FilteringPolicy, MappingPolicy, NatConfig};
     pub use crate::rng::SeedSplitter;

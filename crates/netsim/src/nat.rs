@@ -181,6 +181,24 @@ impl Nat {
         self.permissions.clear();
     }
 
+    /// Drop every mapping (and its permissions) whose internal side is
+    /// `internal_ip`. Used by host restart: the old incarnation's flows are
+    /// dead, so its public endpoints must not be resurrectable — a fresh
+    /// process earns fresh mappings with fresh ports.
+    pub fn purge_internal(&mut self, internal_ip: PhysIp) {
+        let dead: Vec<(MapKey, u16)> = self
+            .maps
+            .iter()
+            .filter(|(k, _)| k.internal.ip == internal_ip)
+            .map(|(k, m)| (*k, m.public_port))
+            .collect();
+        for (key, port) in dead {
+            self.maps.remove(&key);
+            self.by_port.remove(&port);
+            self.permissions.retain(|(p, _), _| *p != port);
+        }
+    }
+
     fn alloc_port(&mut self) -> u16 {
         // Skip ports that are still claimed by (possibly stale) mappings or
         // static forwards; the port space is large enough that collisions

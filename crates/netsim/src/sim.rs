@@ -23,8 +23,10 @@ use std::collections::{BinaryHeap, HashMap};
 
 use bytes::Bytes;
 use rand::rngs::SmallRng;
+use rand::Rng;
 
 use crate::addr::{PhysAddr, PhysIp};
+use crate::fault::{norm_pair, FaultKind, FaultRecord, FaultState};
 use crate::link::{serialization_delay, LinkModel};
 use crate::nat::{Inbound, Nat, NatDrop};
 use crate::rng::SeedSplitter;
@@ -65,6 +67,8 @@ pub enum DropReason {
     PrivateUnroutable,
     /// Dropped by a NAT device.
     Nat(NatDrop),
+    /// Dropped by an injected fault (domain partition or link blackhole).
+    FaultInjected,
 }
 
 /// Aggregate traffic counters for one simulation.
@@ -74,6 +78,11 @@ pub struct NetStats {
     pub sent: u64,
     /// Datagrams delivered to a bound actor.
     pub delivered: u64,
+    /// Extra copies scheduled by chaos-window duplication.
+    pub duplicated: u64,
+    /// Packets delayed past the per-path FIFO clamp by chaos-window
+    /// reordering.
+    pub reordered: u64,
     drops: HashMap<DropReason, u64>,
 }
 
@@ -96,6 +105,11 @@ impl NetStats {
     pub fn drops(&self) -> impl Iterator<Item = (DropReason, u64)> + '_ {
         self.drops.iter().map(|(&r, &c)| (r, c))
     }
+}
+
+/// Extra delay in `(0, max]` for a chaos-duplicated or -reordered packet.
+fn chaos_extra_delay(rng: &mut SmallRng, max: SimDuration) -> SimDuration {
+    SimDuration::from_micros(rng.gen_range(1..=max.as_micros().max(1)))
 }
 
 enum Ev {
@@ -159,6 +173,10 @@ pub struct World {
     next_public_ip: u32,
     /// Traffic counters.
     pub stats: NetStats,
+    /// Live fault-injection state (see [`crate::fault`]). Its RNG is the
+    /// dedicated `"faultlab"` seed stream, so fault decisions never perturb
+    /// the world's jitter/loss sampling.
+    faults: FaultState,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -186,6 +204,7 @@ impl World {
             // Public allocations start at 128.10.0.1.
             next_public_ip: u32::from_be_bytes([128, 10, 0, 1]),
             stats: NetStats::default(),
+            faults: FaultState::new(seeds.rng("faultlab")),
         }
     }
 
@@ -248,6 +267,85 @@ impl World {
         if let Some(nat) = self.domains[id.0 as usize].nat.as_mut() {
             nat.reset_mappings();
         }
+    }
+
+    /// Apply one fault right now, recording it in the fault transcript.
+    /// This is the single entry point for all of faultlab's mutations —
+    /// scheduled plans ([`crate::fault::FaultPlan::inject`]) and direct
+    /// harness calls both land here, so the transcript is complete.
+    pub fn apply_fault(&mut self, kind: FaultKind) {
+        self.faults
+            .transcript
+            .push(FaultRecord { at: self.now, kind });
+        match kind {
+            FaultKind::Crash { host } => {
+                // Power off; in-flight packets to this host drop HostDown.
+                // Port bindings are left in place so a still-running actor
+                // shell keeps its (now dead) socket identity — the clean
+                // slate happens at restart.
+                self.hosts[host.0 as usize].up = false;
+            }
+            FaultKind::Restart { host } => {
+                let now = self.now;
+                // The process died with the host: its port bindings do not
+                // come back, and neither does a backlog of queued link or
+                // CPU work from before the crash.
+                self.ports.retain(|&(h, _), _| h != host);
+                let h = &mut self.hosts[host.0 as usize];
+                h.up = true;
+                h.uplink_free_at = now;
+                h.downlink_free_at = now;
+                h.cpu_free_at = now;
+                h.next_ephemeral = 49_152;
+                let (domain, ip) = (h.domain, h.ip);
+                // A restarted host must earn fresh NAT mappings; the old
+                // incarnation's public endpoints are dead.
+                if let Some(nat) = self.domains[domain.0 as usize].nat.as_mut() {
+                    nat.purge_internal(ip);
+                }
+            }
+            FaultKind::Blackhole { a, b } => {
+                self.faults.blackholes.insert(norm_pair(a, b));
+            }
+            FaultKind::HealBlackhole { a, b } => {
+                self.faults.blackholes.remove(&norm_pair(a, b));
+            }
+            FaultKind::Partition { domain } => {
+                self.faults.partitioned.insert(domain);
+            }
+            FaultKind::HealPartition { domain } => {
+                self.faults.partitioned.remove(&domain);
+            }
+            FaultKind::NatExpiry { domain } => self.reset_nat(domain),
+            FaultKind::ChaosOpen {
+                dup_per_mille,
+                reorder_per_mille,
+                extra,
+            } => {
+                self.faults.chaos = Some(crate::fault::ChaosWindow {
+                    dup_per_mille,
+                    reorder_per_mille,
+                    extra,
+                });
+            }
+            FaultKind::ChaosClose => self.faults.chaos = None,
+        }
+    }
+
+    /// Crash a host ([`FaultKind::Crash`]).
+    pub fn crash_host(&mut self, host: HostId) {
+        self.apply_fault(FaultKind::Crash { host });
+    }
+
+    /// Restart a crashed host clean-slate ([`FaultKind::Restart`]).
+    pub fn restart_host(&mut self, host: HostId) {
+        self.apply_fault(FaultKind::Restart { host });
+    }
+
+    /// Every fault applied so far, in application order. Two runs with the
+    /// same seed and scenario produce identical transcripts.
+    pub fn fault_transcript(&self) -> &[FaultRecord] {
+        &self.faults.transcript
     }
 
     /// Set a host's background-load multiplier (≥ 1.0 slows CPU work).
@@ -390,13 +488,52 @@ impl World {
             IpOwner::Host(h) => self.hosts[h.0 as usize].domain,
             IpOwner::Nat(d) => d,
         };
+        if self.faults.blocks(src_domain, dst_domain) {
+            // An active partition or blackhole severs this path.
+            self.stats.drop(DropReason::FaultInjected);
+            return;
+        }
         let path = self.links.path(src_domain, dst_domain);
         if path.sample_loss(&mut self.rng) {
             self.stats.drop(DropReason::WanLoss);
             return;
         }
-        let arrive = depart + path.sample_delay(&mut self.rng);
-        let arrive = self.fifo_clamp(dgram.src.ip, dgram.dst.ip, arrive);
+        let mut arrive = depart + path.sample_delay(&mut self.rng);
+        // Chaos-window decisions draw from the dedicated faultlab stream:
+        // with the window closed no draw happens at all, so opening one
+        // later in a run never perturbs the loss/jitter sequences above.
+        let chaos = self.faults.chaos;
+        let mut reordered = false;
+        if let Some(c) = chaos {
+            if c.reorder_per_mille > 0
+                && self.faults.rng.gen_range(0..1000u16) < c.reorder_per_mille
+            {
+                arrive += chaos_extra_delay(&mut self.faults.rng, c.extra);
+                reordered = true;
+                self.stats.reordered += 1;
+            }
+        }
+        // A reordered packet deliberately bypasses the per-path FIFO clamp
+        // (and does not advance it): the point of the window is to let a
+        // delayed packet land behind traffic sent after it.
+        let arrive = if reordered {
+            arrive
+        } else {
+            self.fifo_clamp(dgram.src.ip, dgram.dst.ip, arrive)
+        };
+        if let Some(c) = chaos {
+            if c.dup_per_mille > 0 && self.faults.rng.gen_range(0..1000u16) < c.dup_per_mille {
+                let extra = chaos_extra_delay(&mut self.faults.rng, c.extra);
+                self.stats.duplicated += 1;
+                self.wan_arrival(owner, arrive + extra, dgram.clone());
+            }
+        }
+        self.wan_arrival(owner, arrive, dgram);
+    }
+
+    /// Schedule a WAN arrival at the destination's edge (host downlink or
+    /// NAT ingress).
+    fn wan_arrival(&mut self, owner: IpOwner, arrive: SimTime, dgram: Datagram) {
         match owner {
             IpOwner::Host(h) => self.push(arrive, Ev::HostArrive { host: h, dgram }),
             IpOwner::Nat(d) => self.push(arrive, Ev::NatIngress { domain: d, dgram }),
@@ -794,12 +931,18 @@ impl Sim {
             Ev::NatIngress { domain, dgram } => self.world.nat_ingress(domain, dgram),
             Ev::HostArrive { host, dgram } => self.world.host_arrive(host, dgram),
             Ev::ActorDeliver { host, dgram } => {
-                match self.world.ports.get(&(host, dgram.dst.port)) {
-                    Some(&actor) => {
-                        self.world.stats.delivered += 1;
-                        self.dispatch(actor, |a, ctx| a.on_datagram(ctx, dgram));
+                if !self.world.hosts[host.0 as usize].up {
+                    // The packet cleared the downlink before the host went
+                    // down, but there is no process left to hand it to.
+                    self.world.stats.drop(DropReason::HostDown);
+                } else {
+                    match self.world.ports.get(&(host, dgram.dst.port)) {
+                        Some(&actor) => {
+                            self.world.stats.delivered += 1;
+                            self.dispatch(actor, |a, ctx| a.on_datagram(ctx, dgram));
+                        }
+                        None => self.world.stats.drop(DropReason::PortUnbound),
                     }
-                    None => self.world.stats.drop(DropReason::PortUnbound),
                 }
             }
             Ev::Control(f) => f(self),

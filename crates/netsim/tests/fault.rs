@@ -1,0 +1,504 @@
+//! Integration tests for faultlab: scheduled fault injection, clean-slate
+//! crash/restart semantics, partitions/blackholes, chaos windows, and the
+//! seed → transcript determinism contract.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use wow_netsim::nat::NatDrop;
+use wow_netsim::prelude::*;
+
+/// Binds a port and records everything it receives.
+struct Sink {
+    port: u16,
+    seen: Rc<RefCell<Vec<(SimTime, u8)>>>,
+}
+
+impl Actor for Sink {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.bind(self.port);
+    }
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, d: Datagram) {
+        self.seen.borrow_mut().push((ctx.now, d.payload[0]));
+    }
+}
+
+/// Sends one tagged datagram at start.
+struct Shot {
+    port: u16,
+    dst: PhysAddr,
+    tag: u8,
+}
+
+impl Actor for Shot {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.bind(self.port);
+        ctx.send(self.port, self.dst, Bytes::from(vec![self.tag]));
+    }
+}
+
+#[test]
+fn restart_does_not_resurrect_port_bindings() {
+    let mut sim = Sim::new(1);
+    let wan = sim.add_domain(DomainSpec::public("wan"));
+    let a = sim.add_host(wan, HostSpec::new("a"));
+    let b = sim.add_host(wan, HostSpec::new("b"));
+    let seen = Rc::new(RefCell::new(Vec::new()));
+    let sink = sim.add_actor(
+        b,
+        Sink {
+            port: 7,
+            seen: seen.clone(),
+        },
+    );
+    sim.run_until(SimTime::from_millis(1));
+    let dst = PhysAddr::new(sim.world().host_ip(b), 7);
+
+    sim.world().crash_host(b);
+    // While down: sends to it drop HostDown.
+    sim.add_actor(
+        a,
+        Shot {
+            port: 9,
+            dst,
+            tag: 1,
+        },
+    );
+    sim.run_until(SimTime::from_secs(1));
+    assert_eq!(sim.world_ref().stats.dropped(DropReason::HostDown), 1);
+
+    sim.world().restart_host(b);
+    // The old binding died with the process: delivery now drops PortUnbound
+    // instead of silently reaching a ghost socket.
+    sim.add_actor(
+        a,
+        Shot {
+            port: 10,
+            dst,
+            tag: 2,
+        },
+    );
+    sim.run_until(SimTime::from_secs(2));
+    assert_eq!(sim.world_ref().stats.dropped(DropReason::PortUnbound), 1);
+    assert!(seen.borrow().is_empty());
+
+    // Re-binding (the restarted process coming back up) restores delivery.
+    sim.with_actor::<Sink, _>(sink, |s, ctx| {
+        ctx.bind(s.port);
+    });
+    sim.add_actor(
+        a,
+        Shot {
+            port: 11,
+            dst,
+            tag: 3,
+        },
+    );
+    sim.run_to_quiescence();
+    assert_eq!(seen.borrow().len(), 1);
+    assert_eq!(seen.borrow()[0].1, 3);
+}
+
+#[test]
+fn restart_does_not_resurrect_nat_mappings() {
+    // A natted client talks out, earning a mapping; after crash + restart
+    // the old public endpoint must be dead (NoMapping), not a silent path
+    // into the new incarnation.
+    let mut sim = Sim::new(2);
+    let wan = sim.add_domain(DomainSpec::public("wan"));
+    let home = sim.add_domain(DomainSpec::natted("home", NatConfig::typical()));
+    let p = sim.add_host(wan, HostSpec::new("p"));
+    let n = sim.add_host(home, HostSpec::new("n"));
+
+    let p_seen = Rc::new(RefCell::new(Vec::new()));
+    sim.add_actor(
+        p,
+        Sink {
+            port: 80,
+            seen: p_seen.clone(),
+        },
+    );
+    let p_addr = PhysAddr::new(sim.world().host_ip(p), 80);
+    sim.add_actor(
+        n,
+        Shot {
+            port: 5000,
+            dst: p_addr,
+            tag: 1,
+        },
+    );
+    sim.run_until(SimTime::from_secs(1));
+    assert_eq!(p_seen.borrow().len(), 1, "outbound should reach the server");
+    assert_eq!(
+        sim.world_ref()
+            .domain(home)
+            .nat
+            .as_ref()
+            .unwrap()
+            .mapping_count(),
+        1
+    );
+
+    sim.world().crash_host(n);
+    sim.run_until(SimTime::from_secs(2));
+    sim.world().restart_host(n);
+    assert_eq!(
+        sim.world_ref()
+            .domain(home)
+            .nat
+            .as_ref()
+            .unwrap()
+            .mapping_count(),
+        0,
+        "restart must purge the dead incarnation's mappings"
+    );
+
+    // The server fires at the old observed mapping: dead endpoint.
+    let before = sim
+        .world_ref()
+        .stats
+        .dropped(DropReason::Nat(NatDrop::NoMapping));
+    // p_seen recorded the translated source address via the sink payload
+    // path; reconstruct the mapping address from the NAT instead.
+    let nat_ip = sim.world_ref().domain(home).nat.as_ref().unwrap().public_ip;
+    let old_mapping = PhysAddr::new(nat_ip, 40_000); // first allocated port
+    sim.add_actor(
+        p,
+        Shot {
+            port: 81,
+            dst: old_mapping,
+            tag: 9,
+        },
+    );
+    sim.run_to_quiescence();
+    assert_eq!(
+        sim.world_ref()
+            .stats
+            .dropped(DropReason::Nat(NatDrop::NoMapping)),
+        before + 1,
+        "the pre-crash mapping must not pass traffic after restart"
+    );
+}
+
+#[test]
+fn in_flight_delivery_to_crashed_host_drops() {
+    // A packet that clears the downlink queue before the crash must not be
+    // handed to a process on a dead host.
+    let mut sim = Sim::new(3);
+    let wan = sim.add_domain(DomainSpec::public("wan"));
+    let a = sim.add_host(wan, HostSpec::new("a"));
+    let b = sim.add_host(wan, HostSpec::new("b"));
+    let seen = Rc::new(RefCell::new(Vec::new()));
+    sim.add_actor(
+        b,
+        Sink {
+            port: 7,
+            seen: seen.clone(),
+        },
+    );
+    let dst = PhysAddr::new(sim.world().host_ip(b), 7);
+    sim.add_actor(
+        a,
+        Shot {
+            port: 9,
+            dst,
+            tag: 1,
+        },
+    );
+    // Crash while the packet is mid-flight (WAN latency is ~hundreds of µs
+    // intra-domain; crash immediately after the send event).
+    sim.run_until(SimTime::from_micros(50));
+    sim.world().crash_host(b);
+    sim.run_to_quiescence();
+    assert!(seen.borrow().is_empty(), "dead host must not deliver");
+    assert_eq!(sim.world_ref().stats.dropped(DropReason::HostDown), 1);
+}
+
+#[test]
+fn blackhole_severs_one_pair_and_heals() {
+    let mut sim = Sim::new(4);
+    let d1 = sim.add_domain(DomainSpec::public("d1"));
+    let d2 = sim.add_domain(DomainSpec::public("d2"));
+    let d3 = sim.add_domain(DomainSpec::public("d3"));
+    let a = sim.add_host(d1, HostSpec::new("a"));
+    let b = sim.add_host(d2, HostSpec::new("b"));
+    let c = sim.add_host(d3, HostSpec::new("c"));
+    let b_seen = Rc::new(RefCell::new(Vec::new()));
+    let c_seen = Rc::new(RefCell::new(Vec::new()));
+    sim.add_actor(
+        b,
+        Sink {
+            port: 7,
+            seen: b_seen.clone(),
+        },
+    );
+    sim.add_actor(
+        c,
+        Sink {
+            port: 7,
+            seen: c_seen.clone(),
+        },
+    );
+    let to_b = PhysAddr::new(sim.world().host_ip(b), 7);
+    let to_c = PhysAddr::new(sim.world().host_ip(c), 7);
+
+    sim.world()
+        .apply_fault(FaultKind::Blackhole { a: d1, b: d2 });
+    sim.add_actor(
+        a,
+        Shot {
+            port: 9,
+            dst: to_b,
+            tag: 1,
+        },
+    );
+    sim.add_actor(
+        a,
+        Shot {
+            port: 10,
+            dst: to_c,
+            tag: 2,
+        },
+    );
+    sim.run_until(SimTime::from_secs(1));
+    assert!(b_seen.borrow().is_empty(), "blackholed pair must drop");
+    assert_eq!(c_seen.borrow().len(), 1, "unrelated pair unaffected");
+    assert_eq!(sim.world_ref().stats.dropped(DropReason::FaultInjected), 1);
+
+    sim.world()
+        .apply_fault(FaultKind::HealBlackhole { a: d2, b: d1 }); // order-insensitive
+    sim.add_actor(
+        a,
+        Shot {
+            port: 11,
+            dst: to_b,
+            tag: 3,
+        },
+    );
+    sim.run_to_quiescence();
+    assert_eq!(b_seen.borrow().len(), 1, "healed pair passes traffic again");
+}
+
+#[test]
+fn partition_cuts_domain_off_both_directions() {
+    let mut sim = Sim::new(5);
+    let d1 = sim.add_domain(DomainSpec::public("d1"));
+    let d2 = sim.add_domain(DomainSpec::public("d2"));
+    let a = sim.add_host(d1, HostSpec::new("a"));
+    let b = sim.add_host(d2, HostSpec::new("b"));
+    let a_seen = Rc::new(RefCell::new(Vec::new()));
+    let b_seen = Rc::new(RefCell::new(Vec::new()));
+    sim.add_actor(
+        a,
+        Sink {
+            port: 7,
+            seen: a_seen.clone(),
+        },
+    );
+    sim.add_actor(
+        b,
+        Sink {
+            port: 7,
+            seen: b_seen.clone(),
+        },
+    );
+    let to_a = PhysAddr::new(sim.world().host_ip(a), 7);
+    let to_b = PhysAddr::new(sim.world().host_ip(b), 7);
+    sim.world().apply_fault(FaultKind::Partition { domain: d2 });
+    sim.add_actor(
+        a,
+        Shot {
+            port: 9,
+            dst: to_b,
+            tag: 1,
+        },
+    );
+    sim.add_actor(
+        b,
+        Shot {
+            port: 9,
+            dst: to_a,
+            tag: 2,
+        },
+    );
+    sim.run_until(SimTime::from_secs(1));
+    assert!(a_seen.borrow().is_empty() && b_seen.borrow().is_empty());
+    assert_eq!(sim.world_ref().stats.dropped(DropReason::FaultInjected), 2);
+    sim.world()
+        .apply_fault(FaultKind::HealPartition { domain: d2 });
+    sim.add_actor(
+        a,
+        Shot {
+            port: 10,
+            dst: to_b,
+            tag: 3,
+        },
+    );
+    sim.run_to_quiescence();
+    assert_eq!(b_seen.borrow().len(), 1);
+}
+
+#[test]
+fn chaos_window_duplicates_every_packet_when_told_to() {
+    let mut sim = Sim::new(6);
+    let d1 = sim.add_domain(DomainSpec::public("d1"));
+    let d2 = sim.add_domain(DomainSpec::public("d2"));
+    let a = sim.add_host(d1, HostSpec::new("a"));
+    let b = sim.add_host(d2, HostSpec::new("b"));
+    let seen = Rc::new(RefCell::new(Vec::new()));
+    sim.add_actor(
+        b,
+        Sink {
+            port: 7,
+            seen: seen.clone(),
+        },
+    );
+    let dst = PhysAddr::new(sim.world().host_ip(b), 7);
+    sim.world().apply_fault(FaultKind::ChaosOpen {
+        dup_per_mille: 1000,
+        reorder_per_mille: 0,
+        extra: SimDuration::from_millis(50),
+    });
+    for i in 0..5u8 {
+        sim.add_actor(
+            a,
+            Shot {
+                port: 100 + u16::from(i),
+                dst,
+                tag: i,
+            },
+        );
+    }
+    sim.run_to_quiescence();
+    assert_eq!(seen.borrow().len(), 10, "every packet arrives twice");
+    assert_eq!(sim.world_ref().stats.duplicated, 5);
+
+    // Close the window: no further duplication.
+    sim.world().apply_fault(FaultKind::ChaosClose);
+    sim.add_actor(
+        a,
+        Shot {
+            port: 200,
+            dst,
+            tag: 9,
+        },
+    );
+    sim.run_to_quiescence();
+    assert_eq!(seen.borrow().len(), 11);
+}
+
+#[test]
+fn chaos_reordering_defeats_fifo_and_is_deterministic() {
+    fn run(seed: u64) -> Vec<u8> {
+        let mut sim = Sim::new(seed);
+        let d1 = sim.add_domain(DomainSpec::public("d1"));
+        let d2 = sim.add_domain(DomainSpec::public("d2"));
+        let a = sim.add_host(d1, HostSpec::new("a").link_bps(1e9));
+        let b = sim.add_host(d2, HostSpec::new("b").link_bps(1e9));
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        sim.add_actor(
+            b,
+            Sink {
+                port: 7,
+                seen: seen.clone(),
+            },
+        );
+        let dst = PhysAddr::new(sim.world().host_ip(b), 7);
+        sim.world().apply_fault(FaultKind::ChaosOpen {
+            dup_per_mille: 0,
+            reorder_per_mille: 500,
+            extra: SimDuration::from_millis(400),
+        });
+        struct Burst {
+            dst: PhysAddr,
+        }
+        impl Actor for Burst {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.bind(9);
+                for i in 0..24u8 {
+                    ctx.send(9, self.dst, Bytes::from(vec![i]));
+                }
+            }
+        }
+        sim.add_actor(a, Burst { dst });
+        sim.run_to_quiescence();
+        let order: Vec<u8> = seen.borrow().iter().map(|&(_, tag)| tag).collect();
+        order
+    }
+    let order = run(42);
+    assert_eq!(order.len(), 24, "reordering must not lose packets");
+    assert!(
+        order.windows(2).any(|w| w[0] > w[1]),
+        "a 50% reorder window over a 24-packet burst should invert at \
+         least one pair, got {order:?}"
+    );
+    assert_eq!(run(42), order, "same seed → same arrival order");
+}
+
+#[test]
+fn drawn_plan_injection_reproduces_exact_transcript() {
+    fn run(seed: u64) -> (Vec<FaultRecord>, u64, u64) {
+        let mut sim = Sim::new(seed);
+        let d1 = sim.add_domain(DomainSpec::public("d1"));
+        let d2 = sim.add_domain(DomainSpec::natted("d2", NatConfig::typical()));
+        let mut hosts = Vec::new();
+        for i in 0..6 {
+            let d = if i % 2 == 0 { d1 } else { d2 };
+            hosts.push(sim.add_host(d, HostSpec::new(format!("h{i}"))));
+        }
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        sim.add_actor(
+            hosts[0],
+            Sink {
+                port: 7,
+                seen: seen.clone(),
+            },
+        );
+        let dst = PhysAddr::new(sim.world().host_ip(hosts[0]), 7);
+        for i in 1..6u64 {
+            sim.add_actor_at(
+                hosts[i as usize],
+                SimTime::from_secs(i),
+                Shot {
+                    port: 9,
+                    dst,
+                    tag: i as u8,
+                },
+            );
+        }
+        let spec = FaultSpec {
+            crash_candidates: hosts.clone(),
+            crashes: 2,
+            downtime: Some(SimDuration::from_secs(5)),
+            blackhole_candidates: vec![(d1, d2)],
+            blackholes: 1,
+            nat_expiry_candidates: vec![d2],
+            nat_expiries: 1,
+            chaos_windows: 1,
+            window: (SimTime::from_secs(1), SimTime::from_secs(20)),
+            hold: SimDuration::from_secs(4),
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::draw(&spec, &sim.world_ref().seeds());
+        plan.inject(&mut sim);
+        sim.run_until(SimTime::from_secs(60));
+        let stats = &sim.world_ref().stats;
+        (
+            sim.world_ref().fault_transcript().to_vec(),
+            stats.delivered,
+            stats.total_dropped(),
+        )
+    }
+    let (transcript, delivered, dropped) = run(0xFA17);
+    assert_eq!(
+        transcript.len(),
+        2 + 2 + 2 + 1 + 2,
+        "crashes+restarts+blackhole open/heal+expiry+chaos open/close"
+    );
+    // Transcript records faults at their scheduled times, in order.
+    assert!(transcript.windows(2).all(|w| w[0].at <= w[1].at));
+    // The determinism contract: seed → identical transcript AND identical
+    // traffic outcome.
+    assert_eq!(run(0xFA17), (transcript, delivered, dropped));
+}

@@ -96,6 +96,40 @@ proptest! {
         prop_assert_eq!(sym_ports.len(), remotes.len());
     }
 
+    /// Mapping expiry mid-flow must force a re-link, not a blackhole: once a
+    /// mapping lapses, inbound to the stale public port is dropped, but a
+    /// fresh outbound from the same internal socket immediately earns a
+    /// working mapping again (the overlay's linking protocol relies on this
+    /// to recover hole-punched shortcuts after `NatExpiry` faults).
+    #[test]
+    fn lapsed_mapping_relinks_on_next_outbound(
+        cfg in arb_config(),
+        internal in arb_private_addr(),
+        remote in arb_addr(),
+        idle_extra in 1u64..3600,
+    ) {
+        prop_assume!(!remote.ip.is_private());
+        let mut nat = Nat::new(PhysIp::new(128, 1, 1, 1), cfg);
+        let public = nat.outbound(internal, remote, SimTime::ZERO);
+        let lapsed = SimTime::ZERO
+            + nat.config().mapping_timeout
+            + SimDuration::from_secs(idle_extra);
+        // The stale mapping no longer passes traffic...
+        prop_assert_eq!(
+            nat.inbound(public.port, remote, lapsed),
+            Inbound::Drop(NatDrop::NoMapping)
+        );
+        prop_assert_eq!(nat.mapping_count(), 0);
+        // ...but the pair is not blackholed: the next outbound re-links and
+        // replies flow again.
+        let renewed = nat.outbound(internal, remote, lapsed);
+        prop_assert_eq!(renewed.ip, PhysIp::new(128, 1, 1, 1));
+        prop_assert_eq!(
+            nat.inbound(renewed.port, remote, lapsed + SimDuration::from_secs(1)),
+            Inbound::Accept(internal)
+        );
+    }
+
     /// Unsolicited inbound traffic never reaches a restrictively-filtered
     /// NAT's interior, whatever port it aims at.
     #[test]

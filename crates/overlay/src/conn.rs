@@ -122,6 +122,13 @@ pub struct ConnTable {
     // `next_hop` can binary-search the destination's ring position instead
     // of scanning the whole table — O(log n + excludes) per hop.
     structured: Vec<Address>,
+    // Reverse index: (underlay endpoint, peer) pairs, sorted. Maps an
+    // arriving datagram's source address back to the connection it belongs
+    // to in O(log n), replacing the per-packet linear scan the forwarding
+    // path used to do. Endpoints are not assumed unique — two peers behind
+    // one NAT can present the same mapping — so lookups return the lowest
+    // peer address, matching the old scan's first-in-address-order rule.
+    by_remote: Vec<(PhysAddr, Address)>,
 }
 
 impl ConnTable {
@@ -153,6 +160,37 @@ impl ConnTable {
             .map(|i| &self.conns[i])
     }
 
+    /// The peer reachable at `remote`, if any — lowest address first when
+    /// several share the endpoint. O(log n) against the reverse index.
+    pub fn peer_by_remote(&self, remote: PhysAddr) -> Option<Address> {
+        let i = self.by_remote.partition_point(|&(r, _)| r < remote);
+        match self.by_remote.get(i) {
+            Some(&(r, p)) if r == remote => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The pre-index linear scan, kept as the reference implementation for
+    /// differential tests of [`ConnTable::peer_by_remote`].
+    pub fn peer_by_remote_scan(&self, remote: PhysAddr) -> Option<Address> {
+        self.conns
+            .iter()
+            .find(|c| c.remote == remote)
+            .map(|c| c.peer)
+    }
+
+    fn remote_index_insert(&mut self, remote: PhysAddr, peer: Address) {
+        if let Err(i) = self.by_remote.binary_search(&(remote, peer)) {
+            self.by_remote.insert(i, (remote, peer));
+        }
+    }
+
+    fn remote_index_remove(&mut self, remote: PhysAddr, peer: Address) {
+        if let Ok(i) = self.by_remote.binary_search(&(remote, peer)) {
+            self.by_remote.remove(i);
+        }
+    }
+
     /// Re-sync the ring index entry for `peer` after a type-set mutation.
     fn index_update(&mut self, peer: Address) {
         let eligible = self
@@ -175,7 +213,12 @@ impl ConnTable {
             Ok(i) => {
                 let new_role = !self.conns[i].types.contains(t);
                 self.conns[i].types.insert(t);
-                self.conns[i].remote = remote;
+                let old = self.conns[i].remote;
+                if old != remote {
+                    self.conns[i].remote = remote;
+                    self.remote_index_remove(old, peer);
+                    self.remote_index_insert(remote, peer);
+                }
                 Upsert {
                     new_peer: false,
                     new_role,
@@ -191,6 +234,7 @@ impl ConnTable {
                         established_at: now,
                     },
                 );
+                self.remote_index_insert(remote, peer);
                 Upsert {
                     new_peer: true,
                     new_role: true,
@@ -207,7 +251,10 @@ impl ConnTable {
     pub fn update_remote(&mut self, peer: Address, remote: PhysAddr) -> bool {
         if let Ok(i) = self.conns.binary_search_by(|c| c.peer.cmp(&peer)) {
             if self.conns[i].remote != remote {
+                let old = self.conns[i].remote;
                 self.conns[i].remote = remote;
+                self.remote_index_remove(old, peer);
+                self.remote_index_insert(remote, peer);
                 return true;
             }
         }
@@ -221,7 +268,8 @@ impl ConnTable {
         if let Ok(i) = self.conns.binary_search_by(|c| c.peer.cmp(&peer)) {
             self.conns[i].types.remove(t);
             if self.conns[i].types.is_empty() {
-                self.conns.remove(i);
+                let gone = self.conns.remove(i);
+                self.remote_index_remove(gone.remote, peer);
                 dropped = true;
             }
         }
@@ -235,6 +283,9 @@ impl ConnTable {
             Ok(i) => Some(self.conns.remove(i)),
             Err(_) => None,
         };
+        if let Some(c) = &removed {
+            self.remote_index_remove(c.remote, peer);
+        }
         self.index_update(peer);
         removed
     }
@@ -437,6 +488,41 @@ impl ConnTable {
     }
 }
 
+/// A point-in-time copy of one node's identity and connection table.
+///
+/// Taken by test auditors (the `wow` crate's ring auditor) to check
+/// structural invariants — ring connectivity, mutual near-neighbour
+/// consistency, greedy routability — across a whole overlay offline,
+/// without the nodes being live while the checks run.
+#[derive(Clone, Debug)]
+pub struct ConnSnapshot {
+    /// The node's own overlay address.
+    pub addr: Address,
+    /// A copy of its connection table at snapshot time.
+    pub table: ConnTable,
+}
+
+impl ConnSnapshot {
+    /// The node's current ring successor (nearest structured peer
+    /// clockwise), if it has one.
+    pub fn successor(&self) -> Option<Address> {
+        self.table.nearest_cw(self.addr, 1).first().copied()
+    }
+
+    /// The node's current ring predecessor (nearest structured peer
+    /// counter-clockwise), if it has one.
+    pub fn predecessor(&self) -> Option<Address> {
+        self.table.nearest_ccw(self.addr, 1).first().copied()
+    }
+
+    /// True if this node holds a `StructuredNear` link to `peer`.
+    pub fn has_near(&self, peer: Address) -> bool {
+        self.table
+            .get(peer)
+            .is_some_and(|c| c.types.contains(ConnType::StructuredNear))
+    }
+}
+
 /// Result of [`ConnTable::upsert`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Upsert {
@@ -594,6 +680,60 @@ mod tests {
         match t.next_hop(a(0), a(100), &[a(100)]) {
             NextHop::Local => {}
             other => panic!("expected local, got {other:?}"),
+        }
+    }
+
+    /// The reverse (endpoint → peer) index must agree with the linear-scan
+    /// reference on arbitrary tables churned by every mutation that can move
+    /// an endpoint: upsert with a fresh remote, `update_remote` roaming,
+    /// role removal and full removal.
+    #[test]
+    fn peer_by_remote_agrees_with_scan_on_random_tables() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+
+        let types = [
+            ConnType::Leaf,
+            ConnType::StructuredNear,
+            ConnType::StructuredFar,
+            ConnType::Shortcut,
+        ];
+        let mut rng = SmallRng::seed_from_u64(0xBEEF_CAFE);
+        for _case in 0..400 {
+            let mut t = ConnTable::new();
+            // Small endpoint universe so collisions (two peers behind one
+            // NAT mapping) and misses both occur.
+            let universe = rng.gen_range(4u64..40);
+            let ports = rng.gen_range(2u16..16);
+            for _ in 0..rng.gen_range(0usize..24) {
+                let peer = a(rng.gen_range(0..universe));
+                let ty = types[rng.gen_range(0..types.len())];
+                t.upsert(peer, ty, ep(rng.gen_range(1..=ports)), T0);
+            }
+            for _ in 0..rng.gen_range(0usize..8) {
+                let peer = a(rng.gen_range(0..universe));
+                match rng.gen_range(0u8..3) {
+                    0 => {
+                        t.remove_role(peer, types[rng.gen_range(0..types.len())]);
+                    }
+                    1 => {
+                        t.remove(peer);
+                    }
+                    _ => {
+                        t.update_remote(peer, ep(rng.gen_range(1..=ports)));
+                    }
+                }
+            }
+            // Every live endpoint resolves identically to the scan, and the
+            // index never invents entries for endpoints nobody holds.
+            for port in 1..=ports + 2 {
+                let remote = ep(port);
+                assert_eq!(
+                    t.peer_by_remote(remote),
+                    t.peer_by_remote_scan(remote),
+                    "index and scan disagree for {remote:?}"
+                );
+            }
         }
     }
 

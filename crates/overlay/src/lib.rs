@@ -69,7 +69,7 @@ pub mod wire;
 pub mod prelude {
     pub use crate::addr::Address;
     pub use crate::config::OverlayConfig;
-    pub use crate::conn::{ConnTable, ConnType};
+    pub use crate::conn::{ConnSnapshot, ConnTable, ConnType};
     pub use crate::driver::{FrameBatch, NodeDriver, NodeEvent, NodeSink, Transport};
     pub use crate::node::{BrunetNode, NodeStats};
     pub use crate::telemetry::{Counter, TelemetryCounters};

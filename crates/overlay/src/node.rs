@@ -157,6 +157,15 @@ impl BrunetNode {
         &self.conns
     }
 
+    /// A point-in-time copy of identity + connection table, for offline
+    /// structural auditing (see [`crate::conn::ConnSnapshot`]).
+    pub fn conn_snapshot(&self) -> crate::conn::ConnSnapshot {
+        crate::conn::ConnSnapshot {
+            addr: self.addr,
+            table: self.conns.clone(),
+        }
+    }
+
     /// Counters.
     pub fn stats(&self) -> NodeStats {
         self.stats
@@ -317,7 +326,7 @@ impl BrunetNode {
         sink: &mut S,
     ) -> Option<Bytes> {
         // Same bounce-back suppression as the decode path.
-        let exclude = self.conns.iter().find(|c| c.remote == src).map(|c| c.peer);
+        let exclude = self.conns.peer_by_remote(src);
         let excludes: &[Address] = match &exclude {
             Some(e) => std::slice::from_ref(e),
             None => &[],
@@ -521,7 +530,10 @@ impl BrunetNode {
                 }
                 LinkErrorReason::NotConnected => {
                     // Our keepalive hit a peer that no longer knows us.
-                    if self.conns.remove(from).is_some() {
+                    if let Some(c) = self.conns.remove(from) {
+                        if c.types.contains(ConnType::StructuredNear) {
+                            sink.count(Counter::NearLost);
+                        }
                         self.pinger.untrack(from);
                         sink.event(NodeEvent::Disconnected { peer: from });
                     }
@@ -570,13 +582,22 @@ impl BrunetNode {
                         Frame::Link(LinkMsg::NeighborReply {
                             from: self.addr,
                             neighbors,
+                            observed: src,
                         }),
                         sink,
                     );
                 }
             }
-            LinkMsg::NeighborReply { from, neighbors } => {
+            LinkMsg::NeighborReply {
+                from,
+                neighbors,
+                observed,
+            } => {
                 if self.conns.get(from).is_some() {
+                    // Stabilization doubles as the recurring STUN echo: a
+                    // node whose NAT mapping changed relearns its public
+                    // URI here within one stabilize interval.
+                    self.my_uris.learn_observed(TransportUri::udp(observed));
                     self.pinger.heard(from, now, &self.cfg);
                     let mut cmds = Vec::new();
                     self.near.on_neighbor_reply(
@@ -602,7 +623,7 @@ impl BrunetNode {
         sink: &mut S,
     ) {
         // Suppress bouncing a packet straight back where it came from.
-        let exclude = self.conns.iter().find(|c| c.remote == src).map(|c| c.peer);
+        let exclude = self.conns.peer_by_remote(src);
         self.route_packet(now, pkt, exclude, true, sink);
     }
 
@@ -820,6 +841,9 @@ impl BrunetNode {
             self.pinger.track(peer, now, &self.cfg);
         }
         if outcome.new_role {
+            if ctype == ConnType::StructuredNear {
+                sink.count(Counter::NearLinked);
+            }
             sink.event(NodeEvent::Connected { peer, ctype });
         }
         if ctype == ConnType::Leaf && self.leaf_peer.is_none() {
@@ -1068,7 +1092,10 @@ impl BrunetNode {
                     }
                 }
                 PingCmd::Dead { peer } => {
-                    if self.conns.remove(peer).is_some() {
+                    if let Some(c) = self.conns.remove(peer) {
+                        if c.types.contains(ConnType::StructuredNear) {
+                            sink.count(Counter::NearLost);
+                        }
                         sink.count(Counter::PeerDead);
                         sink.event(NodeEvent::Disconnected { peer });
                         if self.leaf_peer == Some(peer) {
@@ -1114,6 +1141,14 @@ impl BrunetNode {
                     }
                 }
                 OverlordCmd::DropRole { peer, ctype } => {
+                    if ctype == ConnType::StructuredNear
+                        && self
+                            .conns
+                            .get(peer)
+                            .is_some_and(|c| c.types.contains(ConnType::StructuredNear))
+                    {
+                        sink.count(Counter::NearLost);
+                    }
                     if self.conns.remove_role(peer, ctype) {
                         self.pinger.untrack(peer);
                         sink.event(NodeEvent::Disconnected { peer });

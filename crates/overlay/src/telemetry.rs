@@ -78,6 +78,12 @@ pub enum Counter {
     BatchSize5To8,
     /// Batch-size histogram: flushes carrying 9 or more frames.
     BatchSize9Plus,
+    /// Structured-near (ring neighbour) links lost — peer death, link-layer
+    /// close, or overlord trimming. The self-healing experiments read this
+    /// against [`Counter::NearLinked`] to measure repair traffic.
+    NearLost,
+    /// Structured-near links established (new role on a connection).
+    NearLinked,
 }
 
 /// Number of [`Counter`] variants.
@@ -85,7 +91,7 @@ pub const NUM_COUNTERS: usize = Counter::ALL.len();
 
 impl Counter {
     /// Every counter, in discriminant order.
-    pub const ALL: [Counter; 29] = [
+    pub const ALL: [Counter; 31] = [
         Counter::Forwarded,
         Counter::DeliveredExact,
         Counter::DeliveredNearest,
@@ -115,6 +121,8 @@ impl Counter {
         Counter::BatchSize3To4,
         Counter::BatchSize5To8,
         Counter::BatchSize9Plus,
+        Counter::NearLost,
+        Counter::NearLinked,
     ];
 
     /// The histogram bucket a flush of `frames` frames falls in.
@@ -160,6 +168,8 @@ impl Counter {
             Counter::BatchSize3To4 => "batch_size_3_4",
             Counter::BatchSize5To8 => "batch_size_5_8",
             Counter::BatchSize9Plus => "batch_size_9_plus",
+            Counter::NearLost => "near_lost",
+            Counter::NearLinked => "near_linked",
         }
     }
 }

@@ -125,10 +125,18 @@ impl UriSet {
         }
     }
 
-    /// Record a peer-observed (NAT-assigned) URI. Duplicates and URIs
-    /// already known locally are ignored. Returns true if it was new.
+    /// Record a peer-observed (NAT-assigned) URI. URIs already known
+    /// locally are ignored; a re-observed URI is promoted to most-recent
+    /// (it is the mapping currently confirmed live on the NAT, so it must
+    /// be advertised ahead of older — possibly expired — ones). Returns
+    /// true if it was new.
     pub fn learn_observed(&mut self, uri: TransportUri) -> bool {
-        if self.local.contains(&uri) || self.observed.contains(&uri) {
+        if self.local.contains(&uri) {
+            return false;
+        }
+        if let Some(i) = self.observed.iter().position(|u| *u == uri) {
+            let u = self.observed.remove(i);
+            self.observed.push(u);
             return false;
         }
         self.observed.push(uri);
@@ -147,17 +155,20 @@ impl UriSet {
         self.observed.clear();
     }
 
-    /// The advertised list in the given order.
+    /// The advertised list in the given order. Observed URIs are listed
+    /// newest-observation-first: after a NAT mapping expires, the stale
+    /// mapping must not gate the fresh one behind a full URI-abandonment
+    /// timeout on every peer that tries to link back.
     pub fn advertised(&self, order: UriOrder) -> Vec<TransportUri> {
         let mut out = Vec::with_capacity(self.local.len() + self.observed.len());
         match order {
             UriOrder::PublicFirst => {
-                out.extend(self.observed.iter().copied());
+                out.extend(self.observed.iter().rev().copied());
                 out.extend(self.local.iter().copied());
             }
             UriOrder::PrivateFirst => {
                 out.extend(self.local.iter().copied());
-                out.extend(self.observed.iter().copied());
+                out.extend(self.observed.iter().rev().copied());
             }
         }
         out

@@ -98,6 +98,12 @@ pub enum LinkMsg {
         from: Address,
         /// The sender's known ring neighbours (both directions).
         neighbors: Vec<Address>,
+        /// The querier's address as observed by the replier. Stabilization
+        /// runs every few seconds, so this is the only STUN-style echo a
+        /// busy node keeps receiving (keepalive pongs are suppressed while
+        /// traffic flows) — without it a node behind a NAT would advertise
+        /// a stale mapping forever after the NAT forgets its state.
+        observed: PhysAddr,
     },
 }
 
@@ -321,10 +327,15 @@ impl LinkMsg {
                 buf.put_u8(5);
                 put_address(buf, *from);
             }
-            LinkMsg::NeighborReply { from, neighbors } => {
+            LinkMsg::NeighborReply {
+                from,
+                neighbors,
+                observed,
+            } => {
                 debug_assert!(neighbors.len() <= MAX_NEIGHBORS);
                 buf.put_u8(6);
                 put_address(buf, *from);
+                put_phys_addr(buf, *observed);
                 buf.put_u8(neighbors.len() as u8);
                 for &n in neighbors {
                     put_address(buf, n);
@@ -365,6 +376,7 @@ impl LinkMsg {
             },
             6 => {
                 let from = get_address(bytes)?;
+                let observed = get_phys_addr(bytes)?;
                 let n = get_u8(bytes)? as usize;
                 if n > MAX_NEIGHBORS {
                     return Err(WireError::TooLong);
@@ -373,7 +385,11 @@ impl LinkMsg {
                 for _ in 0..n {
                     neighbors.push(get_address(bytes)?);
                 }
-                LinkMsg::NeighborReply { from, neighbors }
+                LinkMsg::NeighborReply {
+                    from,
+                    neighbors,
+                    observed,
+                }
             }
             _ => return Err(WireError::BadTag),
         })
@@ -738,6 +754,7 @@ mod tests {
         roundtrip(Frame::Link(LinkMsg::NeighborReply {
             from: a(5),
             neighbors: vec![a(6), a(7), a(8)],
+            observed: pa(10, 40_001),
         }));
     }
 

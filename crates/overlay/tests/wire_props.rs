@@ -74,8 +74,16 @@ fn arb_link_msg() -> impl Strategy<Value = LinkMsg> {
             }
         }),
         arb_address().prop_map(|from| LinkMsg::NeighborQuery { from }),
-        (arb_address(), prop::collection::vec(arb_address(), 0..8))
-            .prop_map(|(from, neighbors)| LinkMsg::NeighborReply { from, neighbors }),
+        (
+            arb_address(),
+            prop::collection::vec(arb_address(), 0..8),
+            arb_phys()
+        )
+            .prop_map(|(from, neighbors, observed)| LinkMsg::NeighborReply {
+                from,
+                neighbors,
+                observed,
+            }),
     ]
 }
 

@@ -18,6 +18,8 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
+pub mod churn;
 pub mod migrate;
 pub mod simrt;
 pub mod testbed;

@@ -1,0 +1,244 @@
+//! Self-healing under churn: the faultlab kill-k-nodes experiment, the
+//! seed → transcript determinism contract, clean-slate restart rejoin, and
+//! NAT-expiry shortcut recovery.
+//!
+//! The churn-suite CI job runs this file across several seeds via the
+//! `WOW_CHURN_SEED` environment variable; any auditor invariant violation
+//! or repair-bound breach fails the test.
+
+use bytes::Bytes;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use wow::churn::{run, ChurnConfig};
+use wow::simrt::{ForwardingCost, NoApp, NodeHandle, OverlayApp, OverlayHost};
+use wow_netsim::fault::FaultKind;
+use wow_netsim::prelude::*;
+use wow_overlay::addr::Address;
+use wow_overlay::node::BrunetNode;
+use wow_overlay::prelude::OverlayConfig;
+use wow_overlay::uri::TransportUri;
+
+/// The scenario seed, overridable so CI can sweep a matrix of seeds.
+fn churn_seed() -> u64 {
+    std::env::var("WOW_CHURN_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC4A0)
+}
+
+#[test]
+fn kill_k_nodes_ring_self_heals_within_bound() {
+    let cfg = ChurnConfig {
+        seed: churn_seed(),
+        nodes: 16,
+        kill: 3,
+        batches: 2,
+        ..ChurnConfig::default()
+    };
+    let out = run(&cfg);
+    assert!(out.initial_ok, "pre-fault overlay failed its audit");
+    for b in &out.batches {
+        assert_eq!(b.killed.len(), cfg.kill);
+        assert!(
+            b.repaired_at.is_some(),
+            "batch {} (killed {:?}) did not heal within {:?}: {:?}",
+            b.batch,
+            b.killed,
+            cfg.settle,
+            b.last_report.violations
+        );
+    }
+    // The transcript records exactly the crashes we asked for.
+    let crashes = out
+        .transcript
+        .iter()
+        .filter(|r| matches!(r.kind, FaultKind::Crash { .. }))
+        .count();
+    assert_eq!(crashes, cfg.kill * cfg.batches);
+    // Healing consumed and re-established near links.
+    use wow_overlay::prelude::Counter;
+    assert!(out.counters.get(Counter::NearLost) > 0);
+    assert!(out.counters.get(Counter::NearLinked) > 0);
+}
+
+#[test]
+fn churn_run_is_deterministic_record_replay() {
+    let cfg = ChurnConfig {
+        seed: churn_seed() ^ 0x5EED,
+        nodes: 10,
+        kill: 2,
+        batches: 1,
+        route_samples: 8,
+        ..ChurnConfig::default()
+    };
+    let a = run(&cfg);
+    let b = run(&cfg);
+    assert_eq!(
+        a.transcript, b.transcript,
+        "same seed must replay the exact fault transcript"
+    );
+    assert_eq!(
+        a.verdicts(),
+        b.verdicts(),
+        "same seed must replay the exact auditor verdicts"
+    );
+    assert_eq!(a.initial_ok, b.initial_ok);
+    assert_eq!(a.counters, b.counters);
+}
+
+#[test]
+fn restarted_victims_rejoin_from_a_clean_slate() {
+    let cfg = ChurnConfig {
+        seed: churn_seed().wrapping_add(1),
+        nodes: 10,
+        kill: 2,
+        batches: 1,
+        restart_after: Some(SimDuration::from_secs(30)),
+        settle: SimDuration::from_secs(240),
+        ..ChurnConfig::default()
+    };
+    let out = run(&cfg);
+    assert!(out.initial_ok);
+    let b = &out.batches[0];
+    assert!(
+        b.repaired_at.is_some(),
+        "restarted victims failed to rejoin the ring: {:?}",
+        b.last_report.violations
+    );
+    // With restarts, the healed membership is the full overlay again.
+    assert_eq!(b.last_report.live, cfg.nodes);
+    let restarts = out
+        .transcript
+        .iter()
+        .filter(|r| matches!(r.kind, FaultKind::Restart { .. }))
+        .count();
+    assert_eq!(restarts, cfg.kill);
+}
+
+/// Counts exact app deliveries.
+struct Recorder {
+    seen: Rc<RefCell<usize>>,
+}
+impl OverlayApp for Recorder {
+    fn on_deliver(
+        &mut self,
+        _h: &mut NodeHandle<'_, '_>,
+        _src: Address,
+        _proto: u8,
+        _data: Bytes,
+        exact: bool,
+    ) {
+        if exact {
+            *self.seen.borrow_mut() += 1;
+        }
+    }
+}
+
+/// NAT-expiry overlay regression: a hole-punched pair whose mappings are
+/// wiped mid-flow must re-link (traffic keeps flowing) rather than
+/// blackhole.
+#[test]
+fn nat_expiry_mid_flow_relinks_instead_of_blackholing() {
+    const PORT: u16 = 4000;
+    let seed = 5; // same topology as the convergence hole-punch test
+    let mut sim = Sim::new(seed);
+    let wan = sim.add_domain(DomainSpec::public("wan"));
+    let dom_a = sim.add_domain(DomainSpec::natted("a.edu", NatConfig::typical()));
+    let dom_b = sim.add_domain(DomainSpec::natted("b.edu", NatConfig::hairpinning()));
+    let seeds = SeedSplitter::new(seed);
+    let mut rng = seeds.rng("addresses");
+
+    let mut bootstrap: Vec<TransportUri> = Vec::new();
+    for i in 0..3 {
+        let host = sim.add_host(wan, HostSpec::new(format!("pl{i}")));
+        let addr = Address::random(&mut rng);
+        let node = BrunetNode::new(
+            addr,
+            OverlayConfig::default(),
+            seeds.seed_for_indexed("pl", i),
+        );
+        sim.add_actor_at(
+            host,
+            SimTime::from_millis(i * 100),
+            OverlayHost::new(
+                node,
+                PORT,
+                bootstrap.clone(),
+                ForwardingCost::router(),
+                NoApp,
+            ),
+        );
+        if i == 0 {
+            bootstrap.push(TransportUri::udp(PhysAddr::new(
+                sim.world().host_ip(host),
+                PORT,
+            )));
+        }
+    }
+    let seen = Rc::new(RefCell::new(0usize));
+    let mut nat_actors = Vec::new();
+    let mut nat_addrs = Vec::new();
+    for (i, dom) in [dom_a, dom_b].into_iter().enumerate() {
+        let host = sim.add_host(dom, HostSpec::new(format!("vm{i}")));
+        let addr = Address::random(&mut rng);
+        let node = BrunetNode::new(
+            addr,
+            OverlayConfig::default(),
+            seeds.seed_for_indexed("vm", i as u64),
+        );
+        let actor = sim.add_actor_at(
+            host,
+            SimTime::from_secs(2),
+            OverlayHost::new(
+                node,
+                PORT,
+                bootstrap.clone(),
+                ForwardingCost::end_node(),
+                Recorder { seen: seen.clone() },
+            ),
+        );
+        nat_actors.push(actor);
+        nat_addrs.push(addr);
+    }
+
+    // Join, then drive A→B traffic until the hole-punched shortcut exists.
+    let a_actor = nat_actors[0];
+    let b_addr = nat_addrs[1];
+    for k in 0..420u64 {
+        let t = SimTime::from_secs(60) + SimDuration::from_millis(k * 500);
+        sim.schedule(t, move |sim| {
+            sim.with_actor::<OverlayHost<Recorder>, _>(a_actor, |host, ctx| {
+                host.send_app(ctx, b_addr, 9, Bytes::from_static(b"flow"));
+            });
+        });
+    }
+    sim.run_until(SimTime::from_secs(200));
+    let direct =
+        sim.with_actor::<OverlayHost<Recorder>, _>(a_actor, |h, _| h.node().has_direct(b_addr));
+    assert!(direct, "precondition: shortcut must form before the fault");
+    let before_fault = *seen.borrow();
+    assert!(before_fault > 0, "precondition: traffic flowing");
+
+    // Mid-flow fault: both NATs forget every mapping.
+    sim.world()
+        .apply_fault(FaultKind::NatExpiry { domain: dom_a });
+    sim.world()
+        .apply_fault(FaultKind::NatExpiry { domain: dom_b });
+
+    // The flow keeps sending until t=270 — past the keepalive failure
+    // window (~45 s), so it spans the blackhole, the stale link's death and
+    // the re-punch to the fresh mappings.
+    sim.run_until(SimTime::from_secs(300));
+    let after_fault = *seen.borrow() - before_fault;
+    assert!(
+        after_fault > 0,
+        "NAT expiry mid-flow must not blackhole the pair: \
+         0 of the post-fault sends were delivered"
+    );
+    // And the direct link is re-established (re-punched or re-linked via
+    // the overlay), not permanently lost.
+    let relinked =
+        sim.with_actor::<OverlayHost<Recorder>, _>(a_actor, |h, _| h.node().has_direct(b_addr));
+    assert!(relinked, "pair should re-link after mapping expiry");
+}
