@@ -1,0 +1,197 @@
+//! Benchmarks for the two scale-core changes: the 3×u64 `U160` limb
+//! layout (vs. the original `[u32; 5]` reference, re-implemented here) and
+//! the hierarchical timer wheel (vs. the `BinaryHeap` event queue it
+//! replaced), with the pending set sized like a 100k-host run.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use wow_netsim::wheel::TimerWheel;
+use wow_overlay::addr::{Address, U160};
+
+// --- the original five-limb representation, kept as the baseline ---------
+
+/// The pre-refactor `U160`: five 32-bit limbs, most significant first.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct U160Old(pub [u32; 5]);
+
+impl U160Old {
+    const ZERO: U160Old = U160Old([0; 5]);
+
+    fn from_addr(a: Address) -> U160Old {
+        let mut w = [0u32; 5];
+        for (i, limb) in w.iter_mut().enumerate() {
+            *limb = u32::from_be_bytes(a.0[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        U160Old(w)
+    }
+
+    fn wrapping_sub(self, other: U160Old) -> U160Old {
+        let mut out = [0u32; 5];
+        let mut borrow = 0u64;
+        for i in (0..5).rev() {
+            let a = u64::from(self.0[i]);
+            let b = u64::from(other.0[i]) + borrow;
+            if a >= b {
+                out[i] = (a - b) as u32;
+                borrow = 0;
+            } else {
+                out[i] = (a + (1u64 << 32) - b) as u32;
+                borrow = 1;
+            }
+        }
+        U160Old(out)
+    }
+}
+
+fn ring_dist_old(x: Address, y: Address) -> U160Old {
+    let xv = U160Old::from_addr(x);
+    let yv = U160Old::from_addr(y);
+    let cw = yv.wrapping_sub(xv);
+    let ccw = xv.wrapping_sub(yv);
+    if cw <= ccw {
+        cw
+    } else {
+        ccw
+    }
+}
+
+fn bench_u160(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(17);
+    let pairs: Vec<(Address, Address)> = (0..256)
+        .map(|_| (Address::random(&mut rng), Address::random(&mut rng)))
+        .collect();
+
+    // The per-candidate inner loop of next_hop: two subtractions with
+    // borrow plus a compare, 256 random address pairs per iteration.
+    c.bench_function("u160_ring_dist_3x64_x256", |b| {
+        b.iter(|| {
+            let mut acc = U160::ZERO;
+            for &(x, y) in &pairs {
+                let d = x.ring_dist(y);
+                if d > acc {
+                    acc = d;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("u160_ring_dist_5x32_x256", |b| {
+        b.iter(|| {
+            let mut acc = U160Old::ZERO;
+            for &(x, y) in &pairs {
+                let d = ring_dist_old(x, y);
+                if d > acc {
+                    acc = d;
+                }
+            }
+            black_box(acc.0)
+        })
+    });
+}
+
+// --- the original event queue, kept as the baseline ----------------------
+
+struct HeapEntry {
+    at: u64,
+    seq: u64,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A batch of `(at_us, seq)` event keys.
+type EventKeys = Vec<(u64, u64)>;
+
+/// The event-queue regime of a large run: `parked` long-dated timers
+/// (keepalives, retries) sit in the queue while `hot` near-term packet
+/// events are pushed and popped through it.
+fn queue_workload(parked: usize, hot: usize) -> (EventKeys, EventKeys) {
+    let mut rng = SmallRng::seed_from_u64(23);
+    let mut seq = 0u64;
+    let mut parked_ev = Vec::with_capacity(parked);
+    for _ in 0..parked {
+        // 1–30 s out, microsecond resolution.
+        parked_ev.push((1_000_000 + rng.gen_range(0..30_000_000u64), seq));
+        seq += 1;
+    }
+    let mut hot_ev = Vec::with_capacity(hot);
+    let mut now = 0u64;
+    for _ in 0..hot {
+        now += rng.gen_range(0..200u64); // sub-ms packet cadence
+        hot_ev.push((now + rng.gen_range(1..50_000u64), seq));
+        seq += 1;
+    }
+    (parked_ev, hot_ev)
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    const PARKED: usize = 200_000; // ~100k hosts × 2 standing timers
+    const HOT: usize = 10_000;
+    let (parked, hot) = queue_workload(PARKED, HOT);
+
+    c.bench_function("event_queue_wheel_10k_hot_200k_parked", |b| {
+        b.iter_batched(
+            || {
+                let mut w = TimerWheel::new();
+                for &(at, seq) in &parked {
+                    w.push(at, seq, ());
+                }
+                w
+            },
+            |mut w| {
+                // Steady state: push a hot event, pop the earliest.
+                for &(at, seq) in &hot {
+                    w.push(at, seq, ());
+                    black_box(w.pop());
+                }
+                w
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("event_queue_heap_10k_hot_200k_parked", |b| {
+        b.iter_batched(
+            || {
+                let mut h = BinaryHeap::with_capacity(PARKED + 1);
+                for &(at, seq) in &parked {
+                    h.push(HeapEntry { at, seq });
+                }
+                h
+            },
+            |mut h| {
+                for &(at, seq) in &hot {
+                    h.push(HeapEntry { at, seq });
+                    black_box(h.pop().map(|e| (e.at, e.seq)));
+                }
+                h
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_u160, bench_event_queue
+}
+criterion_main!(benches);

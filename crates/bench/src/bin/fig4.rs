@@ -121,6 +121,50 @@ fn main() {
                 row
             }),
         );
+        // World-level queue occupancy per trial: the uplink/downlink
+        // serialization and CPU queues that produce regime 2's inflated
+        // RTTs. One row per trial, totals in µs (means derivable).
+        write_csv(
+            &format!(
+                "fig4_queue_{}.csv",
+                scenario.label().to_lowercase().replace('-', "_")
+            ),
+            "trial,uplink_queued,uplink_wait_us,downlink_queued,downlink_wait_us,cpu_queued,cpu_wait_us",
+            p.trials.iter().enumerate().map(|(i, t)| {
+                let q = &t.queues;
+                format!(
+                    "{},{},{},{},{},{},{}",
+                    i,
+                    q.uplink_queued,
+                    q.uplink_wait_us,
+                    q.downlink_queued,
+                    q.downlink_wait_us,
+                    q.cpu_queued,
+                    q.cpu_wait_us,
+                )
+            }),
+        );
+        let mean_over_trials = |f: &dyn Fn(&wow_bench::fig4::QueueWaits) -> f64| {
+            let xs: Vec<f64> = p
+                .trials
+                .iter()
+                .map(|t| f(&t.queues))
+                .filter(|x| x.is_finite())
+                .collect();
+            if xs.is_empty() {
+                f64::NAN
+            } else {
+                xs.iter().sum::<f64>() / xs.len() as f64
+            }
+        };
+        use wow_bench::fig4::QueueWaits;
+        println!(
+            "  [queues] {}: mean wait per queued unit — uplink {:.2} ms, downlink {:.2} ms, cpu {:.2} ms",
+            scenario.label(),
+            mean_over_trials(&|q| QueueWaits::mean_ms(q.uplink_queued, q.uplink_wait_us)),
+            mean_over_trials(&|q| QueueWaits::mean_ms(q.downlink_queued, q.downlink_wait_us)),
+            mean_over_trials(&|q| QueueWaits::mean_ms(q.cpu_queued, q.cpu_wait_us)),
+        );
         let per_trial = |name: &str| tally.get(name) as f64 / p.trials.len().max(1) as f64;
         println!(
             "  [telemetry] {}: per trial — drops ttl/relay/decode {:.1}/{:.1}/{:.1}, \

@@ -1,0 +1,130 @@
+//! Scale harness binary: fig8-style shortcut traffic and kill-k churn at
+//! 10k–100k nodes. `--n <size>` picks one size (default 10000); `--full`
+//! runs the committed 10k and 100k sweep. Writes `scale_traffic.csv` and
+//! `scale_churn.csv` into the results directory.
+
+use wow_bench::report::{banner, r1, r2, write_csv, Table};
+use wow_bench::scale::{self, ScaleConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sizes: Vec<usize> = if args.iter().any(|a| a == "--full") {
+        vec![10_000, 100_000]
+    } else if let Some(i) = args.iter().position(|a| a == "--n") {
+        vec![args
+            .get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .expect("--n takes an integer")]
+    } else {
+        vec![10_000]
+    };
+
+    banner(
+        "scale: overlay at 10k-100k hosts",
+        "beyond paper scale: timer-wheel core + SoA world state",
+    );
+
+    let mut traffic_rows = Vec::new();
+    let mut churn_rows = Vec::new();
+    let mut table = Table::new(&[
+        "n",
+        "experiment",
+        "events",
+        "wall_s",
+        "events/s",
+        "hops 1st",
+        "hops 2nd",
+        "outcome",
+    ]);
+
+    for &n in &sizes {
+        let cfg = ScaleConfig::at(n);
+        for shortcuts in [true, false] {
+            let r = scale::run_traffic(&cfg, shortcuts);
+            let label = if shortcuts {
+                "traffic+shortcuts"
+            } else {
+                "traffic-shortcuts"
+            };
+            let events = r.warm.events + r.traffic.events;
+            let wall = r.warm.wall_s + r.traffic.wall_s;
+            let eps = events as f64 / wall.max(1e-9);
+            table.row(&[
+                &r.nodes,
+                &label,
+                &events,
+                &r2(wall),
+                &r1(eps),
+                &r2(r.hops_first_half),
+                &r2(r.hops_second_half),
+                &format!(
+                    "audit={} shortcuts={} fwd={}",
+                    r.audit_ok, r.shortcut_conns, r.forwarded
+                ),
+            ]);
+            traffic_rows.push(format!(
+                "{},{},{},{},{:.3},{},{:.3},{:.1},{:.3},{:.3},{},{},{},{},{:.1}",
+                r.nodes,
+                shortcuts,
+                r.warm.events,
+                r.traffic.events,
+                r.warm.sim_s + r.traffic.sim_s,
+                events,
+                wall,
+                eps,
+                r.hops_first_half,
+                r.hops_second_half,
+                r.forwarded,
+                r.shortcut_conns,
+                r.shortcut_crossings,
+                r.audit_ok,
+                r.peak_rss_mib,
+            ));
+        }
+
+        let c = scale::run_churn(&cfg);
+        let events = c.warm.events + c.repair.events;
+        let wall = c.warm.wall_s + c.repair.wall_s;
+        let eps = events as f64 / wall.max(1e-9);
+        table.row(&[
+            &c.nodes,
+            &"kill-k churn",
+            &events,
+            &r2(wall),
+            &r1(eps),
+            &f64::NAN,
+            &f64::NAN,
+            &format!(
+                "kill={} repair={:?}s audit={}",
+                c.kill,
+                c.repair_s.map(r1),
+                c.initial_audit_ok
+            ),
+        ]);
+        churn_rows.push(format!(
+            "{},{},{},{},{},{:.3},{:.1},{},{},{:.1}",
+            c.nodes,
+            c.kill,
+            c.warm.events,
+            c.repair.events,
+            events,
+            wall,
+            eps,
+            c.repair_s.map(|s| format!("{s:.1}")).unwrap_or_default(),
+            c.initial_audit_ok,
+            c.peak_rss_mib,
+        ));
+    }
+    table.print();
+
+    write_csv(
+        "scale_traffic.csv",
+        "n,shortcuts,warm_events,traffic_events,sim_s,total_events,wall_s,events_per_sec,hops_first_half,hops_second_half,forwarded,shortcut_conns,shortcut_crossings,audit_ok,peak_rss_mib",
+        traffic_rows,
+    );
+    write_csv(
+        "scale_churn.csv",
+        "n,kill,warm_events,repair_events,total_events,wall_s,events_per_sec,repair_s,initial_audit_ok,peak_rss_mib",
+        churn_rows,
+    );
+}

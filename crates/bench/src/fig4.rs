@@ -112,6 +112,49 @@ impl Fig4Config {
     }
 }
 
+/// World-level queue-occupancy telemetry over one trial: how many packets
+/// (and CPU service slices) queued behind a busy uplink, downlink or CPU,
+/// and the total time they waited. Regime 2's RTT inflation is router CPU
+/// queueing, not WAN latency — these counters attribute it directly.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueueWaits {
+    /// Packets that waited behind a busy sender uplink.
+    pub uplink_queued: u64,
+    /// Total sender-uplink queue wait, µs.
+    pub uplink_wait_us: u64,
+    /// Packets that waited behind a busy receiver downlink.
+    pub downlink_queued: u64,
+    /// Total receiver-downlink queue wait, µs.
+    pub downlink_wait_us: u64,
+    /// CPU acquisitions that waited behind earlier exclusive work.
+    pub cpu_queued: u64,
+    /// Total CPU queue wait, µs.
+    pub cpu_wait_us: u64,
+}
+
+impl QueueWaits {
+    /// Capture from a world's traffic counters.
+    pub fn from_stats(s: &wow_netsim::sim::NetStats) -> Self {
+        QueueWaits {
+            uplink_queued: s.uplink_queued,
+            uplink_wait_us: s.uplink_queue_wait_us,
+            downlink_queued: s.downlink_queued,
+            downlink_wait_us: s.downlink_queue_wait_us,
+            cpu_queued: s.cpu_queued,
+            cpu_wait_us: s.cpu_queue_wait_us,
+        }
+    }
+
+    /// Mean wait in milliseconds, `NaN` when nothing queued.
+    pub fn mean_ms(queued: u64, wait_us: u64) -> f64 {
+        if queued > 0 {
+            wait_us as f64 / queued as f64 / 1e3
+        } else {
+            f64::NAN
+        }
+    }
+}
+
 /// One trial's outcome.
 #[derive(Clone, Debug)]
 pub struct Trial {
@@ -125,6 +168,9 @@ pub struct Trial {
     /// CTM attempts by kind, linking trials/backoffs — the *why* behind
     /// the three regimes.
     pub counters: TelemetryCounters,
+    /// World-level queue occupancy over the trial (all hosts: routers, the
+    /// 33 WOW nodes and B) — the congestion side of the story.
+    pub queues: QueueWaits,
 }
 
 /// Run one trial of one scenario.
@@ -205,11 +251,13 @@ pub fn run_trial(scenario: Scenario, cfg: &Fig4Config, trial: u64) -> Trial {
     let counters = tb
         .sim
         .with_actor::<Workstation<PingProbe>, _>(b_actor, |ws, _| ws.counters());
+    let queues = QueueWaits::from_stats(&tb.sim.world_ref().stats);
     Trial {
         rtts,
         time_to_routable,
         time_to_direct,
         counters,
+        queues,
     }
 }
 

@@ -130,13 +130,19 @@ pub fn run(shortcuts: bool, cfg: &Fig8Config) -> Fig8Result {
         }
     });
     let first_submit = SimTime::from_secs(120 + 280);
-    // Horizon: submissions take `jobs` seconds; drain tail with capacity
-    // ≥ 20 jobs/min.
-    let horizon = first_submit
-        + SimDuration::from_secs(u64::from(jobs))
-        + SimDuration::from_secs((u64::from(jobs) * 3).max(600))
-        + SimDuration::from_secs(300);
-    tb.sim.run_until(horizon);
+    // Submissions take `jobs` seconds; then drain adaptively — run in
+    // slices until every job has reported back or the hard cap trips. The
+    // old fixed formula (submit + 3×jobs + 300 s) assumed ≥ 20 jobs/min
+    // of drain capacity, which the shortcuts-disabled run at paper scale
+    // does not reach: it left ~7% of jobs in flight at the horizon and
+    // never set `all_done`, so throughput read as NaN.
+    let submit_end = first_submit + SimDuration::from_secs(u64::from(jobs));
+    tb.sim.run_until(submit_end);
+    let hard_cap = submit_end + SimDuration::from_secs((u64::from(jobs) * 12).max(1800));
+    while results.borrow().all_done.is_none() && tb.sim.now() < hard_cap {
+        let next = (tb.sim.now() + SimDuration::from_secs(120)).min(hard_cap);
+        tb.sim.run_until(next);
+    }
     let transit = TransitStats::harvest::<Role>(&mut tb);
 
     let r = results.borrow();

@@ -16,6 +16,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod report;
 pub mod roles;
+pub mod scale;
 pub mod table2;
 pub mod table3;
 pub mod transit;

@@ -52,9 +52,11 @@ pub mod link;
 pub mod nat;
 pub mod rng;
 pub mod sim;
+pub(crate) mod storage;
 pub mod time;
 pub mod topology;
 pub mod trace;
+pub mod wheel;
 
 /// The commonly-used names, for glob import.
 pub mod prelude {

@@ -18,8 +18,7 @@
 //! packet arriving, and evaluating early would get Fig. 4 wrong.
 
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 use bytes::Bytes;
 use rand::rngs::SmallRng;
@@ -30,8 +29,10 @@ use crate::fault::{norm_pair, FaultKind, FaultRecord, FaultState};
 use crate::link::{serialization_delay, LinkModel};
 use crate::nat::{Inbound, Nat, NatDrop};
 use crate::rng::SeedSplitter;
+use crate::storage::{DenseIpMap, PathFifo, PortTable, PrivateIpMap};
 use crate::time::{SimDuration, SimTime};
-use crate::topology::{Domain, DomainId, DomainKind, DomainSpec, Host, HostId, HostSpec};
+use crate::topology::{Domain, DomainId, DomainKind, DomainSpec, HostId, HostSpec, Hosts};
+use crate::wheel::TimerWheel;
 
 /// Fixed per-datagram header overhead charged on links (IPv4 + UDP).
 pub const UDP_IP_OVERHEAD: usize = 28;
@@ -83,6 +84,19 @@ pub struct NetStats {
     /// Packets delayed past the per-path FIFO clamp by chaos-window
     /// reordering.
     pub reordered: u64,
+    /// Packets that found their sender's uplink still serializing earlier
+    /// traffic (queue occupancy > 0 on hand-off).
+    pub uplink_queued: u64,
+    /// Total microseconds packets waited for the uplink to free up.
+    pub uplink_queue_wait_us: u64,
+    /// Packets that found the receiver's downlink busy on arrival.
+    pub downlink_queued: u64,
+    /// Total microseconds packets waited for the downlink to free up.
+    pub downlink_queue_wait_us: u64,
+    /// `cpu_acquire` calls that queued behind earlier exclusive work.
+    pub cpu_queued: u64,
+    /// Total microseconds `cpu_acquire` work waited for the CPU.
+    pub cpu_queue_wait_us: u64,
     drops: HashMap<DropReason, u64>,
 }
 
@@ -121,56 +135,36 @@ enum Ev {
     Control(Box<dyn FnOnce(&mut Sim)>),
 }
 
-struct Entry {
-    at: SimTime,
-    seq: u64,
-    ev: Ev,
-}
-
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    // Reversed: BinaryHeap is a max-heap and we want the earliest event.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
 /// Everything in the simulation except the actors themselves.
 pub struct World {
     now: SimTime,
     domains: Vec<Domain>,
-    hosts: Vec<Host>,
+    hosts: Hosts,
     /// Path models between and within domains.
     pub links: LinkModel,
-    queue: BinaryHeap<Entry>,
+    /// Pending events, keyed by `(at µs, seq)` — a hierarchical timer
+    /// wheel, so push/pop cost is independent of how many long-dated
+    /// timers (keepalives, retries) are parked at large n.
+    queue: TimerWheel<Ev>,
     seq: u64,
     rng: SmallRng,
     seeds: SeedSplitter,
-    /// (host, port) → bound actor.
-    ports: HashMap<(HostId, u16), ActorId>,
-    /// Public IP → owner (host or NAT).
-    public_ips: HashMap<PhysIp, IpOwner>,
+    /// (host, port) → bound actor: dense per-host sorted tables.
+    ports: PortTable,
+    /// Public IP → owner (host or NAT): allocations are sequential from
+    /// [`PUBLIC_IP_BASE`], so ownership is a flat offset-indexed arena
+    /// with an explicit exhaustion bound at [`PUBLIC_IP_CAP`].
+    public_ips: DenseIpMap<IpOwner>,
     /// Per-domain private IP → host. Private ranges intentionally overlap
     /// across domains (every natted domain starts at 10.0.0.2), as they do
     /// in reality — the overlay's linking handshake must cope with a
     /// private URI reaching the *wrong* machine in another domain.
-    private_ips: Vec<HashMap<PhysIp, HostId>>,
+    private_ips: Vec<PrivateIpMap>,
     /// Per (src ip, dst ip) last scheduled arrival: paths deliver FIFO.
     /// Real WAN routes rarely reorder a single flow; per-packet IID jitter
     /// without this clamp reorders constantly and wrecks TCP (spurious
     /// fast retransmits).
-    path_fifo: HashMap<(PhysIp, PhysIp), SimTime>,
-    next_public_ip: u32,
+    path_fifo: PathFifo,
     /// Traffic counters.
     pub stats: NetStats,
     /// Live fault-injection state (see [`crate::fault`]). Its RNG is the
@@ -178,6 +172,12 @@ pub struct World {
     /// the world's jitter/loss sampling.
     faults: FaultState,
 }
+
+/// First public address handed out: 128.10.0.1.
+const PUBLIC_IP_BASE: PhysIp = PhysIp(u32::from_be_bytes([128, 10, 0, 1]));
+/// Exclusive upper bound on public allocation: walking into 172.16.0.0/12
+/// would hand "public" hosts addresses the NAT layer treats as private.
+const PUBLIC_IP_CAP: PhysIp = PhysIp(u32::from_be_bytes([172, 16, 0, 0]));
 
 #[derive(Clone, Copy, Debug)]
 enum IpOwner {
@@ -191,18 +191,16 @@ impl World {
         World {
             now: SimTime::ZERO,
             domains: Vec::new(),
-            hosts: Vec::new(),
+            hosts: Hosts::new(),
             links: LinkModel::default(),
-            queue: BinaryHeap::new(),
+            queue: TimerWheel::new(),
             seq: 0,
             rng: seeds.rng("world"),
             seeds,
-            ports: HashMap::new(),
-            public_ips: HashMap::new(),
+            ports: PortTable::new(),
+            public_ips: DenseIpMap::new(PUBLIC_IP_BASE, PUBLIC_IP_CAP),
             private_ips: Vec::new(),
-            path_fifo: HashMap::new(),
-            // Public allocations start at 128.10.0.1.
-            next_public_ip: u32::from_be_bytes([128, 10, 0, 1]),
+            path_fifo: PathFifo::new(),
             stats: NetStats::default(),
             faults: FaultState::new(seeds.rng("faultlab")),
         }
@@ -227,23 +225,17 @@ impl World {
         debug_assert!(at >= self.now, "event scheduled in the past");
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Entry { at, seq, ev });
+        self.queue.push(at.as_micros(), seq, ev);
     }
 
-    fn alloc_public_ip(&mut self) -> PhysIp {
-        let ip = PhysIp(self.next_public_ip);
-        self.next_public_ip += 1;
-        ip
+    /// Static description of a host.
+    pub fn host_spec(&self, id: HostId) -> &HostSpec {
+        self.hosts.spec(id)
     }
 
-    /// Immutable host access.
-    pub fn host(&self, id: HostId) -> &Host {
-        &self.hosts[id.0 as usize]
-    }
-
-    /// Mutable host access (adjust load, power state through helpers below).
-    pub fn host_mut(&mut self, id: HostId) -> &mut Host {
-        &mut self.hosts[id.0 as usize]
+    /// The domain a host lives in.
+    pub fn host_domain(&self, id: HostId) -> DomainId {
+        self.hosts.domains[id.0 as usize]
     }
 
     /// Immutable domain access.
@@ -258,7 +250,7 @@ impl World {
 
     /// Power a host on or off. Packets to a down host are dropped.
     pub fn set_host_up(&mut self, id: HostId, up: bool) {
-        self.hosts[id.0 as usize].up = up;
+        self.hosts.up[id.0 as usize] = up;
     }
 
     /// Reset a domain's NAT device (drop all mappings/permissions), as a
@@ -283,21 +275,17 @@ impl World {
                 // Port bindings are left in place so a still-running actor
                 // shell keeps its (now dead) socket identity — the clean
                 // slate happens at restart.
-                self.hosts[host.0 as usize].up = false;
+                self.hosts.up[host.0 as usize] = false;
             }
             FaultKind::Restart { host } => {
                 let now = self.now;
                 // The process died with the host: its port bindings do not
                 // come back, and neither does a backlog of queued link or
                 // CPU work from before the crash.
-                self.ports.retain(|&(h, _), _| h != host);
-                let h = &mut self.hosts[host.0 as usize];
-                h.up = true;
-                h.uplink_free_at = now;
-                h.downlink_free_at = now;
-                h.cpu_free_at = now;
-                h.next_ephemeral = 49_152;
-                let (domain, ip) = (h.domain, h.ip);
+                self.ports.clear_host(host);
+                self.hosts.reset_runtime(host, now);
+                let i = host.0 as usize;
+                let (domain, ip) = (self.hosts.domains[i], self.hosts.ips[i]);
                 // A restarted host must earn fresh NAT mappings; the old
                 // incarnation's public endpoints are dead.
                 if let Some(nat) = self.domains[domain.0 as usize].nat.as_mut() {
@@ -351,7 +339,7 @@ impl World {
     /// Set a host's background-load multiplier (≥ 1.0 slows CPU work).
     pub fn set_host_load(&mut self, id: HostId, load_factor: f64) {
         assert!(load_factor >= 1.0, "load factor below 1.0 is meaningless");
-        self.hosts[id.0 as usize].load_factor = load_factor;
+        self.hosts.load_factors[id.0 as usize] = load_factor;
     }
 
     /// The public address a packet from `host` to `remote` would carry —
@@ -359,12 +347,12 @@ impl World {
     /// outbound packet would create/refresh. Read-only convenience used by
     /// tests; the overlay itself learns addresses from handshakes.
     pub fn host_ip(&self, id: HostId) -> PhysIp {
-        self.hosts[id.0 as usize].ip
+        self.hosts.ips[id.0 as usize]
     }
 
     /// Clamp an arrival so the (src, dst) path delivers in FIFO order.
     fn fifo_clamp(&mut self, src: PhysIp, dst: PhysIp, arrive: SimTime) -> SimTime {
-        let slot = self.path_fifo.entry((src, dst)).or_insert(SimTime::ZERO);
+        let slot = self.path_fifo.slot(src, dst);
         let clamped = arrive.max(*slot + SimDuration::from_micros(1));
         *slot = clamped;
         clamped
@@ -389,16 +377,21 @@ impl World {
         self.stats.sent += 1;
         let size = payload.len() + UDP_IP_OVERHEAD;
         let (src_domain_id, src_ip, depart) = {
-            let h = &mut self.hosts[from_host.0 as usize];
-            if !h.up {
+            let i = from_host.0 as usize;
+            if !self.hosts.up[i] {
                 // A powered-off host cannot transmit; count as host-down.
                 self.stats.drop(DropReason::HostDown);
                 return;
             }
-            let start = now.max(h.uplink_free_at);
-            let depart = start + serialization_delay(size, h.spec.uplink_bps);
-            h.uplink_free_at = depart;
-            (h.domain, h.ip, depart)
+            let start = now.max(self.hosts.uplink_free_at[i]);
+            let wait = start.saturating_since(now).as_micros();
+            if wait > 0 {
+                self.stats.uplink_queued += 1;
+                self.stats.uplink_queue_wait_us += wait;
+            }
+            let depart = start + serialization_delay(size, self.hosts.uplink_bps[i]);
+            self.hosts.uplink_free_at[i] = depart;
+            (self.hosts.domains[i], self.hosts.ips[i], depart)
         };
         let src_addr = PhysAddr::new(src_ip, src_port);
         let dgram = Datagram {
@@ -411,8 +404,8 @@ impl World {
         if dst.ip.is_private() {
             // Private destinations are only meaningful inside the sender's
             // own domain.
-            match self.private_ips[src_domain_id.0 as usize].get(&dst.ip) {
-                Some(&h2) => self.deliver_intra(src_domain_id, h2, dgram, depart),
+            match self.private_ips[src_domain_id.0 as usize].get(dst.ip) {
+                Some(h2) => self.deliver_intra(src_domain_id, h2, dgram, depart),
                 None => self.stats.drop(DropReason::PrivateUnroutable),
             }
             return;
@@ -431,15 +424,14 @@ impl World {
                     .expect("checked above");
                 match nat.hairpin(src_addr, dst, now) {
                     Ok((wan_src, internal_dst)) => {
-                        let h2 = match self.private_ips[src_domain_id.0 as usize]
-                            .get(&internal_dst.ip)
-                        {
-                            Some(&h2) => h2,
-                            None => {
-                                self.stats.drop(DropReason::PrivateUnroutable);
-                                return;
-                            }
-                        };
+                        let h2 =
+                            match self.private_ips[src_domain_id.0 as usize].get(internal_dst.ip) {
+                                Some(h2) => h2,
+                                None => {
+                                    self.stats.drop(DropReason::PrivateUnroutable);
+                                    return;
+                                }
+                            };
                         let looped = Datagram {
                             src: wan_src,
                             dst: internal_dst,
@@ -480,12 +472,12 @@ impl World {
     /// Carry a datagram across the WAN from `src_domain` to whoever owns
     /// `dgram.dst.ip`, departing the source uplink at `depart`.
     fn send_wan(&mut self, src_domain: DomainId, dgram: Datagram, depart: SimTime) {
-        let Some(&owner) = self.public_ips.get(&dgram.dst.ip) else {
+        let Some(&owner) = self.public_ips.get(dgram.dst.ip) else {
             self.stats.drop(DropReason::NoSuchIp);
             return;
         };
         let dst_domain = match owner {
-            IpOwner::Host(h) => self.hosts[h.0 as usize].domain,
+            IpOwner::Host(h) => self.hosts.domains[h.0 as usize],
             IpOwner::Nat(d) => d,
         };
         if self.faults.blocks(src_domain, dst_domain) {
@@ -557,7 +549,7 @@ impl World {
             .expect("NatIngress scheduled for a domain without a NAT");
         match nat.inbound(dgram.dst.port, dgram.src, now) {
             Inbound::Accept(internal) => {
-                let Some(&host) = self.private_ips[domain.0 as usize].get(&internal.ip) else {
+                let Some(host) = self.private_ips[domain.0 as usize].get(internal.ip) else {
                     self.stats.drop(DropReason::PrivateUnroutable);
                     return;
                 };
@@ -575,14 +567,19 @@ impl World {
     /// Host edge on arrival: power check, downlink queueing.
     fn host_arrive(&mut self, host: HostId, dgram: Datagram) {
         let size = dgram.payload.len() + UDP_IP_OVERHEAD;
-        let h = &mut self.hosts[host.0 as usize];
-        if !h.up {
+        let i = host.0 as usize;
+        if !self.hosts.up[i] {
             self.stats.drop(DropReason::HostDown);
             return;
         }
-        let start = self.now.max(h.downlink_free_at);
-        let ready = start + serialization_delay(size, h.spec.downlink_bps);
-        h.downlink_free_at = ready;
+        let start = self.now.max(self.hosts.downlink_free_at[i]);
+        let wait = start.saturating_since(self.now).as_micros();
+        if wait > 0 {
+            self.stats.downlink_queued += 1;
+            self.stats.downlink_queue_wait_us += wait;
+        }
+        let ready = start + serialization_delay(size, self.hosts.downlink_bps[i]);
+        self.hosts.downlink_free_at[i] = ready;
         self.push(ready, Ev::ActorDeliver { host, dgram });
     }
 }
@@ -605,22 +602,22 @@ impl Ctx<'_> {
     /// # Panics
     /// Panics if the port is already bound on this host.
     pub fn bind(&mut self, port: u16) -> PhysAddr {
-        let prev = self.world.ports.insert((self.host, port), self.actor);
+        let prev = self.world.ports.insert(self.host, port, self.actor);
         assert!(
             prev.is_none() || prev == Some(self.actor),
             "port {port} already bound on host {:?}",
             self.host
         );
-        PhysAddr::new(self.world.hosts[self.host.0 as usize].ip, port)
+        PhysAddr::new(self.world.hosts.ips[self.host.0 as usize], port)
     }
 
     /// Bind the next free ephemeral port on this actor's host.
     pub fn bind_ephemeral(&mut self) -> PhysAddr {
         loop {
-            let h = &mut self.world.hosts[self.host.0 as usize];
-            let port = h.next_ephemeral;
-            h.next_ephemeral = h.next_ephemeral.checked_add(1).unwrap_or(49_152);
-            if !self.world.ports.contains_key(&(self.host, port)) {
+            let i = self.host.0 as usize;
+            let port = self.world.hosts.next_ephemeral[i];
+            self.world.hosts.next_ephemeral[i] = port.checked_add(1).unwrap_or(49_152);
+            if !self.world.ports.contains(self.host, port) {
                 return self.bind(port);
             }
         }
@@ -628,14 +625,14 @@ impl Ctx<'_> {
 
     /// Release a port binding.
     pub fn unbind(&mut self, port: u16) {
-        self.world.ports.remove(&(self.host, port));
+        self.world.ports.remove(self.host, port);
     }
 
     /// Send a datagram from a bound local port.
     pub fn send(&mut self, src_port: u16, dst: PhysAddr, payload: Bytes) {
         debug_assert_eq!(
-            self.world.ports.get(&(self.host, src_port)),
-            Some(&self.actor),
+            self.world.ports.get(self.host, src_port),
+            Some(self.actor),
             "sending from a port this actor has not bound"
         );
         self.world.send(self.host, src_port, dst, payload);
@@ -652,8 +649,8 @@ impl Ctx<'_> {
         I: IntoIterator<Item = (PhysAddr, Bytes)>,
     {
         debug_assert_eq!(
-            self.world.ports.get(&(self.host, src_port)),
-            Some(&self.actor),
+            self.world.ports.get(self.host, src_port),
+            Some(self.actor),
             "sending from a port this actor has not bound"
         );
         let now = self.now;
@@ -681,17 +678,22 @@ impl Ctx<'_> {
 
     /// This actor's host address (private if behind a NAT).
     pub fn my_ip(&self) -> PhysIp {
-        self.world.hosts[self.host.0 as usize].ip
+        self.world.hosts.ips[self.host.0 as usize]
     }
 
     /// Occupy this host's CPU for `nominal` work (scaled by speed and
     /// background load), FIFO behind earlier work. Returns the completion
     /// time; pair with [`Ctx::wake_at`] to act on completion.
     pub fn cpu_acquire(&mut self, nominal: SimDuration) -> SimTime {
-        let h = &mut self.world.hosts[self.host.0 as usize];
-        let start = self.now.max(h.cpu_free_at);
-        let done = start + h.scaled_work(nominal);
-        h.cpu_free_at = done;
+        let i = self.host.0 as usize;
+        let start = self.now.max(self.world.hosts.cpu_free_at[i]);
+        let wait = start.saturating_since(self.now).as_micros();
+        if wait > 0 {
+            self.world.stats.cpu_queued += 1;
+            self.world.stats.cpu_queue_wait_us += wait;
+        }
+        let done = start + self.world.hosts.scaled_work(self.host, nominal);
+        self.world.hosts.cpu_free_at[i] = done;
         done
     }
 
@@ -701,13 +703,12 @@ impl Ctx<'_> {
     /// batch job computes, so packet handling must not queue behind a
     /// 20-second job the way [`Ctx::cpu_acquire`]d work does.
     pub fn cpu_timeshared(&mut self, nominal: SimDuration) -> SimTime {
-        let h = &self.world.hosts[self.host.0 as usize];
-        self.now + h.scaled_work(nominal)
+        self.now + self.world.hosts.scaled_work(self.host, nominal)
     }
 
-    /// Read-only view of the host this actor runs on.
-    pub fn my_host(&self) -> &Host {
-        &self.world.hosts[self.host.0 as usize]
+    /// Static description of the host this actor runs on.
+    pub fn my_host_spec(&self) -> &HostSpec {
+        self.world.hosts.spec(self.host)
     }
 
     /// Ask the driver to stop this actor after the current callback:
@@ -741,6 +742,7 @@ struct ActorSlot {
 pub struct Sim {
     world: World,
     actors: Vec<ActorSlot>,
+    events_processed: u64,
 }
 
 impl Sim {
@@ -749,12 +751,19 @@ impl Sim {
         Sim {
             world: World::new(seed),
             actors: Vec::new(),
+            events_processed: 0,
         }
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.world.now
+    }
+
+    /// Total events popped from the queue so far — the denominator for
+    /// events-per-second throughput measurements in scale harnesses.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Access the world (stats, hosts, link models).
@@ -773,8 +782,7 @@ impl Sim {
         let nat = match &spec.kind {
             DomainKind::Public => None,
             DomainKind::Natted(cfg) => {
-                let ip = self.world.alloc_public_ip();
-                self.world.public_ips.insert(ip, IpOwner::Nat(id));
+                let ip = self.world.public_ips.alloc(IpOwner::Nat(id));
                 Some(Nat::new(ip, cfg.clone()))
             }
         };
@@ -783,7 +791,7 @@ impl Sim {
             nat,
             next_host_octet: 2,
         });
-        self.world.private_ips.push(HashMap::new());
+        self.world.private_ips.push(PrivateIpMap::new());
         id
     }
 
@@ -792,22 +800,24 @@ impl Sim {
     /// public domains allocate public addresses.
     pub fn add_host(&mut self, domain: DomainId, spec: HostSpec) -> HostId {
         let id = HostId(self.world.hosts.len() as u32);
-        let d = &mut self.world.domains[domain.0 as usize];
-        let ip = match d.spec.kind {
-            DomainKind::Public => {
-                let ip = self.world.alloc_public_ip();
-                self.world.public_ips.insert(ip, IpOwner::Host(id));
-                ip
-            }
-            DomainKind::Natted(_) => {
-                let n = d.next_host_octet;
-                d.next_host_octet += 1;
-                let ip = PhysIp::new(10, 0, (n >> 8) as u8, (n & 0xff) as u8);
-                self.world.private_ips[domain.0 as usize].insert(ip, id);
-                ip
-            }
+        let is_public = matches!(
+            self.world.domains[domain.0 as usize].spec.kind,
+            DomainKind::Public
+        );
+        let ip = if is_public {
+            self.world.public_ips.alloc(IpOwner::Host(id))
+        } else {
+            let d = &mut self.world.domains[domain.0 as usize];
+            let n = d.next_host_octet;
+            d.next_host_octet = n
+                .checked_add(1)
+                .expect("private 10.0/16 address space exhausted in this domain");
+            let ip = PhysIp::new(10, 0, (n >> 8) as u8, (n & 0xff) as u8);
+            self.world.private_ips[domain.0 as usize].push(id);
+            ip
         };
-        self.world.hosts.push(Host::new(spec, domain, ip));
+        let got = self.world.hosts.push(spec, domain, ip);
+        debug_assert_eq!(got, id);
         id
     }
 
@@ -839,18 +849,14 @@ impl Sim {
         let slot = &mut self.actors[id.0 as usize];
         slot.alive = false;
         let host = slot.host;
-        self.world
-            .ports
-            .retain(|&(h, _), &mut a| !(h == host && a == id));
+        self.world.ports.remove_actor_on_host(host, id);
     }
 
     /// Move an actor to a different host (VM migration): its port bindings
     /// on the old host are dropped; the actor must re-bind after resuming.
     pub fn move_actor(&mut self, id: ActorId, new_host: HostId) {
         let old = self.actors[id.0 as usize].host;
-        self.world
-            .ports
-            .retain(|&(h, _), &mut a| !(h == old && a == id));
+        self.world.ports.remove_actor_on_host(old, id);
         self.actors[id.0 as usize].host = new_host;
     }
 
@@ -920,24 +926,26 @@ impl Sim {
 
     /// Process one event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(entry) = self.world.queue.pop() else {
+        let Some((at, _seq, ev)) = self.world.queue.pop() else {
             return false;
         };
-        debug_assert!(entry.at >= self.world.now, "time went backwards");
-        self.world.now = entry.at;
-        match entry.ev {
+        let at = SimTime::from_micros(at);
+        debug_assert!(at >= self.world.now, "time went backwards");
+        self.world.now = at;
+        self.events_processed += 1;
+        match ev {
             Ev::Start(id) => self.dispatch(id, |a, ctx| a.on_start(ctx)),
             Ev::Wake { actor, tag } => self.dispatch(actor, |a, ctx| a.on_wake(ctx, tag)),
             Ev::NatIngress { domain, dgram } => self.world.nat_ingress(domain, dgram),
             Ev::HostArrive { host, dgram } => self.world.host_arrive(host, dgram),
             Ev::ActorDeliver { host, dgram } => {
-                if !self.world.hosts[host.0 as usize].up {
+                if !self.world.hosts.up[host.0 as usize] {
                     // The packet cleared the downlink before the host went
                     // down, but there is no process left to hand it to.
                     self.world.stats.drop(DropReason::HostDown);
                 } else {
-                    match self.world.ports.get(&(host, dgram.dst.port)) {
-                        Some(&actor) => {
+                    match self.world.ports.get(host, dgram.dst.port) {
+                        Some(actor) => {
                             self.world.stats.delivered += 1;
                             self.dispatch(actor, |a, ctx| a.on_datagram(ctx, dgram));
                         }
@@ -953,8 +961,8 @@ impl Sim {
     /// Run until the queue is empty or simulated time would pass `until`.
     /// Events at exactly `until` are processed.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(entry) = self.world.queue.peek() {
-            if entry.at > until {
+        while let Some((at, _seq)) = self.world.queue.peek_at() {
+            if SimTime::from_micros(at) > until {
                 break;
             }
             self.step();

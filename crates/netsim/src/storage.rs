@@ -1,0 +1,301 @@
+//! Dense world-state storage for large topologies.
+//!
+//! The simulator's per-packet lookups — port bindings, IP ownership,
+//! per-path FIFO clamps — were `std::collections::HashMap`s keyed by
+//! tuples. At 100k+ hosts those cost a SipHash per packet and scatter
+//! entries across the heap. This module replaces them with structures
+//! that exploit how the keys are actually produced:
+//!
+//! * Port bindings are per-host and few (an overlay node binds one or two
+//!   ports), so a dense per-host sorted vector beats any hash map.
+//! * Public and private IPs are allocated *sequentially* from fixed bases,
+//!   so ownership is an offset into a flat arena — plus the bounds check
+//!   that a raw incrementing `u32` never had.
+//! * Path-FIFO keys are `(src ip, dst ip)` pairs that pack into one `u64`;
+//!   a multiply-xor hasher on the packed key replaces tuple SipHash.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::addr::PhysIp;
+use crate::sim::ActorId;
+use crate::time::SimTime;
+use crate::topology::HostId;
+
+/// Per-host port bindings: a dense vector indexed by host id, each entry a
+/// small port-sorted vector probed by binary search.
+#[derive(Debug, Default)]
+pub(crate) struct PortTable {
+    by_host: Vec<Vec<(u16, ActorId)>>,
+}
+
+impl PortTable {
+    pub(crate) fn new() -> Self {
+        PortTable::default()
+    }
+
+    fn slot_mut(&mut self, host: HostId) -> &mut Vec<(u16, ActorId)> {
+        let i = host.0 as usize;
+        if i >= self.by_host.len() {
+            self.by_host.resize_with(i + 1, Vec::new);
+        }
+        &mut self.by_host[i]
+    }
+
+    /// Bind `port` on `host`, returning the previous binding if any
+    /// (`HashMap::insert` semantics: the new binding always lands).
+    pub(crate) fn insert(&mut self, host: HostId, port: u16, actor: ActorId) -> Option<ActorId> {
+        let slot = self.slot_mut(host);
+        match slot.binary_search_by_key(&port, |&(p, _)| p) {
+            Ok(i) => Some(std::mem::replace(&mut slot[i].1, actor)),
+            Err(i) => {
+                slot.insert(i, (port, actor));
+                None
+            }
+        }
+    }
+
+    /// The actor bound on `(host, port)`, if any.
+    pub(crate) fn get(&self, host: HostId, port: u16) -> Option<ActorId> {
+        let slot = self.by_host.get(host.0 as usize)?;
+        slot.binary_search_by_key(&port, |&(p, _)| p)
+            .ok()
+            .map(|i| slot[i].1)
+    }
+
+    /// True if `(host, port)` is bound.
+    pub(crate) fn contains(&self, host: HostId, port: u16) -> bool {
+        self.get(host, port).is_some()
+    }
+
+    /// Drop one binding.
+    pub(crate) fn remove(&mut self, host: HostId, port: u16) {
+        if let Some(slot) = self.by_host.get_mut(host.0 as usize) {
+            if let Ok(i) = slot.binary_search_by_key(&port, |&(p, _)| p) {
+                slot.remove(i);
+            }
+        }
+    }
+
+    /// Drop every binding on `host` (host restart).
+    pub(crate) fn clear_host(&mut self, host: HostId) {
+        if let Some(slot) = self.by_host.get_mut(host.0 as usize) {
+            slot.clear();
+        }
+    }
+
+    /// Drop every binding `actor` holds on `host` (actor stop / migration).
+    pub(crate) fn remove_actor_on_host(&mut self, host: HostId, actor: ActorId) {
+        if let Some(slot) = self.by_host.get_mut(host.0 as usize) {
+            slot.retain(|&(_, a)| a != actor);
+        }
+    }
+}
+
+/// Sequentially-allocated public IP space with dense ownership storage and
+/// an explicit exhaustion bound.
+///
+/// Allocation hands out consecutive addresses from `base`; ownership of
+/// `base + k` is `owners[k]`. `cap` is exclusive: allocating at or past it
+/// panics instead of silently walking into reserved address space.
+#[derive(Debug)]
+pub(crate) struct DenseIpMap<T> {
+    base: u32,
+    cap: u32,
+    owners: Vec<T>,
+}
+
+impl<T> DenseIpMap<T> {
+    pub(crate) fn new(base: PhysIp, cap: PhysIp) -> Self {
+        assert!(base.0 < cap.0, "empty allocatable range");
+        DenseIpMap {
+            base: base.0,
+            cap: cap.0,
+            owners: Vec::new(),
+        }
+    }
+
+    /// Allocate the next address for `owner`.
+    ///
+    /// # Panics
+    /// Panics when the allocatable range `[base, cap)` is exhausted —
+    /// continuing would hand out addresses in reserved space.
+    pub(crate) fn alloc(&mut self, owner: T) -> PhysIp {
+        let offset = self.owners.len() as u32;
+        let ip = self.base.checked_add(offset).filter(|&ip| ip < self.cap);
+        let Some(ip) = ip else {
+            panic!(
+                "public IP space exhausted: {} addresses allocated from {}, next would reach reserved space at {}",
+                self.owners.len(),
+                PhysIp(self.base),
+                PhysIp(self.cap),
+            );
+        };
+        self.owners.push(owner);
+        PhysIp(ip)
+    }
+
+    /// The owner of `ip`, if it was allocated here.
+    pub(crate) fn get(&self, ip: PhysIp) -> Option<&T> {
+        let offset = ip.0.wrapping_sub(self.base) as usize;
+        self.owners.get(offset)
+    }
+}
+
+/// Per-domain private 10.0.x.y addresses, allocated sequentially from
+/// host-octet 2 (10.0.0.2); the host owning octet `n` is `hosts[n - 2]`.
+#[derive(Debug, Default)]
+pub(crate) struct PrivateIpMap {
+    hosts: Vec<HostId>,
+}
+
+/// First host octet handed out in a natted domain (10.0.0.2).
+const FIRST_PRIVATE_OCTET: u32 = 2;
+
+impl PrivateIpMap {
+    pub(crate) fn new() -> Self {
+        PrivateIpMap::default()
+    }
+
+    /// Record the next sequentially-allocated host. The caller derives the
+    /// address from the same octet counter, so offsets stay in lockstep.
+    pub(crate) fn push(&mut self, host: HostId) {
+        self.hosts.push(host);
+    }
+
+    /// The host owning `ip` in this domain, if any.
+    pub(crate) fn get(&self, ip: PhysIp) -> Option<HostId> {
+        // Allocated addresses are exactly 10.0.x.y with x<<8|y ≥ 2.
+        if ip.0 >> 16 != 0x0A00 {
+            return None;
+        }
+        let octet = ip.0 & 0xFFFF;
+        let offset = octet.wrapping_sub(FIRST_PRIVATE_OCTET) as usize;
+        self.hosts.get(offset).copied()
+    }
+}
+
+/// Multiply-xor hasher for pre-packed integer keys (FxHash-style). Not for
+/// untrusted input — the simulator's IPs are allocator-controlled.
+#[derive(Default)]
+pub(crate) struct PackedKeyHasher(u64);
+
+impl Hasher for PackedKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+    fn write_u64(&mut self, x: u64) {
+        // Same rotate-xor-multiply mix as rustc's FxHasher.
+        self.0 = (self.0.rotate_left(5) ^ x).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+/// Last scheduled arrival per (src ip, dst ip) path, for the FIFO clamp.
+/// The pair packs into one u64 key; hashing is one multiply.
+#[derive(Debug, Default)]
+pub(crate) struct PathFifo {
+    last: HashMap<u64, SimTime, BuildHasherDefault<PackedKeyHasher>>,
+}
+
+impl PathFifo {
+    pub(crate) fn new() -> Self {
+        PathFifo::default()
+    }
+
+    /// Mutable last-arrival slot for the `src → dst` path, inserted at
+    /// `SimTime::ZERO` on first use.
+    pub(crate) fn slot(&mut self, src: PhysIp, dst: PhysIp) -> &mut SimTime {
+        let key = (u64::from(src.0) << 32) | u64::from(dst.0);
+        self.last.entry(key).or_insert(SimTime::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_table_bind_lookup_unbind() {
+        let mut t = PortTable::new();
+        let h = HostId(5);
+        assert_eq!(t.insert(h, 4000, ActorId(1)), None);
+        assert_eq!(t.insert(h, 80, ActorId(2)), None);
+        assert_eq!(t.get(h, 4000), Some(ActorId(1)));
+        assert_eq!(t.get(h, 80), Some(ActorId(2)));
+        assert_eq!(t.get(h, 81), None);
+        assert_eq!(t.get(HostId(99), 80), None);
+        // Rebinding returns the previous owner.
+        assert_eq!(t.insert(h, 80, ActorId(3)), Some(ActorId(2)));
+        t.remove(h, 80);
+        assert_eq!(t.get(h, 80), None);
+        assert!(t.contains(h, 4000));
+    }
+
+    #[test]
+    fn port_table_clear_host_and_actor_retain() {
+        let mut t = PortTable::new();
+        let (h1, h2) = (HostId(0), HostId(1));
+        t.insert(h1, 1, ActorId(1));
+        t.insert(h1, 2, ActorId(2));
+        t.insert(h2, 1, ActorId(1));
+        t.remove_actor_on_host(h1, ActorId(1));
+        assert_eq!(t.get(h1, 1), None);
+        assert_eq!(t.get(h1, 2), Some(ActorId(2)));
+        assert_eq!(t.get(h2, 1), Some(ActorId(1)), "other hosts untouched");
+        t.clear_host(h1);
+        assert_eq!(t.get(h1, 2), None);
+    }
+
+    #[test]
+    fn dense_ip_map_allocates_sequentially() {
+        let mut m = DenseIpMap::new(PhysIp::new(128, 10, 0, 1), PhysIp::new(172, 16, 0, 0));
+        let a = m.alloc("a");
+        let b = m.alloc("b");
+        assert_eq!(a, PhysIp::new(128, 10, 0, 1));
+        assert_eq!(b, PhysIp::new(128, 10, 0, 2));
+        assert_eq!(m.get(a), Some(&"a"));
+        assert_eq!(m.get(b), Some(&"b"));
+        assert_eq!(m.get(PhysIp::new(128, 10, 0, 3)), None);
+        assert_eq!(m.get(PhysIp::new(10, 0, 0, 1)), None, "below base");
+    }
+
+    #[test]
+    #[should_panic(expected = "public IP space exhausted")]
+    fn dense_ip_map_panics_at_cap() {
+        let mut m = DenseIpMap::new(PhysIp::new(128, 10, 0, 1), PhysIp::new(128, 10, 0, 3));
+        m.alloc(());
+        m.alloc(());
+        m.alloc(()); // 128.10.0.3 is the cap: must panic, not hand it out
+    }
+
+    #[test]
+    fn private_ip_map_octet_arithmetic() {
+        let mut m = PrivateIpMap::new();
+        m.push(HostId(7)); // 10.0.0.2
+        m.push(HostId(8)); // 10.0.0.3
+        for _ in 0..300 {
+            m.push(HostId(0));
+        }
+        m.push(HostId(42)); // octet 304 → 10.0.1.48
+        assert_eq!(m.get(PhysIp::new(10, 0, 0, 2)), Some(HostId(7)));
+        assert_eq!(m.get(PhysIp::new(10, 0, 0, 3)), Some(HostId(8)));
+        assert_eq!(m.get(PhysIp::new(10, 0, 1, 48)), Some(HostId(42)));
+        assert_eq!(m.get(PhysIp::new(10, 0, 0, 1)), None, "gateway octet");
+        assert_eq!(m.get(PhysIp::new(10, 1, 0, 2)), None, "outside 10.0/16");
+        assert_eq!(m.get(PhysIp::new(192, 168, 0, 2)), None);
+    }
+
+    #[test]
+    fn path_fifo_slots_are_directional() {
+        let mut f = PathFifo::new();
+        let (a, b) = (PhysIp::new(1, 2, 3, 4), PhysIp::new(5, 6, 7, 8));
+        *f.slot(a, b) = SimTime::from_secs(1);
+        assert_eq!(*f.slot(a, b), SimTime::from_secs(1));
+        assert_eq!(*f.slot(b, a), SimTime::ZERO, "reverse path is distinct");
+    }
+}

@@ -114,48 +114,101 @@ pub struct Domain {
     pub(crate) next_host_octet: u16,
 }
 
-/// Runtime state of one host.
-#[derive(Debug)]
-pub struct Host {
-    /// Static description.
-    pub spec: HostSpec,
-    /// The domain this host lives in.
-    pub domain: DomainId,
-    /// This host's address (private if the domain is natted).
-    pub ip: PhysIp,
-    /// Whether the host is powered on; packets to a down host are dropped.
-    pub up: bool,
+/// Runtime state of every host, stored struct-of-arrays.
+///
+/// The simulator touches the *hot* per-packet fields (power state,
+/// link/CPU free times, rates) on every event; the cold description
+/// (`HostSpec`, with its heap-allocated name) is only read by harnesses.
+/// Splitting them into parallel dense vectors indexed by [`HostId`] keeps
+/// the hot data cache-linear and lets a million hosts fit in a few flat
+/// allocations instead of a million boxed structs.
+///
+/// Hot link/CPU rates are duplicated out of the spec into their own
+/// vectors so the send path never drags the 72-byte spec (and its name
+/// pointer) into cache for three floats.
+#[derive(Debug, Default)]
+pub struct Hosts {
+    /// Cold static descriptions.
+    specs: Vec<HostSpec>,
+    /// Owning domain per host.
+    pub(crate) domains: Vec<DomainId>,
+    /// Address per host (private if the domain is natted).
+    pub(crate) ips: Vec<PhysIp>,
+    /// Power state; packets to a down host are dropped.
+    pub(crate) up: Vec<bool>,
     /// Background-load multiplier on CPU work; 1.0 = unloaded.
-    pub load_factor: f64,
+    pub(crate) load_factors: Vec<f64>,
+    /// Uplink capacity in bytes/second (hot copy of the spec field).
+    pub(crate) uplink_bps: Vec<f64>,
+    /// Downlink capacity in bytes/second (hot copy of the spec field).
+    pub(crate) downlink_bps: Vec<f64>,
+    /// Relative CPU speed (hot copy of the spec field).
+    pub(crate) cpu_speeds: Vec<f64>,
     /// Uplink transmit queue: the time the link next becomes free.
-    pub(crate) uplink_free_at: crate::time::SimTime,
+    pub(crate) uplink_free_at: Vec<crate::time::SimTime>,
     /// Downlink receive queue: the time the link next becomes free.
-    pub(crate) downlink_free_at: crate::time::SimTime,
+    pub(crate) downlink_free_at: Vec<crate::time::SimTime>,
     /// CPU queue: the time the CPU next becomes free.
-    pub cpu_free_at: crate::time::SimTime,
+    pub(crate) cpu_free_at: Vec<crate::time::SimTime>,
     /// Next ephemeral port to hand out.
-    pub(crate) next_ephemeral: u16,
+    pub(crate) next_ephemeral: Vec<u16>,
 }
 
-impl Host {
-    pub(crate) fn new(spec: HostSpec, domain: DomainId, ip: PhysIp) -> Self {
-        Host {
-            spec,
-            domain,
-            ip,
-            up: true,
-            load_factor: 1.0,
-            uplink_free_at: crate::time::SimTime::ZERO,
-            downlink_free_at: crate::time::SimTime::ZERO,
-            cpu_free_at: crate::time::SimTime::ZERO,
-            next_ephemeral: 49_152,
-        }
+impl Hosts {
+    /// Empty arena.
+    pub(crate) fn new() -> Self {
+        Hosts::default()
     }
 
-    /// Wall-clock duration of `nominal` CPU work on this host right now,
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True if no hosts exist.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Append a host; returns its id.
+    pub(crate) fn push(&mut self, spec: HostSpec, domain: DomainId, ip: PhysIp) -> HostId {
+        let id = HostId(self.specs.len() as u32);
+        self.domains.push(domain);
+        self.ips.push(ip);
+        self.up.push(true);
+        self.load_factors.push(1.0);
+        self.uplink_bps.push(spec.uplink_bps);
+        self.downlink_bps.push(spec.downlink_bps);
+        self.cpu_speeds.push(spec.cpu_speed);
+        self.uplink_free_at.push(crate::time::SimTime::ZERO);
+        self.downlink_free_at.push(crate::time::SimTime::ZERO);
+        self.cpu_free_at.push(crate::time::SimTime::ZERO);
+        self.next_ephemeral.push(49_152);
+        self.specs.push(spec);
+        id
+    }
+
+    /// Static description of one host.
+    pub fn spec(&self, id: HostId) -> &HostSpec {
+        &self.specs[id.0 as usize]
+    }
+
+    /// Wall-clock duration of `nominal` CPU work on a host right now,
     /// accounting for relative speed and background load.
-    pub fn scaled_work(&self, nominal: SimDuration) -> SimDuration {
-        nominal.mul_f64(self.load_factor / self.spec.cpu_speed)
+    pub fn scaled_work(&self, id: HostId, nominal: SimDuration) -> SimDuration {
+        let i = id.0 as usize;
+        nominal.mul_f64(self.load_factors[i] / self.cpu_speeds[i])
+    }
+
+    /// Clean-slate the runtime fields at a restart: queued link and CPU
+    /// work died with the old incarnation, ephemeral ports start over.
+    pub(crate) fn reset_runtime(&mut self, id: HostId, now: crate::time::SimTime) {
+        let i = id.0 as usize;
+        self.up[i] = true;
+        self.uplink_free_at[i] = now;
+        self.downlink_free_at[i] = now;
+        self.cpu_free_at[i] = now;
+        self.next_ephemeral[i] = 49_152;
     }
 }
 
@@ -182,21 +235,40 @@ mod tests {
 
     #[test]
     fn scaled_work_accounts_for_speed_and_load() {
-        let mut host = Host::new(
+        let mut hosts = Hosts::new();
+        let id = hosts.push(
             HostSpec::new("n").cpu_speed(2.0),
             DomainId(0),
             PhysIp::new(10, 0, 0, 2),
         );
         // Twice the speed: half the time.
         assert_eq!(
-            host.scaled_work(SimDuration::from_secs(10)),
+            hosts.scaled_work(id, SimDuration::from_secs(10)),
             SimDuration::from_secs(5)
         );
         // Load factor 3 on top: 15 s.
-        host.load_factor = 3.0;
+        hosts.load_factors[id.0 as usize] = 3.0;
         assert_eq!(
-            host.scaled_work(SimDuration::from_secs(10)),
+            hosts.scaled_work(id, SimDuration::from_secs(10)),
             SimDuration::from_secs(15)
         );
+    }
+
+    #[test]
+    fn arena_push_copies_hot_fields() {
+        let mut hosts = Hosts::new();
+        let id = hosts.push(
+            HostSpec::new("r").cpu_speed(1.7).links_bps(2e6, 8e6),
+            DomainId(3),
+            PhysIp::new(128, 10, 0, 1),
+        );
+        let i = id.0 as usize;
+        assert_eq!(hosts.len(), 1);
+        assert_eq!(hosts.spec(id).name, "r");
+        assert_eq!(hosts.domains[i], DomainId(3));
+        assert_eq!(hosts.uplink_bps[i], 2e6);
+        assert_eq!(hosts.downlink_bps[i], 8e6);
+        assert_eq!(hosts.cpu_speeds[i], 1.7);
+        assert!(hosts.up[i]);
     }
 }

@@ -1,0 +1,369 @@
+//! Hierarchical timer wheel for the event queue.
+//!
+//! The simulator's hot loop is push/pop of timestamped events. A
+//! `BinaryHeap` costs O(log n) compares per operation over the *whole*
+//! pending set — at 100k hosts the heap holds hundreds of thousands of
+//! keepalive timers and every packet event pays to sift past them. A
+//! hierarchical timer wheel makes push O(1) (index by time digits) and pop
+//! amortized O(1) (bitmap scan plus rare cascades), independent of how many
+//! long-dated timers are parked in the overflow levels.
+//!
+//! Layout: 11 levels × 64 slots. Level `i` indexes bits `[6i, 6i+6)` of the
+//! event's absolute microsecond timestamp, so level 0 has 1 µs granularity
+//! (finer than any link latency), level 1 covers 64 µs per slot, and level
+//! 10 reaches the top bits of `u64` — `SimTime::FAR_FUTURE` parks in the
+//! wheel like any other deadline. Each level has a 64-bit occupancy bitmap;
+//! finding the next event is a `trailing_zeros` per level.
+//!
+//! # Exact `(at, seq)` order
+//!
+//! The simulator's determinism contract is that events pop in `(at, seq)`
+//! order. Slot vectors make no intra-slot ordering promise, so the wheel
+//! never pops from a slot directly: advancing drains the next occupied
+//! microsecond into a small `due` min-heap ordered by `(at, seq)`, and
+//! pops come from that heap. The heap only ever holds the events of a few
+//! microseconds (plus same-instant events pushed while processing), so its
+//! O(log k) is over a handful of entries, not the whole pending set.
+//!
+//! Invariants that make the bitmap scan correct:
+//!
+//! - Every event stored in a wheel slot has `at` strictly greater than the
+//!   cursor `cur`; events with `at ≤ cur` go to the `due` heap.
+//! - At level `i`, an occupied slot's index is strictly greater than digit
+//!   `i` of `cur`: an event lands at the *highest* level where its time
+//!   digit differs from `cur`, and whenever the cursor enters a slot's
+//!   window that slot is drained (cascaded downward) in the same step. So
+//!   slot indices never alias across wheel revolutions, and the lowest set
+//!   bit above the cursor digit — lowest level first — is always the
+//!   globally next event.
+//! - Cascading moves the cursor to the *start* of the entered window,
+//!   which is ≤ every drained event's time, so re-insertion sees a
+//!   consistent cursor and time never runs backwards.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Bits of the timestamp consumed per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Levels needed so that ⌈64 / SLOT_BITS⌉ digits cover a full `u64`.
+const LEVELS: usize = 11;
+
+/// One pending event inside the `due` heap.
+struct DueEntry<T> {
+    at: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for DueEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for DueEntry<T> {}
+impl<T> PartialOrd for DueEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for DueEntry<T> {
+    // Reversed: BinaryHeap is a max-heap and we want the earliest event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A hierarchical timer wheel holding `(at, seq, item)` triples and popping
+/// them in exact `(at, seq)` order. Timestamps are absolute microseconds.
+pub struct TimerWheel<T> {
+    /// `LEVELS × SLOTS` slot vectors, flattened.
+    slots: Vec<Vec<(u64, u64, T)>>,
+    /// Per-level occupancy bitmap (bit `s` = slot `s` non-empty).
+    occupancy: [u64; LEVELS],
+    /// Wheel cursor: all slotted events are strictly later than this.
+    cur: u64,
+    /// Events at or behind the cursor, popped in `(at, seq)` order.
+    due: BinaryHeap<DueEntry<T>>,
+    len: usize,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// An empty wheel with its cursor at time zero.
+    pub fn new() -> Self {
+        TimerWheel {
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupancy: [0; LEVELS],
+            cur: 0,
+            due: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert an event. `seq` must be unique (the caller's monotone event
+    /// counter); ties on `at` pop in `seq` order.
+    pub fn push(&mut self, at: u64, seq: u64, item: T) {
+        self.len += 1;
+        if at <= self.cur {
+            // Same-instant (or cursor-lagging) events bypass the wheel; the
+            // heap keeps them exactly ordered relative to drained slots.
+            self.due.push(DueEntry { at, seq, item });
+        } else {
+            self.insert_slot(at, seq, item);
+        }
+    }
+
+    /// Place a strictly-future event in the highest level where its time
+    /// digit differs from the cursor's.
+    fn insert_slot(&mut self, at: u64, seq: u64, item: T) {
+        debug_assert!(at > self.cur);
+        let differing = at ^ self.cur;
+        let level = ((63 - differing.leading_zeros()) / SLOT_BITS) as usize;
+        let slot = ((at >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.slots[level * SLOTS + slot].push((at, seq, item));
+        self.occupancy[level] |= 1u64 << slot;
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(u64, u64, T)> {
+        if self.due.is_empty() {
+            self.advance();
+        }
+        let e = self.due.pop()?;
+        self.len -= 1;
+        Some((e.at, e.seq, e.item))
+    }
+
+    /// The `(at, seq)` key of the earliest event without removing it.
+    ///
+    /// Takes `&mut self`: finding the next event may advance the cursor and
+    /// cascade overflow slots. Events pushed after a peek still pop in
+    /// correct order (they join the `due` heap if not strictly future).
+    pub fn peek_at(&mut self) -> Option<(u64, u64)> {
+        if self.due.is_empty() {
+            self.advance();
+        }
+        self.due.peek().map(|e| (e.at, e.seq))
+    }
+
+    /// Advance the cursor to the next occupied microsecond and drain it
+    /// into the `due` heap, cascading overflow levels as needed. Leaves
+    /// `due` empty only if the wheel holds no events at all.
+    fn advance(&mut self) {
+        debug_assert!(self.due.is_empty());
+        loop {
+            // Level 0: slots strictly above the cursor's low digit are
+            // whole future microseconds within the current 64 µs window.
+            let d0 = (self.cur & (SLOTS as u64 - 1)) as u32;
+            let avail = self.occupancy[0] & above_mask(d0);
+            if avail != 0 {
+                let s = avail.trailing_zeros() as u64;
+                self.cur = (self.cur & !(SLOTS as u64 - 1)) | s;
+                self.drain_into_due(s as usize);
+                return;
+            }
+            // Cascade: lowest level with a slot beyond the cursor digit
+            // holds the globally next window. Enter it (cursor to window
+            // start) and redistribute its events downward.
+            let mut cascaded = false;
+            for level in 1..LEVELS {
+                let shift = SLOT_BITS * level as u32;
+                let digit = ((self.cur >> shift) & (SLOTS as u64 - 1)) as u32;
+                let avail = self.occupancy[level] & above_mask(digit);
+                if avail == 0 {
+                    continue;
+                }
+                let s = avail.trailing_zeros() as u64;
+                // Clear digits below `level`, set digit `level` to `s`.
+                let high = match shift.checked_add(SLOT_BITS) {
+                    Some(sh) if sh < 64 => (self.cur >> sh) << sh,
+                    _ => 0,
+                };
+                self.cur = high | (s << shift);
+                self.occupancy[level] &= !(1u64 << (s as u32));
+                let drained = std::mem::take(&mut self.slots[level * SLOTS + s as usize]);
+                for (at, seq, item) in drained {
+                    if at <= self.cur {
+                        // Exactly the window start: immediately due.
+                        self.due.push(DueEntry { at, seq, item });
+                    } else {
+                        self.insert_slot(at, seq, item);
+                    }
+                }
+                cascaded = true;
+                break;
+            }
+            if !cascaded {
+                return; // wheel is empty
+            }
+            if !self.due.is_empty() {
+                return; // cascade surfaced window-start events
+            }
+        }
+    }
+
+    /// Move every event of the level-0 slot `s` (one microsecond) to `due`.
+    fn drain_into_due(&mut self, s: usize) {
+        self.occupancy[0] &= !(1u64 << s);
+        for (at, seq, item) in std::mem::take(&mut self.slots[s]) {
+            debug_assert_eq!(at, self.cur);
+            self.due.push(DueEntry { at, seq, item });
+        }
+    }
+}
+
+/// Bitmap mask of slots strictly above `digit`.
+fn above_mask(digit: u32) -> u64 {
+    match digit.checked_add(1) {
+        Some(sh) if sh < 64 => !0u64 << sh,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Reference: the original BinaryHeap event queue.
+    struct RefHeap {
+        heap: BinaryHeap<DueEntry<u32>>,
+    }
+
+    impl RefHeap {
+        fn new() -> Self {
+            RefHeap {
+                heap: BinaryHeap::new(),
+            }
+        }
+        fn push(&mut self, at: u64, seq: u64, item: u32) {
+            self.heap.push(DueEntry { at, seq, item });
+        }
+        fn pop(&mut self) -> Option<(u64, u64, u32)> {
+            self.heap.pop().map(|e| (e.at, e.seq, e.item))
+        }
+    }
+
+    #[test]
+    fn pops_in_at_seq_order() {
+        let mut w = TimerWheel::new();
+        w.push(5, 2, "c");
+        w.push(5, 1, "b");
+        w.push(1, 0, "a");
+        w.push(u64::MAX, 3, "z");
+        assert_eq!(w.pop(), Some((1, 0, "a")));
+        assert_eq!(w.pop(), Some((5, 1, "b")));
+        assert_eq!(w.pop(), Some((5, 2, "c")));
+        assert_eq!(w.pop(), Some((u64::MAX, 3, "z")));
+        assert_eq!(w.pop(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_consume_and_late_pushes_stay_ordered() {
+        let mut w = TimerWheel::new();
+        w.push(1000, 0, 1);
+        assert_eq!(w.peek_at(), Some((1000, 0)));
+        // The peek advanced the cursor to 1000; a push earlier than that
+        // (legal: the sim clock is still behind) must still pop first.
+        w.push(400, 1, 2);
+        assert_eq!(w.pop(), Some((400, 1, 2)));
+        assert_eq!(w.pop(), Some((1000, 0, 1)));
+    }
+
+    #[test]
+    fn same_instant_reentrant_pushes_pop_in_seq_order() {
+        let mut w = TimerWheel::new();
+        w.push(7, 0, 0);
+        assert_eq!(w.pop(), Some((7, 0, 0)));
+        // Events scheduled "now" while processing time 7.
+        w.push(7, 1, 1);
+        w.push(7, 2, 2);
+        w.push(8, 3, 3);
+        assert_eq!(w.pop(), Some((7, 1, 1)));
+        assert_eq!(w.pop(), Some((7, 2, 2)));
+        assert_eq!(w.pop(), Some((8, 3, 3)));
+    }
+
+    #[test]
+    fn differential_random_schedules_match_binary_heap() {
+        // Random interleavings of pushes and pops, with deadline spreads
+        // from sub-µs ties to FAR_FUTURE parking, replayed against the
+        // reference heap. Pop streams must match element-for-element.
+        for seed in 0..32u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut wheel = TimerWheel::new();
+            let mut heap = RefHeap::new();
+            let mut seq = 0u64;
+            let mut now = 0u64;
+            for op in 0..4000 {
+                if rng.gen_bool(0.6) || wheel.is_empty() {
+                    // Push at `now + spread`, exercising every wheel level.
+                    let spread = match rng.gen_range(0..10u32) {
+                        0 => 0,
+                        1..=3 => rng.gen_range(0..64),
+                        4..=6 => rng.gen_range(0..4096),
+                        7 => rng.gen_range(0..1_000_000),
+                        8 => rng.gen_range(0..10_000_000_000),
+                        _ => u64::MAX - now, // far-future park
+                    };
+                    let at = now.saturating_add(spread);
+                    wheel.push(at, seq, op);
+                    heap.push(at, seq, op as u32);
+                    seq += 1;
+                } else {
+                    if rng.gen_bool(0.3) {
+                        // Peek before pop: must not disturb order.
+                        let peeked = wheel.peek_at();
+                        assert!(peeked.is_some());
+                    }
+                    let got = wheel.pop();
+                    let want = heap.pop().map(|(at, s, i)| (at, s, i as u64));
+                    assert_eq!(got, want, "seed {seed} op {op}");
+                    now = got.unwrap().0;
+                }
+            }
+            // Drain both to the end.
+            loop {
+                let got = wheel.pop();
+                let want = heap.pop().map(|(at, s, i)| (at, s, i as u64));
+                assert_eq!(got, want, "seed {seed} drain");
+                if got.is_none() {
+                    break;
+                }
+            }
+            assert_eq!(wheel.len(), 0);
+        }
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let mut w: TimerWheel<()> = TimerWheel::new();
+        for i in 0..100 {
+            w.push(i * 1000, i, ());
+        }
+        assert_eq!(w.len(), 100);
+        for _ in 0..40 {
+            w.pop();
+        }
+        assert_eq!(w.len(), 60);
+    }
+}

@@ -102,147 +102,176 @@ impl fmt::Display for Address {
     }
 }
 
-/// An unsigned 160-bit integer, big-endian `[u32; 5]` limbs. Supports just
-/// the operations ring arithmetic needs.
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
-pub struct U160(pub [u32; 5]);
+/// An unsigned 160-bit integer in three limbs: bits 159..96 in `hi`,
+/// 95..32 in `mid`, 31..0 in `lo`. Supports just the operations ring
+/// arithmetic needs.
+///
+/// The limb split keeps `ring_dist`/`dist_cw`/`between_cw` — the
+/// per-candidate inner loop of `ConnTable::next_hop` — at two 64-bit
+/// borrow chains and one 32-bit op instead of five 32-bit limb steps.
+/// Derived `Ord` on declaration order (`hi`, `mid`, `lo`) is numeric
+/// order, so comparisons are branch-light field compares.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct U160 {
+    hi: u64,
+    mid: u64,
+    lo: u32,
+}
 
 impl U160 {
     /// Zero.
-    pub const ZERO: U160 = U160([0; 5]);
+    pub const ZERO: U160 = U160 {
+        hi: 0,
+        mid: 0,
+        lo: 0,
+    };
     /// The maximum value, 2^160 − 1.
-    pub const MAX: U160 = U160([u32::MAX; 5]);
+    pub const MAX: U160 = U160 {
+        hi: u64::MAX,
+        mid: u64::MAX,
+        lo: u32::MAX,
+    };
 
     /// One.
     pub fn one() -> U160 {
-        let mut l = [0; 5];
-        l[4] = 1;
-        U160(l)
+        U160 {
+            hi: 0,
+            mid: 0,
+            lo: 1,
+        }
     }
 
     /// `2^exp`, for `exp < 160`.
     pub fn pow2(exp: u32) -> U160 {
         assert!(exp < 160, "exponent out of range");
-        let mut l = [0u32; 5];
-        let limb = 4 - (exp / 32) as usize;
-        l[limb] = 1u32 << (exp % 32);
-        U160(l)
+        if exp < 32 {
+            U160 {
+                hi: 0,
+                mid: 0,
+                lo: 1u32 << exp,
+            }
+        } else if exp < 96 {
+            U160 {
+                hi: 0,
+                mid: 1u64 << (exp - 32),
+                lo: 0,
+            }
+        } else {
+            U160 {
+                hi: 1u64 << (exp - 96),
+                mid: 0,
+                lo: 0,
+            }
+        }
     }
 
     /// Wrapping addition mod 2^160.
     pub fn wrapping_add(self, other: U160) -> U160 {
-        let mut out = [0u32; 5];
-        let mut carry = 0u64;
-        for i in (0..5).rev() {
-            let s = u64::from(self.0[i]) + u64::from(other.0[i]) + carry;
-            out[i] = s as u32;
-            carry = s >> 32;
-        }
-        U160(out)
+        let (lo, c0) = self.lo.overflowing_add(other.lo);
+        let (mid, c1) = self.mid.overflowing_add(other.mid);
+        let (mid, c2) = mid.overflowing_add(u64::from(c0));
+        let hi = self
+            .hi
+            .wrapping_add(other.hi)
+            .wrapping_add(u64::from(c1) | u64::from(c2));
+        U160 { hi, mid, lo }
     }
 
     /// Wrapping subtraction mod 2^160.
     pub fn wrapping_sub(self, other: U160) -> U160 {
-        let mut out = [0u32; 5];
-        let mut borrow = 0i64;
-        for i in (0..5).rev() {
-            let d = i64::from(self.0[i]) - i64::from(other.0[i]) - borrow;
-            if d < 0 {
-                out[i] = (d + (1i64 << 32)) as u32;
-                borrow = 1;
-            } else {
-                out[i] = d as u32;
-                borrow = 0;
-            }
-        }
-        U160(out)
+        let (lo, b0) = self.lo.overflowing_sub(other.lo);
+        let (mid, b1) = self.mid.overflowing_sub(other.mid);
+        let (mid, b2) = mid.overflowing_sub(u64::from(b0));
+        let hi = self
+            .hi
+            .wrapping_sub(other.hi)
+            .wrapping_sub(u64::from(b1) | u64::from(b2));
+        U160 { hi, mid, lo }
     }
 
     /// Position of the highest set bit (0-based), or `None` for zero.
     /// `bit_len() - 1` is the integer log2.
     pub fn highest_bit(self) -> Option<u32> {
-        for (i, &limb) in self.0.iter().enumerate() {
-            if limb != 0 {
-                let msb_in_limb = 31 - limb.leading_zeros();
-                return Some((4 - i as u32) * 32 + msb_in_limb);
-            }
+        if self.hi != 0 {
+            Some(96 + 63 - self.hi.leading_zeros())
+        } else if self.mid != 0 {
+            Some(32 + 63 - self.mid.leading_zeros())
+        } else if self.lo != 0 {
+            Some(31 - self.lo.leading_zeros())
+        } else {
+            None
         }
-        None
     }
 
     /// A uniformly random value strictly below `2^exp` (for `exp ≤ 160`).
+    ///
+    /// Draws exactly five `u32`s most-significant-word first regardless of
+    /// `exp` — the same RNG consumption pattern as the original `[u32; 5]`
+    /// representation, so seeded experiment streams replay identically.
     pub fn random_below_pow2(rng: &mut impl Rng, exp: u32) -> U160 {
         assert!(exp <= 160);
         if exp == 0 {
             return U160::ZERO;
         }
-        let mut l = [0u32; 5];
-        for limb in &mut l {
-            *limb = rng.gen();
+        let mut words = [0u32; 5];
+        for w in &mut words {
+            *w = rng.gen();
         }
-        // Mask off bits at and above `exp`.
-        for (i, limb) in l.iter_mut().enumerate() {
-            let bit_base = (4 - i) as u32 * 32; // lowest bit index in limb i
-            if bit_base >= exp {
-                *limb = 0;
-            } else if bit_base + 32 > exp {
-                // Partially masked limb.
-                let keep = exp - bit_base;
-                *limb &= (1u64 << keep).wrapping_sub(1) as u32;
+        let mut v = U160 {
+            hi: (u64::from(words[0]) << 32) | u64::from(words[1]),
+            mid: (u64::from(words[2]) << 32) | u64::from(words[3]),
+            lo: words[4],
+        };
+        // Mask off bits at and above `exp`. Each limb keeps the bits of its
+        // span `[base, base+width)` that fall below `exp`.
+        fn mask64(limb: u64, base: u32, exp: u32) -> u64 {
+            let keep = exp.saturating_sub(base).min(64);
+            if keep == 64 {
+                limb
+            } else {
+                limb & ((1u64 << keep) - 1)
             }
         }
-        U160(l)
-    }
-}
-
-impl PartialOrd for U160 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for U160 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.cmp(&other.0)
+        v.hi = mask64(v.hi, 96, exp);
+        v.mid = mask64(v.mid, 32, exp);
+        v.lo = mask64(u64::from(v.lo), 0, exp) as u32;
+        v
     }
 }
 
 impl From<Address> for U160 {
     fn from(a: Address) -> U160 {
-        let mut l = [0u32; 5];
-        for (i, limb) in l.iter_mut().enumerate() {
-            *limb = u32::from_be_bytes(a.0[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        U160 {
+            hi: u64::from_be_bytes(a.0[0..8].try_into().expect("8 bytes")),
+            mid: u64::from_be_bytes(a.0[8..16].try_into().expect("8 bytes")),
+            lo: u32::from_be_bytes(a.0[16..20].try_into().expect("4 bytes")),
         }
-        U160(l)
     }
 }
 
 impl From<U160> for Address {
     fn from(v: U160) -> Address {
         let mut b = [0u8; 20];
-        for (i, limb) in v.0.iter().enumerate() {
-            b[i * 4..i * 4 + 4].copy_from_slice(&limb.to_be_bytes());
-        }
+        b[0..8].copy_from_slice(&v.hi.to_be_bytes());
+        b[8..16].copy_from_slice(&v.mid.to_be_bytes());
+        b[16..20].copy_from_slice(&v.lo.to_be_bytes());
         Address(b)
     }
 }
 
 impl From<u64> for U160 {
     fn from(v: u64) -> U160 {
-        let mut l = [0u32; 5];
-        l[3] = (v >> 32) as u32;
-        l[4] = v as u32;
-        U160(l)
+        U160 {
+            hi: 0,
+            mid: v >> 32,
+            lo: v as u32,
+        }
     }
 }
 
 impl fmt::Debug for U160 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "u160:{:08x}{:08x}{:08x}{:08x}{:08x}",
-            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4]
-        )
+        write!(f, "u160:{:016x}{:016x}{:08x}", self.hi, self.mid, self.lo)
     }
 }
 

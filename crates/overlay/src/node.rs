@@ -268,6 +268,32 @@ impl BrunetNode {
         Some(d)
     }
 
+    /// Install a pre-established connection, bypassing the linking
+    /// protocol. Scale harnesses use this to boot very large overlays in a
+    /// known topology (a perfect ring plus far links) instead of paying a
+    /// staggered 100k-node join storm; from then on the connection is
+    /// indistinguishable from a linked one — it is pinged, stabilized,
+    /// trimmed and shed by the normal machinery. The node must be running,
+    /// and the peer must install the mirror connection itself (connections
+    /// are bidirectional by construction in the linking protocol; seeding
+    /// only one side leaves a half-open link the pinger will tear down).
+    pub fn seed_connection(
+        &mut self,
+        now: SimTime,
+        peer: Address,
+        ctype: ConnType,
+        remote: PhysAddr,
+    ) {
+        assert!(self.running, "seed_connection on a stopped node");
+        if peer == self.addr {
+            return;
+        }
+        let outcome = self.conns.upsert(peer, ctype, remote, now);
+        if outcome.new_peer {
+            self.pinger.track(peer, now, &self.cfg);
+        }
+    }
+
     // ------------------------------------------------------------ input --
 
     /// Feed a received datagram.

@@ -53,10 +53,19 @@ impl AuditReport {
     }
 }
 
-/// Hop budget for the greedy routability walk. Matches the protocol's
-/// default TTL: a structurally healed ring routes in O(log n) hops, so a
-/// walk that needs more than this is lost.
-const ROUTE_TTL: usize = 64;
+/// Minimum hop budget for the greedy routability walk, matching the
+/// protocol's default TTL. At paper scale (n ≤ a few hundred) a healed
+/// ring routes well inside this; the actual budget grows as ⌈log₂n⌉² for
+/// large rings, because with a constant far-link count the Kleinberg
+/// expectation is O(log²n / k) hops and its tail crosses 64 somewhere
+/// around n = 10⁵ — a walk that long is slow, not lost.
+const ROUTE_TTL_FLOOR: usize = 64;
+
+/// Hop budget for a ring of `n` live nodes.
+fn route_ttl(n: usize) -> usize {
+    let log2n = usize::BITS - n.max(1).leading_zeros();
+    ROUTE_TTL_FLOOR.max((log2n * log2n) as usize)
+}
 
 /// Audit the structural invariants over the live nodes' snapshots.
 ///
@@ -142,9 +151,10 @@ fn greedy_route(
     src: Address,
     dst: Address,
 ) -> Result<usize, String> {
+    let ttl = route_ttl(by_addr.len());
     let mut cur = src;
     let mut prev: Option<Address> = None;
-    for hops in 0..ROUTE_TTL {
+    for hops in 0..ttl {
         let snap = by_addr
             .get(&cur)
             .ok_or_else(|| format!("routed into dead node {cur:?} after {hops} hops"))?;
@@ -166,7 +176,7 @@ fn greedy_route(
             }
         }
     }
-    Err(format!("TTL exhausted ({ROUTE_TTL} hops)"))
+    Err(format!("TTL exhausted ({ttl} hops)"))
 }
 
 #[cfg(test)]
