@@ -63,7 +63,7 @@ fn main() {
                 ),
             ]);
             traffic_rows.push(format!(
-                "{},{},{},{},{:.3},{},{:.3},{:.1},{:.3},{:.3},{},{},{},{},{:.1}",
+                "{},{},{},{},{:.3},{},{:.3},{:.1},{:.3},{:.3},{},{},{},{},{:.1},{:.2}",
                 r.nodes,
                 shortcuts,
                 r.warm.events,
@@ -79,7 +79,20 @@ fn main() {
                 r.shortcut_crossings,
                 r.audit_ok,
                 r.peak_rss_mib,
+                r.name_bytes_per_host,
             ));
+            println!(
+                "  host-name storage: {:.2} B/host (bound {} B/host, peak RSS {:.1} MiB)",
+                r.name_bytes_per_host,
+                scale::NAME_BYTES_PER_HOST_BOUND,
+                r.peak_rss_mib
+            );
+            assert!(
+                r.name_bytes_per_host <= scale::NAME_BYTES_PER_HOST_BOUND,
+                "host-name storage regressed: {:.2} B/host exceeds the {} B/host interning bound",
+                r.name_bytes_per_host,
+                scale::NAME_BYTES_PER_HOST_BOUND
+            );
         }
 
         let c = scale::run_churn(&cfg);
@@ -119,7 +132,7 @@ fn main() {
 
     write_csv(
         "scale_traffic.csv",
-        "n,shortcuts,warm_events,traffic_events,sim_s,total_events,wall_s,events_per_sec,hops_first_half,hops_second_half,forwarded,shortcut_conns,shortcut_crossings,audit_ok,peak_rss_mib",
+        "n,shortcuts,warm_events,traffic_events,sim_s,total_events,wall_s,events_per_sec,hops_first_half,hops_second_half,forwarded,shortcut_conns,shortcut_crossings,audit_ok,peak_rss_mib,name_bytes_per_host",
         traffic_rows,
     );
     write_csv(

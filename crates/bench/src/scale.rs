@@ -130,7 +130,18 @@ pub struct ScaleTrafficResult {
     pub audit_ok: bool,
     /// Peak resident set size over the process lifetime, MiB.
     pub peak_rss_mib: f64,
+    /// Bytes per host spent on host names (interned arena ÷ host count).
+    /// A `String` per host costs 24 bytes of struct plus a heap
+    /// allocation each before the name bytes; the interned arena must
+    /// stay under [`NAME_BYTES_PER_HOST_BOUND`].
+    pub name_bytes_per_host: f64,
 }
+
+/// Regression bound on per-host name storage: 4 offset bytes plus the
+/// name bytes themselves (`s<index>` stays ≤ 7 chars through n = 10⁶).
+/// The pre-interning representation (a 24-byte `String` header plus a
+/// private heap allocation per host) cannot get under this.
+pub const NAME_BYTES_PER_HOST_BOUND: f64 = 16.0;
 
 /// Outcome of one kill-k churn run.
 #[derive(Clone, Debug)]
@@ -396,6 +407,10 @@ pub fn run_traffic(cfg: &ScaleConfig, shortcuts: bool) -> ScaleTrafficResult {
         });
     }
 
+    let world = net.sim.world_ref();
+    let name_bytes_per_host =
+        world.host_name_storage_bytes() as f64 / world.host_count().max(1) as f64;
+
     ScaleTrafficResult {
         nodes: n,
         shortcuts,
@@ -408,6 +423,7 @@ pub fn run_traffic(cfg: &ScaleConfig, shortcuts: bool) -> ScaleTrafficResult {
         shortcut_crossings,
         audit_ok,
         peak_rss_mib: peak_rss_mib(),
+        name_bytes_per_host,
     }
 }
 

@@ -228,9 +228,21 @@ impl World {
         self.queue.push(at.as_micros(), seq, ev);
     }
 
-    /// Static description of a host.
-    pub fn host_spec(&self, id: HostId) -> &HostSpec {
+    /// Static description of a host (reassembled; allocates the name —
+    /// use [`World::host_name`] when only the name is needed).
+    pub fn host_spec(&self, id: HostId) -> HostSpec {
         self.hosts.spec(id)
+    }
+
+    /// Interned name of a host.
+    pub fn host_name(&self, id: HostId) -> &str {
+        self.hosts.name(id)
+    }
+
+    /// Total bytes spent storing host names; see
+    /// [`Hosts::name_storage_bytes`].
+    pub fn host_name_storage_bytes(&self) -> usize {
+        self.hosts.name_storage_bytes()
     }
 
     /// The domain a host lives in.
@@ -706,9 +718,15 @@ impl Ctx<'_> {
         self.now + self.world.hosts.scaled_work(self.host, nominal)
     }
 
-    /// Static description of the host this actor runs on.
-    pub fn my_host_spec(&self) -> &HostSpec {
+    /// Static description of the host this actor runs on (reassembled;
+    /// allocates the name).
+    pub fn my_host_spec(&self) -> HostSpec {
         self.world.hosts.spec(self.host)
+    }
+
+    /// Relative CPU speed of the host this actor runs on.
+    pub fn my_cpu_speed(&self) -> f64 {
+        self.world.hosts.cpu_speeds[self.host.0 as usize]
     }
 
     /// Ask the driver to stop this actor after the current callback:

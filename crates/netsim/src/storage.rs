@@ -195,6 +195,46 @@ impl Hasher for PackedKeyHasher {
     }
 }
 
+/// Append-only string arena for per-host names.
+///
+/// `HostSpec` names used to be stored as one `String` per host — 24 bytes
+/// of struct plus a heap allocation each, a million tiny allocations at
+/// ELVIS scale for strings only harnesses ever read. Interning them into
+/// one contiguous buffer costs 4 bytes per host (the end offset; spans are
+/// contiguous because hosts are append-only) plus the name bytes
+/// themselves, shared across the whole arena.
+#[derive(Debug, Default)]
+pub(crate) struct NameTable {
+    data: String,
+    ends: Vec<u32>,
+}
+
+impl NameTable {
+    /// Number of interned names.
+    pub(crate) fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Intern the next name; index `len() - 1` after the call.
+    pub(crate) fn push(&mut self, name: &str) {
+        self.data.push_str(name);
+        let end = u32::try_from(self.data.len()).expect("name arena past 4 GiB");
+        self.ends.push(end);
+    }
+
+    /// The `i`-th interned name.
+    pub(crate) fn get(&self, i: usize) -> &str {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        &self.data[start..self.ends[i] as usize]
+    }
+
+    /// Bytes held by the arena: shared name bytes plus one `u32` end
+    /// offset per name (the whole per-host cost of keeping names at all).
+    pub(crate) fn bytes(&self) -> usize {
+        self.data.len() + self.ends.len() * std::mem::size_of::<u32>()
+    }
+}
+
 /// Last scheduled arrival per (src ip, dst ip) path, for the FIFO clamp.
 /// The pair packs into one u64 key; hashing is one multiply.
 #[derive(Debug, Default)]
@@ -218,6 +258,18 @@ impl PathFifo {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn name_table_interns_in_order() {
+        let mut t = NameTable::default();
+        t.push("node0");
+        t.push("");
+        t.push("router-b");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(0), "node0");
+        assert_eq!(t.get(1), "");
+        assert_eq!(t.get(2), "router-b");
+    }
 
     #[test]
     fn port_table_bind_lookup_unbind() {

@@ -117,19 +117,21 @@ pub struct Domain {
 /// Runtime state of every host, stored struct-of-arrays.
 ///
 /// The simulator touches the *hot* per-packet fields (power state,
-/// link/CPU free times, rates) on every event; the cold description
-/// (`HostSpec`, with its heap-allocated name) is only read by harnesses.
-/// Splitting them into parallel dense vectors indexed by [`HostId`] keeps
-/// the hot data cache-linear and lets a million hosts fit in a few flat
-/// allocations instead of a million boxed structs.
+/// link/CPU free times, rates) on every event; the cold description is
+/// only read by harnesses. Splitting them into parallel dense vectors
+/// indexed by [`HostId`] keeps the hot data cache-linear and lets a
+/// million hosts fit in a few flat allocations instead of a million boxed
+/// structs.
 ///
-/// Hot link/CPU rates are duplicated out of the spec into their own
-/// vectors so the send path never drags the 72-byte spec (and its name
-/// pointer) into cache for three floats.
+/// The spec is not retained as a struct at all: its three numeric fields
+/// live in the hot vectors below, and the name — the ROADMAP-identified
+/// per-host `String` allocation on the road past n=10⁵ — is interned into
+/// one shared arena (`NameTable`: 4 bytes per host plus the shared name
+/// bytes, versus 24 bytes plus a heap allocation each).
 #[derive(Debug, Default)]
 pub struct Hosts {
-    /// Cold static descriptions.
-    specs: Vec<HostSpec>,
+    /// Interned host names, index == host id.
+    names: crate::storage::NameTable,
     /// Owning domain per host.
     pub(crate) domains: Vec<DomainId>,
     /// Address per host (private if the domain is natted).
@@ -162,17 +164,17 @@ impl Hosts {
 
     /// Number of hosts.
     pub fn len(&self) -> usize {
-        self.specs.len()
+        self.names.len()
     }
 
     /// True if no hosts exist.
     pub fn is_empty(&self) -> bool {
-        self.specs.is_empty()
+        self.names.len() == 0
     }
 
     /// Append a host; returns its id.
     pub(crate) fn push(&mut self, spec: HostSpec, domain: DomainId, ip: PhysIp) -> HostId {
-        let id = HostId(self.specs.len() as u32);
+        let id = HostId(self.names.len() as u32);
         self.domains.push(domain);
         self.ips.push(ip);
         self.up.push(true);
@@ -184,13 +186,33 @@ impl Hosts {
         self.downlink_free_at.push(crate::time::SimTime::ZERO);
         self.cpu_free_at.push(crate::time::SimTime::ZERO);
         self.next_ephemeral.push(49_152);
-        self.specs.push(spec);
+        self.names.push(&spec.name);
         id
     }
 
-    /// Static description of one host.
-    pub fn spec(&self, id: HostId) -> &HostSpec {
-        &self.specs[id.0 as usize]
+    /// Interned name of one host.
+    pub fn name(&self, id: HostId) -> &str {
+        self.names.get(id.0 as usize)
+    }
+
+    /// Total bytes spent storing host names (interned arena + offsets) —
+    /// the scale harness divides this by [`Hosts::len`] to regression-gate
+    /// the per-host naming cost.
+    pub fn name_storage_bytes(&self) -> usize {
+        self.names.bytes()
+    }
+
+    /// Static description of one host, reassembled from the interned name
+    /// and the hot field vectors. Cold path: allocates the name `String`;
+    /// use [`Hosts::name`] when only the name is needed.
+    pub fn spec(&self, id: HostId) -> HostSpec {
+        let i = id.0 as usize;
+        HostSpec {
+            name: self.names.get(i).to_owned(),
+            cpu_speed: self.cpu_speeds[i],
+            uplink_bps: self.uplink_bps[i],
+            downlink_bps: self.downlink_bps[i],
+        }
     }
 
     /// Wall-clock duration of `nominal` CPU work on a host right now,
@@ -264,6 +286,7 @@ mod tests {
         );
         let i = id.0 as usize;
         assert_eq!(hosts.len(), 1);
+        assert_eq!(hosts.name(id), "r");
         assert_eq!(hosts.spec(id).name, "r");
         assert_eq!(hosts.domains[i], DomainId(3));
         assert_eq!(hosts.uplink_bps[i], 2e6);

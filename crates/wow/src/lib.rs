@@ -14,13 +14,16 @@
 //!   across six NAT/firewalled domains plus 118 PlanetLab-class routers;
 //! * [`migrate`] — WAN VM migration choreography (suspend, image copy,
 //!   resume, IPOP restart, overlay rejoin);
-//! * [`udprt`] — the same overlay over real UDP sockets on loopback.
+//! * [`udprt`] — the same overlay over real UDP sockets on loopback;
+//! * [`reactor`] — the high-density live runtime: an epoll event loop
+//!   multiplexing many `udprt` nodes per thread with batched ingress.
 
 #![warn(missing_docs)]
 
 pub mod audit;
 pub mod churn;
 pub mod migrate;
+pub mod reactor;
 pub mod simrt;
 pub mod testbed;
 pub mod udprt;

@@ -1,13 +1,27 @@
 //! Live runtime: the same overlay state machine over real UDP sockets.
 //!
 //! Proof that the protocol kernel is not simulator-bound: [`UdpNode`] runs
-//! the shared [`NodeDriver`] from a background thread that owns a
-//! `std::net` UDP socket, translating wall-clock time to the state
-//! machine's timestamps. Outbound frames go straight from the node to the
-//! socket through a [`Transport`]; the driver's due-gated polling
-//! ([`NodeDriver::tick_due`]) replaces a hand-rolled deadline check. Used
-//! by `examples/live_udp.rs` to form a real ring on loopback — no
-//! privileges, no tun device, no network configuration.
+//! the shared [`NodeDriver`] over a `std::net` UDP socket, translating
+//! wall-clock time to the state machine's timestamps. Two backends exist
+//! behind the same handle:
+//!
+//! * **thread-per-node** ([`UdpNode::spawn`]) — the original layout: one
+//!   background thread owning one socket, polling
+//!   [`NodeDriver::tick_due`] every read-timeout. Simple, and kept as the
+//!   behavioural reference the reactor is differentially tested against.
+//! * **reactor** ([`crate::reactor::Reactor::spawn_node`]) — many drivers
+//!   multiplexed per thread over an epoll loop with deadline-armed timers
+//!   and `recvmmsg(2)` batched ingress; the high-density runtime for
+//!   hundreds to thousands of nodes per process.
+//!
+//! Both paths share [`SocketTransport`]: batched egress through the Linux
+//! `UDP_SEGMENT` GSO / `sendmmsg(2)` fast paths (PR 3), and batched
+//! ingress through `recvmmsg(2)` into a recycling [`BufPool`] — the kernel
+//! writes each datagram straight into the uniquely-owned `Bytes` the
+//! driver will consume, so the transit fast path can still patch the hop
+//! count in place and forward the same allocation. Buffers whose frames
+//! are forwarded come back to the pool at the egress flush; steady-state
+//! forwarding allocates nothing on the receive path.
 //!
 //! The control surface is deliberately small: send an application payload,
 //! observe deliveries/connections via a crossbeam channel, inspect
@@ -26,11 +40,13 @@ use wow_netsim::addr::{PhysAddr, PhysIp};
 use wow_netsim::time::SimTime;
 use wow_overlay::addr::Address;
 use wow_overlay::config::OverlayConfig;
-use wow_overlay::conn::ConnType;
+use wow_overlay::conn::{ConnSnapshot, ConnType};
 use wow_overlay::driver::{FrameBatch, NodeDriver, NodeEvent, Transport};
 use wow_overlay::node::BrunetNode;
 use wow_overlay::telemetry::TelemetryCounters;
 use wow_overlay::uri::TransportUri;
+
+use crate::reactor::{NodeId, Reactor};
 
 /// Events surfaced to the embedding application.
 #[derive(Clone, Debug)]
@@ -60,11 +76,14 @@ pub enum UdpEvent {
     },
 }
 
-enum Cmd {
+pub(crate) enum Cmd {
     SendApp {
         dst: Address,
         proto: u8,
         data: Bytes,
+    },
+    View {
+        reply: Sender<LiveView>,
     },
     Stop,
 }
@@ -82,52 +101,310 @@ pub struct NodeSnapshot {
     pub counters: TelemetryCounters,
 }
 
-/// [`Transport`] adapter: outbound frames go straight to the UDP socket.
-/// One event cycle's burst flushes through the vectored Linux fast paths
-/// (`UDP_SEGMENT` GSO for same-destination same-size runs, `sendmmsg(2)`
-/// for the rest — see [`mmsg`]) with a portable per-frame fallback; send
-/// failures are reported to the driver, which counts them under
-/// `Counter::SendFailed` instead of silently swallowing them.
-///
-/// Public so the `batch` benchmark can measure the vectored flush against
-/// the per-frame loop on a real socket; embedders normally never touch it
-/// ([`UdpNode`] wires it up internally).
-pub struct SocketTransport<'a> {
-    socket: &'a UdpSocket,
+/// An on-demand deep view of a live node, answered by its runtime thread
+/// between event cycles (unlike [`NodeSnapshot`], which is a cheap shared
+/// summary refreshed opportunistically).
+#[derive(Clone, Debug)]
+pub struct LiveView {
+    /// Identity + full connection table, auditable by [`crate::audit`].
+    pub conns: ConnSnapshot,
+    /// The transport URIs the node currently advertises (newest observed
+    /// address first — the live NAT-expiry test watches this relearn).
+    pub uris: Vec<TransportUri>,
+    /// The socket address the runtime is actually bound to.
+    pub local: PhysAddr,
+    /// Telemetry accumulated since the node started.
+    pub counters: TelemetryCounters,
 }
 
-impl<'a> SocketTransport<'a> {
-    /// Wrap a bound socket.
-    pub fn new(socket: &'a UdpSocket) -> Self {
-        SocketTransport { socket }
+pub(crate) fn live_view(driver: &NodeDriver, local: PhysAddr) -> LiveView {
+    LiveView {
+        conns: driver.node().conn_snapshot(),
+        uris: driver.node().advertised_uris(),
+        local,
+        counters: *driver.counters(),
     }
 }
 
-impl SocketTransport<'_> {
+/// Dispatch the driver's buffered events into the handle's channel.
+pub(crate) fn dispatch_events(driver: &mut NodeDriver, ev_tx: &Sender<UdpEvent>) {
+    if !driver.has_events() {
+        return;
+    }
+    let mut events = driver.take_events();
+    for ev in events.drain(..) {
+        let _ = match ev {
+            NodeEvent::Deliver {
+                src,
+                proto,
+                data,
+                exact,
+            } => ev_tx.send(UdpEvent::Deliver {
+                src,
+                proto,
+                data,
+                exact,
+            }),
+            NodeEvent::Connected { peer, ctype } => ev_tx.send(UdpEvent::Connected { peer, ctype }),
+            NodeEvent::Disconnected { peer } => ev_tx.send(UdpEvent::Disconnected { peer }),
+            NodeEvent::LinkFailed { .. } => Ok(()),
+        };
+    }
+    driver.recycle_events(events);
+}
+
+/// Refresh the shared [`NodeSnapshot`] from the driver.
+pub(crate) fn publish_snapshot(driver: &NodeDriver, snap: &Mutex<NodeSnapshot>) {
+    let node = driver.node();
+    let mut s = snap.lock();
+    s.routable = node.is_routable();
+    s.connections = node.conns().len();
+    s.peers.clear();
+    s.peers.extend(node.conns().iter().map(|c| c.peer));
+    s.counters = *driver.counters();
+}
+
+// ------------------------------------------------------------- buf pool --
+
+/// Capacity of each pooled ingress buffer: the largest payload a UDP/IPv4
+/// datagram can carry, so `recvmmsg` never truncates.
+const RECV_BUF_CAP: usize = 65_536;
+
+/// Most datagrams pulled from the kernel per `recvmmsg` call (sized to the
+/// stack scratch arrays in [`mmsg`]).
+pub(crate) const RECV_BATCH: usize = 32;
+
+/// A small recycling pool of ingress buffers.
+///
+/// Each buffer is a uniquely-owned `Bytes` backed by [`RECV_BUF_CAP`]
+/// bytes of storage. The receive path pops one, lets the kernel write a
+/// datagram into it, narrows the view to the datagram length and hands it
+/// to the driver — sole ownership included, which is what keeps the
+/// decode-free transit path's in-place hop patch alive. Buffers return at
+/// the egress flush: after `transmit_batch` hands a forwarded frame to the
+/// kernel, the frame's storage is unique again and
+/// [`bytes::Bytes::try_reclaim`] restores the full view for reuse. A
+/// datagram the node consumes (ping, local delivery) dies inside the
+/// cycle instead; its buffer is replaced lazily by [`BufPool::pop`] — so
+/// the *forwarding* steady state allocates nothing, while consumed
+/// traffic costs one pool refill each.
+#[derive(Debug)]
+pub struct BufPool {
+    free: Vec<Bytes>,
+    cap: usize,
+    max: usize,
+}
+
+impl Default for BufPool {
+    fn default() -> Self {
+        BufPool::with_shape(RECV_BUF_CAP, 64)
+    }
+}
+
+impl BufPool {
+    /// A pool handing out `cap`-byte buffers, retaining at most `max`.
+    pub fn with_shape(cap: usize, max: usize) -> Self {
+        BufPool {
+            free: Vec::new(),
+            cap,
+            max,
+        }
+    }
+
+    /// Buffer capacity in bytes.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Buffers currently retained (free), for tests and telemetry.
+    pub fn retained(&self) -> usize {
+        self.free.len()
+    }
+
+    /// A uniquely-owned full-capacity buffer, recycled when possible.
+    pub fn pop(&mut self) -> Bytes {
+        self.free
+            .pop()
+            .unwrap_or_else(|| Bytes::from(vec![0u8; self.cap]))
+    }
+
+    /// Offer a buffer back. Accepted only when this handle is the sole
+    /// owner of a full-capacity storage — anything else (shared, static,
+    /// or a node-built frame of another size) is simply dropped.
+    pub fn reclaim(&mut self, mut b: Bytes) {
+        if self.free.len() < self.max && b.try_reclaim() && b.len() == self.cap {
+            self.free.push(b);
+        }
+    }
+
+    /// A pooled copy of `data`, narrowed to its length (the portable
+    /// ingress path; oversized data falls back to a plain allocation).
+    pub fn take_copy(&mut self, data: &[u8]) -> Bytes {
+        if data.len() > self.cap {
+            return Bytes::copy_from_slice(data);
+        }
+        let mut b = self.pop();
+        let storage = b.try_mut().expect("pooled buffer is uniquely owned");
+        storage[..data.len()].copy_from_slice(data);
+        narrow(&mut b, data.len());
+        b
+    }
+}
+
+/// Narrow a buffer's view to its first `n` bytes (storage untouched).
+fn narrow(b: &mut Bytes, n: usize) {
+    drop(b.split_off(n));
+}
+
+// ------------------------------------------------------------ transport --
+
+/// [`Transport`] adapter over one UDP socket, with an optional shared
+/// [`BufPool`] for zero-allocation ingress/egress recycling.
+///
+/// Outbound bursts flush through the vectored Linux fast paths
+/// (`UDP_SEGMENT` GSO for same-destination same-size runs, `sendmmsg(2)`
+/// for the rest — see [`mmsg`]) with a portable per-frame fallback; send
+/// failures are reported to the driver, which counts them under
+/// `Counter::SendFailed` instead of silently swallowing them. Inbound
+/// bursts arrive through [`SocketTransport::recv_batch`] (`recvmmsg(2)`
+/// straight into pooled buffers, portable `recv_from` fallback).
+///
+/// Public so the `batch` benchmark can measure the vectored flush against
+/// the per-frame loop on a real socket; embedders normally never touch it
+/// (the runtimes wire it up internally).
+pub struct SocketTransport<'a> {
+    socket: &'a UdpSocket,
+    pool: Option<&'a mut BufPool>,
+}
+
+impl<'a> SocketTransport<'a> {
+    /// Wrap a bound socket without buffer recycling.
+    pub fn new(socket: &'a UdpSocket) -> Self {
+        SocketTransport { socket, pool: None }
+    }
+
+    /// Wrap a bound socket with a recycling buffer pool: ingress buffers
+    /// come from (and forwarded frames return to) `pool`.
+    pub fn pooled(socket: &'a UdpSocket, pool: &'a mut BufPool) -> Self {
+        SocketTransport {
+            socket,
+            pool: Some(pool),
+        }
+    }
+
+    /// Pull up to `max.min(RECV_BATCH)` datagrams from the socket into
+    /// `out` as `(source, frame)` pairs, each frame a uniquely-owned
+    /// `Bytes`. With `wait`, blocks for the first datagram under the
+    /// socket's read timeout (`MSG_WAITFORONE`); otherwise never blocks.
+    /// Returns the number received; would-block and read-timeout become
+    /// `Ok(0)`, so an `Err` is always a real socket failure.
+    pub fn recv_batch(
+        &mut self,
+        out: &mut Vec<(PhysAddr, Bytes)>,
+        max: usize,
+        wait: bool,
+    ) -> std::io::Result<usize> {
+        #[cfg(target_os = "linux")]
+        {
+            mmsg::recv_batch(self.socket, self.pool.as_deref_mut(), out, max, wait)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            self.recv_batch_fallback(out, max, wait)
+        }
+    }
+
+    /// Portable batched ingress: `recv_from` straight into a pooled
+    /// buffer, looped until would-block or `max`. With `wait`, the first
+    /// receive honours the socket's blocking mode / read timeout exactly
+    /// like `MSG_WAITFORONE`; later receives must not block, so the
+    /// fallback stops after the first when the socket is blocking.
+    #[cfg(any(test, not(target_os = "linux")))]
+    fn recv_batch_fallback(
+        &mut self,
+        out: &mut Vec<(PhysAddr, Bytes)>,
+        max: usize,
+        wait: bool,
+    ) -> std::io::Result<usize> {
+        let mut local = BufPool::with_shape(RECV_BUF_CAP, 0);
+        let pool = match self.pool.as_deref_mut() {
+            Some(p) => p,
+            None => &mut local,
+        };
+        let mut got = 0usize;
+        while got < max.min(RECV_BATCH) {
+            let mut b = pool.pop();
+            let storage = b.try_mut().expect("pooled buffer is uniquely owned");
+            match self.socket.recv_from(storage) {
+                Ok((n, src)) => {
+                    narrow(&mut b, n);
+                    out.push((from_sock(src), b));
+                    got += 1;
+                    // A blocking socket would stall the next call: one
+                    // datagram per wait-mode call is the contract here.
+                    if wait {
+                        break;
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    pool.reclaim(b);
+                    break;
+                }
+                Err(e) => {
+                    pool.reclaim(b);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(got)
+    }
+
     /// Portable batch flush: per-frame `send_to` with error counting.
     /// (On Linux the vectored path below is used; tests still exercise
     /// this one to pin the two paths' accounting together.)
     #[cfg(any(test, not(target_os = "linux")))]
     fn transmit_batch_fallback(&mut self, batch: &mut FrameBatch) -> u64 {
         let mut failed = 0;
-        for (to, frame) in batch.drain() {
-            if self.socket.send_to(&frame, to_sock(to)).is_err() {
+        for (to, frame) in batch.frames() {
+            if self.socket.send_to(frame, to_sock(*to)).is_err() {
                 failed += 1;
             }
         }
+        self.recycle_batch(batch);
         failed
+    }
+
+    /// Drain a flushed batch, returning pooled storage to the pool.
+    fn recycle_batch(&mut self, batch: &mut FrameBatch) {
+        match self.pool.as_deref_mut() {
+            Some(pool) => {
+                for (_to, frame) in batch.drain() {
+                    pool.reclaim(frame);
+                }
+            }
+            None => batch.clear(),
+        }
     }
 }
 
 impl Transport for SocketTransport<'_> {
     fn transmit(&mut self, to: PhysAddr, frame: Bytes) -> bool {
-        self.socket.send_to(&frame, to_sock(to)).is_ok()
+        let ok = self.socket.send_to(&frame, to_sock(to)).is_ok();
+        if let Some(pool) = self.pool.as_deref_mut() {
+            pool.reclaim(frame);
+        }
+        ok
     }
 
     fn transmit_batch(&mut self, batch: &mut FrameBatch) -> u64 {
         #[cfg(target_os = "linux")]
         {
-            mmsg::transmit_batch(self.socket, batch)
+            let failed = mmsg::transmit_frames(self.socket, batch.frames());
+            self.recycle_batch(batch);
+            failed
         }
         #[cfg(not(target_os = "linux"))]
         {
@@ -136,8 +413,8 @@ impl Transport for SocketTransport<'_> {
     }
 }
 
-/// Vectored UDP transmit. Two kernel fast paths, picked per run of the
-/// batch while preserving global emission order:
+/// Vectored UDP transmit and receive. On egress, two kernel fast paths are
+/// picked per run of the batch while preserving global emission order:
 ///
 /// * **GSO** — a run of ≥ 2 consecutive frames to the same destination
 ///   with the same length goes out as one `sendmsg(2)` carrying a
@@ -146,6 +423,10 @@ impl Transport for SocketTransport<'_> {
 ///   and keepalive-sweep regime — this is where the batch wins big);
 /// * **`sendmmsg(2)`** — everything else is coalesced into multi-message
 ///   syscalls, one message per frame (mixed sizes/destinations).
+///
+/// On ingress, `recvmmsg(2)` fills up to [`RECV_BATCH`] pooled buffers per
+/// syscall, the kernel writing each datagram directly into the `Bytes`
+/// storage the driver will own.
 ///
 /// The declarations are raw FFI against the C library std already links
 /// (this workspace vendors no `libc` crate). Any frame or run the kernel
@@ -159,14 +440,16 @@ mod mmsg {
 
     use bytes::Bytes;
 
-    use wow_netsim::addr::PhysAddr;
-    use wow_overlay::driver::FrameBatch;
+    use wow_netsim::addr::{PhysAddr, PhysIp};
 
-    use super::to_sock;
+    use super::{narrow, to_sock, BufPool, RECV_BATCH};
 
     const AF_INET: u16 = 2;
     const SOL_UDP: i32 = 17;
     const UDP_SEGMENT: i32 = 103;
+    const MSG_DONTWAIT: i32 = 0x40;
+    const MSG_WAITFORONE: i32 = 0x10000;
+    const MSG_TRUNC: i32 = 0x20;
     /// Kernel cap on segments per GSO send (UDP_MAX_SEGMENTS).
     const MAX_GSO_SEGS: usize = 64;
     /// Largest UDP payload one sendmsg can carry (IPv4 datagram limit).
@@ -219,6 +502,13 @@ mod mmsg {
     extern "C" {
         fn sendmmsg(fd: i32, msgvec: *mut MMsgHdr, vlen: u32, flags: i32) -> i32;
         fn sendmsg(fd: i32, msg: *const MsgHdr, flags: i32) -> isize;
+        fn recvmmsg(
+            fd: i32,
+            msgvec: *mut MMsgHdr,
+            vlen: u32,
+            flags: i32,
+            timeout: *mut c_void,
+        ) -> i32;
     }
 
     fn sockaddr(to: PhysAddr) -> SockaddrIn {
@@ -230,10 +520,102 @@ mod mmsg {
         }
     }
 
+    /// Pull up to `max.min(RECV_BATCH)` datagrams in one `recvmmsg(2)`,
+    /// the kernel writing each straight into a pooled buffer. All scratch
+    /// is on the stack; the only storage touched is the pool's.
+    pub fn recv_batch(
+        socket: &UdpSocket,
+        pool: Option<&mut BufPool>,
+        out: &mut Vec<(PhysAddr, Bytes)>,
+        max: usize,
+        wait: bool,
+    ) -> std::io::Result<usize> {
+        let want = max.min(RECV_BATCH);
+        if want == 0 {
+            return Ok(0);
+        }
+        let mut local = BufPool::with_shape(super::RECV_BUF_CAP, 0);
+        let pool = pool.unwrap_or(&mut local);
+
+        let mut bufs: [Option<Bytes>; RECV_BATCH] = std::array::from_fn(|_| None);
+        // SAFETY: SockaddrIn, IoVec and MMsgHdr are plain-old-data repr(C)
+        // structs for which all-zero bytes are a valid value.
+        let mut addrs: [SockaddrIn; RECV_BATCH] = unsafe { std::mem::zeroed() };
+        let mut iovs: [IoVec; RECV_BATCH] = unsafe { std::mem::zeroed() };
+        let mut msgs: [MMsgHdr; RECV_BATCH] = unsafe { std::mem::zeroed() };
+        for i in 0..want {
+            let mut b = pool.pop();
+            let storage = b.try_mut().expect("pooled buffer is uniquely owned");
+            iovs[i] = IoVec {
+                iov_base: storage.as_mut_ptr() as *mut c_void,
+                iov_len: storage.len(),
+            };
+            bufs[i] = Some(b);
+            msgs[i].msg_hdr = MsgHdr {
+                msg_name: &mut addrs[i] as *mut SockaddrIn as *mut c_void,
+                msg_namelen: std::mem::size_of::<SockaddrIn>() as u32,
+                msg_iov: &mut iovs[i],
+                msg_iovlen: 1,
+                msg_control: std::ptr::null_mut(),
+                msg_controllen: 0,
+                msg_flags: 0,
+            };
+        }
+        let flags = if wait { MSG_WAITFORONE } else { MSG_DONTWAIT };
+        // SAFETY: msgs[..want] point at live stack scratch (addrs, iovs)
+        // and pool-owned buffer storage, all outliving the call; the Arc
+        // storage behind each `Bytes` is heap-pinned, so moving the
+        // handles around `bufs` never moves the bytes the iovecs target.
+        let ret = unsafe {
+            recvmmsg(
+                socket.as_raw_fd(),
+                msgs.as_mut_ptr(),
+                want as u32,
+                flags,
+                std::ptr::null_mut(),
+            )
+        };
+        if ret < 0 {
+            let err = std::io::Error::last_os_error();
+            for b in bufs.iter_mut().take(want) {
+                pool.reclaim(b.take().expect("primed above"));
+            }
+            return match err.kind() {
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => Ok(0),
+                _ => Err(err),
+            };
+        }
+        let got = ret as usize;
+        let mut pushed = 0usize;
+        for (i, b) in bufs.iter_mut().enumerate().take(want) {
+            let b = b.take().expect("primed above");
+            if i >= got {
+                pool.reclaim(b);
+                continue;
+            }
+            // A truncated datagram exceeded RECV_BUF_CAP — impossible for
+            // real UDP/IPv4 payloads, so drop the mangled bytes.
+            if msgs[i].msg_hdr.msg_flags & MSG_TRUNC != 0 {
+                pool.reclaim(b);
+                continue;
+            }
+            let mut frame = b;
+            narrow(&mut frame, msgs[i].msg_len as usize);
+            let a = &addrs[i];
+            let o = a.sin_addr.to_ne_bytes();
+            let src = PhysAddr::new(
+                PhysIp::new(o[0], o[1], o[2], o[3]),
+                u16::from_be(a.sin_port),
+            );
+            out.push((src, frame));
+            pushed += 1;
+        }
+        Ok(pushed)
+    }
+
     /// Flush the whole batch, returning the number of frames the kernel
-    /// refused. Leaves the batch empty.
-    pub fn transmit_batch(socket: &UdpSocket, batch: &mut FrameBatch) -> u64 {
-        let frames = batch.frames();
+    /// refused. The caller drains/recycles the slice afterwards.
+    pub fn transmit_frames(socket: &UdpSocket, frames: &[(PhysAddr, Bytes)]) -> u64 {
         let n = frames.len();
         if n == 0 {
             return 0;
@@ -267,7 +649,6 @@ mod mmsg {
             i = j;
         }
         failed += send_plain(fd, socket, &frames[plain_from..n]);
-        batch.clear();
         failed
     }
 
@@ -383,12 +764,12 @@ mod mmsg {
     }
 }
 
-fn to_sock(addr: PhysAddr) -> SocketAddr {
+pub(crate) fn to_sock(addr: PhysAddr) -> SocketAddr {
     let [a, b, c, d] = addr.ip.octets();
     SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::new(a, b, c, d), addr.port))
 }
 
-fn from_sock(addr: SocketAddr) -> PhysAddr {
+pub(crate) fn from_sock(addr: SocketAddr) -> PhysAddr {
     match addr {
         SocketAddr::V4(v4) => {
             let o = v4.ip().octets();
@@ -398,19 +779,37 @@ fn from_sock(addr: SocketAddr) -> PhysAddr {
     }
 }
 
-/// A Brunet node running over a real UDP socket on a background thread.
+// ------------------------------------------------------------ the node --
+
+pub(crate) enum Backend {
+    /// One dedicated background thread owning the socket (the original
+    /// layout; kept as the reactor's behavioural reference).
+    Thread {
+        cmd_tx: Sender<Cmd>,
+        thread: Option<JoinHandle<()>>,
+    },
+    /// A slot on a shared [`Reactor`]: the handle holds a reactor clone so
+    /// the loop (and its threads) outlive every node spawned onto it —
+    /// the last handle out joins the reactor threads.
+    Reactor { reactor: Reactor, id: NodeId },
+}
+
+/// A Brunet node running over a real UDP socket — either on its own
+/// background thread ([`UdpNode::spawn`]) or multiplexed onto a shared
+/// [`Reactor`] ([`Reactor::spawn_node`]). The control surface is identical
+/// either way.
 pub struct UdpNode {
-    addr: Address,
-    local: PhysAddr,
-    cmd_tx: Sender<Cmd>,
-    events: Receiver<UdpEvent>,
-    snapshot: Arc<Mutex<NodeSnapshot>>,
-    thread: Option<JoinHandle<()>>,
+    pub(crate) addr: Address,
+    pub(crate) local: PhysAddr,
+    pub(crate) events: Receiver<UdpEvent>,
+    pub(crate) snapshot: Arc<Mutex<NodeSnapshot>>,
+    pub(crate) backend: Backend,
 }
 
 impl UdpNode {
-    /// Bind a loopback UDP socket (port 0 = ephemeral) and start the node,
-    /// joining via `bootstrap` URIs (empty for the first node).
+    /// Bind a loopback UDP socket (port 0 = ephemeral) and start the node
+    /// on its own background thread, joining via `bootstrap` URIs (empty
+    /// for the first node).
     pub fn spawn(
         addr: Address,
         cfg: OverlayConfig,
@@ -432,40 +831,42 @@ impl UdpNode {
                 let epoch = Instant::now();
                 let now = |e: Instant| SimTime::from_micros(e.elapsed().as_micros() as u64);
                 let mut driver = NodeDriver::new(BrunetNode::new(addr, cfg, seed));
-                let mut transport = SocketTransport { socket: &socket };
-                driver.start(
-                    now(epoch),
-                    TransportUri::udp(local),
-                    bootstrap,
-                    &mut transport,
-                );
-                let mut buf = [0u8; 65_536];
+                let mut pool = BufPool::default();
+                let mut ingress: Vec<(PhysAddr, Bytes)> = Vec::new();
+                {
+                    let mut transport = SocketTransport::pooled(&socket, &mut pool);
+                    driver.start(
+                        now(epoch),
+                        TransportUri::udp(local),
+                        bootstrap,
+                        &mut transport,
+                    );
+                }
                 'main: loop {
+                    let mut transport = SocketTransport::pooled(&socket, &mut pool);
                     // Commands.
                     while let Ok(cmd) = cmd_rx.try_recv() {
                         match cmd {
                             Cmd::SendApp { dst, proto, data } => {
                                 driver.send_app(now(epoch), dst, proto, data, &mut transport);
                             }
+                            Cmd::View { reply } => {
+                                let _ = reply.send(live_view(&driver, local));
+                            }
                             Cmd::Stop => break 'main,
                         }
                     }
-                    // Socket. Each datagram gets its own uniquely-owned
-                    // Bytes, which is what lets the node's transit fast
-                    // path patch the hop count in place and forward the
-                    // same allocation without a copy.
-                    match socket.recv_from(&mut buf) {
-                        Ok((n, src)) => {
-                            driver.on_datagram(
-                                now(epoch),
-                                from_sock(src),
-                                Bytes::copy_from_slice(&buf[..n]),
-                                &mut transport,
-                            );
+                    // Socket: one batched ingress sweep, blocking up to the
+                    // read timeout for the first datagram. Each datagram is
+                    // a uniquely-owned pooled Bytes, which is what lets the
+                    // node's transit fast path patch the hop count in place
+                    // and forward the same allocation without a copy.
+                    match transport.recv_batch(&mut ingress, RECV_BATCH, true) {
+                        Ok(_) => {
+                            for (src, frame) in ingress.drain(..) {
+                                driver.on_datagram(now(epoch), src, frame, &mut transport);
+                            }
                         }
-                        Err(e)
-                            if e.kind() == std::io::ErrorKind::WouldBlock
-                                || e.kind() == std::io::ErrorKind::TimedOut => {}
                         Err(_) => break 'main,
                     }
                     // Timers: due-gated polling — this wall-clock loop wakes
@@ -477,51 +878,21 @@ impl UdpNode {
                     }
                     // Dispatch buffered events (frames already went out
                     // through the transport above).
-                    if driver.has_events() {
-                        let mut events = driver.take_events();
-                        for ev in events.drain(..) {
-                            let _ = match ev {
-                                NodeEvent::Deliver {
-                                    src,
-                                    proto,
-                                    data,
-                                    exact,
-                                } => ev_tx.send(UdpEvent::Deliver {
-                                    src,
-                                    proto,
-                                    data,
-                                    exact,
-                                }),
-                                NodeEvent::Connected { peer, ctype } => {
-                                    ev_tx.send(UdpEvent::Connected { peer, ctype })
-                                }
-                                NodeEvent::Disconnected { peer } => {
-                                    ev_tx.send(UdpEvent::Disconnected { peer })
-                                }
-                                NodeEvent::LinkFailed { .. } => Ok(()),
-                            };
-                        }
-                        driver.recycle_events(events);
-                    }
+                    dispatch_events(&mut driver, &ev_tx);
                     // Publish a snapshot.
-                    {
-                        let node = driver.node();
-                        let mut s = snap.lock();
-                        s.routable = node.is_routable();
-                        s.connections = node.conns().len();
-                        s.peers = node.conns().iter().map(|c| c.peer).collect();
-                        s.counters = *driver.counters();
-                    }
+                    publish_snapshot(&driver, &snap);
                 }
             })?;
 
         Ok(UdpNode {
             addr,
             local,
-            cmd_tx,
             events,
             snapshot,
-            thread: Some(thread),
+            backend: Backend::Thread {
+                cmd_tx,
+                thread: Some(thread),
+            },
         })
     }
 
@@ -530,14 +901,22 @@ impl UdpNode {
         self.addr
     }
 
-    /// The bound socket address, as a bootstrap URI for other nodes.
+    /// The originally bound socket address, as a bootstrap URI for other
+    /// nodes. (A reactor-backed node that was [`UdpNode::rebind`]ed lives
+    /// at the address that call returned instead — exactly the stale-URI
+    /// situation the NAT-expiry resilience test exercises.)
     pub fn uri(&self) -> TransportUri {
         TransportUri::udp(self.local)
     }
 
     /// Route an application payload.
     pub fn send_app(&self, dst: Address, proto: u8, data: Bytes) {
-        let _ = self.cmd_tx.send(Cmd::SendApp { dst, proto, data });
+        match &self.backend {
+            Backend::Thread { cmd_tx, .. } => {
+                let _ = cmd_tx.send(Cmd::SendApp { dst, proto, data });
+            }
+            Backend::Reactor { reactor, id } => reactor.send_app(*id, dst, proto, data),
+        }
     }
 
     /// The event channel.
@@ -548,6 +927,35 @@ impl UdpNode {
     /// A point-in-time snapshot of the node's state.
     pub fn snapshot(&self) -> NodeSnapshot {
         self.snapshot.lock().clone()
+    }
+
+    /// A deep on-demand view (full connection table, advertised URIs,
+    /// counters), answered by the node's runtime between event cycles.
+    /// `None` once the runtime is gone.
+    pub fn view(&self) -> Option<LiveView> {
+        match &self.backend {
+            Backend::Thread { cmd_tx, .. } => {
+                let (reply, rx) = unbounded();
+                cmd_tx.send(Cmd::View { reply }).ok()?;
+                rx.recv().ok()
+            }
+            Backend::Reactor { reactor, id } => reactor.view(*id),
+        }
+    }
+
+    /// Move the node's socket to a fresh ephemeral port *without telling
+    /// the node* — the live analogue of a NAT mapping expiry: peers keep
+    /// sending to the dead port while the node's advertised URI goes
+    /// stale, until stabilization's observed-address echo re-teaches it.
+    /// Returns the new underlay address. Reactor-backed nodes only.
+    pub fn rebind(&self) -> std::io::Result<PhysAddr> {
+        match &self.backend {
+            Backend::Thread { .. } => Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "rebind is only supported on reactor-backed nodes",
+            )),
+            Backend::Reactor { reactor, id } => reactor.rebind(*id),
+        }
     }
 
     /// Block until the node is routable or the timeout expires.
@@ -562,20 +970,25 @@ impl UdpNode {
         false
     }
 
-    /// Stop the node thread.
-    pub fn shutdown(mut self) {
-        let _ = self.cmd_tx.send(Cmd::Stop);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
+    /// Stop the node. Thread-backed: joins the node thread. Reactor-backed:
+    /// deregisters this node's slot and socket from the shared loop, which
+    /// keeps running for every other node (the reactor threads themselves
+    /// are joined when the last handle onto the reactor drops).
+    pub fn shutdown(self) {
+        drop(self);
     }
 }
 
 impl Drop for UdpNode {
     fn drop(&mut self) {
-        let _ = self.cmd_tx.send(Cmd::Stop);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
+        match &mut self.backend {
+            Backend::Thread { cmd_tx, thread } => {
+                let _ = cmd_tx.send(Cmd::Stop);
+                if let Some(t) = thread.take() {
+                    let _ = t.join();
+                }
+            }
+            Backend::Reactor { reactor, id } => reactor.deregister(*id),
         }
     }
 }
@@ -608,7 +1021,7 @@ mod tests {
     #[test]
     fn batch_flush_skips_failed_frame_and_keeps_successors_in_order() {
         let (send, recv, dst) = pair();
-        let mut transport = SocketTransport { socket: &send };
+        let mut transport = SocketTransport::new(&send);
         let mut batch = FrameBatch::new();
         batch.push(dst, Bytes::from_static(b"one"));
         batch.push(dst, unsendable());
@@ -648,12 +1061,12 @@ mod tests {
                 .collect()
         };
         let (send_a, recv_a, dst_a) = pair();
-        let mut ta = SocketTransport { socket: &send_a };
+        let mut ta = SocketTransport::new(&send_a);
         let failed_vectored = ta.transmit_batch(&mut mk(dst_a));
         let got_vectored = drain(&recv_a, 6);
 
         let (send_b, recv_b, dst_b) = pair();
-        let mut tb = SocketTransport { socket: &send_b };
+        let mut tb = SocketTransport::new(&send_b);
         let failed_fallback = tb.transmit_batch_fallback(&mut mk(dst_b));
         let got_fallback = drain(&recv_b, 6);
 
@@ -671,7 +1084,7 @@ mod tests {
         // elsewhere it exercises the fallback. Either way the receiver must
         // see one datagram per frame, in emission order.
         let (send, recv, dst) = pair();
-        let mut transport = SocketTransport { socket: &send };
+        let mut transport = SocketTransport::new(&send);
         let mut batch = FrameBatch::new();
         for i in 0..150u8 {
             batch.push(dst, Bytes::from(vec![i; 100]));
@@ -695,7 +1108,7 @@ mod tests {
                 1,
             ));
             driver.set_batching(batching);
-            let mut transport = SocketTransport { socket: &send };
+            let mut transport = SocketTransport::new(&send);
             driver.with_sink(&mut transport, |_node, sink| {
                 use wow_overlay::driver::NodeSink;
                 sink.send(dst, Bytes::from_static(b"fits"));
@@ -717,6 +1130,86 @@ mod tests {
         assert_eq!(unbatched.get(Counter::SendFailed), 1);
         assert_eq!(unbatched.get(Counter::BatchFlushes), 0);
         assert_eq!(unbatched.get(Counter::BatchFrames), 0);
+    }
+
+    #[test]
+    fn batched_and_fallback_ingress_agree() {
+        // The same burst through the recvmmsg path and the portable
+        // recv_from fallback must produce identical (source, frame)
+        // sequences — the ingress mirror of the egress-path pin above.
+        let payloads: Vec<Vec<u8>> = (0..9u8).map(|i| vec![i; 50 + i as usize]).collect();
+        let run = |batched: bool| -> Vec<(PhysAddr, Vec<u8>)> {
+            let (send, recv, dst) = pair();
+            recv.set_read_timeout(Some(Duration::from_secs(5)))
+                .expect("timeout");
+            for p in &payloads {
+                send.send_to(p, to_sock(dst)).expect("send");
+            }
+            // Give loopback a beat so every datagram is queued.
+            std::thread::sleep(Duration::from_millis(50));
+            let mut pool = BufPool::default();
+            let mut t = SocketTransport::pooled(&recv, &mut pool);
+            let mut out = Vec::new();
+            while out.len() < payloads.len() {
+                let got = if batched {
+                    t.recv_batch(&mut out, 4, true).expect("recv")
+                } else {
+                    t.recv_batch_fallback(&mut out, 4, true).expect("recv")
+                };
+                assert!(got > 0, "queued datagrams must be received");
+            }
+            out.into_iter().map(|(src, b)| (src, b.to_vec())).collect()
+        };
+        let batched = run(true);
+        let fallback = run(false);
+        assert_eq!(batched.len(), payloads.len());
+        for (i, p) in payloads.iter().enumerate() {
+            assert_eq!(&batched[i].1, p, "datagram {i} must arrive in order");
+        }
+        assert_eq!(
+            batched.iter().map(|(_, b)| b).collect::<Vec<_>>(),
+            fallback.iter().map(|(_, b)| b).collect::<Vec<_>>(),
+            "both ingress paths deliver the same frames in order"
+        );
+    }
+
+    #[test]
+    fn ingress_buffers_recycle_through_the_pool() {
+        let (send, recv, dst) = pair();
+        let mut pool = BufPool::default();
+        // Receive a datagram into a pooled buffer...
+        send.send_to(b"ping", to_sock(dst)).expect("send");
+        let mut out = Vec::new();
+        {
+            let mut t = SocketTransport::pooled(&recv, &mut pool);
+            assert_eq!(t.recv_batch(&mut out, 1, true).expect("recv"), 1);
+        }
+        let (_, frame) = out.pop().expect("one datagram");
+        assert_eq!(&frame[..], b"ping");
+        assert_eq!(pool.retained(), 0, "the buffer is owned by the frame");
+        // ...forward it: the egress flush returns the storage to the pool.
+        {
+            let mut t = SocketTransport::pooled(&send, &mut pool);
+            let mut batch = FrameBatch::new();
+            batch.push(dst, frame);
+            assert_eq!(t.transmit_batch(&mut batch), 0);
+        }
+        assert_eq!(pool.retained(), 1, "forwarded buffer must be reclaimed");
+        // The reclaimed buffer is full-capacity and uniquely owned again.
+        let b = pool.pop();
+        assert_eq!(b.len(), pool.cap());
+        assert_eq!(pool.retained(), 0);
+        pool.reclaim(b);
+        // Foreign frames (node-built, wrong storage size) are not pooled.
+        let mut t = SocketTransport::pooled(&send, &mut pool);
+        let mut batch = FrameBatch::new();
+        batch.push(dst, Bytes::from(vec![7u8; 64]));
+        t.transmit_batch(&mut batch);
+        assert_eq!(
+            pool.retained(),
+            1,
+            "foreign storage must not enter the pool"
+        );
     }
 
     /// A fast-converging config for wall-clock tests.
@@ -774,6 +1267,22 @@ mod tests {
         for n in others {
             n.shutdown();
         }
+        first.shutdown();
+    }
+
+    #[test]
+    fn thread_backed_view_answers_with_conns_and_uris() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let first = UdpNode::spawn(Address::random(&mut rng), quick(), 0, Vec::new(), 1)
+            .expect("bind first node");
+        let second = UdpNode::spawn(Address::random(&mut rng), quick(), 0, vec![first.uri()], 2)
+            .expect("bind second node");
+        assert!(second.wait_routable(Duration::from_secs(10)));
+        let view = second.view().expect("live node answers");
+        assert_eq!(view.conns.addr, second.address());
+        assert!(!view.conns.table.is_empty(), "routable implies connections");
+        assert!(view.uris.contains(&second.uri()));
+        second.shutdown();
         first.shutdown();
     }
 }

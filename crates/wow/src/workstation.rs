@@ -68,7 +68,7 @@ impl WsHandle<'_, '_, '_> {
 
     /// Relative CPU speed of the underlying host.
     pub fn host_speed(&self) -> f64 {
-        self.h.ctx.my_host_spec().cpu_speed
+        self.h.ctx.my_cpu_speed()
     }
 }
 

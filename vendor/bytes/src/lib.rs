@@ -135,6 +135,26 @@ impl Bytes {
             }
         }
     }
+
+    /// Reset the view to cover the whole backing storage, available only
+    /// when this handle is its sole owner. Buffer pools use this to recycle
+    /// a buffer whose view was narrowed (e.g. to a received datagram's
+    /// length) back to full capacity without reallocating. Returns `false`
+    /// — leaving the view untouched — for static buffers and while any
+    /// other handle shares the storage.
+    pub fn try_reclaim(&mut self) -> bool {
+        match &mut self.repr {
+            Repr::Static(_) => false,
+            Repr::Shared(arc) => {
+                if Arc::get_mut(arc).is_none() {
+                    return false;
+                }
+                self.off = 0;
+                self.len = arc.len();
+                true
+            }
+        }
+    }
 }
 
 impl Default for Bytes {
@@ -504,6 +524,27 @@ mod tests {
         assert!(a.try_mut().is_none());
         drop(b);
         assert!(a.try_mut().is_some());
+    }
+
+    #[test]
+    fn try_reclaim_restores_full_view_when_unique() {
+        // Narrowed unique view: reclaim restores the whole storage.
+        let mut b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        drop(b.split_off(2));
+        assert_eq!(&b[..], &[1, 2]);
+        assert!(b.try_reclaim());
+        assert_eq!(&b[..], &[1, 2, 3, 4, 5]);
+        // A live clone blocks reclamation and the view is untouched.
+        let c = b.clone();
+        drop(b.split_off(1));
+        assert!(!b.try_reclaim());
+        assert_eq!(&b[..], &[1]);
+        drop(c);
+        assert!(b.try_reclaim());
+        assert_eq!(b.len(), 5);
+        // Static storage is never reclaimable.
+        let mut s = Bytes::from_static(b"abc");
+        assert!(!s.try_reclaim());
     }
 
     #[test]
