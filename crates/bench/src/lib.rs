@@ -14,6 +14,7 @@ pub mod fig4;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod joinstorm;
 pub mod live;
 pub mod report;
 pub mod roles;

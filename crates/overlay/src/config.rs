@@ -42,6 +42,23 @@ pub struct OverlayConfig {
     /// Delay before a joining node re-sends its self-addressed CTM if no
     /// near connection has formed.
     pub join_retry: SimDuration,
+    /// Retries per introducer before a multi-introducer joiner falls
+    /// through the cache to the next candidate. Only applies when more
+    /// than one introducer is cached; a single introducer keeps the full
+    /// `link_retries` budget (the legacy schedule).
+    pub introducer_retries: u32,
+    /// Base demotion backoff after a failed introducer; doubles per
+    /// consecutive failure (capped at ×32). Demoted introducers are
+    /// retried last, never dropped from the cache.
+    pub introducer_backoff: SimDuration,
+    /// Upper bound on cached introducers (configured + learned).
+    pub max_introducers: usize,
+    /// Force the pre-cache single-funnel bootstrap path: one wildcard
+    /// attempt walking the configured URI list with the standard per-URI
+    /// budget, no introducer learning. Differential tests use this to pin
+    /// the multi-introducer code to the legacy transcript when exactly
+    /// one introducer is configured.
+    pub legacy_bootstrap: bool,
     /// Shortcut score added per observed packet (the paper's `a_i` weight).
     pub shortcut_arrival_weight: f64,
     /// Shortcut score drained per second (the paper's service rate `c`).
@@ -78,6 +95,10 @@ impl Default for OverlayConfig {
             far_check_interval: SimDuration::from_secs(10),
             ctm_timeout: SimDuration::from_secs(15),
             join_retry: SimDuration::from_secs(10),
+            introducer_retries: 2,
+            introducer_backoff: SimDuration::from_secs(30),
+            max_introducers: 16,
+            legacy_bootstrap: false,
             shortcut_arrival_weight: 1.0,
             shortcut_service_rate: 1.5,
             shortcut_threshold: 10.0,
@@ -95,6 +116,20 @@ impl OverlayConfig {
         let mut total = SimDuration::ZERO;
         let mut rto = self.link_rto;
         for _ in 0..self.link_retries {
+            total += rto;
+            rto = rto.saturating_double();
+        }
+        total
+    }
+
+    /// Time a multi-introducer joiner spends on one introducer before
+    /// falling through the cache: `Σ link_rto · 2^i for i in
+    /// 0..introducer_retries` (15 s with defaults, vs the 155 s legacy
+    /// schedule — fallback is the point of carrying several introducers).
+    pub fn introducer_abandon_time(&self) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        let mut rto = self.link_rto;
+        for _ in 0..self.introducer_retries {
             total += rto;
             rto = rto.saturating_double();
         }
@@ -119,6 +154,17 @@ mod tests {
         // 5+10+20+40+80 = 155 s — "of the order of 150 seconds".
         let c = OverlayConfig::default();
         assert_eq!(c.uri_abandon_time(), SimDuration::from_secs(155));
+    }
+
+    #[test]
+    fn introducer_abandon_is_much_shorter_than_legacy() {
+        // 5+10 = 15 s per introducer, an order of magnitude under the
+        // 155 s single-funnel schedule.
+        let c = OverlayConfig::default();
+        assert_eq!(c.introducer_abandon_time(), SimDuration::from_secs(15));
+        assert!(
+            c.introducer_abandon_time().as_micros() * 10 <= c.uri_abandon_time().as_micros() + 1
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@
 //! * [`uri`] — `brunet.udp://…` transport URIs and the advertised-URI set
 //! * [`wire`] — the frame codec
 //! * [`conn`] — connection table and greedy next-hop selection
+//! * [`bootstrap`] — the decentralized-join introducer cache
 //! * [`linking`] — the linking handshake (URI trials, retries, races)
 //! * [`ping`] — keepalives and failure detection
 //! * [`overlord`] — near / far / shortcut connection overlords
@@ -54,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod bootstrap;
 pub mod config;
 pub mod conn;
 pub mod driver;
@@ -68,6 +70,7 @@ pub mod wire;
 /// Commonly-used names, for glob import.
 pub mod prelude {
     pub use crate::addr::Address;
+    pub use crate::bootstrap::{BootstrapManager, IntroducerRecord, JoinState};
     pub use crate::config::OverlayConfig;
     pub use crate::conn::{ConnSnapshot, ConnTable, ConnType};
     pub use crate::driver::{FrameBatch, NodeDriver, NodeEvent, NodeSink, Transport};

@@ -78,6 +78,10 @@ struct Attempt {
     state: AttemptState,
     /// Requests transmitted since the attempt (re)started, none answered.
     unanswered_sends: u32,
+    /// Per-attempt retry budget overriding `cfg.link_retries` (the
+    /// multi-introducer bootstrap path uses a short budget so a dead
+    /// introducer is abandoned in seconds, not the 155 s legacy schedule).
+    retries_override: Option<u32>,
 }
 
 /// Manager of all in-flight linking attempts of one node.
@@ -128,6 +132,19 @@ impl LinkingManager {
     /// Begin linking to `peer` over `uris`. No-op if an attempt is already
     /// in flight or `uris` is empty.
     pub fn start(&mut self, now: SimTime, peer: Address, ctype: ConnType, uris: Vec<TransportUri>) {
+        self.start_with_budget(now, peer, ctype, uris, None);
+    }
+
+    /// [`LinkingManager::start`] with an explicit per-URI retry budget;
+    /// `None` uses `cfg.link_retries` at poll time.
+    pub fn start_with_budget(
+        &mut self,
+        now: SimTime,
+        peer: Address,
+        ctype: ConnType,
+        uris: Vec<TransportUri>,
+        retries: Option<u32>,
+    ) {
         if uris.is_empty() || self.attempts.contains_key(&peer) {
             return;
         }
@@ -147,6 +164,7 @@ impl LinkingManager {
                 restarts: 0,
                 state: AttemptState::Active,
                 unanswered_sends: 0,
+                retries_override: retries,
             },
         );
     }
@@ -194,7 +212,7 @@ impl LinkingManager {
                 }
             }
             while a.next_send <= now {
-                if a.tries_on_uri >= cfg.link_retries {
+                if a.tries_on_uri >= a.retries_override.unwrap_or(cfg.link_retries).max(1) {
                     // This URI is dead; move on.
                     a.uri_idx += 1;
                     a.tries_on_uri = 0;

@@ -51,6 +51,7 @@ use wow_netsim::addr::PhysAddr;
 use wow_netsim::time::{SimDuration, SimTime};
 
 use crate::addr::Address;
+use crate::bootstrap::{BootstrapManager, JoinState};
 use crate::config::OverlayConfig;
 use crate::conn::{ConnTable, ConnType, NextHop};
 use crate::driver::{NodeEvent, NodeSink};
@@ -115,7 +116,13 @@ pub struct BrunetNode {
     shortcut: ShortcutOverlord,
     pending_ctm: HashMap<u64, PendingCtm>,
     next_token: u64,
-    bootstrap: Vec<TransportUri>,
+    /// Stabilization rounds seen; every 4th ring probe enters through a
+    /// cached introducer endpoint instead of a live connection.
+    probe_rounds: u64,
+    bootstrap: BootstrapManager,
+    /// The introducer the in-flight wildcard attempt is funnelled through
+    /// (multi-introducer mode tries exactly one at a time).
+    current_introducer: Option<TransportUri>,
     leaf_peer: Option<Address>,
     next_join_attempt: SimTime,
     next_housekeeping: SimTime,
@@ -139,7 +146,9 @@ impl BrunetNode {
             shortcut: ShortcutOverlord::new(),
             pending_ctm: HashMap::new(),
             next_token: 1,
-            bootstrap: Vec::new(),
+            probe_rounds: 0,
+            bootstrap: BootstrapManager::new(seed),
+            current_introducer: None,
             leaf_peer: None,
             next_join_attempt: SimTime::ZERO,
             next_housekeeping: SimTime::ZERO,
@@ -208,14 +217,57 @@ impl BrunetNode {
     ) {
         self.running = true;
         self.my_uris = UriSet::new(local_uri);
-        self.bootstrap = bootstrap;
+        self.bootstrap.configure(&bootstrap);
         self.next_join_attempt = now + self.cfg.join_retry;
         self.next_housekeeping = now + HOUSEKEEPING;
-        if !self.bootstrap.is_empty() {
-            self.linking
-                .start(now, WILDCARD, ConnType::Leaf, self.bootstrap.clone());
-            self.drive_linking(now, sink);
+        self.try_bootstrap(now, sink);
+    }
+
+    /// Kick (or continue) the wildcard join through the introducer cache.
+    ///
+    /// With a single cached introducer — or `legacy_bootstrap` set — this is
+    /// the original funnel: one wildcard attempt walking the whole URI list
+    /// on the standard `link_retries` budget (`tests/driver_differential.rs`
+    /// pins that transcript). With several introducers cached it funnels
+    /// through one seeded-random candidate at a time on the short
+    /// `introducer_retries` budget, falling through the cache on failure.
+    fn try_bootstrap<S: NodeSink + ?Sized>(&mut self, now: SimTime, sink: &mut S) {
+        if self.bootstrap.is_empty() || self.linking.has_attempt(WILDCARD) {
+            return;
         }
+        if self.cfg.legacy_bootstrap || self.bootstrap.len() == 1 {
+            self.current_introducer = self.bootstrap.uris().first().copied();
+            self.linking
+                .start(now, WILDCARD, ConnType::Leaf, self.bootstrap.uris());
+        } else {
+            let Some(uri) = self.bootstrap.next_candidate(now) else {
+                return;
+            };
+            self.current_introducer = Some(uri);
+            sink.count(Counter::IntroducerTried);
+            self.linking.start_with_budget(
+                now,
+                WILDCARD,
+                ConnType::Leaf,
+                vec![uri],
+                Some(self.cfg.introducer_retries),
+            );
+        }
+        self.drive_linking(now, sink);
+    }
+
+    /// The persistent join state: a snapshot of the introducer cache that a
+    /// runtime can stash before [`BrunetNode::restart`] (which clean-slates
+    /// it) and re-seed afterwards via [`BrunetNode::restore_join_state`].
+    pub fn join_state(&self) -> JoinState {
+        self.bootstrap.join_state()
+    }
+
+    /// Re-seed the introducer cache from a saved [`JoinState`] (failure
+    /// counts survive; backoff deadlines do not — the restart clock is
+    /// unrelated to the one the deadlines were set under).
+    pub fn restore_join_state(&mut self, state: &JoinState) {
+        self.bootstrap.restore(state);
     }
 
     /// Restart after a migration: all overlay state is discarded (the
@@ -236,6 +288,9 @@ impl BrunetNode {
         self.far = FarOverlord::new();
         self.shortcut.clear();
         self.pending_ctm.clear();
+        self.probe_rounds = 0;
+        self.bootstrap.reset();
+        self.current_introducer = None;
         self.leaf_peer = None;
         self.start(now, local_uri, bootstrap, sink);
     }
@@ -522,18 +577,37 @@ impl BrunetNode {
                 let mut cmds = Vec::new();
                 self.linking.on_reply(from, attempt, src, &mut cmds);
                 // A wildcard (bootstrap) attempt matches by attempt id.
+                let mut wildcard_peer = None;
                 if cmds.is_empty() {
                     self.linking.on_reply(WILDCARD, attempt, src, &mut cmds);
+                    if !cmds.is_empty() {
+                        // The introducer answered: clear its demotion so the
+                        // next restart tries proven-live introducers first.
+                        if let Some(uri) = self.current_introducer.take() {
+                            self.bootstrap.record_success(uri);
+                        }
+                    }
                     // Rewrite the wildcard peer to the actual responder.
                     for c in &mut cmds {
                         if let LinkCmd::Established { peer, .. } = c {
                             if *peer == WILDCARD {
                                 *peer = from;
                             }
+                            wildcard_peer = Some(*peer);
                         }
                     }
                 }
                 self.exec_link_cmds(now, cmds, sink);
+                // A self-initiated wildcard join that landed while an
+                // earlier leaf holds `leaf_peer` (an inbound joiner beat us,
+                // or we are escaping a marooned pair) still needs its join
+                // CTM — routed via the introducer that just answered, not
+                // the stale leaf.
+                if let Some(peer) = wildcard_peer {
+                    if !self.cfg.legacy_bootstrap && self.leaf_peer != Some(peer) {
+                        self.send_join_ctm_via(now, peer, sink);
+                    }
+                }
             }
             LinkMsg::LinkError {
                 from,
@@ -865,10 +939,29 @@ impl BrunetNode {
         let outcome = self.conns.upsert(peer, ctype, remote, now);
         if outcome.new_peer {
             self.pinger.track(peer, now, &self.cfg);
+            if !self.cfg.legacy_bootstrap {
+                // Any directly linked peer has proven it can introduce us:
+                // remember it, so the cache survives introducer loss (and a
+                // seed node with an empty configured list can still rejoin).
+                self.bootstrap
+                    .learn(TransportUri::udp(remote), self.cfg.max_introducers);
+            }
         }
         if outcome.new_role {
             if ctype == ConnType::StructuredNear {
                 sink.count(Counter::NearLinked);
+                // Push gossip: ask the new neighbour who it sees *now*,
+                // instead of waiting a stabilize round. A peer outside its
+                // horizon links us and trims us again within one of its own
+                // stabilize polls; the periodic query loses that race every
+                // time, so the nodes it knows between us — often our true
+                // ring neighbours — would never reach us. The immediate
+                // round-trip lands well inside the trim window.
+                self.send_frame(
+                    remote,
+                    Frame::Link(LinkMsg::NeighborQuery { from: self.addr }),
+                    sink,
+                );
             }
             sink.event(NodeEvent::Connected { peer, ctype });
         }
@@ -883,7 +976,22 @@ impl BrunetNode {
         let Some(leaf) = self.leaf_peer else {
             return;
         };
-        let Some(c) = self.conns.get(leaf) else {
+        self.send_join_ctm_via(now, leaf, sink);
+    }
+
+    /// Send the join CTM via a specific directly-connected relay.
+    ///
+    /// A wildcard join completed while an earlier leaf already exists (an
+    /// inbound joiner grabbed `leaf_peer` first, or the node is escaping a
+    /// marooned pair) must route its CTM through the *new* introducer: the
+    /// stale `leaf_peer` would bounce it around the old component.
+    fn send_join_ctm_via<S: NodeSink + ?Sized>(
+        &mut self,
+        now: SimTime,
+        relay: Address,
+        sink: &mut S,
+    ) {
+        let Some(c) = self.conns.get(relay) else {
             return;
         };
         let remote = c.remote;
@@ -904,7 +1012,7 @@ impl BrunetNode {
                 token,
                 ctype: ConnType::StructuredNear,
                 uris: self.advertised_uris(),
-                reply_relay: Some(leaf),
+                reply_relay: Some(relay),
             },
         };
         self.send_frame(remote, Frame::Routed(pkt), sink);
@@ -941,16 +1049,70 @@ impl BrunetNode {
     }
 
     /// Verify our ring position: a self-addressed CTM launched through a
-    /// random structured connection. Routing excludes the source, so the
+    /// random direct connection. Routing excludes the source, so the
     /// probe lands on the true nearest *other* node — escaping the local
     /// optima that neighbour-of-neighbour stabilization alone can reach
     /// when a mass join leaves a node with distant "near" links.
+    ///
+    /// Every connection type is a candidate entry point, leaves included.
+    /// That matters for ring *merges*: a flash crowd of concurrent joins
+    /// can interleave two complete rings over the same address space, and
+    /// within either ring gossip, far-link CTMs and greedy-routed probes
+    /// are all trapped (each mechanism only ever reaches the ring it
+    /// started in). A joiner's leaf to its introducer is often the one
+    /// edge that crosses the split; a probe injected through it greedy-
+    /// routes over the *other* ring, finds that ring's nearest-to-us node,
+    /// links it, and seeds the merge that stabilization then propagates.
     fn send_ring_probe<S: NodeSink + ?Sized>(&mut self, now: SimTime, sink: &mut S) {
         use rand::seq::IteratorRandom;
+        self.probe_rounds = self.probe_rounds.wrapping_add(1);
+        // Every 4th probe enters through a cached introducer endpoint we
+        // hold no connection to. Connection-entry probes cannot escape a
+        // component with no outbound edges: after a long partition heals,
+        // each side is a complete, self-consistent ring over the same
+        // address space, every cross-ring connection long since reaped by
+        // keepalives — and a probe injected anywhere in our own component
+        // terminates at a node that already knows us. The introducer cache
+        // predates the partition, so its endpoints land in *either* ring;
+        // the probe greedy-routes over whichever component answers, and its
+        // terminal links back to us (the CTM carries our URIs), seeding the
+        // merge. No reply relay: the responder dials us directly.
+        if self.probe_rounds % 4 == 0 && !self.cfg.legacy_bootstrap {
+            let own = self.advertised_uris();
+            let entry = self
+                .bootstrap
+                .uris()
+                .into_iter()
+                .filter(|u| self.conns.peer_by_remote(u.addr).is_none() && !own.contains(u))
+                .choose(&mut self.rng);
+            if let Some(uri) = entry {
+                let token = self.alloc_ctm(
+                    now,
+                    self.addr,
+                    ConnType::StructuredNear,
+                    Counter::CtmRingProbe,
+                    sink,
+                );
+                let pkt = Packet {
+                    src: self.addr,
+                    dst: self.addr,
+                    hops: 0,
+                    ttl: self.cfg.ttl,
+                    edge_forwarded: false,
+                    body: Body::CtmRequest {
+                        token,
+                        ctype: ConnType::StructuredNear,
+                        uris: self.advertised_uris(),
+                        reply_relay: None,
+                    },
+                };
+                self.send_frame(uri.addr, Frame::Routed(pkt), sink);
+                return;
+            }
+        }
         let Some((relay_peer, first_hop)) = self
             .conns
             .iter()
-            .filter(|c| c.types.is_structured())
             .map(|c| (c.peer, c.remote))
             .choose(&mut self.rng)
         else {
@@ -1091,6 +1253,20 @@ impl BrunetNode {
                 LinkCmd::Failed { peer, ctype } => {
                     sink.count(Counter::LinkFailed);
                     sink.event(NodeEvent::LinkFailed { peer, ctype });
+                    if peer == WILDCARD {
+                        // The introducer funnel collapsed: demote the
+                        // candidate and fall through the cache. A fresh
+                        // attempt cannot fail on its first poll, so the
+                        // recursion terminates.
+                        if let Some(uri) = self.current_introducer.take() {
+                            self.bootstrap
+                                .record_failure(uri, now, self.cfg.introducer_backoff);
+                        }
+                        if !self.cfg.legacy_bootstrap && self.bootstrap.len() > 1 {
+                            sink.count(Counter::IntroducerFallback);
+                            self.try_bootstrap(now, sink);
+                        }
+                    }
                 }
             }
         }
@@ -1175,15 +1351,47 @@ impl BrunetNode {
                     {
                         sink.count(Counter::NearLost);
                     }
+                    let remote = self.conns.get(peer).map(|c| c.remote);
                     if self.conns.remove_role(peer, ctype) {
                         self.pinger.untrack(peer);
                         sink.event(NodeEvent::Disconnected { peer });
                         if self.leaf_peer == Some(peer) {
                             self.leaf_peer = None;
                         }
+                        // Tell the peer it was dropped so it sheds its half
+                        // too. A silent trim leaves the peer with a one-way
+                        // connection: its queries and probes to us go
+                        // unanswered (we no longer know it), yet our linking
+                        // traffic keeps refreshing its keepalive — a phantom
+                        // that can anchor its ring view on the wrong
+                        // neighbour indefinitely.
+                        if let Some(remote) = remote {
+                            self.send_frame(
+                                remote,
+                                Frame::Link(LinkMsg::LinkError {
+                                    from: self.addr,
+                                    attempt: 0,
+                                    reason: LinkErrorReason::NotConnected,
+                                }),
+                                sink,
+                            );
+                        }
                     }
                 }
                 OverlordCmd::RingProbe => self.send_ring_probe(now, sink),
+                OverlordCmd::Rebootstrap => {
+                    // Only honoured when the node really has fallen off the
+                    // overlay: no connections of any kind and no join in
+                    // flight. Legacy mode keeps the old behaviour (isolated
+                    // nodes wait for their housekeeping join retry).
+                    if !self.cfg.legacy_bootstrap
+                        && !self.is_routable()
+                        && self.leaf_peer.is_none()
+                        && self.conns.is_empty()
+                    {
+                        self.try_bootstrap(now, sink);
+                    }
+                }
                 OverlordCmd::SendNeighborQuery { peer } => {
                     if let Some(c) = self.conns.get(peer) {
                         let remote = c.remote;
@@ -1210,14 +1418,24 @@ impl BrunetNode {
             self.next_join_attempt = now + self.cfg.join_retry;
             if self.leaf_peer.is_some() {
                 self.send_join_ctm(now, sink);
-            } else if !self.bootstrap.is_empty()
-                && !self.linking.has_attempt(WILDCARD)
-                && self.conns.with_type(ConnType::Leaf).next().is_none()
-            {
-                self.linking
-                    .start(now, WILDCARD, ConnType::Leaf, self.bootstrap.clone());
-                self.drive_linking(now, sink);
+            } else if self.conns.with_type(ConnType::Leaf).next().is_none() {
+                self.try_bootstrap(now, sink);
             }
+        } else if !self.cfg.legacy_bootstrap
+            && self.conns.len() == 1
+            && self.bootstrap.len() > 1
+            && now >= self.next_join_attempt
+        {
+            // Marooned-pair escape. Two nodes that bootstrap through each
+            // other while both are isolated form a private 2-ring: each is
+            // "routable" (it has a structured-near link), so neither would
+            // ever dial an introducer again and the split is stable. A node
+            // whose entire neighborhood is one single peer therefore keeps
+            // probing its introducer cache on the join-retry cadence; the
+            // probe is a no-op for a genuine 2-node overlay (the cache
+            // holds only the peer) and merges the rings otherwise.
+            self.next_join_attempt = now + self.cfg.join_retry;
+            self.try_bootstrap(now, sink);
         }
     }
 }
@@ -1872,5 +2090,286 @@ mod tests {
             &mut sk,
         );
         assert!(sk.take_sends().is_empty());
+    }
+
+    // ---- decentralized bootstrap ----
+
+    #[test]
+    fn multi_introducer_start_funnels_through_one_candidate() {
+        let (n, mut sk) = started(a(100), vec![uri(7, 4000), uri(8, 4000), uri(9, 4000)]);
+        let s = sk.take_sends();
+        assert_eq!(s.len(), 1, "one introducer tried at a time");
+        assert!(matches!(
+            &s[0].1,
+            Frame::Link(LinkMsg::LinkRequest { target, ctype, .. })
+                if *target == WILDCARD && *ctype == ConnType::Leaf
+        ));
+        assert_eq!(sk.counters.get(Counter::IntroducerTried), 1);
+        assert_eq!(n.join_state().introducers.len(), 3);
+    }
+
+    #[test]
+    fn dead_introducer_falls_through_the_cache() {
+        // introducer_retries = 2: the funnel collapses after 5+10 = 15 s
+        // and the joiner moves to the other introducer immediately.
+        let (mut n, mut sk) = started(a(100), vec![uri(7, 4000), uri(8, 4000)]);
+        let first = sk.take_sends()[0].0;
+        n.on_tick(T0 + SimDuration::from_secs(5), &mut sk);
+        n.on_tick(T0 + SimDuration::from_secs(15), &mut sk);
+        assert_eq!(sk.counters.get(Counter::IntroducerFallback), 1);
+        assert_eq!(sk.counters.get(Counter::IntroducerTried), 2);
+        let second = ep(if first == ep(7, 4000) { 8 } else { 7 }, 4000);
+        assert!(
+            sk.take_sends().iter().any(|(to, f)| *to == second
+                && matches!(f, Frame::Link(LinkMsg::LinkRequest { target, .. }) if *target == WILDCARD)),
+            "fallback must try the other introducer"
+        );
+        let state = n.join_state();
+        let failed = state
+            .introducers
+            .iter()
+            .find(|r| r.uri == TransportUri::udp(first))
+            .unwrap();
+        assert_eq!(failed.failures, 1, "demoted, not dropped");
+    }
+
+    #[test]
+    fn legacy_bootstrap_keeps_the_single_funnel() {
+        let cfg = OverlayConfig {
+            legacy_bootstrap: true,
+            ..OverlayConfig::default()
+        };
+        let mut n = BrunetNode::new(a(100), cfg, 7);
+        let mut sk = TestSink::new();
+        n.start(T0, uri(1, 4000), vec![uri(7, 4000), uri(8, 4000)], &mut sk);
+        // One attempt walking the full list in order, no cache counters.
+        assert_eq!(sk.take_sends()[0].0, ep(7, 4000));
+        n.on_tick(T0 + SimDuration::from_secs(5), &mut sk);
+        n.on_tick(T0 + SimDuration::from_secs(15), &mut sk);
+        assert_eq!(sk.counters.get(Counter::IntroducerTried), 0);
+        assert_eq!(sk.counters.get(Counter::IntroducerFallback), 0);
+        assert!(
+            sk.take_sends().iter().all(|(to, _)| *to == ep(7, 4000)),
+            "legacy mode stays on URI #1 through the full link_retries budget"
+        );
+    }
+
+    #[test]
+    fn introducer_success_is_recorded() {
+        let (mut n, mut sk) = started(a(100), vec![uri(7, 4000), uri(8, 4000)]);
+        let tried = sk.take_sends()[0].0;
+        n.on_datagram(
+            T0 + SimDuration::from_millis(50),
+            tried,
+            Frame::Link(LinkMsg::LinkReply {
+                from: a(500),
+                attempt: 0,
+                observed: ep(77, 1234),
+            })
+            .encode(),
+            &mut sk,
+        );
+        let state = n.join_state();
+        let rec = state
+            .introducers
+            .iter()
+            .find(|r| r.uri == TransportUri::udp(tried))
+            .unwrap();
+        assert_eq!(rec.successes, 1);
+        assert_eq!(rec.failures, 0);
+    }
+
+    #[test]
+    fn linked_peers_are_learned_as_introducers() {
+        let (mut n, mut sk) = started(a(100), Vec::new());
+        n.record_conn(T0, a(200), ConnType::StructuredFar, ep(20, 1), &mut sk);
+        let state = n.join_state();
+        assert_eq!(state.introducers.len(), 1);
+        assert!(state.introducers[0].learned);
+        assert_eq!(state.introducers[0].uri, TransportUri::udp(ep(20, 1)));
+    }
+
+    #[test]
+    fn restart_clean_slates_cache_and_runtime_reseeds_it() {
+        let (mut n, mut sk) = started(a(100), vec![uri(7, 4000)]);
+        n.record_conn(T0, a(200), ConnType::StructuredFar, ep(20, 1), &mut sk);
+        let state = n.join_state();
+        assert_eq!(state.introducers.len(), 2);
+        // Clean-slate restart with an *empty* configured list: without the
+        // snapshot the node would be stranded.
+        let t1 = T0 + SimDuration::from_secs(100);
+        n.restart(t1, uri(1, 4000), Vec::new(), &mut sk);
+        assert!(n.join_state().introducers.is_empty(), "restart wipes");
+        n.restore_join_state(&state);
+        sk.clear();
+        // The housekeeping join retry rejoins through the restored cache.
+        n.on_tick(t1 + SimDuration::from_secs(12), &mut sk);
+        assert!(
+            sk.take_sends().iter().any(|(_, f)| matches!(
+                f,
+                Frame::Link(LinkMsg::LinkRequest { target, .. }) if *target == WILDCARD
+            )),
+            "rejoin must start from the restored introducer cache"
+        );
+    }
+
+    #[test]
+    fn marooned_pair_keeps_probing_the_introducer_cache() {
+        // Two isolated nodes that bootstrap through each other form a
+        // private 2-ring; both are "routable", so without the marooned
+        // escape neither would ever dial an introducer again.
+        let (mut n, mut sk) = started(a(100), vec![uri(7, 4000), uri(8, 4000)]);
+        let tried = sk.take_sends()[0].0;
+        n.on_datagram(
+            T0 + SimDuration::from_millis(50),
+            tried,
+            Frame::Link(LinkMsg::LinkReply {
+                from: a(200),
+                attempt: 0,
+                observed: ep(77, 1234),
+            })
+            .encode(),
+            &mut sk,
+        );
+        n.record_conn(T0, a(200), ConnType::StructuredNear, tried, &mut sk);
+        assert!(n.is_routable());
+        assert_eq!(n.conns.len(), 1);
+        sk.clear();
+        let tried_before = sk.counters.get(Counter::IntroducerTried);
+        n.on_tick(T0 + SimDuration::from_secs(12), &mut sk);
+        assert!(
+            sk.counters.get(Counter::IntroducerTried) > tried_before,
+            "a routable node whose whole neighborhood is one peer keeps \
+             probing the cache"
+        );
+        assert!(
+            sk.take_sends().iter().any(|(_, f)| matches!(f,
+                Frame::Link(LinkMsg::LinkRequest { target, .. }) if *target == WILDCARD)),
+            "the probe starts a fresh wildcard attempt"
+        );
+    }
+
+    #[test]
+    fn legacy_marooned_pair_does_not_probe() {
+        let cfg = OverlayConfig {
+            legacy_bootstrap: true,
+            ..OverlayConfig::default()
+        };
+        let mut n = BrunetNode::new(a(100), cfg, 7);
+        let mut sk = TestSink::new();
+        n.start(T0, uri(1, 4000), vec![uri(7, 4000), uri(8, 4000)], &mut sk);
+        let tried = sk.take_sends()[0].0;
+        n.on_datagram(
+            T0 + SimDuration::from_millis(50),
+            tried,
+            Frame::Link(LinkMsg::LinkReply {
+                from: a(200),
+                attempt: 0,
+                observed: ep(77, 1234),
+            })
+            .encode(),
+            &mut sk,
+        );
+        n.record_conn(T0, a(200), ConnType::StructuredNear, tried, &mut sk);
+        assert!(n.is_routable());
+        sk.clear();
+        n.on_tick(T0 + SimDuration::from_secs(12), &mut sk);
+        assert!(
+            sk.take_sends()
+                .iter()
+                .all(|(_, f)| !matches!(f, Frame::Link(LinkMsg::LinkRequest { .. }))),
+            "legacy mode keeps the original behaviour: routable nodes never \
+             re-dial the bootstrap"
+        );
+    }
+
+    /// Regression for the flash-crowd ring-merge pathology: concurrent
+    /// joins can interleave two complete rings over one address space, and
+    /// within either ring every repair mechanism — gossip, far-link CTMs,
+    /// greedy-routed probes — only ever reaches the ring it started in.
+    /// The one cross-ring edge a joiner reliably holds is its *leaf* to
+    /// the introducer, so the periodic ring probe must treat leaves as
+    /// eligible entry points.
+    #[test]
+    fn ring_probe_enters_through_leaf_connections_too() {
+        let cfg = OverlayConfig {
+            stabilize_interval: SimDuration::from_secs(1),
+            ..OverlayConfig::default()
+        };
+        let mut n = BrunetNode::new(a(500), cfg, 7);
+        let mut sk = TestSink::new();
+        n.start(T0, uri(1, 4000), Vec::new(), &mut sk);
+        // A structured neighborhood (our own ring) plus one leaf to an
+        // introducer that lives in the other ring.
+        n.record_conn(T0, a(400), ConnType::StructuredNear, ep(40, 1), &mut sk);
+        n.record_conn(T0, a(600), ConnType::StructuredNear, ep(60, 1), &mut sk);
+        n.record_conn(T0, a(900), ConnType::Leaf, ep(90, 1), &mut sk);
+        sk.clear();
+        let mut via_leaf = 0;
+        for k in 1..=12u64 {
+            n.on_tick(T0 + SimDuration::from_secs(k), &mut sk);
+            via_leaf += sk
+                .take_sends()
+                .iter()
+                .filter(|(to, f)| {
+                    *to == ep(90, 1)
+                        && matches!(&f, Frame::Routed(p)
+                            if p.src == a(500) && p.dst == a(500)
+                                && matches!(p.body, Body::CtmRequest { .. }))
+                })
+                .count();
+        }
+        assert!(
+            via_leaf > 0,
+            "the ring probe must rotate through leaf connections — they \
+             are the only edges that cross an interleaved-ring split"
+        );
+    }
+
+    #[test]
+    fn wildcard_join_with_existing_leaf_reroutes_the_join_ctm() {
+        let (mut n, mut sk) = started(a(100), vec![uri(7, 4000), uri(8, 4000)]);
+        let tried = sk.take_sends()[0].0;
+        // An inbound joiner grabs the leaf slot while our wildcard attempt
+        // is still in flight.
+        n.record_conn(T0, a(50), ConnType::Leaf, ep(5, 1), &mut sk);
+        assert_eq!(n.leaf_peer, Some(a(50)));
+        sk.clear();
+        n.on_datagram(
+            T0 + SimDuration::from_millis(50),
+            tried,
+            Frame::Link(LinkMsg::LinkReply {
+                from: a(60),
+                attempt: 0,
+                observed: ep(77, 1234),
+            })
+            .encode(),
+            &mut sk,
+        );
+        // The join CTM travels via the introducer that answered, not the
+        // stale leaf — otherwise it would never reach the main ring.
+        assert!(
+            sk.take_sends().iter().any(|(to, f)| *to == tried
+                && matches!(f, Frame::Routed(p)
+                    if matches!(&p.body, Body::CtmRequest { reply_relay: Some(r), .. } if *r == a(60)))),
+            "join CTM must be relayed via the new wildcard leaf"
+        );
+        assert_eq!(n.leaf_peer, Some(a(50)), "the original leaf slot is kept");
+    }
+
+    #[test]
+    fn rebootstrap_rejoins_through_learned_cache() {
+        let (mut n, mut sk) = started(a(100), Vec::new());
+        n.record_conn(T0, a(200), ConnType::StructuredFar, ep(20, 1), &mut sk);
+        // Every connection is gone (peers died); only the cache remains.
+        n.conns.remove(a(200));
+        n.pinger.untrack(a(200));
+        sk.clear();
+        n.exec_overlord_cmds(T0, vec![OverlordCmd::Rebootstrap], &mut sk);
+        assert!(
+            sk.take_sends().iter().any(|(to, f)| *to == ep(20, 1)
+                && matches!(f, Frame::Link(LinkMsg::LinkRequest { target, .. }) if *target == WILDCARD)),
+            "isolated node rejoins through its learned introducer"
+        );
     }
 }

@@ -52,6 +52,10 @@ pub enum OverlordCmd {
     },
     /// Launch a self-addressed ring probe (routed find-my-successor).
     RingProbe,
+    /// The node is fully isolated (no connections at all): fall through the
+    /// introducer cache and restart the wildcard join. The node ignores
+    /// this unless it really is disconnected and not already joining.
+    Rebootstrap,
 }
 
 // ---------------------------------------------------------------- near ----
@@ -86,6 +90,14 @@ impl NearOverlord {
             return;
         }
         self.next_stabilize = now + cfg.stabilize_interval;
+        if conns.is_empty() {
+            // Nothing to stabilize against — the node has fallen off the
+            // overlay entirely (every peer died, or a partition healed after
+            // our links were reaped). Queries and probes would go nowhere;
+            // ask the node to rejoin through its introducer cache instead.
+            out.push(OverlordCmd::Rebootstrap);
+            return;
+        }
         let cw = conns.nearest_cw(me, cfg.near_per_side);
         let ccw = conns.nearest_ccw(me, cfg.near_per_side);
         // Ask current ring neighbours who *they* see; their answers surface
@@ -350,6 +362,25 @@ mod tests {
         assert!(queried.contains(&a(10)));
         assert!(queried.contains(&a(990)));
         // Not due again until the interval passes.
+        out.clear();
+        near.poll(
+            T0 + SimDuration::from_secs(1),
+            a(500),
+            &conns,
+            &cfg(),
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn near_requests_rebootstrap_when_fully_isolated() {
+        let conns = ConnTable::new();
+        let mut near = NearOverlord::new();
+        let mut out = Vec::new();
+        near.poll(T0, a(500), &conns, &cfg(), &mut out);
+        assert_eq!(out, vec![OverlordCmd::Rebootstrap]);
+        // Still paced by the stabilize interval.
         out.clear();
         near.poll(
             T0 + SimDuration::from_secs(1),

@@ -84,6 +84,12 @@ pub enum Counter {
     NearLost,
     /// Structured-near links established (new role on a connection).
     NearLinked,
+    /// Introducer candidates tried by the multi-introducer bootstrap path
+    /// (one per wildcard attempt started from the cache).
+    IntroducerTried,
+    /// Introducer failures that fell through the cache to another
+    /// candidate (demotion + immediate re-selection).
+    IntroducerFallback,
 }
 
 /// Number of [`Counter`] variants.
@@ -91,7 +97,7 @@ pub const NUM_COUNTERS: usize = Counter::ALL.len();
 
 impl Counter {
     /// Every counter, in discriminant order.
-    pub const ALL: [Counter; 31] = [
+    pub const ALL: [Counter; 33] = [
         Counter::Forwarded,
         Counter::DeliveredExact,
         Counter::DeliveredNearest,
@@ -123,6 +129,8 @@ impl Counter {
         Counter::BatchSize9Plus,
         Counter::NearLost,
         Counter::NearLinked,
+        Counter::IntroducerTried,
+        Counter::IntroducerFallback,
     ];
 
     /// The histogram bucket a flush of `frames` frames falls in.
@@ -170,6 +178,8 @@ impl Counter {
             Counter::BatchSize9Plus => "batch_size_9_plus",
             Counter::NearLost => "near_lost",
             Counter::NearLinked => "near_linked",
+            Counter::IntroducerTried => "introducer_tried",
+            Counter::IntroducerFallback => "introducer_fallback",
         }
     }
 }
@@ -181,9 +191,17 @@ impl fmt::Display for Counter {
 }
 
 /// A fixed array of counts, one slot per [`Counter`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TelemetryCounters {
     counts: [u64; NUM_COUNTERS],
+}
+
+// Derived `Default` requires `[u64; N]: Default`, which the standard
+// library only provides up to N = 32.
+impl Default for TelemetryCounters {
+    fn default() -> Self {
+        TelemetryCounters::new()
+    }
 }
 
 impl TelemetryCounters {

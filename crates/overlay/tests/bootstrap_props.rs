@@ -1,0 +1,176 @@
+//! Property-based tests for the introducer-cache semantics
+//! ([`wow_overlay::bootstrap`]): deterministic seeded selection, demotion
+//! without removal, learn-cap eviction rules, and the `JoinState`
+//! round-trip that survives faultlab's clean-slate restarts.
+
+use proptest::prelude::*;
+
+use wow_netsim::addr::{PhysAddr, PhysIp};
+use wow_netsim::time::{SimDuration, SimTime};
+use wow_overlay::bootstrap::BootstrapManager;
+use wow_overlay::uri::TransportUri;
+
+const BASE: SimDuration = SimDuration::from_secs(30);
+
+fn uri(last: u8) -> TransportUri {
+    TransportUri::udp(PhysAddr::new(PhysIp::new(10, 0, 0, last), 4000))
+}
+
+/// One step of cache history: which entry it concerns (index modulo the
+/// cache size), what happened, and how far the clock had advanced.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Fail(usize, u32),
+    Succeed(usize),
+    Learn(u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<usize>(), 0u32..600).prop_map(|(i, s)| Op::Fail(i, s)),
+            any::<usize>().prop_map(Op::Succeed),
+            (128u8..255).prop_map(Op::Learn),
+        ],
+        0..24,
+    )
+}
+
+/// Replay a history against a manager; time advances with each op so the
+/// backoff deadlines are exercised, not just the zero state.
+fn apply(m: &mut BootstrapManager, ops: &[Op]) -> SimTime {
+    let mut now = SimTime::ZERO;
+    for (step, op) in ops.iter().enumerate() {
+        now += SimDuration::from_secs(step as u64 * 7);
+        match *op {
+            Op::Fail(i, s) => {
+                let uris = m.uris();
+                if !uris.is_empty() {
+                    m.record_failure(
+                        uris[i % uris.len()],
+                        now + SimDuration::from_secs(s as u64),
+                        BASE,
+                    );
+                }
+            }
+            Op::Succeed(i) => {
+                let uris = m.uris();
+                if !uris.is_empty() {
+                    m.record_success(uris[i % uris.len()]);
+                }
+            }
+            Op::Learn(last) => {
+                m.learn(uri(last), 16);
+            }
+        }
+    }
+    now
+}
+
+proptest! {
+    /// Two managers with the same seed replay the same history into the
+    /// same candidate sequence — seeded selection is deterministic.
+    #[test]
+    fn seeded_selection_is_deterministic(
+        seed in any::<u64>(),
+        lasts in prop::collection::hash_set(1u8..120, 1..10),
+        ops in arb_ops(),
+        queries in 1usize..24,
+    ) {
+        let mut sorted: Vec<u8> = lasts.iter().copied().collect();
+        sorted.sort_unstable();
+        let uris: Vec<_> = sorted.iter().map(|&l| uri(l)).collect();
+        let run = || {
+            let mut m = BootstrapManager::new(seed);
+            m.configure(&uris);
+            let now = apply(&mut m, &ops);
+            (0..queries).map(|q| {
+                m.next_candidate(now + SimDuration::from_secs(q as u64)).unwrap()
+            }).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Failures demote — grow the failure count and back the entry off —
+    /// but never shrink the cache, and the selector never refuses while
+    /// anything is cached.
+    #[test]
+    fn dead_introducers_are_demoted_never_dropped(
+        seed in any::<u64>(),
+        lasts in prop::collection::hash_set(1u8..120, 1..10),
+        failures in prop::collection::vec((any::<usize>(), 0u64..600), 1..40),
+    ) {
+        let mut sorted: Vec<u8> = lasts.iter().copied().collect();
+        sorted.sort_unstable();
+        let uris: Vec<_> = sorted.iter().map(|&l| uri(l)).collect();
+        let mut m = BootstrapManager::new(seed);
+        m.configure(&uris);
+        for &(i, at) in &failures {
+            m.record_failure(uris[i % uris.len()], SimTime::from_secs(at), BASE);
+            prop_assert_eq!(m.len(), uris.len(), "failure must never evict");
+            prop_assert!(m.next_candidate(SimTime::from_secs(at)).is_some(),
+                "a non-empty cache always offers a candidate");
+        }
+        for u in &uris {
+            prop_assert!(m.uris().contains(u), "every configured entry survives");
+        }
+    }
+
+    /// `JoinState` round-trips through a clean-slate restart: the restored
+    /// cache reports the same snapshot, and every backoff deadline is
+    /// cleared — the first post-restart pick comes from the lowest-failure
+    /// tier no matter how demoted the cache was when it crashed.
+    #[test]
+    fn cache_round_trips_through_clean_slate_restart(
+        seed in any::<u64>(),
+        lasts in prop::collection::hash_set(1u8..120, 1..8),
+        ops in arb_ops(),
+    ) {
+        let mut sorted: Vec<u8> = lasts.iter().copied().collect();
+        sorted.sort_unstable();
+        let uris: Vec<_> = sorted.iter().map(|&l| uri(l)).collect();
+        let mut m = BootstrapManager::new(seed);
+        m.configure(&uris);
+        apply(&mut m, &ops);
+        let state = m.join_state();
+
+        // Clean-slate restart: wipe, re-configure, re-seed the snapshot —
+        // the same sequence `BrunetNode::restart` + the runtimes perform.
+        m.reset();
+        prop_assert!(m.is_empty());
+        m.configure(&uris);
+        m.restore(&state);
+        prop_assert_eq!(m.join_state(), state.clone(), "snapshot must round-trip");
+
+        // Backoff deadlines did not survive: whatever the selector returns
+        // at t=0 sits in the minimum-failure tier of the whole cache.
+        let min_failures = state.introducers.iter().map(|r| r.failures).min().unwrap();
+        let pick = m.next_candidate(SimTime::ZERO).unwrap();
+        let rec = state.introducers.iter().find(|r| r.uri == pick).unwrap();
+        prop_assert_eq!(rec.failures, min_failures,
+            "restored entries are all immediately eligible");
+    }
+
+    /// The learn cap never evicts configured entries, and the cache never
+    /// grows past `max(cap, configured)`.
+    #[test]
+    fn learn_cap_preserves_configured_entries(
+        seed in any::<u64>(),
+        lasts in prop::collection::hash_set(1u8..120, 1..8),
+        learns in prop::collection::vec(128u8..255, 0..40),
+        cap in 1usize..12,
+    ) {
+        let mut sorted: Vec<u8> = lasts.iter().copied().collect();
+        sorted.sort_unstable();
+        let uris: Vec<_> = sorted.iter().map(|&l| uri(l)).collect();
+        let mut m = BootstrapManager::new(seed);
+        m.configure(&uris);
+        for &l in &learns {
+            m.learn(uri(l), cap);
+            prop_assert!(m.len() <= cap.max(uris.len()));
+            for u in &uris {
+                prop_assert!(m.uris().contains(u), "configured entries are never evicted");
+            }
+        }
+    }
+}

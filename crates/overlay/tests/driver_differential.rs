@@ -155,7 +155,17 @@ fn app_sends() -> Vec<ScriptItem> {
 /// Run the live two-node session (both nodes polled every 1 ms), recording
 /// node A's inputs as a script and its outputs as the reference transcript.
 fn record() -> (Vec<ScriptItem>, Transcript, TelemetryCounters) {
-    let mut da = fresh_a();
+    record_session(OverlayConfig::default(), vec![TransportUri::udp(b_phys())])
+}
+
+/// [`record`] generalized over node A's config and bootstrap list. Frames
+/// to any endpoint other than B's are captured in the transcript but never
+/// delivered — extra bootstrap URIs are deterministically dead.
+fn record_session(
+    cfg: OverlayConfig,
+    bootstrap: Vec<TransportUri>,
+) -> (Vec<ScriptItem>, Transcript, TelemetryCounters) {
+    let mut da = NodeDriver::new(BrunetNode::new(a_addr(), cfg, A_SEED));
     let mut db = NodeDriver::new(BrunetNode::new(b_addr(), OverlayConfig::default(), 8));
     let mut script: Vec<ScriptItem> = Vec::new();
     let mut transcript = Transcript::default();
@@ -181,12 +191,7 @@ fn record() -> (Vec<ScriptItem>, Transcript, TelemetryCounters) {
             inbox: &mut to_b,
             deliver_at: t0 + step(),
         };
-        da.start(
-            t0,
-            TransportUri::udp(a_phys()),
-            vec![TransportUri::udp(b_phys())],
-            &mut ta,
-        );
+        da.start(t0, TransportUri::udp(a_phys()), bootstrap, &mut ta);
     }
 
     let horizon = SimTime::from_secs(HORIZON_SECS);
@@ -667,6 +672,99 @@ fn timer_disciplines_are_byte_identical() {
     );
     assert_eq!(armed, poll, "disciplines diverged");
     assert_eq!(armed_counters, poll_counters, "telemetry diverged");
+}
+
+// ---------------------------------------------------------------------------
+// Multi-introducer bootstrap vs the legacy funnel
+// ---------------------------------------------------------------------------
+
+fn dead_phys() -> PhysAddr {
+    PhysAddr::new(PhysIp::new(10, 0, 0, 9), 14001)
+}
+
+/// With exactly one introducer configured, the multi-introducer bootstrap
+/// must be indistinguishable from the legacy single-funnel path: same
+/// frames, same events, same telemetry, byte for byte. This is the
+/// compatibility contract that lets `legacy_bootstrap` default to off.
+#[test]
+fn single_introducer_bootstrap_matches_the_legacy_funnel_byte_for_byte() {
+    let boot = vec![TransportUri::udp(b_phys())];
+    let (_, multi, multi_counters) = record_session(OverlayConfig::default(), boot.clone());
+    let legacy_cfg = OverlayConfig {
+        legacy_bootstrap: true,
+        ..OverlayConfig::default()
+    };
+    let (_, legacy, legacy_counters) = record_session(legacy_cfg, boot);
+
+    assert!(
+        multi
+            .events
+            .iter()
+            .any(|e| matches!(e, NodeEvent::Connected { .. })),
+        "the session must actually link up"
+    );
+    assert_eq!(
+        multi, legacy,
+        "single-introducer transcript diverged from the legacy funnel"
+    );
+    assert_eq!(
+        multi_counters, legacy_counters,
+        "telemetry diverged between the single-introducer and legacy paths"
+    );
+    assert_eq!(
+        multi_counters.get(Counter::IntroducerTried),
+        0,
+        "a single configured introducer must take the funnel, not the cache selector"
+    );
+}
+
+/// Where the paths are *meant* to diverge: two introducers with the first
+/// one dead. The legacy funnel walks the URI list on the full link-retry
+/// budget (~155 s per URI) and never reaches the live introducer inside
+/// the horizon; the cache path abandons the dead one on the short
+/// introducer budget, demotes it, and falls through to the live one.
+#[test]
+fn dead_first_introducer_diverges_from_the_legacy_funnel() {
+    let boot = vec![TransportUri::udp(dead_phys()), TransportUri::udp(b_phys())];
+    let (_, multi, multi_counters) = record_session(OverlayConfig::default(), boot.clone());
+    let legacy_cfg = OverlayConfig {
+        legacy_bootstrap: true,
+        ..OverlayConfig::default()
+    };
+    let (_, legacy, legacy_counters) = record_session(legacy_cfg, boot);
+
+    assert!(
+        multi
+            .events
+            .iter()
+            .any(|e| matches!(e, NodeEvent::Connected { .. })),
+        "the cache path must reach the live introducer within the horizon"
+    );
+    assert!(
+        !legacy
+            .events
+            .iter()
+            .any(|e| matches!(e, NodeEvent::Connected { .. })),
+        "the legacy funnel must still be stuck on the dead introducer"
+    );
+    assert!(
+        legacy.frames.iter().all(|(to, _)| *to == dead_phys()),
+        "legacy must not have reached past the dead URI inside the horizon"
+    );
+    assert!(
+        multi_counters.get(Counter::IntroducerTried) >= 1,
+        "the cache path must draw candidates from the selector"
+    );
+    assert_eq!(
+        legacy_counters.get(Counter::IntroducerTried),
+        0,
+        "legacy mode must never touch the cache selector"
+    );
+    assert_eq!(
+        legacy_counters.get(Counter::IntroducerFallback),
+        0,
+        "legacy mode must never fall through the cache"
+    );
 }
 
 // ---------------------------------------------------------------------------

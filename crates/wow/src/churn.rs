@@ -83,6 +83,11 @@ pub struct BatchOutcome {
     /// The last audit of the batch (the passing one, or the final failing
     /// one if the repair bound was breached).
     pub last_report: AuditReport,
+    /// Auditor passes spent waiting for this batch to repair. The settle
+    /// loop polls on a doubling backoff (starting at `poll`, capped at
+    /// 8×), so this grows logarithmically with repair time rather than
+    /// linearly — the regression test in `tests/churn.rs` pins that.
+    pub audit_polls: usize,
 }
 
 impl BatchOutcome {
@@ -244,12 +249,21 @@ pub fn run(cfg: &ChurnConfig) -> ChurnOutcome {
         }
 
         // Poll the auditor until the ring is whole again or the repair
-        // bound is breached.
+        // bound is breached. The interval doubles from `poll` up to an 8×
+        // cap: early polls catch fast repairs with fine granularity, late
+        // polls stop burning a full auditor pass (snapshots + route
+        // samples) every few simulated seconds on a ring that is still
+        // converging. The last poll clamps to the deadline so the repair
+        // bound is checked exactly, never overshot.
         let deadline = at + cfg.settle;
         let mut repaired_at = None;
         let mut last_report;
+        let mut audit_polls = 0usize;
+        let mut interval_us = cfg.poll.as_micros();
+        let cap_us = cfg.poll.as_micros().saturating_mul(8);
         loop {
-            let next = (net.sim.now() + cfg.poll).min(deadline);
+            let next = (net.sim.now() + SimDuration::from_micros(interval_us)).min(deadline);
+            interval_us = interval_us.saturating_mul(2).min(cap_us);
             net.sim.run_until(next);
             if let Some(downtime) = cfg.restart_after {
                 // Restarted victims are back in the audited membership.
@@ -261,6 +275,7 @@ pub fn run(cfg: &ChurnConfig) -> ChurnOutcome {
             }
             let snaps = net.snapshots();
             let report = audit_ring(net.sim.now(), &snaps, cfg.route_samples, &mut audit_rng);
+            audit_polls += 1;
             let passed = report.passed();
             last_report = report;
             if passed {
@@ -277,6 +292,7 @@ pub fn run(cfg: &ChurnConfig) -> ChurnOutcome {
             at,
             repaired_at,
             last_report,
+            audit_polls,
         });
     }
 

@@ -340,6 +340,7 @@ impl Shard {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // one-shot plumbing of a spawn request into a slot
     fn register(
         &mut self,
         addr: Address,
@@ -430,7 +431,7 @@ impl Shard {
                 slot.driver.on_datagram(now, src, frame, &mut transport);
             }
         }
-        drop(transport);
+        // `transport`'s borrow of the slot ends here, freeing it for settle.
         Self::settle(slot, timers, idx, now);
     }
 

@@ -282,10 +282,16 @@ impl<A: OverlayApp> OverlayHost<A> {
 
     /// Restart the node on its current host (used after VM migration: the
     /// paper kills and restarts IPOP; physical connection state is void).
+    ///
+    /// The introducer cache is the one piece of state that survives: the
+    /// runtime snapshots it before the clean-slate restart and re-seeds it
+    /// after, so a node whose configured bootstrap is down can still rejoin
+    /// through introducers it learned before dying.
     pub fn restart_node(&mut self, ctx: &mut Ctx<'_>) {
         let local = ctx.bind(self.port);
         self.queue.clear();
         self.driver.timer_fired();
+        let join_state = self.driver.node().join_state();
         let now = ctx.now;
         {
             let mut t = CtxTransport {
@@ -299,6 +305,7 @@ impl<A: OverlayApp> OverlayHost<A> {
                 &mut t,
             );
         }
+        self.driver.node_mut().restore_join_state(&join_state);
         self.flush(ctx);
     }
 

@@ -116,6 +116,56 @@ fn restarted_victims_rejoin_from_a_clean_slate() {
     assert_eq!(restarts, cfg.kill);
 }
 
+/// Regression: the settle loop must audit on a doubling backoff, not busy-
+/// spin the auditor on a fixed cadence. A restart batch keeps the ring
+/// broken for at least the downtime, so a fixed `poll` cadence would burn
+/// an auditor pass (full snapshot + route sampling) every 5 simulated
+/// seconds of that wait; the backoff schedule spends logarithmically many.
+#[test]
+fn repair_wait_audits_on_a_backoff_schedule() {
+    let cfg = ChurnConfig {
+        seed: churn_seed().wrapping_add(2),
+        nodes: 10,
+        kill: 2,
+        batches: 1,
+        restart_after: Some(SimDuration::from_secs(60)),
+        settle: SimDuration::from_secs(240),
+        ..ChurnConfig::default()
+    };
+    let out = run(&cfg);
+    assert!(out.initial_ok);
+    let b = &out.batches[0];
+    let off = b
+        .repaired_at
+        .expect("restart batch must heal within the bound")
+        .saturating_since(b.at);
+
+    // Replicate the runner's schedule — intervals doubling from `poll`,
+    // capped at 8×, clamped to the settle deadline — and demand the audit
+    // count match it exactly.
+    let (mut t, mut polls) = (0u64, 0usize);
+    let mut step = cfg.poll.as_micros();
+    let cap = cfg.poll.as_micros() * 8;
+    while t < off.as_micros() {
+        t = (t + step).min(cfg.settle.as_micros());
+        step = (step * 2).min(cap);
+        polls += 1;
+    }
+    assert_eq!(
+        b.audit_polls, polls,
+        "audit count must follow the backoff schedule for a repair at +{off:?}"
+    );
+
+    // And it must genuinely undercut the old fixed-cadence loop, which
+    // audited once per `poll` for the whole wait.
+    let fixed = off.as_micros().div_ceil(cfg.poll.as_micros()) as usize;
+    assert!(
+        b.audit_polls < fixed,
+        "backoff must beat the fixed cadence ({} vs {fixed} audits)",
+        b.audit_polls
+    );
+}
+
 /// Counts exact app deliveries.
 struct Recorder {
     seen: Rc<RefCell<usize>>,

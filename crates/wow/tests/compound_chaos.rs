@@ -1,0 +1,362 @@
+//! Compound chaos: every faultlab primitive composed against the
+//! decentralized multi-introducer bootstrap in one seeded scenario.
+//!
+//! The overlay converges with four introducers (node 0 — the original
+//! overlord/seed — alone in its own domain), then a single timeline stacks
+//! a dup/reorder chaos window, a kill-k batch with clean-slate restarts,
+//! two introducer crashes, a partition that blackholes the seed node, NAT
+//! mapping expiry on both campus domains, and a brand-new joiner injected
+//! while the seed is unreachable. The ring auditor is polled throughout;
+//! after the final heal the suite asserts a time-to-repair bound over the
+//! *full* membership — including the seed node, which must fall off the
+//! ring during the partition and rejoin through its learned introducer
+//! cache ([`wow_overlay::bootstrap`]).
+//!
+//! The churn-suite CI job sweeps this file across the same `WOW_CHURN_SEED`
+//! matrix as `tests/churn.rs`; the whole fault composition derives from
+//! that one seed and replays exactly (asserted by the record/replay test).
+
+use rand::Rng;
+
+use wow::audit::audit_ring;
+use wow::simrt::{ForwardingCost, NoApp, OverlayHost};
+use wow_netsim::fault::{FaultKind, FaultPlan, FaultRecord};
+use wow_netsim::prelude::*;
+use wow_overlay::addr::Address;
+use wow_overlay::conn::ConnSnapshot;
+use wow_overlay::node::BrunetNode;
+use wow_overlay::prelude::{Counter, OverlayConfig, TelemetryCounters};
+use wow_overlay::uri::TransportUri;
+
+const PORT: u16 = 4000;
+/// Nodes 0..4 accept wildcard joins; node 0 is the legacy seed/overlord.
+const INTRODUCERS: usize = 4;
+/// Plain public nodes behind the introducers.
+const WAN_NODES: usize = 10;
+/// NATted nodes, two per campus domain.
+const NAT_NODES: usize = 4;
+/// Repair bound after the final heal.
+const SETTLE: SimDuration = SimDuration::from_secs(240);
+/// Greedy-routing pairs sampled per audit pass.
+const ROUTE_SAMPLES: usize = 24;
+
+/// The scenario seed, overridable so CI can sweep a matrix of seeds.
+fn churn_seed() -> u64 {
+    std::env::var("WOW_CHURN_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC4A0)
+}
+
+/// Everything one compound run produced, for asserts and record/replay.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    transcript: Vec<FaultRecord>,
+    initial_ok: bool,
+    /// `(at, passed)` for every mid-chaos audit poll (no asserts — the
+    /// ring is legitimately broken while faults are active).
+    mid_polls: Vec<(SimTime, bool)>,
+    /// The mid-partition joiner became routable while the seed node was
+    /// blackholed and introducers 2–3 were down.
+    joiner_routable_under_partition: bool,
+    heal_at: SimTime,
+    repaired_at: Option<SimTime>,
+    /// Audit passes consumed by the post-heal settle loop (backoff-paced).
+    settle_polls: usize,
+    last_violations: Vec<String>,
+    counters: TelemetryCounters,
+}
+
+impl Outcome {
+    fn repair_secs(&self) -> Option<f64> {
+        self.repaired_at
+            .map(|t| t.saturating_since(self.heal_at).as_micros() as f64 / 1e6)
+    }
+}
+
+fn run_scenario(seed: u64) -> Outcome {
+    let seeds = SeedSplitter::new(seed);
+    let mut sim = Sim::new(seed);
+
+    // Node 0 gets its own domain so one Partition blackholes exactly the
+    // original seed introducer; everyone else who is public shares the wan.
+    let seed_net = sim.add_domain(DomainSpec::public("seed.net"));
+    let wan = sim.add_domain(DomainSpec::public("wan"));
+    let campus_a = sim.add_domain(DomainSpec::natted("a.campus", NatConfig::typical()));
+    let campus_b = sim.add_domain(DomainSpec::natted("b.campus", NatConfig::typical()));
+
+    let mut domains = vec![seed_net];
+    domains.extend(std::iter::repeat_n(wan, INTRODUCERS - 1 + WAN_NODES));
+    domains.extend([campus_a, campus_a, campus_b, campus_b]);
+    assert_eq!(domains.len(), INTRODUCERS + WAN_NODES + NAT_NODES);
+    let n = domains.len();
+
+    let mut hosts = Vec::new();
+    for (i, &dom) in domains.iter().enumerate() {
+        hosts.push(sim.add_host(dom, HostSpec::new(format!("c{i}"))));
+    }
+    let joiner_host = sim.add_host(wan, HostSpec::new("joiner"));
+
+    let intro_uris: Vec<TransportUri> = hosts[..INTRODUCERS]
+        .iter()
+        .map(|&h| TransportUri::udp(PhysAddr::new(sim.world().host_ip(h), PORT)))
+        .collect();
+
+    let mut addr_rng = seeds.rng("addresses");
+    let mut actors = Vec::new();
+    for (i, &host) in hosts.iter().enumerate() {
+        // Introducer i dials only its predecessors (node 0 dials nobody);
+        // everyone else carries the full four-entry introducer list.
+        let bootstrap = if i < INTRODUCERS {
+            intro_uris[..i].to_vec()
+        } else {
+            intro_uris.clone()
+        };
+        let node = BrunetNode::new(
+            Address::random(&mut addr_rng),
+            OverlayConfig::default(),
+            seeds.seed_for_indexed("node", i as u64),
+        );
+        actors.push(sim.add_actor_at(
+            host,
+            SimTime::from_millis(i as u64 * 200),
+            OverlayHost::new(node, PORT, bootstrap, ForwardingCost::end_node(), NoApp),
+        ));
+    }
+
+    // The fault timeline, all relative to the converge deadline.
+    let t0 = SimTime::from_secs(120);
+    let at = |s: u64| t0 + SimDuration::from_secs(s);
+    let chaos_open = at(0);
+    let kill_at = at(5);
+    let intro_crash_at = at(10);
+    let partition_at = at(15);
+    let nat_expiry_at = at(20);
+    let joiner_start = at(25);
+    let victim_restart = at(35);
+    let chaos_close = at(60);
+    let intro_restart = at(70);
+    let heal_at = at(75);
+
+    // The brand-new joiner must complete the real multi-introducer join
+    // while node 0 is partitioned away and introducers 2–3 are crashed.
+    let joiner_node = BrunetNode::new(
+        Address::random(&mut addr_rng),
+        OverlayConfig::default(),
+        seeds.seed_for_indexed("node", n as u64),
+    );
+    let joiner_actor = sim.add_actor_at(
+        joiner_host,
+        joiner_start,
+        OverlayHost::new(
+            joiner_node,
+            PORT,
+            intro_uris.clone(),
+            ForwardingCost::end_node(),
+            NoApp,
+        ),
+    );
+
+    // Kill-k victims come from the plain wan nodes, seeded.
+    let mut victim_rng = seeds.rng("chaos-victims");
+    let mut pool: Vec<usize> = (INTRODUCERS..INTRODUCERS + WAN_NODES).collect();
+    let mut victims = Vec::new();
+    for _ in 0..2 {
+        victims.push(pool.swap_remove(victim_rng.gen_range(0..pool.len())));
+    }
+    victims.sort_unstable();
+    let crashed_intros = [2usize, 3];
+
+    let mut plan = FaultPlan::new()
+        .at(
+            chaos_open,
+            FaultKind::ChaosOpen {
+                dup_per_mille: 100,
+                reorder_per_mille: 100,
+                extra: SimDuration::from_millis(200),
+            },
+        )
+        .at(partition_at, FaultKind::Partition { domain: seed_net })
+        .at(nat_expiry_at, FaultKind::NatExpiry { domain: campus_a })
+        .at(nat_expiry_at, FaultKind::NatExpiry { domain: campus_b })
+        .at(chaos_close, FaultKind::ChaosClose)
+        .at(heal_at, FaultKind::HealPartition { domain: seed_net });
+    for &v in &victims {
+        plan = plan.at(kill_at, FaultKind::Crash { host: hosts[v] });
+    }
+    for &i in &crashed_intros {
+        plan = plan.at(intro_crash_at, FaultKind::Crash { host: hosts[i] });
+    }
+    plan.inject(&mut sim);
+
+    // Clean-slate restarts: the host comes back with fresh bindings and the
+    // runtime restarts the node, re-seeding only its introducer cache
+    // (`JoinState`) — the tentpole contract under test.
+    for (&idx, restart_at) in victims
+        .iter()
+        .map(|v| (v, victim_restart))
+        .chain(crashed_intros.iter().map(|i| (i, intro_restart)))
+    {
+        let host = hosts[idx];
+        let actor = actors[idx];
+        sim.schedule(restart_at, move |sim| {
+            sim.world().restart_host(host);
+            sim.with_actor::<OverlayHost<NoApp>, _>(actor, |h, ctx| h.restart_node(ctx));
+        });
+    }
+
+    // Who belongs to the audited membership at time `now`: crashed nodes
+    // rejoin it at restart, the seed node leaves it for the partition's
+    // duration, the joiner enters at its start time.
+    let is_member = |i: usize, now: SimTime| -> bool {
+        if victims.contains(&i) {
+            return !(kill_at <= now && now < victim_restart);
+        }
+        if crashed_intros.contains(&i) {
+            return !(intro_crash_at <= now && now < intro_restart);
+        }
+        if i == 0 {
+            return !(partition_at <= now && now < heal_at);
+        }
+        true
+    };
+    let snapshots = |sim: &mut Sim| -> Vec<ConnSnapshot> {
+        let now = sim.now();
+        let mut snaps: Vec<ConnSnapshot> = actors
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| is_member(i, now))
+            .map(|(_, &a)| {
+                sim.with_actor::<OverlayHost<NoApp>, _>(a, |h, _| h.node().conn_snapshot())
+            })
+            .collect();
+        if now >= joiner_start {
+            snaps.push(
+                sim.with_actor::<OverlayHost<NoApp>, _>(joiner_actor, |h, _| {
+                    h.node().conn_snapshot()
+                }),
+            );
+        }
+        snaps
+    };
+
+    let mut audit_rng = seeds.rng("chaos-audit");
+    sim.run_until(t0);
+    let snaps = snapshots(&mut sim);
+    let initial_ok = audit_ring(sim.now(), &snaps, ROUTE_SAMPLES, &mut audit_rng).passed();
+
+    // Poll the auditor straight through the chaos (recorded, not asserted:
+    // the ring is legitimately torn while faults are active). The last
+    // checkpoint lands at T+69 — before the introducer restarts and the
+    // heal — so the joiner check below really runs under the partition.
+    let mut mid_polls = Vec::new();
+    for off in [10u64, 20, 30, 40, 50, 60, 69] {
+        sim.run_until(at(off));
+        let snaps = snapshots(&mut sim);
+        let report = audit_ring(sim.now(), &snaps, ROUTE_SAMPLES, &mut audit_rng);
+        mid_polls.push((sim.now(), report.passed()));
+    }
+    let joiner_routable_under_partition =
+        sim.with_actor::<OverlayHost<NoApp>, _>(joiner_actor, |h, _| h.node().is_routable());
+
+    // Final heal, then wait for whole-membership repair on a backoff-paced
+    // audit schedule (interval doubles up to a cap — same discipline as the
+    // churn runner).
+    sim.run_until(heal_at);
+    let deadline = heal_at + SETTLE;
+    let mut interval_us = SimDuration::from_secs(5).as_micros();
+    let cap_us = SimDuration::from_secs(40).as_micros();
+    let mut repaired_at = None;
+    let mut settle_polls = 0;
+    let mut last_violations = Vec::new();
+    loop {
+        let next = (sim.now() + SimDuration::from_micros(interval_us)).min(deadline);
+        sim.run_until(next);
+        settle_polls += 1;
+        let snaps = snapshots(&mut sim);
+        let report = audit_ring(sim.now(), &snaps, ROUTE_SAMPLES, &mut audit_rng);
+        if report.passed() {
+            repaired_at = Some(sim.now());
+            last_violations.clear();
+            break;
+        }
+        last_violations = report.violations;
+        if sim.now() >= deadline {
+            break;
+        }
+        interval_us = (interval_us * 2).min(cap_us);
+    }
+
+    let mut counters = TelemetryCounters::new();
+    for &actor in actors.iter().chain(std::iter::once(&joiner_actor)) {
+        let c = sim.with_actor::<OverlayHost<NoApp>, _>(actor, |h, _| h.counters());
+        counters.merge(&c);
+    }
+    Outcome {
+        transcript: sim.world_ref().fault_transcript().to_vec(),
+        initial_ok,
+        mid_polls,
+        joiner_routable_under_partition,
+        heal_at,
+        repaired_at,
+        settle_polls,
+        last_violations,
+        counters,
+    }
+}
+
+#[test]
+fn compound_chaos_heals_within_bound() {
+    let out = run_scenario(churn_seed());
+    assert!(out.initial_ok, "pre-fault overlay failed its audit");
+    assert!(
+        out.joiner_routable_under_partition,
+        "mid-partition joiner must become routable with the seed node \
+         blackholed and introducers 2-3 crashed"
+    );
+    assert!(
+        out.repaired_at.is_some(),
+        "ring did not repair within {SETTLE:?} of the final heal: {:?}",
+        out.last_violations
+    );
+    let repair = out.repair_secs().unwrap();
+    assert!(
+        repair <= SETTLE.as_micros() as f64 / 1e6,
+        "repair took {repair:.1} s"
+    );
+    assert_eq!(
+        out.mid_polls.len(),
+        7,
+        "auditor polled throughout the chaos"
+    );
+
+    // The transcript records exactly the composed fault set: 2 victim + 2
+    // introducer crashes, their 4 clean-slate restarts, one partition and
+    // its heal, two NAT expiries, one chaos window.
+    let count = |f: fn(&FaultKind) -> bool| out.transcript.iter().filter(|r| f(&r.kind)).count();
+    assert_eq!(count(|k| matches!(k, FaultKind::Crash { .. })), 4);
+    assert_eq!(count(|k| matches!(k, FaultKind::Restart { .. })), 4);
+    assert_eq!(count(|k| matches!(k, FaultKind::Partition { .. })), 1);
+    assert_eq!(count(|k| matches!(k, FaultKind::HealPartition { .. })), 1);
+    assert_eq!(count(|k| matches!(k, FaultKind::NatExpiry { .. })), 2);
+    assert_eq!(count(|k| matches!(k, FaultKind::ChaosOpen { .. })), 1);
+    assert_eq!(count(|k| matches!(k, FaultKind::ChaosClose)), 1);
+
+    // The multi-introducer machinery actually ran: every join funneled
+    // through the cache, and healing tore down and re-made near links.
+    assert!(out.counters.get(Counter::IntroducerTried) > 0);
+    assert!(out.counters.get(Counter::NearLost) > 0);
+    assert!(out.counters.get(Counter::NearLinked) > 0);
+}
+
+#[test]
+fn compound_chaos_is_deterministic_record_replay() {
+    let seed = churn_seed() ^ 0xCA05;
+    let a = run_scenario(seed);
+    let b = run_scenario(seed);
+    assert_eq!(
+        a.transcript, b.transcript,
+        "same seed must replay the exact fault transcript"
+    );
+    assert_eq!(a, b, "same seed must replay the exact run outcome");
+}

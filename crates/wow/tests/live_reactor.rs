@@ -76,13 +76,12 @@ fn wait_audited(nodes: &[UdpNode], deadline: Duration, what: &str) {
 fn wait_deliver(node: &UdpNode, payload: &[u8], deadline: Duration) {
     let end = Instant::now() + deadline;
     while Instant::now() < end {
-        match node.events().recv_timeout(Duration::from_millis(200)) {
-            Ok(UdpEvent::Deliver { data, exact, .. }) => {
-                assert_eq!(&data[..], payload);
-                assert!(exact, "payload must be an exact delivery");
-                return;
-            }
-            Ok(_) | Err(_) => {}
+        if let Ok(UdpEvent::Deliver { data, exact, .. }) =
+            node.events().recv_timeout(Duration::from_millis(200))
+        {
+            assert_eq!(&data[..], payload);
+            assert!(exact, "payload must be an exact delivery");
+            return;
         }
     }
     panic!("no delivery of {payload:?} within {deadline:?}");
@@ -266,6 +265,95 @@ fn deregistering_one_node_leaves_the_shared_loop_running() {
     // *is* the assertion that no detached thread lingers.
     drop(nodes);
     drop(reactor);
+}
+
+#[test]
+fn reactor_join_storm_through_introducers_survives_seed_loss() {
+    // The decentralized-bootstrap claim, live: a flash crowd joins through
+    // a handful of ordinary routable nodes, none of which is the original
+    // seed — and the seed itself deregisters mid-storm. If any join path
+    // still depended on the seed, the back half of the storm would stall.
+    //
+    // Keepalive is deliberately more lenient than `quick()`: at 68 nodes
+    // on one loopback box a debug build saturates the CPU, and quick()'s
+    // ~1.2 s ping-death window then declares live peers dead during
+    // scheduler stalls, churning the ring it is trying to settle. A ~10 s
+    // window rides out the stalls while still detecting the departed seed
+    // well inside the audit budget.
+    let storm_cfg = || OverlayConfig {
+        ping_interval: SimDuration::from_millis(3000),
+        ping_rto: SimDuration::from_millis(1000),
+        ping_retries: 4,
+        ..quick()
+    };
+    let mut rng = SmallRng::seed_from_u64(0xB007);
+    let reactor = Reactor::new(2).expect("start reactor");
+
+    // Seed plus four introducers form the initial ring.
+    let seed = reactor
+        .spawn_node(Address::random(&mut rng), storm_cfg(), 0, Vec::new(), 1)
+        .expect("spawn seed");
+    let seed_boot = vec![seed.uri()];
+    let mut nodes = Vec::new();
+    for i in 0..4 {
+        let node = reactor
+            .spawn_node(
+                Address::random(&mut rng),
+                storm_cfg(),
+                0,
+                seed_boot.clone(),
+                2 + i as u64,
+            )
+            .expect("spawn introducer");
+        assert!(
+            node.wait_routable(Duration::from_secs(20)),
+            "introducer {i} did not become routable"
+        );
+        nodes.push(node);
+    }
+    let intro_uris: Vec<TransportUri> = nodes.iter().map(|n| n.uri()).collect();
+
+    // 64 joiners storm in, each knowing only the four introducers. They
+    // arrive in concurrent waves of eight — back-to-back inside a wave,
+    // each wave held until routable before the next hits, the way a flash
+    // crowd ramps rather than materializing in one instant. (The raw
+    // all-at-once concurrency leg lives in the simulated joinstorm
+    // harness, where 10k arrivals share one minute.) Halfway through, the
+    // original seed node shuts down and deregisters from its shard.
+    let mut seed = Some(seed);
+    for wave in 0..8 {
+        if wave == 4 {
+            seed.take().expect("seed still held").shutdown();
+        }
+        let first = nodes.len();
+        for i in 0..8 {
+            let node = reactor
+                .spawn_node(
+                    Address::random(&mut rng),
+                    storm_cfg(),
+                    0,
+                    intro_uris.clone(),
+                    100 + (wave * 8 + i) as u64,
+                )
+                .expect("spawn storm joiner");
+            nodes.push(node);
+        }
+        // Every joiner — including all spawned after the seed vanished —
+        // must reach routability through the introducers alone.
+        for (i, n) in nodes[first..].iter().enumerate() {
+            assert!(
+                n.wait_routable(Duration::from_secs(60)),
+                "storm node {i} of wave {wave} never became routable"
+            );
+        }
+    }
+
+    // The survivor ring must audit clean with no dangling references to
+    // the departed seed. This is also the regression gate for the
+    // interleaved-ring merge: concurrent joins can briefly split the
+    // membership into two complete rings, and only the leaf-entry ring
+    // probes (see `send_ring_probe`) seed the merge back.
+    wait_audited(&nodes, Duration::from_secs(120), "post-storm ring");
 }
 
 // ------------------------------------------------ differential harness --
