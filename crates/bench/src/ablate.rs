@@ -9,8 +9,7 @@
 //!   which burns ~155 s behind a non-hairpin NAT (the UFL–UFL case);
 //!   flipping to private-first removes that cost inside one domain.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use rayon::prelude::*;
 
@@ -168,7 +167,7 @@ pub fn threshold_point(threshold: f64, trials: u64, seed: u64) -> ThresholdPoint
                     )));
                 }
             }
-            let results = Rc::new(RefCell::new(PingResults::default()));
+            let results = Arc::new(Mutex::new(PingResults::default()));
             let a_ip = wow_vnet::ip::VirtIp::testbed(2);
             let b_ip = wow_vnet::ip::VirtIp::testbed(3);
             let host_a = sim.add_host(a_dom, HostSpec::new("a"));
@@ -204,27 +203,27 @@ pub fn threshold_point(threshold: f64, trials: u64, seed: u64) -> ThresholdPoint
             );
             let a_addr = wow_vnet::ipop::address_for("ablate", a_ip);
             let t_start = SimTime::from_secs(4);
-            let found: Rc<RefCell<Option<f64>>> = Rc::new(RefCell::new(None));
+            let found: Arc<Mutex<Option<f64>>> = Arc::new(Mutex::new(None));
             let mut poll = t_start;
             let horizon = t_start + SimDuration::from_secs(400);
             while poll < horizon {
                 poll += SimDuration::from_millis(500);
                 let found = found.clone();
                 sim.schedule(poll, move |sim| {
-                    if found.borrow().is_some() {
+                    if found.lock().unwrap().is_some() {
                         return;
                     }
                     let direct = sim.with_actor::<Workstation<PingProbe>, _>(b_actor, |ws, _| {
                         ws.node().has_direct(a_addr)
                     });
                     if direct {
-                        *found.borrow_mut() =
+                        *found.lock().unwrap() =
                             Some(sim.now().saturating_since(t_start).as_secs_f64());
                     }
                 });
             }
             sim.run_until(horizon);
-            let out = *found.borrow();
+            let out = *found.lock().unwrap();
             out
         })
         .collect();
@@ -294,7 +293,7 @@ pub fn uri_order_point(order: UriOrder, trials: u64, seed: u64) -> UriOrderPoint
                     )));
                 }
             }
-            let results = Rc::new(RefCell::new(PingResults::default()));
+            let results = Arc::new(Mutex::new(PingResults::default()));
             let a_ip = wow_vnet::ip::VirtIp::testbed(2);
             let b_ip = wow_vnet::ip::VirtIp::testbed(3);
             let host_a = sim.add_host(campus, HostSpec::new("a"));
@@ -330,27 +329,27 @@ pub fn uri_order_point(order: UriOrder, trials: u64, seed: u64) -> UriOrderPoint
             );
             let a_addr = wow_vnet::ipop::address_for("ablate", a_ip);
             let t_start = SimTime::from_secs(4);
-            let found: Rc<RefCell<Option<f64>>> = Rc::new(RefCell::new(None));
+            let found: Arc<Mutex<Option<f64>>> = Arc::new(Mutex::new(None));
             let mut poll = t_start;
             let horizon = t_start + SimDuration::from_secs(400);
             while poll < horizon {
                 poll += SimDuration::from_millis(500);
                 let found = found.clone();
                 sim.schedule(poll, move |sim| {
-                    if found.borrow().is_some() {
+                    if found.lock().unwrap().is_some() {
                         return;
                     }
                     let direct = sim.with_actor::<Workstation<PingProbe>, _>(b_actor, |ws, _| {
                         ws.node().has_direct(a_addr)
                     });
                     if direct {
-                        *found.borrow_mut() =
+                        *found.lock().unwrap() =
                             Some(sim.now().saturating_since(t_start).as_secs_f64());
                     }
                 });
             }
             sim.run_until(horizon);
-            let out = *found.borrow();
+            let out = *found.lock().unwrap();
             out
         })
         .collect();

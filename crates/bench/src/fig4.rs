@@ -14,8 +14,7 @@
 //! The same trials yield the §IV-C joining claims: time-to-routable and
 //! time-to-direct-connection distributions (90% ≤ 10 s, >99% ≤ 200 s).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use rayon::prelude::*;
 
@@ -197,7 +196,7 @@ pub fn run_trial(scenario: Scenario, cfg: &Fig4Config, trial: u64) -> Trial {
         tb.domain(scenario.b_site()),
         wow_netsim::topology::HostSpec::new("node-b").link_bps(2.5e6),
     );
-    let results: Rc<RefCell<PingResults>> = Rc::new(RefCell::new(PingResults::default()));
+    let results: Arc<Mutex<PingResults>> = Arc::new(Mutex::new(PingResults::default()));
     let probe = PingProbe::new(a.ip, cfg.pings, results.clone());
     let ws = control::workstation(
         b_ip,
@@ -212,8 +211,8 @@ pub fn run_trial(scenario: Scenario, cfg: &Fig4Config, trial: u64) -> Trial {
     let b_actor = tb.sim.add_actor_at(b_host, join_at, ws);
 
     // Poll B's overlay state to timestamp routability / direct connection.
-    let routable_at: Rc<RefCell<Option<f64>>> = Rc::new(RefCell::new(None));
-    let direct_at: Rc<RefCell<Option<f64>>> = Rc::new(RefCell::new(None));
+    let routable_at: Arc<Mutex<Option<f64>>> = Arc::new(Mutex::new(None));
+    let direct_at: Arc<Mutex<Option<f64>>> = Arc::new(Mutex::new(None));
     let horizon = join_at + SimDuration::from_secs(u64::from(cfg.pings) + 40);
     let mut poll = join_at;
     while poll < horizon {
@@ -230,24 +229,24 @@ pub fn run_trial(scenario: Scenario, cfg: &Fig4Config, trial: u64) -> Trial {
             let now_rel = |t: SimTime| t.saturating_since(join_at).as_secs_f64();
             let now = sim.now();
             if routable {
-                routable_at.borrow_mut().get_or_insert(now_rel(now));
+                routable_at.lock().unwrap().get_or_insert(now_rel(now));
             }
             if direct {
-                direct_at.borrow_mut().get_or_insert(now_rel(now));
+                direct_at.lock().unwrap().get_or_insert(now_rel(now));
             }
         });
     }
     tb.sim.run_until(horizon);
 
-    let r = results.borrow();
+    let r = results.lock().unwrap();
     let mut rtts = vec![None; usize::from(cfg.pings)];
     for (seq, rtt) in &r.replies {
         if let Some(slot) = rtts.get_mut(usize::from(*seq)) {
             *slot = Some(rtt.as_millis_f64());
         }
     }
-    let time_to_routable = *routable_at.borrow();
-    let time_to_direct = *direct_at.borrow();
+    let time_to_routable = *routable_at.lock().unwrap();
+    let time_to_direct = *direct_at.lock().unwrap();
     let counters = tb
         .sim
         .with_actor::<Workstation<PingProbe>, _>(b_actor, |ws, _| ws.counters());

@@ -8,8 +8,7 @@
 //! rate (1.36 MB/s before, 1.83 MB/s after: the endpoints are now in one
 //! domain).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use wow::migrate::{migrate_workstation, MigrationSpec};
 use wow::testbed::{self, Site, TestbedConfig};
@@ -92,8 +91,7 @@ pub fn run(cfg: &Fig6Config) -> Fig6Result {
     let server_node = 3u8; // UFL private network
     let client_node = 17u8; // NWU
     let port = 22;
-    let progress: Rc<RefCell<TransferProgress>> =
-        Rc::new(RefCell::new(TransferProgress::default()));
+    let progress: Arc<Mutex<TransferProgress>> = Arc::new(Mutex::new(TransferProgress::default()));
     let client_progress = progress.clone();
     let connect_delay = SimDuration::from_secs(220);
     let file_bytes = cfg.file_bytes;
@@ -142,7 +140,7 @@ pub fn run(cfg: &Fig6Config) -> Fig6Result {
         + SimDuration::from_secs(300);
     tb.sim.run_until(horizon);
 
-    let p = progress.borrow();
+    let p = progress.lock().unwrap();
     let rel = |t: SimTime| t.saturating_since(t0).as_secs_f64();
     let curve: Vec<(f64, u64)> = p.samples.iter().map(|(t, b)| (rel(*t), *b)).collect();
     let migration_window = (rel(migrate_at), rel(resume_at));

@@ -7,8 +7,7 @@
 //! then keeps scheduling onto the migrated VM, whose jobs are fast again —
 //! with no application or middleware reconfiguration.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use wow::migrate::{migrate_workstation, MigrationSpec};
 use wow::testbed::{self, Site, TestbedConfig};
@@ -86,7 +85,7 @@ pub fn run(cfg: &Fig7Config) -> Fig7Result {
         router_hosts: 20.min(cfg.routers.max(1)),
         ..TestbedConfig::default()
     };
-    let results: Rc<RefCell<PbsResults>> = Rc::new(RefCell::new(PbsResults::default()));
+    let results: Arc<Mutex<PbsResults>> = Arc::new(Mutex::new(PbsResults::default()));
     let head_results = results.clone();
     let head_node = 2u8;
     let observed = 3u8;
@@ -142,7 +141,7 @@ pub fn run(cfg: &Fig7Config) -> Fig7Result {
     let horizon = resume_at + SimDuration::from_secs(u64::from(jobs) * 2 + 900);
     tb.sim.run_until(horizon);
 
-    let r = results.borrow();
+    let r = results.lock().unwrap();
     let mut recs: Vec<(u32, u8, f64, f64)> = r
         .records
         .iter()

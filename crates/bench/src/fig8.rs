@@ -10,9 +10,8 @@
 //! (node032, node034) run long jobs and few of them; the fast ones
 //! (node030/031/033) the opposite.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use wow::testbed::{self, TestbedConfig};
 use wow_middleware::apps::meme;
@@ -34,6 +33,8 @@ pub struct Fig8Config {
     pub routers: usize,
     /// Root seed.
     pub seed: u64,
+    /// Simulator event-execution workers (`0` inherits `WOW_SIM_WORKERS`).
+    pub workers: usize,
 }
 
 impl Default for Fig8Config {
@@ -42,6 +43,7 @@ impl Default for Fig8Config {
             jobs: 1000,
             routers: 118,
             seed: 0xF168,
+            workers: 0,
         }
     }
 }
@@ -100,9 +102,10 @@ pub fn run(shortcuts: bool, cfg: &Fig8Config) -> Fig8Result {
         overlay,
         routers: cfg.routers,
         router_hosts: 20.min(cfg.routers.max(1)),
+        workers: cfg.workers,
         ..TestbedConfig::default()
     };
-    let results: Rc<RefCell<PbsResults>> = Rc::new(RefCell::new(PbsResults::default()));
+    let results: Arc<Mutex<PbsResults>> = Arc::new(Mutex::new(PbsResults::default()));
     let head_results = results.clone();
     let head_node = 2u8;
     let head_ip = wow_vnet::ip::VirtIp::testbed(head_node);
@@ -139,13 +142,13 @@ pub fn run(shortcuts: bool, cfg: &Fig8Config) -> Fig8Result {
     let submit_end = first_submit + SimDuration::from_secs(u64::from(jobs));
     tb.sim.run_until(submit_end);
     let hard_cap = submit_end + SimDuration::from_secs((u64::from(jobs) * 12).max(1800));
-    while results.borrow().all_done.is_none() && tb.sim.now() < hard_cap {
+    while results.lock().unwrap().all_done.is_none() && tb.sim.now() < hard_cap {
         let next = (tb.sim.now() + SimDuration::from_secs(120)).min(hard_cap);
         tb.sim.run_until(next);
     }
     let transit = TransitStats::harvest::<Role>(&mut tb);
 
-    let r = results.borrow();
+    let r = results.lock().unwrap();
     let mut walls = Vec::with_capacity(r.records.len());
     let mut per_node: HashMap<u8, u32> = HashMap::new();
     let mut histogram = Histogram::new(8.0, 88.0, 10);

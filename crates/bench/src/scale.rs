@@ -61,6 +61,10 @@ pub struct ScaleConfig {
     pub poll: SimDuration,
     /// Greedy routing pairs sampled per audit pass.
     pub route_samples: usize,
+    /// Simulator event-execution workers (`0` inherits `WOW_SIM_WORKERS`).
+    /// Any value yields byte-identical results; see `results/scale_par.csv`
+    /// for the measured speedup.
+    pub workers: usize,
 }
 
 impl ScaleConfig {
@@ -78,6 +82,7 @@ impl ScaleConfig {
             settle: SimDuration::from_secs(180),
             poll: SimDuration::from_secs(10),
             route_samples: 64,
+            workers: 0,
         }
     }
 }
@@ -135,6 +140,28 @@ pub struct ScaleTrafficResult {
     /// allocation each before the name bytes; the interned arena must
     /// stay under [`NAME_BYTES_PER_HOST_BOUND`].
     pub name_bytes_per_host: f64,
+}
+
+impl ScaleTrafficResult {
+    /// Deterministic artifact digest: every simulator-derived field, floats
+    /// as exact bit patterns; wall-clock and RSS excluded. The parallel
+    /// engine's contract is that this string does not depend on the worker
+    /// count — `scale_par` and the CI smoke job assert it.
+    pub fn digest(&self) -> String {
+        format!(
+            "n={} sc={} warm_ev={} traffic_ev={} h1={:016x} h2={:016x} fwd={} conns={} cross={} audit={}",
+            self.nodes,
+            self.shortcuts,
+            self.warm.events,
+            self.traffic.events,
+            self.hops_first_half.to_bits(),
+            self.hops_second_half.to_bits(),
+            self.forwarded,
+            self.shortcut_conns,
+            self.shortcut_crossings,
+            self.audit_ok,
+        )
+    }
 }
 
 /// Regression bound on per-host name storage: 4 offset bytes plus the
@@ -215,6 +242,9 @@ fn build(cfg: &ScaleConfig, overlay: OverlayConfig) -> ScaleNet {
     let n = addrs.len();
 
     let mut sim = Sim::new(cfg.seed);
+    if cfg.workers > 0 {
+        sim.set_workers(cfg.workers);
+    }
     let wan = sim.add_domain(DomainSpec::public("wan"));
     let mut hosts = Vec::with_capacity(n);
     let mut actors = Vec::with_capacity(n);

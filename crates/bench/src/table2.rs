@@ -9,8 +9,7 @@
 //! the one-time shortcut-setup transient — which the paper's repeated
 //! transfers amortize — does not skew small files.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use wow::simrt::{NoApp, OverlayHost};
 use wow::testbed::{self, TestbedConfig};
@@ -159,8 +158,7 @@ pub fn run_transfer(
         router_hosts: 20.min(routers.max(1)),
         ..TestbedConfig::default()
     };
-    let progress: Rc<RefCell<TransferProgress>> =
-        Rc::new(RefCell::new(TransferProgress::default()));
+    let progress: Arc<Mutex<TransferProgress>> = Arc::new(Mutex::new(TransferProgress::default()));
     let recv_progress = progress.clone();
     let port = 5001;
     // The sender warms the pair with 1/s pings from boot (as the paper's
@@ -176,14 +174,14 @@ pub fn run_transfer(
                 PingProbe::new(
                     receiver_ip,
                     600,
-                    Rc::new(RefCell::new(PingResults::default())),
+                    Arc::new(Mutex::new(PingResults::default())),
                 ),
                 TtcpSender::new(
                     receiver_ip,
                     port,
                     size,
                     start_delay,
-                    Rc::new(RefCell::new(TransferProgress::default())),
+                    Arc::new(Mutex::new(TransferProgress::default())),
                 ),
             )))
         } else if spec.number == placement.receiver {
@@ -197,7 +195,7 @@ pub fn run_transfer(
     // baseline path did: 151 ring members occasionally place two WOW nodes
     // adjacent (a direct or all-VM path), which is not the scenario the
     // paper's "without shortcuts" column measures.
-    let chance_direct = Rc::new(RefCell::new(false));
+    let chance_direct = Arc::new(Mutex::new(false));
     if !shortcuts {
         let sender_actor = tb.node(placement.sender).actor;
         let receiver_addr = tb.node(placement.receiver).addr;
@@ -216,7 +214,7 @@ pub fn run_transfer(
             let router_actors = router_actors.clone();
             tb.sim
                 .schedule(SimTime::from_secs(380 + k * 120), move |sim| {
-                    if *flag.borrow() {
+                    if *flag.lock().unwrap() {
                         return;
                     }
                     let mut dir: Vec<(Address, ActorId, bool)> = directory.clone();
@@ -269,7 +267,7 @@ pub fn run_transfer(
                         }
                     }
                     if reached && router_hops == 0 {
-                        *flag.borrow_mut() = true;
+                        *flag.lock().unwrap() = true;
                     }
                 });
         }
@@ -278,11 +276,11 @@ pub fn run_transfer(
     let worst = size as f64 / 40_000.0;
     let horizon = SimTime::from_secs(520 + worst as u64 + 120);
     tb.sim.run_until(horizon);
-    if *chance_direct.borrow() {
+    if *chance_direct.lock().unwrap() {
         return Attempt::ChanceDirect;
     }
     let transit = TransitStats::harvest::<Role>(&mut tb);
-    let p = progress.borrow();
+    let p = progress.lock().unwrap();
     match steady_bandwidth(&p) {
         Some(kbs) => Attempt::Done(kbs, transit),
         None => Attempt::Incomplete,

@@ -11,8 +11,7 @@
 //! master/worker protocol over the virtual network, barriers, stragglers,
 //! NATs and all.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use wow::testbed::{self, TestbedConfig};
 use wow_middleware::apps::fastdnaml;
@@ -84,7 +83,7 @@ pub fn run_parallel(workers: &[u8], shortcuts: bool, cfg: &Table3Config) -> Opti
         router_hosts: 20.min(cfg.routers.max(1)),
         ..TestbedConfig::default()
     };
-    let results: Rc<RefCell<PvmResults>> = Rc::new(RefCell::new(PvmResults::default()));
+    let results: Arc<Mutex<PvmResults>> = Arc::new(Mutex::new(PvmResults::default()));
     let master_results = results.clone();
     let master_node = 2u8;
     let master_ip = wow_vnet::ip::VirtIp::testbed(master_node);
@@ -112,7 +111,7 @@ pub fn run_parallel(workers: &[u8], shortcuts: bool, cfg: &Table3Config) -> Opti
     let ideal = sequential_secs(1.0, cfg.scale) / workers.len().max(1) as f64;
     let horizon = SimTime::from_secs(500 + (ideal * 6.0) as u64 + 3600);
     tb.sim.run_until(horizon);
-    let r = results.borrow();
+    let r = results.lock().unwrap();
     r.wall().map(|w| w.as_secs_f64())
 }
 

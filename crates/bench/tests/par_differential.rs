@@ -1,0 +1,60 @@
+//! Fig. 8 parallel differential: the full PBS/MEME experiment — PBS head,
+//! NFS traffic, overlay routers under PlanetLab load — digested to a
+//! canonical string and pinned byte-identical across simulator worker
+//! counts. The digest covers every per-job wall clock (exact f64 bit
+//! patterns), per-node job counts, the histogram, the summary statistics
+//! and the transit forwarding totals.
+
+use wow_bench::fig8::{run, Fig8Config, Fig8Result};
+
+fn digest(r: &Fig8Result) -> String {
+    let mut out = String::new();
+    for &(job, node, wall) in &r.walls {
+        out.push_str(&format!(
+            "job {job} node {node} wall {:016x}\n",
+            wall.to_bits()
+        ));
+    }
+    let mut per_node: Vec<_> = r.per_node.iter().map(|(&n, &c)| (n, c)).collect();
+    per_node.sort();
+    out.push_str(&format!("per_node {per_node:?}\n"));
+    out.push_str(&format!("hist {:?}\n", r.histogram));
+    out.push_str(&format!(
+        "mean {:016x} std {:016x} jpm {:016x} completed {}\n",
+        r.mean_s.to_bits(),
+        r.std_s.to_bits(),
+        r.throughput_jpm.to_bits(),
+        r.completed,
+    ));
+    out.push_str(&format!("transit {:?}\n", r.transit));
+    out
+}
+
+#[test]
+fn fig8_digest_is_identical_across_worker_counts() {
+    let base = Fig8Config::quick();
+    let reference = digest(&run(
+        true,
+        &Fig8Config {
+            workers: 1,
+            ..base.clone()
+        },
+    ));
+    assert!(
+        reference.contains("job "),
+        "quick fig8 run completed no jobs — differential would be vacuous"
+    );
+    for workers in [2usize, 4, 8] {
+        let got = digest(&run(
+            true,
+            &Fig8Config {
+                workers,
+                ..base.clone()
+            },
+        ));
+        assert_eq!(
+            got, reference,
+            "workers={workers}: fig8 digest diverged from sequential"
+        );
+    }
+}

@@ -9,9 +9,8 @@
 //! speed/load model — which is where Table I's heterogeneity shows up in
 //! the job-time histogram.
 
-use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -246,7 +245,7 @@ pub struct PbsHead {
     /// Job template.
     pub template: JobTemplate,
     /// Shared results.
-    pub results: Rc<RefCell<PbsResults>>,
+    pub results: Arc<Mutex<PbsResults>>,
     /// Delay before the first submission (lets workers register first, so
     /// throughput measures steady state rather than a cold queue).
     pub start_delay: SimDuration,
@@ -271,7 +270,7 @@ impl PbsHead {
         total_jobs: u32,
         submit_interval: SimDuration,
         template: JobTemplate,
-        results: Rc<RefCell<PbsResults>>,
+        results: Arc<Mutex<PbsResults>>,
     ) -> Self {
         PbsHead {
             total_jobs,
@@ -360,7 +359,7 @@ impl PbsHead {
             PbsMsg::Register { node } => {
                 if let Some(wc) = self.workers.get_mut(&sock) {
                     wc.node = node;
-                    self.results.borrow_mut().workers_seen += 1;
+                    self.results.lock().unwrap().workers_seen += 1;
                 }
                 self.try_dispatch(w);
             }
@@ -379,7 +378,7 @@ impl PbsHead {
                 }
                 if let Some((node, submitted, dispatched)) = self.dispatched.remove(&job) {
                     let now = w.now();
-                    let mut r = self.results.borrow_mut();
+                    let mut r = self.results.lock().unwrap();
                     r.records.push(JobRecord {
                         job,
                         node,

@@ -1,9 +1,8 @@
 //! The Fig. 4 / Fig. 5 measurement workload: ICMP echo at one-second
 //! intervals with per-sequence bookkeeping.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 
@@ -50,7 +49,7 @@ pub struct PingProbe {
     /// ICMP identifier to use.
     pub ident: u16,
     /// Shared results.
-    pub results: Rc<RefCell<PingResults>>,
+    pub results: Arc<Mutex<PingResults>>,
     outstanding: HashMap<u16, SimTime>,
     next_seq: u16,
 }
@@ -59,7 +58,7 @@ const TAG_NEXT_PING: u64 = 1;
 
 impl PingProbe {
     /// A probe toward `target`.
-    pub fn new(target: VirtIp, count: u16, results: Rc<RefCell<PingResults>>) -> Self {
+    pub fn new(target: VirtIp, count: u16, results: Arc<Mutex<PingResults>>) -> Self {
         PingProbe {
             target,
             interval: SimDuration::from_secs(1),
@@ -79,7 +78,7 @@ impl PingProbe {
         self.next_seq += 1;
         let now = w.now();
         self.outstanding.insert(seq, now);
-        self.results.borrow_mut().sent.push((seq, now));
+        self.results.lock().unwrap().sent.push((seq, now));
         w.stack.ping(
             self.target,
             self.ident,
@@ -111,7 +110,7 @@ impl Workload for PingProbe {
             if from == self.target && ident == self.ident {
                 if let Some(sent_at) = self.outstanding.remove(&seq) {
                     let rtt = w.now().saturating_since(sent_at);
-                    self.results.borrow_mut().replies.push((seq, rtt));
+                    self.results.lock().unwrap().replies.push((seq, rtt));
                 }
             }
         }

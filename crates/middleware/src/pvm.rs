@@ -8,9 +8,8 @@
 //! rounds; [`PvmWorker`] computes tasks on its host's (speed- and
 //! load-scaled) CPU.
 
-use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -190,7 +189,7 @@ pub struct PvmMaster {
     /// Workers expected before the computation starts.
     pub expected_workers: usize,
     /// Shared results.
-    pub results: Rc<RefCell<PvmResults>>,
+    pub results: Arc<Mutex<PvmResults>>,
     current_round: usize,
     pool: VecDeque<u32>,
     outstanding: u32,
@@ -204,7 +203,7 @@ impl PvmMaster {
     pub fn new(
         rounds: Vec<RoundSpec>,
         expected_workers: usize,
-        results: Rc<RefCell<PvmResults>>,
+        results: Arc<Mutex<PvmResults>>,
     ) -> Self {
         PvmMaster {
             rounds,
@@ -225,14 +224,14 @@ impl PvmMaster {
             return;
         }
         self.running = true;
-        self.results.borrow_mut().started = Some(w.now());
+        self.results.lock().unwrap().started = Some(w.now());
         self.load_round(w);
     }
 
     fn load_round(&mut self, w: &mut WsHandle<'_, '_, '_>) {
         if self.current_round >= self.rounds.len() {
             // All rounds complete.
-            self.results.borrow_mut().finished = Some(w.now());
+            self.results.lock().unwrap().finished = Some(w.now());
             let now = w.now();
             let socks: Vec<SocketId> = self.workers.keys().copied().collect();
             for s in socks {
@@ -281,7 +280,7 @@ impl PvmMaster {
             PvmMsg::Register { node } => {
                 if let Some(c) = self.workers.get_mut(&sock) {
                     c.node = node;
-                    self.results.borrow_mut().workers += 1;
+                    self.results.lock().unwrap().workers += 1;
                 }
                 self.maybe_start(w);
             }
@@ -297,7 +296,7 @@ impl PvmMaster {
                     // Barrier: round complete. The master's serial step —
                     // selecting the best tree — runs before the next round
                     // is released.
-                    self.results.borrow_mut().round_done.push(w.now());
+                    self.results.lock().unwrap().round_done.push(w.now());
                     self.current_round += 1;
                     let serial_done = w.cpu(SimDuration::from_millis(8000));
                     let now = w.now();

@@ -7,8 +7,7 @@
 //! network's TCP. The client records a (time, bytes) series: exactly the
 //! "file size on the client's local disk over time" curve of Fig. 6.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use wow::workstation::{Workload, WsHandle};
 use wow_netsim::time::SimDuration;
@@ -104,7 +103,7 @@ pub struct FileClient {
     /// Delay after boot before connecting.
     pub start_delay: SimDuration,
     /// Shared progress: the Fig. 6 curve.
-    pub progress: Rc<RefCell<TransferProgress>>,
+    pub progress: Arc<Mutex<TransferProgress>>,
     sock: Option<SocketId>,
 }
 
@@ -114,7 +113,7 @@ impl FileClient {
         server: VirtIp,
         port: u16,
         start_delay: SimDuration,
-        progress: Rc<RefCell<TransferProgress>>,
+        progress: Arc<Mutex<TransferProgress>>,
     ) -> Self {
         FileClient {
             server,
@@ -141,7 +140,7 @@ impl Workload for FileClient {
             }
             TAG_SAMPLE => {
                 // Periodic sample so the stall plateau shows in the curve.
-                let mut p = self.progress.borrow_mut();
+                let mut p = self.progress.lock().unwrap();
                 if p.completed.is_none() {
                     let total = p.total;
                     p.samples.push((w.now(), total));
@@ -157,12 +156,12 @@ impl Workload for FileClient {
         let Some(sock) = self.sock else { return };
         match ev {
             StackEvent::TcpConnected { sock: s } if s == sock => {
-                self.progress.borrow_mut().started = Some(w.now());
+                self.progress.lock().unwrap().started = Some(w.now());
             }
             StackEvent::TcpReadable { sock: s } if s == sock => {
                 let now = w.now();
                 let data = w.stack.tcp_read(now, sock, usize::MAX);
-                let mut p = self.progress.borrow_mut();
+                let mut p = self.progress.lock().unwrap();
                 p.total += data.len() as u64;
                 let total = p.total;
                 p.samples.push((now, total));
@@ -170,14 +169,14 @@ impl Workload for FileClient {
             StackEvent::TcpPeerClosed { sock: s } if s == sock => {
                 let now = w.now();
                 let data = w.stack.tcp_read(now, sock, usize::MAX);
-                let mut p = self.progress.borrow_mut();
+                let mut p = self.progress.lock().unwrap();
                 p.total += data.len() as u64;
                 p.completed = Some(now);
                 drop(p);
                 w.stack.tcp_close(now, sock);
             }
             StackEvent::TcpAborted { sock: s } if s == sock => {
-                self.progress.borrow_mut().aborted = true;
+                self.progress.lock().unwrap().aborted = true;
             }
             _ => {}
         }

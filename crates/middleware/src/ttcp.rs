@@ -7,9 +7,8 @@
 //! arrives. Progress and completion times land in a shared
 //! [`TransferProgress`] for the harness to turn into KB/s rows.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use wow::workstation::{Workload, WsHandle};
 use wow_netsim::time::{SimDuration, SimTime};
@@ -61,7 +60,7 @@ pub struct TtcpSender {
     /// Delay after boot before connecting (lets the overlay settle).
     pub start_delay: SimDuration,
     /// Shared progress (records the *sender-side* completion).
-    pub progress: Rc<RefCell<TransferProgress>>,
+    pub progress: Arc<Mutex<TransferProgress>>,
     sock: Option<SocketId>,
     written: u64,
     closed: bool,
@@ -74,7 +73,7 @@ impl TtcpSender {
         port: u16,
         bytes: u64,
         start_delay: SimDuration,
-        progress: Rc<RefCell<TransferProgress>>,
+        progress: Arc<Mutex<TransferProgress>>,
     ) -> Self {
         TtcpSender {
             target,
@@ -132,19 +131,19 @@ impl Workload for TtcpSender {
     fn on_event(&mut self, w: &mut WsHandle<'_, '_, '_>, ev: StackEvent) {
         match ev {
             StackEvent::TcpConnected { sock } if Some(sock) == self.sock => {
-                self.progress.borrow_mut().started = Some(w.now());
+                self.progress.lock().unwrap().started = Some(w.now());
                 self.pump_writes(w);
             }
             StackEvent::TcpWritable { sock } if Some(sock) == self.sock => {
                 self.pump_writes(w);
             }
             StackEvent::TcpClosed { sock } if Some(sock) == self.sock => {
-                let mut p = self.progress.borrow_mut();
+                let mut p = self.progress.lock().unwrap();
                 p.total = self.written;
                 p.completed = Some(w.now());
             }
             StackEvent::TcpAborted { sock } if Some(sock) == self.sock => {
-                self.progress.borrow_mut().aborted = true;
+                self.progress.lock().unwrap().aborted = true;
             }
             _ => {}
         }
@@ -157,13 +156,13 @@ pub struct TtcpReceiver {
     pub port: u16,
     /// Shared progress (records the *receiver-side* byte counts; completion
     /// is set when the sender closes).
-    pub progress: Rc<RefCell<TransferProgress>>,
+    pub progress: Arc<Mutex<TransferProgress>>,
     accepted: HashMap<SocketId, ()>,
 }
 
 impl TtcpReceiver {
     /// A receiver on `port`.
-    pub fn new(port: u16, progress: Rc<RefCell<TransferProgress>>) -> Self {
+    pub fn new(port: u16, progress: Arc<Mutex<TransferProgress>>) -> Self {
         TtcpReceiver {
             port,
             progress,
@@ -175,7 +174,7 @@ impl TtcpReceiver {
         let now = w.now();
         let data = w.stack.tcp_read(now, sock, usize::MAX);
         if !data.is_empty() {
-            let mut p = self.progress.borrow_mut();
+            let mut p = self.progress.lock().unwrap();
             p.total += data.len() as u64;
             let total = p.total;
             p.samples.push((now, total));
@@ -192,7 +191,7 @@ impl Workload for TtcpReceiver {
         match ev {
             StackEvent::TcpAccepted { listener, sock, .. } if listener == self.port => {
                 self.accepted.insert(sock, ());
-                self.progress.borrow_mut().started.get_or_insert(w.now());
+                self.progress.lock().unwrap().started.get_or_insert(w.now());
             }
             StackEvent::TcpReadable { sock } if self.accepted.contains_key(&sock) => {
                 self.drain(w, sock);
@@ -200,11 +199,11 @@ impl Workload for TtcpReceiver {
             StackEvent::TcpPeerClosed { sock } if self.accepted.contains_key(&sock) => {
                 self.drain(w, sock);
                 let now = w.now();
-                self.progress.borrow_mut().completed = Some(now);
+                self.progress.lock().unwrap().completed = Some(now);
                 w.stack.tcp_close(now, sock);
             }
             StackEvent::TcpAborted { sock } if self.accepted.remove(&sock).is_some() => {
-                self.progress.borrow_mut().aborted = true;
+                self.progress.lock().unwrap().aborted = true;
             }
             _ => {}
         }

@@ -50,6 +50,7 @@ pub mod addr;
 pub mod fault;
 pub mod link;
 pub mod nat;
+pub(crate) mod par;
 pub mod rng;
 pub mod sim;
 pub(crate) mod storage;

@@ -105,6 +105,27 @@ impl LinkModel {
         self.intra.insert(d, model);
     }
 
+    /// Minimum base one-way latency across every path model in the
+    /// topology, including the two defaults (which apply to any pair
+    /// without an explicit entry, so they always participate).
+    ///
+    /// This is the conservative lookahead bound `L` for windowed parallel
+    /// execution: every delay the simulator charges is `base` plus
+    /// strictly non-negative terms (exponential jitter, serialization,
+    /// uplink/downlink queueing, the FIFO clamp, chaos extra delay — and
+    /// hairpins traverse the intra path twice), so a packet handed to the
+    /// network at time `t` cannot arrive anywhere before `t + L`. Faults
+    /// only *remove* reachability (partitions, blackholes) or *add* delay
+    /// (chaos windows); they never create a faster path, so the bound
+    /// survives faultlab's partition/heal edges mid-run.
+    pub fn min_base_latency(&self) -> SimDuration {
+        let mut min = self.default_wan.base.min(self.default_intra.base);
+        for model in self.inter.values().chain(self.intra.values()) {
+            min = min.min(model.base);
+        }
+        min
+    }
+
     /// The model for a packet travelling from `a` to `b`.
     pub fn path(&self, a: DomainId, b: DomainId) -> PathModel {
         if a == b {

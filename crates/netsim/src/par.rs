@@ -1,0 +1,886 @@
+//! Windowed parallel event execution.
+//!
+//! The sequential core processes events strictly in `(at, seq)` order. This
+//! module runs the *same* schedule on a worker pool without changing a single
+//! observable byte: transcripts, stats, every RNG stream, NAT state, FIFO
+//! clamps and the fault transcript are identical for any worker count. That
+//! identity is what the differential suite pins, and it is what makes the
+//! parallel path trustworthy enough to leave on for big runs.
+//!
+//! ## How
+//!
+//! Classic conservative lookahead. Every delay the simulator charges is a
+//! path base latency plus strictly non-negative terms (jitter, serialization,
+//! link/CPU queueing, the FIFO clamp, chaos extra), so nothing sent at time
+//! `t` can arrive anywhere before `t + L`, where `L` is
+//! [`crate::link::LinkModel::min_base_latency`]. Events in the half-open
+//! window `[W, W + L)` therefore cannot affect each other *across hosts*
+//! through the network; the only in-window interactions are host-local
+//! (same-host wake chains, downlink → deliver chains). Hosts are striped
+//! across shards ([`crate::topology::ShardMap`]), each shard's events execute
+//! on one worker ("lane"), and everything global is recorded as an *effect*
+//! to replay at the window barrier.
+//!
+//! ## Execute / commit
+//!
+//! **Phase A (parallel):** each lane executes its batch items in `(at, seq)`
+//! order, interleaved with in-window same-host children (wake-ups and
+//! downlink deliveries it spawned) via a sorted cursor + child heap. Actor
+//! callbacks run against a [`LaneCtx`] — host-local columns are touched
+//! directly (they are owned by the shard for the window); sends and
+//! out-of-window schedules append to an effect log. One [`LaneRecord`] is
+//! emitted per executed item.
+//!
+//! **Phase B (sequential):** a k-way merge of the lane record streams plus
+//! the coordinator stream (NAT ingress events, which touch shared NAT state)
+//! replays effects in global `(at, seq)` order through the *unchanged*
+//! sequential functions (`World::send_from`, `World::nat_ingress`,
+//! `World::push`). Since those functions are where every RNG draw, sequence
+//! allocation, NAT mutation and FIFO clamp lives, replaying them in the
+//! sequential order yields byte-identical state.
+//!
+//! ## Why the order is exact
+//!
+//! * Batch events hold sequence numbers allocated before the window opened;
+//!   children allocate theirs during commit. The counter only grows, so at
+//!   equal `at` a batch item always precedes any child — the lane's
+//!   batch-first tie-break.
+//! * Within a lane, children execute in generation order at equal `at`.
+//!   Generations are assigned in (parent execution position, push position)
+//!   order, and commit allocates child seqs in exactly that order, so
+//!   generation order *is* resolved seq order.
+//! * A child's record sits after its parent's in the same lane stream, so by
+//!   the time a child record surfaces as a merge head its seq has been
+//!   resolved by the parent's `ChildSeq` effect. Merge heads are always
+//!   comparable.
+//! * `Control` events run arbitrary harness code against `&mut Sim`; a
+//!   control pops stop the batch and lower the window end to its timestamp,
+//!   so it executes alone at the barrier, exactly where the sequential core
+//!   would have run it.
+//!
+//! A runtime tripwire backs the whole argument: during commit,
+//! `World::push_floor` is set to the window end and `World::push` asserts
+//! nothing lands below it. If any future code path could schedule into a
+//! window being committed, the simulator aborts instead of silently
+//! diverging.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use bytes::Bytes;
+
+use crate::addr::{PhysAddr, PhysIp};
+use crate::link::serialization_delay;
+use crate::sim::{
+    Actor, ActorId, ActorSlot, ControlFn, Ctx, CtxInner, Datagram, DropReason, Ev, NetStats, Sim,
+    UDP_IP_OVERHEAD,
+};
+use crate::storage::{port_slot_get, port_slot_insert, port_slot_remove, PortSlot};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{DomainId, HostId, HostSpec, ShardMap};
+
+/// Below this many batch events the window executes inline on the caller —
+/// the pool's wake/park round trip costs more than the work. Inline and
+/// pooled execution go through identical lane machinery, so the results are
+/// byte-identical either way; this is purely a latency knob.
+const INLINE_BATCH: usize = 64;
+
+/// Raw pointers to the world columns a lane may touch during Phase A.
+///
+/// Captured once per window from `&mut World` + the actor table, then copied
+/// into every lane. All pointers index by host id (or actor id for
+/// `actors`); a lane only dereferences indices whose host maps to its shard,
+/// so concurrent lanes touch disjoint elements.
+#[derive(Clone, Copy)]
+pub(crate) struct WorldCols {
+    up: *mut bool,
+    ips: *const PhysIp,
+    load_factors: *const f64,
+    cpu_speeds: *const f64,
+    uplink_bps: *const f64,
+    downlink_bps: *const f64,
+    downlink_free_at: *mut SimTime,
+    cpu_free_at: *mut SimTime,
+    next_ephemeral: *mut u16,
+    ports: *mut PortSlot,
+    actors: *mut ActorSlot,
+    names: *const crate::storage::NameTable,
+    n_hosts: u32,
+    n_actors: u32,
+}
+
+impl WorldCols {
+    /// Dangling placeholder used before the first window attaches real
+    /// pointers. Never dereferenced: `n_hosts == 0` and lanes only run with
+    /// freshly captured columns.
+    fn unset() -> Self {
+        WorldCols {
+            up: std::ptr::null_mut(),
+            ips: std::ptr::null(),
+            load_factors: std::ptr::null(),
+            cpu_speeds: std::ptr::null(),
+            uplink_bps: std::ptr::null(),
+            downlink_bps: std::ptr::null(),
+            downlink_free_at: std::ptr::null_mut(),
+            cpu_free_at: std::ptr::null_mut(),
+            next_ephemeral: std::ptr::null_mut(),
+            ports: std::ptr::null_mut(),
+            actors: std::ptr::null_mut(),
+            names: std::ptr::null(),
+            n_hosts: 0,
+            n_actors: 0,
+        }
+    }
+
+    /// Capture column pointers for one window. Takes the world and actor
+    /// table mutably so the borrow checker guarantees no other access exists
+    /// at capture time; the caller must not touch either again until every
+    /// lane has finished the window.
+    fn capture(world: &mut crate::sim::World, actors: &mut Vec<ActorSlot>) -> Self {
+        let n_hosts = world.hosts.len();
+        world.ports.ensure_hosts(n_hosts);
+        let hosts = &mut world.hosts;
+        WorldCols {
+            up: hosts.up.as_mut_ptr(),
+            ips: hosts.ips.as_ptr(),
+            load_factors: hosts.load_factors.as_ptr(),
+            cpu_speeds: hosts.cpu_speeds.as_ptr(),
+            uplink_bps: hosts.uplink_bps.as_ptr(),
+            downlink_bps: hosts.downlink_bps.as_ptr(),
+            downlink_free_at: hosts.downlink_free_at.as_mut_ptr(),
+            cpu_free_at: hosts.cpu_free_at.as_mut_ptr(),
+            next_ephemeral: hosts.next_ephemeral.as_mut_ptr(),
+            names: &hosts.names as *const _,
+            ports: world.ports.raw_slots(),
+            actors: actors.as_mut_ptr(),
+            n_hosts: n_hosts as u32,
+            n_actors: actors.len() as u32,
+        }
+    }
+}
+
+/// One event handed to a lane for in-window execution.
+pub(crate) struct LaneItem {
+    at: u64,
+    seq: u64,
+    body: LaneBody,
+}
+
+/// The shard-executable event bodies. `Control` and `NatIngress` never reach
+/// a lane: the former splits the window, the latter belongs to the
+/// coordinator stream (it mutates shared NAT state).
+pub(crate) enum LaneBody {
+    Start(ActorId),
+    Wake { actor: ActorId, tag: u64 },
+    HostArrive { host: HostId, dgram: Datagram },
+    ActorDeliver { host: HostId, dgram: Datagram },
+}
+
+/// An in-window child spawned by a lane: a same-host wake or a downlink
+/// delivery whose ready time still falls inside the window.
+struct ChildItem {
+    at: u64,
+    /// Lane-local allocation order; equals resolved global seq order within
+    /// the lane (see module docs), so `(at, gen)` is the execution key.
+    gen: u32,
+    body: ChildBody,
+}
+
+enum ChildBody {
+    Wake { actor: ActorId, tag: u64 },
+    Deliver { host: HostId, dgram: Datagram },
+}
+
+impl PartialEq for ChildItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.gen == other.gen
+    }
+}
+impl Eq for ChildItem {}
+impl PartialOrd for ChildItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ChildItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.gen).cmp(&(other.at, other.gen))
+    }
+}
+
+/// How a record's global sequence number is known.
+#[derive(Clone, Copy)]
+enum SeqKey {
+    /// A batch event: popped from the wheel with its seq.
+    Resolved(u64),
+    /// A child: seq is allocated when the parent's `ChildSeq` effect
+    /// replays, and looked up by lane-local generation.
+    Child(u32),
+}
+
+/// A globally-visible action recorded during Phase A, replayed at commit in
+/// exact `(at, seq)` order. Variants mirror the calls the sequential core
+/// would have made at the same point.
+enum Effect {
+    /// `Ctx::send` → `World::send_from` at replay.
+    Send {
+        src_port: u16,
+        dst: PhysAddr,
+        payload: Bytes,
+    },
+    /// Out-of-window wake → real `World::push`.
+    WakeOut { at: u64, actor: ActorId, tag: u64 },
+    /// Out-of-window downlink delivery → real `World::push`.
+    DeliverOut {
+        at: u64,
+        host: HostId,
+        dgram: Datagram,
+    },
+    /// An in-window child was spawned here: burn one sequence number so the
+    /// counter (and every later seq) matches the sequential run, and resolve
+    /// the child's merge key.
+    ChildSeq { gen: u32 },
+}
+
+/// One executed item: its time, the host it ran on (the `from_host` for any
+/// `Send` effects), its merge key, and its slice of the lane's effect log.
+struct LaneRecord {
+    at: u64,
+    host: HostId,
+    key: SeqKey,
+    eff_start: u32,
+    eff_end: u32,
+}
+
+/// Per-shard execution context. Holds raw world-column pointers (refreshed
+/// every window) plus owned scratch; deliberately lifetime-free so a
+/// `&mut LaneCtx` can sit inside [`CtxInner`] without variance contortions.
+pub(crate) struct LaneCtx {
+    cols: WorldCols,
+    shard: u32,
+    shards: u32,
+    /// Exclusive µs end of the current window: children at or past it become
+    /// real pushes.
+    window_end: u64,
+    /// Batch input, reversed so `pop()` yields ascending `(at, seq)`.
+    input: Vec<LaneItem>,
+    children: BinaryHeap<Reverse<ChildItem>>,
+    next_gen: u32,
+    records: Vec<LaneRecord>,
+    effects: Vec<Effect>,
+    /// Host of the item currently executing (records' `host` field).
+    cur_host: HostId,
+    /// Stats delta for this window; every counter is a sum, so absorbing
+    /// per-lane deltas at the barrier equals sequential accumulation.
+    stats: NetStats,
+    /// Items executed this window (batch + children).
+    events: u64,
+}
+
+// SAFETY: a LaneCtx is moved to a pool worker for the duration of one
+// window's Phase A. The raw pointers target World/actor columns; every
+// dereference is bounds-checked in debug and shard-checked (host % shards ==
+// shard), lanes of one window have disjoint shards, and the coordinator does
+// not touch the world while lanes run. Between windows the pointers are
+// stale and unused.
+unsafe impl Send for LaneCtx {}
+
+impl LaneCtx {
+    fn new(shard: u32, shards: u32) -> Self {
+        LaneCtx {
+            cols: WorldCols::unset(),
+            shard,
+            shards,
+            window_end: 0,
+            input: Vec::new(),
+            children: BinaryHeap::new(),
+            next_gen: 0,
+            records: Vec::new(),
+            effects: Vec::new(),
+            cur_host: HostId(0),
+            stats: NetStats::default(),
+            events: 0,
+        }
+    }
+
+    /// Shard-ownership check plus index conversion: every column access
+    /// funnels through here.
+    #[inline]
+    fn idx(&self, host: HostId) -> usize {
+        debug_assert!(host.0 < self.cols.n_hosts, "host out of range");
+        debug_assert_eq!(
+            host.0 % self.shards,
+            self.shard,
+            "lane touched a host outside its shard"
+        );
+        host.0 as usize
+    }
+
+    fn attach(&mut self, cols: WorldCols, window_end: u64) {
+        self.cols = cols;
+        self.window_end = window_end;
+        debug_assert!(self.children.is_empty());
+        debug_assert!(self.records.is_empty());
+        debug_assert!(self.effects.is_empty());
+        debug_assert_eq!(self.next_gen, 0);
+        // Input was appended in global pop order (ascending (at, seq));
+        // reverse so execution pops from the back.
+        self.input.reverse();
+    }
+
+    /// Execute every batch item and in-window child in `(at, seq)` order.
+    fn run(&mut self) {
+        loop {
+            let next_is_batch = match (self.input.last(), self.children.peek()) {
+                // Batch seqs predate all child seqs, so batch wins ties.
+                (Some(b), Some(Reverse(c))) => b.at <= c.at,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if next_is_batch {
+                let item = self.input.pop().expect("checked non-empty");
+                self.begin_record(item.at, SeqKey::Resolved(item.seq));
+                match item.body {
+                    LaneBody::Start(id) => self.dispatch(item.at, id, |a, ctx| a.on_start(ctx)),
+                    LaneBody::Wake { actor, tag } => {
+                        self.dispatch(item.at, actor, |a, ctx| a.on_wake(ctx, tag))
+                    }
+                    LaneBody::HostArrive { host, dgram } => self.host_arrive(item.at, host, dgram),
+                    LaneBody::ActorDeliver { host, dgram } => self.deliver(item.at, host, dgram),
+                }
+            } else {
+                let Reverse(child) = self.children.pop().expect("checked non-empty");
+                self.begin_record(child.at, SeqKey::Child(child.gen));
+                match child.body {
+                    ChildBody::Wake { actor, tag } => {
+                        self.dispatch(child.at, actor, |a, ctx| a.on_wake(ctx, tag))
+                    }
+                    ChildBody::Deliver { host, dgram } => self.deliver(child.at, host, dgram),
+                }
+            }
+            self.events += 1;
+        }
+    }
+
+    fn begin_record(&mut self, at: u64, key: SeqKey) {
+        self.cur_host = HostId(0);
+        self.records.push(LaneRecord {
+            at,
+            host: HostId(0),
+            key,
+            eff_start: self.effects.len() as u32,
+            eff_end: self.effects.len() as u32,
+        });
+        // eff_end and host are finalized lazily: every effect push updates
+        // the open record.
+    }
+
+    #[inline]
+    fn push_effect(&mut self, e: Effect) {
+        self.effects.push(e);
+        let host = self.cur_host;
+        let rec = self.records.last_mut().expect("effect outside a record");
+        rec.eff_end = self.effects.len() as u32;
+        rec.host = host;
+    }
+
+    fn spawn_child(&mut self, at: u64, body: ChildBody) {
+        debug_assert!(at < self.window_end);
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        self.children.push(Reverse(ChildItem { at, gen, body }));
+        self.push_effect(Effect::ChildSeq { gen });
+    }
+
+    /// Mirror of `Sim::dispatch` against lane-owned state.
+    fn dispatch(&mut self, at: u64, id: ActorId, call: impl FnOnce(&mut dyn Actor, &mut Ctx<'_>)) {
+        debug_assert!(id.0 < self.cols.n_actors, "actor out of range");
+        // SAFETY: actor slots partition by host shard (an actor's host only
+        // changes at barriers), so this lane is the sole accessor.
+        let slot = unsafe { &mut *self.cols.actors.add(id.0 as usize) };
+        if !slot.alive {
+            return;
+        }
+        let Some(mut actor) = slot.actor.take() else {
+            return; // re-entrant dispatch (not expected); drop the event
+        };
+        let host = slot.host;
+        let _ = self.idx(host);
+        self.cur_host = host;
+        let mut ctx = Ctx {
+            now: SimTime::from_micros(at),
+            actor: id,
+            host,
+            inner: CtxInner::Lane(self),
+            stop_requested: false,
+        };
+        call(actor.as_mut(), &mut ctx);
+        let stop = ctx.stop_requested;
+        slot.actor = Some(actor);
+        if stop {
+            slot.alive = false;
+            // SAFETY: the actor's own host — this shard's port slot.
+            let pslot = unsafe { &mut *self.cols.ports.add(host.0 as usize) };
+            pslot.retain(|&(_, a)| a != id);
+        }
+    }
+
+    /// Mirror of `World::host_arrive`: downlink queueing on this lane's own
+    /// host, the resulting delivery either chained in-window or deferred.
+    fn host_arrive(&mut self, at: u64, host: HostId, dgram: Datagram) {
+        let i = self.idx(host);
+        self.cur_host = host;
+        let size = dgram.payload.len() + UDP_IP_OVERHEAD;
+        // SAFETY: shard-owned host columns (idx() checked ownership).
+        unsafe {
+            if !*self.cols.up.add(i) {
+                self.stats.drop(DropReason::HostDown);
+                return;
+            }
+            let now = SimTime::from_micros(at);
+            let start = now.max(*self.cols.downlink_free_at.add(i));
+            let wait = start.saturating_since(now).as_micros();
+            if wait > 0 {
+                self.stats.downlink_queued += 1;
+                self.stats.downlink_queue_wait_us += wait;
+            }
+            let ready = start + serialization_delay(size, *self.cols.downlink_bps.add(i));
+            *self.cols.downlink_free_at.add(i) = ready;
+            let ready_us = ready.as_micros();
+            if ready_us < self.window_end {
+                self.spawn_child(ready_us, ChildBody::Deliver { host, dgram });
+            } else {
+                self.push_effect(Effect::DeliverOut {
+                    at: ready_us,
+                    host,
+                    dgram,
+                });
+            }
+        }
+    }
+
+    /// Mirror of the sequential `Ev::ActorDeliver` arm.
+    fn deliver(&mut self, at: u64, host: HostId, dgram: Datagram) {
+        let i = self.idx(host);
+        // SAFETY: shard-owned host columns.
+        if !unsafe { *self.cols.up.add(i) } {
+            // The packet cleared the downlink before the host went down.
+            self.stats.drop(DropReason::HostDown);
+            return;
+        }
+        // SAFETY: shard-owned port slot.
+        let slot = unsafe { &*self.cols.ports.add(i) };
+        match port_slot_get(slot, dgram.dst.port) {
+            Some(actor) => {
+                self.stats.delivered += 1;
+                self.dispatch(at, actor, |a, ctx| a.on_datagram(ctx, dgram));
+            }
+            None => self.stats.drop(DropReason::PortUnbound),
+        }
+    }
+
+    // ---- Ctx backend surface (called from sim.rs's CtxInner::Lane arms) ----
+
+    pub(crate) fn bind(&mut self, host: HostId, port: u16, actor: ActorId) -> PhysAddr {
+        let i = self.idx(host);
+        // SAFETY: shard-owned port slot and ip column.
+        let slot = unsafe { &mut *self.cols.ports.add(i) };
+        let prev = port_slot_insert(slot, port, actor);
+        assert!(
+            prev.is_none() || prev == Some(actor),
+            "port {port} already bound on host {host:?}",
+        );
+        PhysAddr::new(unsafe { *self.cols.ips.add(i) }, port)
+    }
+
+    /// One step of the ephemeral-port scan: advance the counter, return the
+    /// candidate if free (`None` = taken, caller retries).
+    pub(crate) fn next_ephemeral(&mut self, host: HostId) -> Option<u16> {
+        let i = self.idx(host);
+        // SAFETY: shard-owned columns.
+        unsafe {
+            let port = *self.cols.next_ephemeral.add(i);
+            *self.cols.next_ephemeral.add(i) = port.checked_add(1).unwrap_or(49_152);
+            let slot = &*self.cols.ports.add(i);
+            if port_slot_get(slot, port).is_some() {
+                None
+            } else {
+                Some(port)
+            }
+        }
+    }
+
+    pub(crate) fn unbind(&mut self, host: HostId, port: u16) {
+        let i = self.idx(host);
+        // SAFETY: shard-owned port slot.
+        let slot = unsafe { &mut *self.cols.ports.add(i) };
+        port_slot_remove(slot, port);
+    }
+
+    pub(crate) fn port_owner(&self, host: HostId, port: u16) -> Option<ActorId> {
+        let i = self.idx(host);
+        // SAFETY: shard-owned port slot.
+        let slot = unsafe { &*self.cols.ports.add(i) };
+        port_slot_get(slot, port)
+    }
+
+    pub(crate) fn record_send(&mut self, src_port: u16, dst: PhysAddr, payload: Bytes) {
+        self.push_effect(Effect::Send {
+            src_port,
+            dst,
+            payload,
+        });
+    }
+
+    pub(crate) fn record_wake(&mut self, at: SimTime, actor: ActorId, tag: u64) {
+        let at = at.as_micros();
+        if at < self.window_end {
+            self.spawn_child(at, ChildBody::Wake { actor, tag });
+        } else {
+            self.push_effect(Effect::WakeOut { at, actor, tag });
+        }
+    }
+
+    pub(crate) fn ip(&self, host: HostId) -> PhysIp {
+        let i = self.idx(host);
+        // SAFETY: shard-owned column.
+        unsafe { *self.cols.ips.add(i) }
+    }
+
+    pub(crate) fn cpu_acquire(
+        &mut self,
+        now: SimTime,
+        host: HostId,
+        nominal: SimDuration,
+    ) -> SimTime {
+        let i = self.idx(host);
+        // SAFETY: shard-owned columns.
+        unsafe {
+            let start = now.max(*self.cols.cpu_free_at.add(i));
+            let wait = start.saturating_since(now).as_micros();
+            if wait > 0 {
+                self.stats.cpu_queued += 1;
+                self.stats.cpu_queue_wait_us += wait;
+            }
+            let done = start + self.scaled_work(host, nominal);
+            *self.cols.cpu_free_at.add(i) = done;
+            done
+        }
+    }
+
+    pub(crate) fn scaled_work(&self, host: HostId, nominal: SimDuration) -> SimDuration {
+        let i = self.idx(host);
+        // SAFETY: shard-owned (read-only) columns.
+        unsafe { nominal.mul_f64(*self.cols.load_factors.add(i) / *self.cols.cpu_speeds.add(i)) }
+    }
+
+    pub(crate) fn host_spec(&self, host: HostId) -> HostSpec {
+        let i = self.idx(host);
+        // SAFETY: names is read-only for the whole window; numeric columns
+        // are shard-owned.
+        unsafe {
+            HostSpec {
+                name: (*self.cols.names).get(i).to_owned(),
+                cpu_speed: *self.cols.cpu_speeds.add(i),
+                uplink_bps: *self.cols.uplink_bps.add(i),
+                downlink_bps: *self.cols.downlink_bps.add(i),
+            }
+        }
+    }
+
+    pub(crate) fn cpu_speed(&self, host: HostId) -> f64 {
+        let i = self.idx(host);
+        // SAFETY: shard-owned (read-only) column.
+        unsafe { *self.cols.cpu_speeds.add(i) }
+    }
+}
+
+/// One lane's committed output, consumed by the Phase B merge.
+struct LaneStream {
+    records: Vec<LaneRecord>,
+    effects: std::vec::IntoIter<Effect>,
+    /// Resolved seqs indexed by child generation; `u64::MAX` = unresolved.
+    child_seqs: Vec<u64>,
+    idx: usize,
+}
+
+impl LaneStream {
+    /// The merge key of the head record, if any. A child head is guaranteed
+    /// resolved: its parent precedes it in this same stream.
+    fn head(&self) -> Option<(u64, u64)> {
+        let rec = self.records.get(self.idx)?;
+        let seq = match rec.key {
+            SeqKey::Resolved(s) => s,
+            SeqKey::Child(g) => self.child_seqs[g as usize],
+        };
+        debug_assert_ne!(
+            seq,
+            u64::MAX,
+            "child record surfaced before its parent committed"
+        );
+        Some((rec.at, seq))
+    }
+}
+
+/// The parallel engine: worker count, the (lazily built) pool, and reusable
+/// lane contexts. Owned by [`Sim`]; inert while `workers == 1`.
+pub(crate) struct ParEngine {
+    workers: usize,
+    pool: Option<rayon::ThreadPool>,
+    lanes: Vec<LaneCtx>,
+    /// Pool-dispatch threshold; see [`INLINE_BATCH`]. The differential suite
+    /// lowers it to 0 so even tiny windows cross the thread pool.
+    pub(crate) inline_batch: usize,
+}
+
+impl ParEngine {
+    /// Worker count from `WOW_SIM_WORKERS` (default 1 = sequential).
+    pub(crate) fn from_env() -> Self {
+        let workers = std::env::var("WOW_SIM_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|w| w.max(1))
+            .unwrap_or(1);
+        ParEngine {
+            workers,
+            pool: None,
+            lanes: Vec::new(),
+            inline_batch: INLINE_BATCH,
+        }
+    }
+
+    pub(crate) fn set_workers(&mut self, workers: usize) {
+        let workers = workers.max(1);
+        if workers != self.workers {
+            self.workers = workers;
+            self.pool = None;
+            self.lanes.clear();
+        }
+    }
+
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl Sim {
+    /// Process events through conservative lookahead windows until the queue
+    /// drains or the next event lies past `until_us` (pass `u64::MAX` for
+    /// quiescence). The caller owns any final clock clamp.
+    pub(crate) fn run_windowed(&mut self, until_us: u64) {
+        loop {
+            let Some((first_at, _)) = self.world.queue.peek_at() else {
+                return;
+            };
+            if first_at > until_us {
+                return;
+            }
+            let lookahead = self.world.links.min_base_latency().as_micros();
+            if lookahead == 0 {
+                // A zero-latency path leaves no window to parallelize over;
+                // degrade to the sequential core outright.
+                while let Some((at, _)) = self.world.queue.peek_at() {
+                    if at > until_us {
+                        return;
+                    }
+                    self.step();
+                }
+                return;
+            }
+            self.run_window(first_at, lookahead, until_us);
+        }
+    }
+
+    /// Execute one window `[first_at, first_at + lookahead)` (clipped to the
+    /// run bound and to the first control event).
+    fn run_window(&mut self, first_at: u64, lookahead: u64, until_us: u64) {
+        // Events at exactly `until_us` must run, so the cap is exclusive at
+        // until + 1 (saturating: quiescence passes u64::MAX).
+        let until_cap = until_us.saturating_add(1);
+        let mut window_end = first_at.saturating_add(lookahead).min(until_cap);
+        let workers = self.par.workers;
+        if self.par.lanes.len() != workers {
+            self.par.lanes = (0..workers)
+                .map(|s| LaneCtx::new(s as u32, workers as u32))
+                .collect();
+        }
+        let shard = ShardMap::new(workers);
+        let mut control: Option<(u64, ControlFn)> = None;
+        // NAT ingress mutates shared NAT devices: coordinator stream,
+        // executed at commit in merge order. Stored reversed for pop().
+        let mut nat: Vec<(u64, u64, DomainId, Datagram)> = Vec::new();
+
+        let Sim {
+            world,
+            actors,
+            events_processed,
+            par,
+        } = self;
+
+        // ---- Pop the batch -------------------------------------------------
+        let mut batch_items = 0usize;
+        while let Some((at, _)) = world.queue.peek_at() {
+            if at >= window_end {
+                break;
+            }
+            let (at, seq, ev) = world.queue.pop().expect("peeked non-empty");
+            match ev {
+                Ev::Control(f) => {
+                    // The control runs arbitrary code against &mut Sim; end
+                    // the window at its timestamp so it executes alone at
+                    // the barrier. Same-at batch events already popped carry
+                    // smaller seqs and correctly precede it.
+                    window_end = at;
+                    control = Some((at, f));
+                    break;
+                }
+                Ev::NatIngress { domain, dgram } => nat.push((at, seq, domain, dgram)),
+                Ev::Start(id) => {
+                    let host = actors[id.0 as usize].host;
+                    par.lanes[shard.shard_of(host)].input.push(LaneItem {
+                        at,
+                        seq,
+                        body: LaneBody::Start(id),
+                    });
+                    batch_items += 1;
+                }
+                Ev::Wake { actor, tag } => {
+                    let host = actors[actor.0 as usize].host;
+                    par.lanes[shard.shard_of(host)].input.push(LaneItem {
+                        at,
+                        seq,
+                        body: LaneBody::Wake { actor, tag },
+                    });
+                    batch_items += 1;
+                }
+                Ev::HostArrive { host, dgram } => {
+                    par.lanes[shard.shard_of(host)].input.push(LaneItem {
+                        at,
+                        seq,
+                        body: LaneBody::HostArrive { host, dgram },
+                    });
+                    batch_items += 1;
+                }
+                Ev::ActorDeliver { host, dgram } => {
+                    par.lanes[shard.shard_of(host)].input.push(LaneItem {
+                        at,
+                        seq,
+                        body: LaneBody::ActorDeliver { host, dgram },
+                    });
+                    batch_items += 1;
+                }
+            }
+        }
+
+        // ---- Phase A: lanes execute ---------------------------------------
+        if batch_items > 0 {
+            let cols = WorldCols::capture(world, actors);
+            let active = par.lanes.iter().filter(|l| !l.input.is_empty()).count();
+            for lane in par.lanes.iter_mut() {
+                lane.attach(cols, window_end);
+            }
+            if active <= 1 || batch_items < par.inline_batch {
+                for lane in par.lanes.iter_mut() {
+                    lane.run();
+                }
+            } else {
+                let pool = par
+                    .pool
+                    .get_or_insert_with(|| rayon::ThreadPool::new(workers));
+                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = par
+                    .lanes
+                    .iter_mut()
+                    .filter(|l| !l.input.is_empty())
+                    .map(|lane| Box::new(move || lane.run()) as Box<dyn FnOnce() + Send + '_>)
+                    .collect();
+                pool.run_batch(jobs);
+            }
+        }
+
+        // ---- Phase B: commit in global (at, seq) order --------------------
+        let mut streams: Vec<LaneStream> = par
+            .lanes
+            .iter_mut()
+            .map(|lane| {
+                let stream = LaneStream {
+                    records: std::mem::take(&mut lane.records),
+                    effects: std::mem::take(&mut lane.effects).into_iter(),
+                    child_seqs: vec![u64::MAX; lane.next_gen as usize],
+                    idx: 0,
+                };
+                lane.next_gen = 0;
+                stream
+            })
+            .collect();
+        nat.reverse();
+        world.push_floor = window_end;
+        loop {
+            let mut best: Option<(u64, u64, usize)> = None;
+            for (li, st) in streams.iter().enumerate() {
+                if let Some((at, seq)) = st.head() {
+                    if best.is_none_or(|(ba, bs, _)| (at, seq) < (ba, bs)) {
+                        best = Some((at, seq, li));
+                    }
+                }
+            }
+            let nat_wins = match (nat.last(), best) {
+                (Some(&(at, seq, ..)), Some((ba, bs, _))) => (at, seq) < (ba, bs),
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if nat_wins {
+                let (at, _seq, domain, dgram) = nat.pop().expect("checked non-empty");
+                world.now = SimTime::from_micros(at);
+                world.nat_ingress(domain, dgram);
+                *events_processed += 1;
+            } else if let Some((at, _seq, li)) = best {
+                let st = &mut streams[li];
+                let rec = &st.records[st.idx];
+                let (host, n) = (rec.host, (rec.eff_end - rec.eff_start) as usize);
+                st.idx += 1;
+                world.now = SimTime::from_micros(at);
+                let now = world.now;
+                for _ in 0..n {
+                    match st.effects.next().expect("effect log shorter than records") {
+                        Effect::Send {
+                            src_port,
+                            dst,
+                            payload,
+                        } => world.send_from(now, host, src_port, dst, payload),
+                        Effect::WakeOut { at, actor, tag } => {
+                            world.push(SimTime::from_micros(at), Ev::Wake { actor, tag })
+                        }
+                        Effect::DeliverOut { at, host, dgram } => {
+                            world.push(SimTime::from_micros(at), Ev::ActorDeliver { host, dgram })
+                        }
+                        Effect::ChildSeq { gen } => {
+                            st.child_seqs[gen as usize] = world.alloc_seq();
+                        }
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        world.push_floor = 0;
+
+        // Barrier bookkeeping: fold lane deltas, recycle record buffers.
+        for (lane, stream) in par.lanes.iter_mut().zip(streams) {
+            world.stats.absorb(&lane.stats);
+            lane.stats = NetStats::default();
+            *events_processed += lane.events;
+            lane.events = 0;
+            let mut records = stream.records;
+            records.clear();
+            lane.records = records;
+        }
+
+        // ---- The window-splitting control, alone at the barrier -----------
+        if let Some((at, f)) = control {
+            self.world.now = SimTime::from_micros(at);
+            self.events_processed += 1;
+            f(self);
+        }
+    }
+}

@@ -101,8 +101,27 @@ pub struct NetStats {
 }
 
 impl NetStats {
-    fn drop(&mut self, reason: DropReason) {
+    pub(crate) fn drop(&mut self, reason: DropReason) {
         *self.drops.entry(reason).or_insert(0) += 1;
+    }
+
+    /// Fold another stats block into this one. Every field is a sum, so
+    /// folding per-lane deltas at a window barrier gives the same totals
+    /// as sequential in-order accumulation.
+    pub(crate) fn absorb(&mut self, other: &NetStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+        self.uplink_queued += other.uplink_queued;
+        self.uplink_queue_wait_us += other.uplink_queue_wait_us;
+        self.downlink_queued += other.downlink_queued;
+        self.downlink_queue_wait_us += other.downlink_queue_wait_us;
+        self.cpu_queued += other.cpu_queued;
+        self.cpu_queue_wait_us += other.cpu_queue_wait_us;
+        for (&reason, &count) in &other.drops {
+            *self.drops.entry(reason).or_insert(0) += count;
+        }
     }
 
     /// Count of drops for one reason.
@@ -126,31 +145,38 @@ fn chaos_extra_delay(rng: &mut SmallRng, max: SimDuration) -> SimDuration {
     SimDuration::from_micros(rng.gen_range(1..=max.as_micros().max(1)))
 }
 
-enum Ev {
+pub(crate) type ControlFn = Box<dyn FnOnce(&mut Sim)>;
+
+pub(crate) enum Ev {
     Start(ActorId),
     Wake { actor: ActorId, tag: u64 },
     NatIngress { domain: DomainId, dgram: Datagram },
     HostArrive { host: HostId, dgram: Datagram },
     ActorDeliver { host: HostId, dgram: Datagram },
-    Control(Box<dyn FnOnce(&mut Sim)>),
+    Control(ControlFn),
 }
 
 /// Everything in the simulation except the actors themselves.
 pub struct World {
-    now: SimTime,
+    pub(crate) now: SimTime,
     domains: Vec<Domain>,
-    hosts: Hosts,
+    pub(crate) hosts: Hosts,
     /// Path models between and within domains.
     pub links: LinkModel,
     /// Pending events, keyed by `(at µs, seq)` — a hierarchical timer
     /// wheel, so push/pop cost is independent of how many long-dated
     /// timers (keepalives, retries) are parked at large n.
-    queue: TimerWheel<Ev>,
+    pub(crate) queue: TimerWheel<Ev>,
     seq: u64,
     rng: SmallRng,
     seeds: SeedSplitter,
+    /// While the parallel engine commits a window ending at this µs tick,
+    /// every push must land at or past it — the lookahead invariant made
+    /// into a runtime tripwire (0 outside commits, so the sequential path
+    /// never trips it).
+    pub(crate) push_floor: u64,
     /// (host, port) → bound actor: dense per-host sorted tables.
-    ports: PortTable,
+    pub(crate) ports: PortTable,
     /// Public IP → owner (host or NAT): allocations are sequential from
     /// [`PUBLIC_IP_BASE`], so ownership is a flat offset-indexed arena
     /// with an explicit exhaustion bound at [`PUBLIC_IP_CAP`].
@@ -197,6 +223,7 @@ impl World {
             seq: 0,
             rng: seeds.rng("world"),
             seeds,
+            push_floor: 0,
             ports: PortTable::new(),
             public_ips: DenseIpMap::new(PUBLIC_IP_BASE, PUBLIC_IP_CAP),
             private_ips: Vec::new(),
@@ -221,11 +248,31 @@ impl World {
         &mut self.rng
     }
 
-    fn push(&mut self, at: SimTime, ev: Ev) {
+    pub(crate) fn push(&mut self, at: SimTime, ev: Ev) {
         debug_assert!(at >= self.now, "event scheduled in the past");
+        // Window-safety tripwire for the parallel engine (see `crate::par`):
+        // if any code path could generate an event inside the window being
+        // committed, lanes would have needed to see it and determinism would
+        // be lost. `min_base_latency` makes this impossible; keep the check
+        // hot so a future zero-latency path fails loudly, not subtly.
+        assert!(
+            at.as_micros() >= self.push_floor,
+            "event at {at} scheduled inside the committing window (floor {} µs): \
+             lookahead bound violated",
+            self.push_floor,
+        );
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(at.as_micros(), seq, ev);
+    }
+
+    /// Advance the sequence counter without enqueueing — the parallel
+    /// commit path numbers in-window child events exactly where the
+    /// sequential path would have pushed them.
+    pub(crate) fn alloc_seq(&mut self) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        seq
     }
 
     /// Static description of a host (reassembled; allocates the name —
@@ -370,15 +417,14 @@ impl World {
         clamped
     }
 
-    /// Hand the datagram to the network at the current time.
-    fn send(&mut self, from_host: HostId, src_port: u16, dst: PhysAddr, payload: Bytes) {
-        self.send_from(self.now, from_host, src_port, dst, payload);
-    }
-
     /// Hand the datagram to the network at `now` (hoisted by batch sends:
     /// the clock cannot advance inside one actor callback, so a whole
-    /// burst shares a single timestamp read).
-    fn send_from(
+    /// burst shares a single timestamp read). Also the parallel commit
+    /// path's replay target: lanes record sends as effects and this
+    /// function — unchanged — performs them in global `(at, seq)` order,
+    /// which is what keeps RNG draws, NAT state and FIFO clamps
+    /// byte-identical to the sequential core.
+    pub(crate) fn send_from(
         &mut self,
         now: SimTime,
         from_host: HostId,
@@ -553,7 +599,7 @@ impl World {
     }
 
     /// NAT ingress, evaluated at arrival time.
-    fn nat_ingress(&mut self, domain: DomainId, dgram: Datagram) {
+    pub(crate) fn nat_ingress(&mut self, domain: DomainId, dgram: Datagram) {
         let now = self.now;
         let nat = self.domains[domain.0 as usize]
             .nat
@@ -596,6 +642,20 @@ impl World {
     }
 }
 
+/// The backing store a [`Ctx`] operates on.
+///
+/// Sequential execution hands actors the whole [`World`]. Under the windowed
+/// parallel engine (`crate::par`), a lane executes events for its shard of
+/// hosts with no `&mut World` in sight: host-local state is reached through
+/// per-column pointers and everything global (sends, out-of-window wakes)
+/// is recorded as an effect to be replayed at the window barrier. The two
+/// arms must behave identically for everything an actor can observe — the
+/// differential suite pins that.
+pub(crate) enum CtxInner<'a> {
+    World(&'a mut World),
+    Lane(&'a mut crate::par::LaneCtx),
+}
+
 /// The per-event handle actors use to interact with the world.
 pub struct Ctx<'a> {
     /// Current simulated time.
@@ -604,8 +664,8 @@ pub struct Ctx<'a> {
     pub actor: ActorId,
     /// The host the running actor is attached to.
     pub host: HostId,
-    world: &'a mut World,
-    stop_requested: bool,
+    pub(crate) inner: CtxInner<'a>,
+    pub(crate) stop_requested: bool,
 }
 
 impl Ctx<'_> {
@@ -614,40 +674,72 @@ impl Ctx<'_> {
     /// # Panics
     /// Panics if the port is already bound on this host.
     pub fn bind(&mut self, port: u16) -> PhysAddr {
-        let prev = self.world.ports.insert(self.host, port, self.actor);
-        assert!(
-            prev.is_none() || prev == Some(self.actor),
-            "port {port} already bound on host {:?}",
-            self.host
-        );
-        PhysAddr::new(self.world.hosts.ips[self.host.0 as usize], port)
+        let (host, actor) = (self.host, self.actor);
+        match &mut self.inner {
+            CtxInner::World(world) => {
+                let prev = world.ports.insert(host, port, actor);
+                assert!(
+                    prev.is_none() || prev == Some(actor),
+                    "port {port} already bound on host {host:?}",
+                );
+                PhysAddr::new(world.hosts.ips[host.0 as usize], port)
+            }
+            CtxInner::Lane(lane) => lane.bind(host, port, actor),
+        }
     }
 
     /// Bind the next free ephemeral port on this actor's host.
     pub fn bind_ephemeral(&mut self) -> PhysAddr {
         loop {
             let i = self.host.0 as usize;
-            let port = self.world.hosts.next_ephemeral[i];
-            self.world.hosts.next_ephemeral[i] = port.checked_add(1).unwrap_or(49_152);
-            if !self.world.ports.contains(self.host, port) {
-                return self.bind(port);
-            }
+            let port = match &mut self.inner {
+                CtxInner::World(world) => {
+                    let port = world.hosts.next_ephemeral[i];
+                    world.hosts.next_ephemeral[i] = port.checked_add(1).unwrap_or(49_152);
+                    if world.ports.contains(self.host, port) {
+                        continue;
+                    }
+                    port
+                }
+                CtxInner::Lane(lane) => match lane.next_ephemeral(self.host) {
+                    Some(port) => port,
+                    None => continue,
+                },
+            };
+            return self.bind(port);
         }
     }
 
     /// Release a port binding.
     pub fn unbind(&mut self, port: u16) {
-        self.world.ports.remove(self.host, port);
+        let host = self.host;
+        match &mut self.inner {
+            CtxInner::World(world) => world.ports.remove(host, port),
+            CtxInner::Lane(lane) => lane.unbind(host, port),
+        }
     }
 
     /// Send a datagram from a bound local port.
     pub fn send(&mut self, src_port: u16, dst: PhysAddr, payload: Bytes) {
-        debug_assert_eq!(
-            self.world.ports.get(self.host, src_port),
-            Some(self.actor),
-            "sending from a port this actor has not bound"
-        );
-        self.world.send(self.host, src_port, dst, payload);
+        let (now, host, actor) = (self.now, self.host, self.actor);
+        match &mut self.inner {
+            CtxInner::World(world) => {
+                debug_assert_eq!(
+                    world.ports.get(host, src_port),
+                    Some(actor),
+                    "sending from a port this actor has not bound"
+                );
+                world.send_from(now, host, src_port, dst, payload);
+            }
+            CtxInner::Lane(lane) => {
+                debug_assert_eq!(
+                    lane.port_owner(host, src_port),
+                    Some(actor),
+                    "sending from a port this actor has not bound"
+                );
+                lane.record_send(src_port, dst, payload);
+            }
+        }
     }
 
     /// Send a burst of datagrams from one bound local port, amortizing the
@@ -660,22 +752,38 @@ impl Ctx<'_> {
     where
         I: IntoIterator<Item = (PhysAddr, Bytes)>,
     {
-        debug_assert_eq!(
-            self.world.ports.get(self.host, src_port),
-            Some(self.actor),
-            "sending from a port this actor has not bound"
-        );
-        let now = self.now;
-        let host = self.host;
-        for (dst, payload) in frames {
-            self.world.send_from(now, host, src_port, dst, payload);
+        let (now, host, actor) = (self.now, self.host, self.actor);
+        match &mut self.inner {
+            CtxInner::World(world) => {
+                debug_assert_eq!(
+                    world.ports.get(host, src_port),
+                    Some(actor),
+                    "sending from a port this actor has not bound"
+                );
+                for (dst, payload) in frames {
+                    world.send_from(now, host, src_port, dst, payload);
+                }
+            }
+            CtxInner::Lane(lane) => {
+                debug_assert_eq!(
+                    lane.port_owner(host, src_port),
+                    Some(actor),
+                    "sending from a port this actor has not bound"
+                );
+                for (dst, payload) in frames {
+                    lane.record_send(src_port, dst, payload);
+                }
+            }
         }
     }
 
     /// Schedule `on_wake(tag)` at an absolute time.
     pub fn wake_at(&mut self, at: SimTime, tag: u64) {
-        let actor = self.actor;
-        self.world.push(at.max(self.now), Ev::Wake { actor, tag });
+        let (actor, at) = (self.actor, at.max(self.now));
+        match &mut self.inner {
+            CtxInner::World(world) => world.push(at, Ev::Wake { actor, tag }),
+            CtxInner::Lane(lane) => lane.record_wake(at, actor, tag),
+        }
     }
 
     /// Schedule `on_wake(tag)` after a delay.
@@ -684,29 +792,50 @@ impl Ctx<'_> {
     }
 
     /// Deterministic world RNG.
+    ///
+    /// # Panics
+    /// Panics under parallel execution (`Sim::set_workers` > 1): the world
+    /// RNG's draw order is part of the determinism contract and is owned by
+    /// the network path. Actors needing randomness should derive a private
+    /// stream from [`crate::rng::SeedSplitter`] at construction instead.
     pub fn rng(&mut self) -> &mut SmallRng {
-        self.world.rng()
+        match &mut self.inner {
+            CtxInner::World(world) => world.rng(),
+            CtxInner::Lane(_) => panic!(
+                "Ctx::rng is unavailable under parallel execution; \
+                 derive a per-actor RNG from SeedSplitter instead"
+            ),
+        }
     }
 
     /// This actor's host address (private if behind a NAT).
     pub fn my_ip(&self) -> PhysIp {
-        self.world.hosts.ips[self.host.0 as usize]
+        match &self.inner {
+            CtxInner::World(world) => world.hosts.ips[self.host.0 as usize],
+            CtxInner::Lane(lane) => lane.ip(self.host),
+        }
     }
 
     /// Occupy this host's CPU for `nominal` work (scaled by speed and
     /// background load), FIFO behind earlier work. Returns the completion
     /// time; pair with [`Ctx::wake_at`] to act on completion.
     pub fn cpu_acquire(&mut self, nominal: SimDuration) -> SimTime {
-        let i = self.host.0 as usize;
-        let start = self.now.max(self.world.hosts.cpu_free_at[i]);
-        let wait = start.saturating_since(self.now).as_micros();
-        if wait > 0 {
-            self.world.stats.cpu_queued += 1;
-            self.world.stats.cpu_queue_wait_us += wait;
+        let (now, host) = (self.now, self.host);
+        match &mut self.inner {
+            CtxInner::World(world) => {
+                let i = host.0 as usize;
+                let start = now.max(world.hosts.cpu_free_at[i]);
+                let wait = start.saturating_since(now).as_micros();
+                if wait > 0 {
+                    world.stats.cpu_queued += 1;
+                    world.stats.cpu_queue_wait_us += wait;
+                }
+                let done = start + world.hosts.scaled_work(host, nominal);
+                world.hosts.cpu_free_at[i] = done;
+                done
+            }
+            CtxInner::Lane(lane) => lane.cpu_acquire(now, host, nominal),
         }
-        let done = start + self.world.hosts.scaled_work(self.host, nominal);
-        self.world.hosts.cpu_free_at[i] = done;
-        done
     }
 
     /// Time-shared CPU work: the completion time for `nominal` work under
@@ -715,18 +844,28 @@ impl Ctx<'_> {
     /// batch job computes, so packet handling must not queue behind a
     /// 20-second job the way [`Ctx::cpu_acquire`]d work does.
     pub fn cpu_timeshared(&mut self, nominal: SimDuration) -> SimTime {
-        self.now + self.world.hosts.scaled_work(self.host, nominal)
+        let (now, host) = (self.now, self.host);
+        match &self.inner {
+            CtxInner::World(world) => now + world.hosts.scaled_work(host, nominal),
+            CtxInner::Lane(lane) => now + lane.scaled_work(host, nominal),
+        }
     }
 
     /// Static description of the host this actor runs on (reassembled;
     /// allocates the name).
     pub fn my_host_spec(&self) -> HostSpec {
-        self.world.hosts.spec(self.host)
+        match &self.inner {
+            CtxInner::World(world) => world.hosts.spec(self.host),
+            CtxInner::Lane(lane) => lane.host_spec(self.host),
+        }
     }
 
     /// Relative CPU speed of the host this actor runs on.
     pub fn my_cpu_speed(&self) -> f64 {
-        self.world.hosts.cpu_speeds[self.host.0 as usize]
+        match &self.inner {
+            CtxInner::World(world) => world.hosts.cpu_speeds[self.host.0 as usize],
+            CtxInner::Lane(lane) => lane.cpu_speed(self.host),
+        }
     }
 
     /// Ask the driver to stop this actor after the current callback:
@@ -738,10 +877,12 @@ impl Ctx<'_> {
 
 /// A protocol endpoint or application attached to a host.
 ///
-/// All callbacks receive a [`Ctx`] scoped to the event's time. Actors must be
-/// `'static` (they are owned by the simulator) and are only ever called from
-/// one thread.
-pub trait Actor: Any {
+/// All callbacks receive a [`Ctx`] scoped to the event's time. Actors must
+/// be `'static` (they are owned by the simulator) and `Send` (the windowed
+/// parallel engine executes disjoint shards of hosts on a worker pool; an
+/// actor is still never called concurrently with itself or with any other
+/// actor on the same host, so `Send` — not `Sync` — is all that's needed).
+pub trait Actor: Any + Send {
     /// Called once when the actor starts (at its scheduled start time).
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
     /// Called when a datagram arrives on any port this actor has bound.
@@ -750,27 +891,55 @@ pub trait Actor: Any {
     fn on_wake(&mut self, _ctx: &mut Ctx<'_>, _tag: u64) {}
 }
 
-struct ActorSlot {
-    actor: Option<Box<dyn Actor>>,
-    host: HostId,
-    alive: bool,
+pub(crate) struct ActorSlot {
+    pub(crate) actor: Option<Box<dyn Actor>>,
+    pub(crate) host: HostId,
+    pub(crate) alive: bool,
 }
 
 /// The simulator: a [`World`] plus its actors.
 pub struct Sim {
-    world: World,
-    actors: Vec<ActorSlot>,
-    events_processed: u64,
+    pub(crate) world: World,
+    pub(crate) actors: Vec<ActorSlot>,
+    pub(crate) events_processed: u64,
+    pub(crate) par: crate::par::ParEngine,
 }
 
 impl Sim {
     /// Create an empty simulation with the given root seed.
+    ///
+    /// The worker count for the parallel event engine defaults to the
+    /// `WOW_SIM_WORKERS` environment variable (1 — pure sequential — when
+    /// unset); [`Sim::set_workers`] overrides it.
     pub fn new(seed: u64) -> Self {
         Sim {
             world: World::new(seed),
             actors: Vec::new(),
             events_processed: 0,
+            par: crate::par::ParEngine::from_env(),
         }
+    }
+
+    /// Set the number of event-execution workers. `1` (the default) runs
+    /// the classic sequential loop; `k > 1` runs conservative lookahead
+    /// windows over `k` pool workers (see `crate::par`). Any value produces
+    /// byte-identical results — transcripts, stats, RNG streams and the
+    /// fault transcript do not depend on `k`.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.par.set_workers(workers);
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.par.workers()
+    }
+
+    /// Lower the batch size below which a window executes inline instead of
+    /// crossing the thread pool (default tuned for throughput). Testing
+    /// knob: the differential suite sets `0` so even single-event windows
+    /// exercise the pooled path; results are byte-identical either way.
+    pub fn set_parallel_inline_threshold(&mut self, events: usize) {
+        self.par.inline_batch = events;
     }
 
     /// Current simulated time.
@@ -902,7 +1071,7 @@ impl Sim {
             now: self.world.now,
             actor: id,
             host,
-            world: &mut self.world,
+            inner: CtxInner::World(&mut self.world),
             stop_requested: false,
         };
         let any: &mut dyn Any = actor.as_mut();
@@ -931,7 +1100,7 @@ impl Sim {
             now: self.world.now,
             actor: id,
             host,
-            world: &mut self.world,
+            inner: CtxInner::World(&mut self.world),
             stop_requested: false,
         };
         call(actor.as_mut(), &mut ctx);
@@ -979,18 +1148,26 @@ impl Sim {
     /// Run until the queue is empty or simulated time would pass `until`.
     /// Events at exactly `until` are processed.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some((at, _seq)) = self.world.queue.peek_at() {
-            if SimTime::from_micros(at) > until {
-                break;
+        if self.par.workers() > 1 {
+            self.run_windowed(until.as_micros());
+        } else {
+            while let Some((at, _seq)) = self.world.queue.peek_at() {
+                if SimTime::from_micros(at) > until {
+                    break;
+                }
+                self.step();
             }
-            self.step();
         }
         self.world.now = self.world.now.max(until);
     }
 
     /// Run until no events remain.
     pub fn run_to_quiescence(&mut self) {
-        while self.step() {}
+        if self.par.workers() > 1 {
+            self.run_windowed(u64::MAX);
+        } else {
+            while self.step() {}
+        }
     }
 }
 
@@ -998,13 +1175,12 @@ impl Sim {
 mod tests {
     use super::*;
     use crate::nat::NatConfig;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     /// An actor that binds a port and records everything it receives.
     struct Sink {
         port: u16,
-        seen: Rc<RefCell<Vec<(SimTime, Datagram)>>>,
+        seen: Arc<Mutex<Vec<(SimTime, Datagram)>>>,
     }
 
     impl Actor for Sink {
@@ -1012,7 +1188,7 @@ mod tests {
             ctx.bind(self.port);
         }
         fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
-            self.seen.borrow_mut().push((ctx.now, dgram));
+            self.seen.lock().unwrap().push((ctx.now, dgram));
         }
     }
 
@@ -1041,7 +1217,7 @@ mod tests {
     #[test]
     fn public_to_public_delivery() {
         let (mut sim, h1, h2) = two_public_hosts();
-        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen = Arc::new(Mutex::new(Vec::new()));
         sim.add_actor(
             h2,
             Sink {
@@ -1059,7 +1235,7 @@ mod tests {
             },
         );
         sim.run_to_quiescence();
-        let seen = seen.borrow();
+        let seen = seen.lock().unwrap();
         assert_eq!(seen.len(), 1);
         let (at, d) = &seen[0];
         assert_eq!(&d.payload[..], b"hello");
@@ -1090,7 +1266,7 @@ mod tests {
     #[test]
     fn down_host_drops() {
         let (mut sim, h1, h2) = two_public_hosts();
-        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen = Arc::new(Mutex::new(Vec::new()));
         sim.add_actor(
             h2,
             Sink {
@@ -1111,7 +1287,7 @@ mod tests {
             },
         );
         sim.run_to_quiescence();
-        assert!(seen.borrow().is_empty());
+        assert!(seen.lock().unwrap().is_empty());
         assert_eq!(sim.world_ref().stats.dropped(DropReason::HostDown), 1);
     }
 
@@ -1138,11 +1314,11 @@ mod tests {
             }
         }
 
-        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen = Arc::new(Mutex::new(Vec::new()));
         struct Client {
             port: u16,
             dst: PhysAddr,
-            seen: Rc<RefCell<Vec<(SimTime, Datagram)>>>,
+            seen: Arc<Mutex<Vec<(SimTime, Datagram)>>>,
         }
         impl Actor for Client {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -1150,7 +1326,7 @@ mod tests {
                 ctx.send(self.port, self.dst, Bytes::from_static(b"ping"));
             }
             fn on_datagram(&mut self, ctx: &mut Ctx<'_>, d: Datagram) {
-                self.seen.borrow_mut().push((ctx.now, d));
+                self.seen.lock().unwrap().push((ctx.now, d));
             }
         }
 
@@ -1165,7 +1341,7 @@ mod tests {
             },
         );
         sim.run_to_quiescence();
-        let seen = seen.borrow();
+        let seen = seen.lock().unwrap();
         assert_eq!(seen.len(), 1, "reply should traverse the NAT");
         // The reply's destination was rewritten to N's private address.
         assert!(seen[0].1.dst.ip.is_private());
@@ -1210,7 +1386,7 @@ mod tests {
         assert_eq!(sim.world_ref().host_ip(h1), sim.world_ref().host_ip(h2));
         // h1 sending to "its own" private address space reaches the host in
         // ITS domain (itself here), not the other domain's twin.
-        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen = Arc::new(Mutex::new(Vec::new()));
         sim.add_actor(
             h1,
             Sink {
@@ -1218,7 +1394,7 @@ mod tests {
                 seen: seen.clone(),
             },
         );
-        let other_seen = Rc::new(RefCell::new(Vec::new()));
+        let other_seen = Arc::new(Mutex::new(Vec::new()));
         sim.add_actor(
             h2,
             Sink {
@@ -1236,8 +1412,8 @@ mod tests {
             },
         );
         sim.run_to_quiescence();
-        assert_eq!(seen.borrow().len(), 1);
-        assert!(other_seen.borrow().is_empty());
+        assert_eq!(seen.lock().unwrap().len(), 1);
+        assert!(other_seen.lock().unwrap().is_empty());
     }
 
     #[test]
@@ -1245,10 +1421,10 @@ mod tests {
         let mut sim = Sim::new(5);
         let d = sim.add_domain(DomainSpec::public("wan"));
         let h = sim.add_host(d, HostSpec::new("a"));
-        let order = Rc::new(RefCell::new(Vec::new()));
+        let order = Arc::new(Mutex::new(Vec::new()));
 
         struct Waker {
-            order: Rc<RefCell<Vec<u64>>>,
+            order: Arc<Mutex<Vec<u64>>>,
         }
         impl Actor for Waker {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -1258,7 +1434,7 @@ mod tests {
                 }
             }
             fn on_wake(&mut self, _ctx: &mut Ctx<'_>, tag: u64) {
-                self.order.borrow_mut().push(tag);
+                self.order.lock().unwrap().push(tag);
             }
         }
         sim.add_actor(
@@ -1269,10 +1445,10 @@ mod tests {
         );
         let order2 = order.clone();
         sim.schedule(SimTime::from_secs(2), move |_sim| {
-            order2.borrow_mut().push(99);
+            order2.lock().unwrap().push(99);
         });
         sim.run_to_quiescence();
-        assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4, 99]);
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4, 99]);
         assert_eq!(sim.now(), SimTime::from_secs(2));
     }
 
@@ -1281,7 +1457,7 @@ mod tests {
         // Two 1250-byte payloads on a 1.25e6 B/s uplink: ~1 ms each, so the
         // second arrives ~1 ms after the first (plus shared latency).
         let (mut sim, h1, h2) = two_public_hosts();
-        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen = Arc::new(Mutex::new(Vec::new()));
         sim.add_actor(
             h2,
             Sink {
@@ -1302,7 +1478,7 @@ mod tests {
         let dst = PhysAddr::new(sim.world().host_ip(h2), 7);
         sim.add_actor(h1, Burst { dst });
         sim.run_to_quiescence();
-        let seen = seen.borrow();
+        let seen = seen.lock().unwrap();
         assert_eq!(seen.len(), 2);
         let gap = seen[1].0.saturating_since(seen[0].0);
         assert!(
@@ -1315,21 +1491,21 @@ mod tests {
     fn cpu_acquire_is_fifo() {
         let (mut sim, h1, _) = two_public_hosts();
         struct Jobs {
-            done: Rc<RefCell<Vec<SimTime>>>,
+            done: Arc<Mutex<Vec<SimTime>>>,
         }
         impl Actor for Jobs {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
                 let a = ctx.cpu_acquire(SimDuration::from_secs(2));
                 let b = ctx.cpu_acquire(SimDuration::from_secs(3));
-                self.done.borrow_mut().push(a);
-                self.done.borrow_mut().push(b);
+                self.done.lock().unwrap().push(a);
+                self.done.lock().unwrap().push(b);
             }
         }
-        let done = Rc::new(RefCell::new(Vec::new()));
+        let done = Arc::new(Mutex::new(Vec::new()));
         sim.add_actor(h1, Jobs { done: done.clone() });
         sim.run_to_quiescence();
         assert_eq!(
-            *done.borrow(),
+            *done.lock().unwrap(),
             vec![SimTime::from_secs(2), SimTime::from_secs(5)]
         );
     }
@@ -1337,7 +1513,7 @@ mod tests {
     #[test]
     fn stop_actor_drops_bindings_and_events() {
         let (mut sim, h1, h2) = two_public_hosts();
-        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen = Arc::new(Mutex::new(Vec::new()));
         let sink = sim.add_actor(
             h2,
             Sink {
@@ -1357,14 +1533,14 @@ mod tests {
             },
         );
         sim.run_to_quiescence();
-        assert!(seen.borrow().is_empty());
+        assert!(seen.lock().unwrap().is_empty());
         assert_eq!(sim.world_ref().stats.dropped(DropReason::PortUnbound), 1);
     }
 
     #[test]
     fn move_actor_unbinds_old_host() {
         let (mut sim, h1, h2) = two_public_hosts();
-        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen = Arc::new(Mutex::new(Vec::new()));
         let sink = sim.add_actor(
             h2,
             Sink {
@@ -1385,7 +1561,7 @@ mod tests {
             },
         );
         sim.run_to_quiescence();
-        assert!(seen.borrow().is_empty());
+        assert!(seen.lock().unwrap().is_empty());
         // The moved actor can rebind on the new host via with_actor.
         sim.with_actor::<Sink, _>(sink, |s, ctx| {
             ctx.bind(s.port);
@@ -1400,7 +1576,7 @@ mod tests {
             },
         );
         sim.run_to_quiescence();
-        assert_eq!(seen.borrow().len(), 1);
+        assert_eq!(seen.lock().unwrap().len(), 1);
     }
 
     #[test]
@@ -1410,7 +1586,7 @@ mod tests {
             let d = sim.add_domain(DomainSpec::public("wan"));
             let h1 = sim.add_host(d, HostSpec::new("a"));
             let h2 = sim.add_host(d, HostSpec::new("b"));
-            let seen = Rc::new(RefCell::new(Vec::new()));
+            let seen = Arc::new(Mutex::new(Vec::new()));
             sim.add_actor(
                 h2,
                 Sink {
@@ -1431,7 +1607,7 @@ mod tests {
                 );
             }
             sim.run_to_quiescence();
-            let last = seen.borrow().last().map(|(t, _)| *t).unwrap();
+            let last = seen.lock().unwrap().last().map(|(t, _)| *t).unwrap();
             (
                 sim.world_ref().stats.sent,
                 sim.world_ref().stats.delivered,

@@ -29,12 +29,41 @@ pub(crate) struct PortTable {
     by_host: Vec<Vec<(u16, ActorId)>>,
 }
 
+/// One host's bindings: a small port-sorted vector.
+pub(crate) type PortSlot = Vec<(u16, ActorId)>;
+
+/// Bind `port` in a slot, returning the previous binding if any
+/// (`HashMap::insert` semantics: the new binding always lands).
+pub(crate) fn port_slot_insert(slot: &mut PortSlot, port: u16, actor: ActorId) -> Option<ActorId> {
+    match slot.binary_search_by_key(&port, |&(p, _)| p) {
+        Ok(i) => Some(std::mem::replace(&mut slot[i].1, actor)),
+        Err(i) => {
+            slot.insert(i, (port, actor));
+            None
+        }
+    }
+}
+
+/// The actor bound on `port` in a slot, if any.
+pub(crate) fn port_slot_get(slot: &PortSlot, port: u16) -> Option<ActorId> {
+    slot.binary_search_by_key(&port, |&(p, _)| p)
+        .ok()
+        .map(|i| slot[i].1)
+}
+
+/// Drop one binding from a slot.
+pub(crate) fn port_slot_remove(slot: &mut PortSlot, port: u16) {
+    if let Ok(i) = slot.binary_search_by_key(&port, |&(p, _)| p) {
+        slot.remove(i);
+    }
+}
+
 impl PortTable {
     pub(crate) fn new() -> Self {
         PortTable::default()
     }
 
-    fn slot_mut(&mut self, host: HostId) -> &mut Vec<(u16, ActorId)> {
+    fn slot_mut(&mut self, host: HostId) -> &mut PortSlot {
         let i = host.0 as usize;
         if i >= self.by_host.len() {
             self.by_host.resize_with(i + 1, Vec::new);
@@ -42,25 +71,31 @@ impl PortTable {
         &mut self.by_host[i]
     }
 
-    /// Bind `port` on `host`, returning the previous binding if any
-    /// (`HashMap::insert` semantics: the new binding always lands).
-    pub(crate) fn insert(&mut self, host: HostId, port: u16, actor: ActorId) -> Option<ActorId> {
-        let slot = self.slot_mut(host);
-        match slot.binary_search_by_key(&port, |&(p, _)| p) {
-            Ok(i) => Some(std::mem::replace(&mut slot[i].1, actor)),
-            Err(i) => {
-                slot.insert(i, (port, actor));
-                None
-            }
+    /// Pre-size the per-host table so lookups and raw per-slot access never
+    /// reallocate the outer vector. The parallel engine calls this before
+    /// fanning a window out: lanes then reach disjoint slots through a raw
+    /// base pointer without any chance of the spine moving underneath them.
+    pub(crate) fn ensure_hosts(&mut self, hosts: usize) {
+        if self.by_host.len() < hosts {
+            self.by_host.resize_with(hosts, Vec::new);
         }
+    }
+
+    /// Raw base pointer to the per-host slots. Callers must `ensure_hosts`
+    /// first and may only touch slots they own (see `crate::par` safety
+    /// notes).
+    pub(crate) fn raw_slots(&mut self) -> *mut PortSlot {
+        self.by_host.as_mut_ptr()
+    }
+
+    /// Bind `port` on `host`, returning the previous binding if any.
+    pub(crate) fn insert(&mut self, host: HostId, port: u16, actor: ActorId) -> Option<ActorId> {
+        port_slot_insert(self.slot_mut(host), port, actor)
     }
 
     /// The actor bound on `(host, port)`, if any.
     pub(crate) fn get(&self, host: HostId, port: u16) -> Option<ActorId> {
-        let slot = self.by_host.get(host.0 as usize)?;
-        slot.binary_search_by_key(&port, |&(p, _)| p)
-            .ok()
-            .map(|i| slot[i].1)
+        port_slot_get(self.by_host.get(host.0 as usize)?, port)
     }
 
     /// True if `(host, port)` is bound.
@@ -71,9 +106,7 @@ impl PortTable {
     /// Drop one binding.
     pub(crate) fn remove(&mut self, host: HostId, port: u16) {
         if let Some(slot) = self.by_host.get_mut(host.0 as usize) {
-            if let Ok(i) = slot.binary_search_by_key(&port, |&(p, _)| p) {
-                slot.remove(i);
-            }
+            port_slot_remove(slot, port);
         }
     }
 

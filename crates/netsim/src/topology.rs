@@ -103,6 +103,39 @@ impl HostSpec {
     }
 }
 
+/// Deterministic host → shard assignment for windowed parallel execution.
+///
+/// Hosts are striped round-robin across shards, so the map is a pure
+/// function of `(host, shards)` — no allocation, no rebuild on host add,
+/// and identical on every run. Correctness never depends on which shard a
+/// host lands in (all cross-host interaction happens at window barriers);
+/// the stripe only spreads load. Co-domain hosts deliberately *scatter*:
+/// intra-domain chatter is the common case in WOW topologies, and pinning
+/// a whole campus to one worker would serialize exactly the busy windows.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardMap {
+    shards: u32,
+}
+
+impl ShardMap {
+    /// A map over `shards` shards (min 1).
+    pub fn new(shards: usize) -> Self {
+        ShardMap {
+            shards: (shards.max(1)) as u32,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// The shard a host's events execute on.
+    pub fn shard_of(&self, host: HostId) -> usize {
+        (host.0 % self.shards) as usize
+    }
+}
+
 /// Runtime state of one domain.
 #[derive(Debug)]
 pub struct Domain {
@@ -131,7 +164,7 @@ pub struct Domain {
 #[derive(Debug, Default)]
 pub struct Hosts {
     /// Interned host names, index == host id.
-    names: crate::storage::NameTable,
+    pub(crate) names: crate::storage::NameTable,
     /// Owning domain per host.
     pub(crate) domains: Vec<DomainId>,
     /// Address per host (private if the domain is natted).

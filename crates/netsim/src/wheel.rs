@@ -355,6 +355,88 @@ mod tests {
     }
 
     #[test]
+    fn far_future_parks_past_the_top_level_and_returns() {
+        // Deadlines whose differing digits sit in the topmost wheel level
+        // (bits 60..64) park there without aliasing nearer events, survive
+        // interleaved near-term traffic, and pop in exact order at the end.
+        let mut w = TimerWheel::new();
+        w.push(u64::MAX, 0, "max");
+        w.push(1u64 << 63, 1, "top-bit");
+        w.push((1u64 << 60) + 5, 2, "level10-low");
+        w.push(10, 3, "near");
+        assert_eq!(w.pop(), Some((10, 3, "near")));
+        // Near-term pushes after the cursor advanced must not disturb the
+        // parked giants.
+        w.push(20, 4, "near2");
+        assert_eq!(w.pop(), Some((20, 4, "near2")));
+        assert_eq!(w.pop(), Some(((1u64 << 60) + 5, 2, "level10-low")));
+        assert_eq!(w.pop(), Some((1u64 << 63, 1, "top-bit")));
+        assert_eq!(w.pop(), Some((u64::MAX, 0, "max")));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn cascade_at_slot_rollover_preserves_order() {
+        // Deadlines straddling level boundaries: 63→64 rolls level 0 over
+        // into level 1; 4095→4096 rolls level 1 into level 2. Each window
+        // entry cascades exactly the entered slot; order must be exact,
+        // including ties at the window-start microsecond.
+        let mut w = TimerWheel::new();
+        for (i, at) in [63u64, 64, 65, 4095, 4096, 4097, 262_143, 262_144]
+            .iter()
+            .enumerate()
+        {
+            w.push(*at, i as u64, *at);
+        }
+        // Two events at exactly a future window start: the cascade drains
+        // them straight into `due` (at == new cursor), keeping seq order.
+        w.push(4096, 100, 9996);
+        w.push(64, 101, 9964);
+        assert_eq!(w.pop(), Some((63, 0, 63)));
+        assert_eq!(w.pop(), Some((64, 1, 64)));
+        assert_eq!(w.pop(), Some((64, 101, 9964)));
+        assert_eq!(w.pop(), Some((65, 2, 65)));
+        assert_eq!(w.pop(), Some((4095, 3, 4095)));
+        assert_eq!(w.pop(), Some((4096, 4, 4096)));
+        assert_eq!(w.pop(), Some((4096, 100, 9996)));
+        assert_eq!(w.pop(), Some((4097, 5, 4097)));
+        assert_eq!(w.pop(), Some((262_143, 6, 262_143)));
+        assert_eq!(w.pop(), Some((262_144, 7, 262_144)));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn peek_at_across_a_window_barrier_keeps_commit_pushes_ordered() {
+        // The windowed parallel engine peeks (advancing the cursor to the
+        // window's first event), drains the window's batch, then commits:
+        // pushes landing at or past the window end, behind the advanced
+        // cursor's original position. Model a window [1000, 1200) with a
+        // commit at the barrier and verify the next window pops exactly.
+        let mut w = TimerWheel::new();
+        w.push(1000, 0, "b0");
+        w.push(1100, 1, "b1");
+        w.push(5000, 2, "later");
+        // Window open: peek advances the cursor to 1000.
+        assert_eq!(w.peek_at(), Some((1000, 0)));
+        assert_eq!(w.pop(), Some((1000, 0, "b0")));
+        assert_eq!(w.peek_at(), Some((1100, 1)));
+        assert_eq!(w.pop(), Some((1100, 1, "b1")));
+        // Commit: effects replay pushes children at ≥ window end (1200),
+        // some between the cursor (1100) and the parked event, some tying
+        // with it at the same microsecond.
+        w.push(1200, 3, "c0");
+        w.push(1350, 4, "c1");
+        w.push(5000, 5, "c2-tie");
+        // Next window sees the earliest commit push, not the parked event.
+        assert_eq!(w.peek_at(), Some((1200, 3)));
+        assert_eq!(w.pop(), Some((1200, 3, "c0")));
+        assert_eq!(w.pop(), Some((1350, 4, "c1")));
+        assert_eq!(w.pop(), Some((5000, 2, "later")));
+        assert_eq!(w.pop(), Some((5000, 5, "c2-tie")));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
     fn len_tracks_pushes_and_pops() {
         let mut w: TimerWheel<()> = TimerWheel::new();
         for i in 0..100 {

@@ -2,8 +2,7 @@
 //! crash/restart semantics, partitions/blackholes, chaos windows, and the
 //! seed → transcript determinism contract.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 use wow_netsim::nat::NatDrop;
@@ -12,7 +11,7 @@ use wow_netsim::prelude::*;
 /// Binds a port and records everything it receives.
 struct Sink {
     port: u16,
-    seen: Rc<RefCell<Vec<(SimTime, u8)>>>,
+    seen: Arc<Mutex<Vec<(SimTime, u8)>>>,
 }
 
 impl Actor for Sink {
@@ -20,7 +19,7 @@ impl Actor for Sink {
         ctx.bind(self.port);
     }
     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, d: Datagram) {
-        self.seen.borrow_mut().push((ctx.now, d.payload[0]));
+        self.seen.lock().unwrap().push((ctx.now, d.payload[0]));
     }
 }
 
@@ -44,7 +43,7 @@ fn restart_does_not_resurrect_port_bindings() {
     let wan = sim.add_domain(DomainSpec::public("wan"));
     let a = sim.add_host(wan, HostSpec::new("a"));
     let b = sim.add_host(wan, HostSpec::new("b"));
-    let seen = Rc::new(RefCell::new(Vec::new()));
+    let seen = Arc::new(Mutex::new(Vec::new()));
     let sink = sim.add_actor(
         b,
         Sink {
@@ -81,7 +80,7 @@ fn restart_does_not_resurrect_port_bindings() {
     );
     sim.run_until(SimTime::from_secs(2));
     assert_eq!(sim.world_ref().stats.dropped(DropReason::PortUnbound), 1);
-    assert!(seen.borrow().is_empty());
+    assert!(seen.lock().unwrap().is_empty());
 
     // Re-binding (the restarted process coming back up) restores delivery.
     sim.with_actor::<Sink, _>(sink, |s, ctx| {
@@ -96,8 +95,8 @@ fn restart_does_not_resurrect_port_bindings() {
         },
     );
     sim.run_to_quiescence();
-    assert_eq!(seen.borrow().len(), 1);
-    assert_eq!(seen.borrow()[0].1, 3);
+    assert_eq!(seen.lock().unwrap().len(), 1);
+    assert_eq!(seen.lock().unwrap()[0].1, 3);
 }
 
 #[test]
@@ -111,7 +110,7 @@ fn restart_does_not_resurrect_nat_mappings() {
     let p = sim.add_host(wan, HostSpec::new("p"));
     let n = sim.add_host(home, HostSpec::new("n"));
 
-    let p_seen = Rc::new(RefCell::new(Vec::new()));
+    let p_seen = Arc::new(Mutex::new(Vec::new()));
     sim.add_actor(
         p,
         Sink {
@@ -129,7 +128,11 @@ fn restart_does_not_resurrect_nat_mappings() {
         },
     );
     sim.run_until(SimTime::from_secs(1));
-    assert_eq!(p_seen.borrow().len(), 1, "outbound should reach the server");
+    assert_eq!(
+        p_seen.lock().unwrap().len(),
+        1,
+        "outbound should reach the server"
+    );
     assert_eq!(
         sim.world_ref()
             .domain(home)
@@ -189,7 +192,7 @@ fn in_flight_delivery_to_crashed_host_drops() {
     let wan = sim.add_domain(DomainSpec::public("wan"));
     let a = sim.add_host(wan, HostSpec::new("a"));
     let b = sim.add_host(wan, HostSpec::new("b"));
-    let seen = Rc::new(RefCell::new(Vec::new()));
+    let seen = Arc::new(Mutex::new(Vec::new()));
     sim.add_actor(
         b,
         Sink {
@@ -211,7 +214,10 @@ fn in_flight_delivery_to_crashed_host_drops() {
     sim.run_until(SimTime::from_micros(50));
     sim.world().crash_host(b);
     sim.run_to_quiescence();
-    assert!(seen.borrow().is_empty(), "dead host must not deliver");
+    assert!(
+        seen.lock().unwrap().is_empty(),
+        "dead host must not deliver"
+    );
     assert_eq!(sim.world_ref().stats.dropped(DropReason::HostDown), 1);
 }
 
@@ -224,8 +230,8 @@ fn blackhole_severs_one_pair_and_heals() {
     let a = sim.add_host(d1, HostSpec::new("a"));
     let b = sim.add_host(d2, HostSpec::new("b"));
     let c = sim.add_host(d3, HostSpec::new("c"));
-    let b_seen = Rc::new(RefCell::new(Vec::new()));
-    let c_seen = Rc::new(RefCell::new(Vec::new()));
+    let b_seen = Arc::new(Mutex::new(Vec::new()));
+    let c_seen = Arc::new(Mutex::new(Vec::new()));
     sim.add_actor(
         b,
         Sink {
@@ -262,8 +268,11 @@ fn blackhole_severs_one_pair_and_heals() {
         },
     );
     sim.run_until(SimTime::from_secs(1));
-    assert!(b_seen.borrow().is_empty(), "blackholed pair must drop");
-    assert_eq!(c_seen.borrow().len(), 1, "unrelated pair unaffected");
+    assert!(
+        b_seen.lock().unwrap().is_empty(),
+        "blackholed pair must drop"
+    );
+    assert_eq!(c_seen.lock().unwrap().len(), 1, "unrelated pair unaffected");
     assert_eq!(sim.world_ref().stats.dropped(DropReason::FaultInjected), 1);
 
     sim.world()
@@ -277,7 +286,11 @@ fn blackhole_severs_one_pair_and_heals() {
         },
     );
     sim.run_to_quiescence();
-    assert_eq!(b_seen.borrow().len(), 1, "healed pair passes traffic again");
+    assert_eq!(
+        b_seen.lock().unwrap().len(),
+        1,
+        "healed pair passes traffic again"
+    );
 }
 
 #[test]
@@ -287,8 +300,8 @@ fn partition_cuts_domain_off_both_directions() {
     let d2 = sim.add_domain(DomainSpec::public("d2"));
     let a = sim.add_host(d1, HostSpec::new("a"));
     let b = sim.add_host(d2, HostSpec::new("b"));
-    let a_seen = Rc::new(RefCell::new(Vec::new()));
-    let b_seen = Rc::new(RefCell::new(Vec::new()));
+    let a_seen = Arc::new(Mutex::new(Vec::new()));
+    let b_seen = Arc::new(Mutex::new(Vec::new()));
     sim.add_actor(
         a,
         Sink {
@@ -323,7 +336,7 @@ fn partition_cuts_domain_off_both_directions() {
         },
     );
     sim.run_until(SimTime::from_secs(1));
-    assert!(a_seen.borrow().is_empty() && b_seen.borrow().is_empty());
+    assert!(a_seen.lock().unwrap().is_empty() && b_seen.lock().unwrap().is_empty());
     assert_eq!(sim.world_ref().stats.dropped(DropReason::FaultInjected), 2);
     sim.world()
         .apply_fault(FaultKind::HealPartition { domain: d2 });
@@ -336,7 +349,7 @@ fn partition_cuts_domain_off_both_directions() {
         },
     );
     sim.run_to_quiescence();
-    assert_eq!(b_seen.borrow().len(), 1);
+    assert_eq!(b_seen.lock().unwrap().len(), 1);
 }
 
 #[test]
@@ -346,7 +359,7 @@ fn chaos_window_duplicates_every_packet_when_told_to() {
     let d2 = sim.add_domain(DomainSpec::public("d2"));
     let a = sim.add_host(d1, HostSpec::new("a"));
     let b = sim.add_host(d2, HostSpec::new("b"));
-    let seen = Rc::new(RefCell::new(Vec::new()));
+    let seen = Arc::new(Mutex::new(Vec::new()));
     sim.add_actor(
         b,
         Sink {
@@ -371,7 +384,7 @@ fn chaos_window_duplicates_every_packet_when_told_to() {
         );
     }
     sim.run_to_quiescence();
-    assert_eq!(seen.borrow().len(), 10, "every packet arrives twice");
+    assert_eq!(seen.lock().unwrap().len(), 10, "every packet arrives twice");
     assert_eq!(sim.world_ref().stats.duplicated, 5);
 
     // Close the window: no further duplication.
@@ -385,7 +398,7 @@ fn chaos_window_duplicates_every_packet_when_told_to() {
         },
     );
     sim.run_to_quiescence();
-    assert_eq!(seen.borrow().len(), 11);
+    assert_eq!(seen.lock().unwrap().len(), 11);
 }
 
 #[test]
@@ -396,7 +409,7 @@ fn chaos_reordering_defeats_fifo_and_is_deterministic() {
         let d2 = sim.add_domain(DomainSpec::public("d2"));
         let a = sim.add_host(d1, HostSpec::new("a").link_bps(1e9));
         let b = sim.add_host(d2, HostSpec::new("b").link_bps(1e9));
-        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen = Arc::new(Mutex::new(Vec::new()));
         sim.add_actor(
             b,
             Sink {
@@ -423,7 +436,7 @@ fn chaos_reordering_defeats_fifo_and_is_deterministic() {
         }
         sim.add_actor(a, Burst { dst });
         sim.run_to_quiescence();
-        let order: Vec<u8> = seen.borrow().iter().map(|&(_, tag)| tag).collect();
+        let order: Vec<u8> = seen.lock().unwrap().iter().map(|&(_, tag)| tag).collect();
         order
     }
     let order = run(42);
@@ -447,7 +460,7 @@ fn drawn_plan_injection_reproduces_exact_transcript() {
             let d = if i % 2 == 0 { d1 } else { d2 };
             hosts.push(sim.add_host(d, HostSpec::new(format!("h{i}"))));
         }
-        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen = Arc::new(Mutex::new(Vec::new()));
         sim.add_actor(
             hosts[0],
             Sink {

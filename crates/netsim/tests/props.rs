@@ -187,13 +187,12 @@ proptest! {
 #[test]
 fn whole_sim_determinism() {
     use bytes::Bytes;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     struct Chatter {
         port: u16,
         peers: Vec<PhysAddr>,
-        log: Rc<RefCell<Vec<(u64, u16)>>>,
+        log: Arc<Mutex<Vec<(u64, u16)>>>,
         sent: u32,
     }
     impl Actor for Chatter {
@@ -212,7 +211,8 @@ fn whole_sim_determinism() {
         }
         fn on_datagram(&mut self, ctx: &mut Ctx<'_>, d: Datagram) {
             self.log
-                .borrow_mut()
+                .lock()
+                .unwrap()
                 .push((ctx.now.as_micros(), d.src.port));
         }
     }
@@ -224,7 +224,7 @@ fn whole_sim_determinism() {
         let mut lm = LinkModel::default();
         lm.default_wan.loss = 0.05;
         sim.world().links = lm;
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let mut addrs = Vec::new();
         let mut hosts = Vec::new();
         for i in 0..6 {
@@ -248,7 +248,7 @@ fn whole_sim_determinism() {
         }
         sim.run_to_quiescence();
         let stats = &sim.world_ref().stats;
-        let events = log.borrow().clone();
+        let events = log.lock().unwrap().clone();
         (events, stats.sent, stats.delivered)
     }
 
@@ -261,8 +261,7 @@ fn whole_sim_determinism() {
 /// at a receiver that logs payload tags in arrival order.
 mod batch_harness {
     use bytes::Bytes;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     use wow_netsim::prelude::*;
 
@@ -287,14 +286,14 @@ mod batch_harness {
 
     pub struct Order {
         pub port: u16,
-        pub seen: Rc<RefCell<Vec<u8>>>,
+        pub seen: Arc<Mutex<Vec<u8>>>,
     }
     impl Actor for Order {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
             ctx.bind(self.port);
         }
         fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, d: Datagram) {
-            self.seen.borrow_mut().push(d.payload[0]);
+            self.seen.lock().unwrap().push(d.payload[0]);
         }
     }
 
@@ -313,8 +312,7 @@ mod batch_harness {
 fn batched_send_preserves_per_frame_drop_accounting() {
     use batch_harness::{drop_map, Blast, Order};
     use bytes::Bytes;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     fn run(batched: bool) -> (Vec<u8>, u64, u64, Vec<(String, u64)>) {
         let mut sim = Sim::new(77);
@@ -329,7 +327,7 @@ fn batched_send_preserves_per_frame_drop_accounting() {
         let dead = PhysAddr::new(sim.world().host_ip(down), 7);
         let nowhere = PhysAddr::new(PhysIp::new(8, 8, 8, 8), 7);
 
-        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen = Arc::new(Mutex::new(Vec::new()));
         sim.add_actor(
             receiver,
             Order {
@@ -357,7 +355,7 @@ fn batched_send_preserves_per_frame_drop_accounting() {
         );
         sim.run_to_quiescence();
         let stats = &sim.world_ref().stats;
-        let seen = seen.borrow().clone();
+        let seen = seen.lock().unwrap().clone();
         (seen, stats.sent, stats.delivered, drop_map(stats))
     }
 
@@ -394,8 +392,7 @@ proptest! {
     fn batched_send_matches_per_frame_under_loss(seed in any::<u64>(), n in 1usize..40) {
         use batch_harness::{drop_map, Blast, Order};
         use bytes::Bytes;
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex};
 
         let run = |batched: bool| {
             let mut sim = Sim::new(seed);
@@ -407,7 +404,7 @@ proptest! {
             let receiver = sim.add_host(wan, HostSpec::new("receiver"));
             let good = PhysAddr::new(sim.world().host_ip(receiver), 7);
             let nowhere = PhysAddr::new(PhysIp::new(8, 8, 8, 8), 7);
-            let seen = Rc::new(RefCell::new(Vec::new()));
+            let seen = Arc::new(Mutex::new(Vec::new()));
             sim.add_actor(receiver, Order { port: 7, seen: seen.clone() });
             let frames: Vec<(PhysAddr, Bytes)> = (0..n)
                 .map(|i| {
@@ -417,7 +414,7 @@ proptest! {
                 .collect();
             sim.add_actor(sender, Blast { port: 9, frames, batched });
             sim.run_to_quiescence();
-            let seen = seen.borrow().clone();
+            let seen = seen.lock().unwrap().clone();
             let stats = &sim.world_ref().stats;
             (seen, stats.sent, stats.delivered, drop_map(stats))
         };
@@ -440,8 +437,7 @@ proptest! {
     #[test]
     fn per_flow_fifo_delivery(seed in any::<u64>(), n in 2usize..40) {
         use bytes::Bytes;
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex};
 
         struct Blast {
             port: u16,
@@ -458,14 +454,14 @@ proptest! {
         }
         struct Order {
             port: u16,
-            seen: Rc<RefCell<Vec<u8>>>,
+            seen: Arc<Mutex<Vec<u8>>>,
         }
         impl Actor for Order {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
                 ctx.bind(self.port);
             }
             fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, d: Datagram) {
-                self.seen.borrow_mut().push(d.payload[0]);
+                self.seen.lock().unwrap().push(d.payload[0]);
             }
         }
         let mut sim = Sim::new(seed);
@@ -481,12 +477,12 @@ proptest! {
         sim.world().links = lm;
         let h1 = sim.add_host(wan, HostSpec::new("a").link_bps(1e9));
         let h2 = sim.add_host(wan, HostSpec::new("b").link_bps(1e9));
-        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen = Arc::new(Mutex::new(Vec::new()));
         sim.add_actor(h2, Order { port: 7, seen: seen.clone() });
         let dst = PhysAddr::new(sim.world().host_ip(h2), 7);
         sim.add_actor(h1, Blast { port: 9, dst, n });
         sim.run_to_quiescence();
-        let seen = seen.borrow();
+        let seen = seen.lock().unwrap();
         prop_assert_eq!(seen.len(), n);
         prop_assert!(seen.windows(2).all(|w| w[0] < w[1]), "reordered: {:?}", &*seen);
     }

@@ -130,6 +130,11 @@ impl UriSet {
     /// (it is the mapping currently confirmed live on the NAT, so it must
     /// be advertised ahead of older — possibly expired — ones). Returns
     /// true if it was new.
+    ///
+    /// The set is bounded so the advertised list always fits a wire frame
+    /// ([`crate::wire::MAX_URIS`]): when a NAT keeps handing out fresh
+    /// mappings, the oldest observations are evicted — they are exactly the
+    /// mappings the NAT has already expired.
     pub fn learn_observed(&mut self, uri: TransportUri) -> bool {
         if self.local.contains(&uri) {
             return false;
@@ -140,6 +145,12 @@ impl UriSet {
             return false;
         }
         self.observed.push(uri);
+        let cap = crate::wire::MAX_URIS
+            .saturating_sub(self.local.len())
+            .max(1);
+        while self.observed.len() > cap {
+            self.observed.remove(0);
+        }
         true
     }
 
@@ -219,6 +230,23 @@ mod tests {
         s.learn_observed(public);
         assert_eq!(s.advertised(UriOrder::PublicFirst), vec![public, private]);
         assert_eq!(s.advertised(UriOrder::PrivateFirst), vec![private, public]);
+    }
+
+    /// Regression (surfaced by the fig8 parallel differential in debug
+    /// builds): a NAT that keeps assigning fresh mappings must not grow the
+    /// advertised list past what a wire frame can carry.
+    #[test]
+    fn observed_set_is_bounded_to_wire_capacity() {
+        let mut s = UriSet::new(uri(10, 0, 0, 2, 4000));
+        for port in 0..100u16 {
+            s.learn_observed(uri(128, 8, 1, 1, 40000 + port));
+        }
+        let adv = s.advertised(UriOrder::PublicFirst);
+        assert!(adv.len() <= crate::wire::MAX_URIS);
+        // Newest observation leads; the survivors are the freshest ones.
+        assert_eq!(adv[0], uri(128, 8, 1, 1, 40099));
+        assert!(adv.contains(&uri(10, 0, 0, 2, 4000)), "local always kept");
+        assert!(!adv.contains(&uri(128, 8, 1, 1, 40000)), "oldest evicted");
     }
 
     #[test]

@@ -51,6 +51,10 @@ pub struct ChurnConfig {
     pub restart_after: Option<SimDuration>,
     /// Greedy routing pairs sampled per audit pass.
     pub route_samples: usize,
+    /// Event-execution workers for the underlying simulator. `0` inherits
+    /// the `WOW_SIM_WORKERS` environment default; any value yields
+    /// byte-identical outcomes (see the parallel differential suite).
+    pub workers: usize,
 }
 
 impl Default for ChurnConfig {
@@ -65,6 +69,7 @@ impl Default for ChurnConfig {
             poll: SimDuration::from_secs(5),
             restart_after: None,
             route_samples: 16,
+            workers: 0,
         }
     }
 }
@@ -158,6 +163,9 @@ impl Net {
 /// behaviour transfers.
 fn build(cfg: &ChurnConfig) -> Net {
     let mut sim = Sim::new(cfg.seed);
+    if cfg.workers > 0 {
+        sim.set_workers(cfg.workers);
+    }
     let wan = sim.add_domain(DomainSpec::public("wan"));
     let seeds = SeedSplitter::new(cfg.seed);
     let mut rng = seeds.rng("addresses");

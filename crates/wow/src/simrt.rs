@@ -115,7 +115,11 @@ impl ForwardingCost {
 }
 
 /// Application attached to an overlay host (the vnet stack, probes, …).
-pub trait OverlayApp: 'static {
+///
+/// `Send` because the hosting [`NodeDriver`] is a netsim [`Actor`], and
+/// actors migrate between pool workers under windowed parallel execution
+/// (never running concurrently with themselves; see `wow_netsim`).
+pub trait OverlayApp: Send + 'static {
     /// The host started (node already joined/joining).
     fn on_start(&mut self, _h: &mut NodeHandle<'_, '_>) {}
     /// A tunnelled payload arrived for this node.

@@ -150,6 +150,10 @@ pub struct TestbedConfig {
     pub nodes_start: SimTime,
     /// Gap between consecutive compute-node starts.
     pub node_start_gap: SimDuration,
+    /// Event-execution workers for the simulator. `0` inherits the
+    /// `WOW_SIM_WORKERS` environment default; any value yields
+    /// byte-identical results (see the parallel differential suite).
+    pub workers: usize,
 }
 
 impl Default for TestbedConfig {
@@ -164,6 +168,7 @@ impl Default for TestbedConfig {
             router_start_gap: SimDuration::from_millis(500),
             nodes_start: SimTime::from_secs(120),
             node_start_gap: SimDuration::from_secs(2),
+            workers: 0,
         }
     }
 }
@@ -226,6 +231,9 @@ pub fn build<W: Workload>(
     mut make_workload: impl FnMut(usize, &NodeSpec) -> W,
 ) -> Testbed {
     let mut sim = Sim::new(cfg.seed);
+    if cfg.workers > 0 {
+        sim.set_workers(cfg.workers);
+    }
     let seeds = SeedSplitter::new(cfg.seed).child("testbed");
 
     // ---- domains ----

@@ -26,7 +26,7 @@ use wow_vnet::prelude::{NetStack, StackEvent, VirtIp};
 use crate::simrt::{app_wake_tag, NodeHandle, OverlayApp};
 
 /// Middleware running on a workstation's virtual network.
-pub trait Workload: 'static {
+pub trait Workload: Send + 'static {
     /// The workstation booted.
     fn on_boot(&mut self, _w: &mut WsHandle<'_, '_, '_>) {}
     /// A stack event (ping reply, UDP datagram, TCP lifecycle).

@@ -7,8 +7,7 @@
 //! or repair-bound breach fails the test.
 
 use bytes::Bytes;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use wow::churn::{run, ChurnConfig};
 use wow::simrt::{ForwardingCost, NoApp, NodeHandle, OverlayApp, OverlayHost};
@@ -85,6 +84,45 @@ fn churn_run_is_deterministic_record_replay() {
     );
     assert_eq!(a.initial_ok, b.initial_ok);
     assert_eq!(a.counters, b.counters);
+}
+
+/// Parallel differential: a full churn run — kill batch, repair audits,
+/// telemetry — must be identical at every worker count of the simulator's
+/// windowed parallel engine.
+#[test]
+fn churn_run_is_identical_across_worker_counts() {
+    let base = ChurnConfig {
+        seed: churn_seed() ^ 0x9A12,
+        nodes: 10,
+        kill: 2,
+        batches: 1,
+        route_samples: 8,
+        ..ChurnConfig::default()
+    };
+    let reference = run(&ChurnConfig {
+        workers: 1,
+        ..base.clone()
+    });
+    for workers in [2usize, 4, 8] {
+        let out = run(&ChurnConfig {
+            workers,
+            ..base.clone()
+        });
+        assert_eq!(
+            out.transcript, reference.transcript,
+            "workers={workers}: fault transcript diverged from sequential"
+        );
+        assert_eq!(
+            out.verdicts(),
+            reference.verdicts(),
+            "workers={workers}: auditor verdicts diverged from sequential"
+        );
+        assert_eq!(out.initial_ok, reference.initial_ok);
+        assert_eq!(
+            out.counters, reference.counters,
+            "workers={workers}: node telemetry diverged from sequential"
+        );
+    }
 }
 
 #[test]
@@ -168,7 +206,7 @@ fn repair_wait_audits_on_a_backoff_schedule() {
 
 /// Counts exact app deliveries.
 struct Recorder {
-    seen: Rc<RefCell<usize>>,
+    seen: Arc<Mutex<usize>>,
 }
 impl OverlayApp for Recorder {
     fn on_deliver(
@@ -180,7 +218,7 @@ impl OverlayApp for Recorder {
         exact: bool,
     ) {
         if exact {
-            *self.seen.borrow_mut() += 1;
+            *self.seen.lock().unwrap() += 1;
         }
     }
 }
@@ -226,7 +264,7 @@ fn nat_expiry_mid_flow_relinks_instead_of_blackholing() {
             )));
         }
     }
-    let seen = Rc::new(RefCell::new(0usize));
+    let seen = Arc::new(Mutex::new(0usize));
     let mut nat_actors = Vec::new();
     let mut nat_addrs = Vec::new();
     for (i, dom) in [dom_a, dom_b].into_iter().enumerate() {
@@ -267,7 +305,7 @@ fn nat_expiry_mid_flow_relinks_instead_of_blackholing() {
     let direct =
         sim.with_actor::<OverlayHost<Recorder>, _>(a_actor, |h, _| h.node().has_direct(b_addr));
     assert!(direct, "precondition: shortcut must form before the fault");
-    let before_fault = *seen.borrow();
+    let before_fault = *seen.lock().unwrap();
     assert!(before_fault > 0, "precondition: traffic flowing");
 
     // Mid-flow fault: both NATs forget every mapping.
@@ -280,7 +318,7 @@ fn nat_expiry_mid_flow_relinks_instead_of_blackholing() {
     // window (~45 s), so it spans the blackhole, the stale link's death and
     // the re-punch to the fresh mappings.
     sim.run_until(SimTime::from_secs(300));
-    let after_fault = *seen.borrow() - before_fault;
+    let after_fault = *seen.lock().unwrap() - before_fault;
     assert!(
         after_fault > 0,
         "NAT expiry mid-flow must not blackhole the pair: \

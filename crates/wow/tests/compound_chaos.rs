@@ -74,9 +74,15 @@ impl Outcome {
     }
 }
 
-fn run_scenario(seed: u64) -> Outcome {
+/// `workers = 0` inherits the `WOW_SIM_WORKERS` environment default; any
+/// explicit count must reproduce the identical [`Outcome`] (asserted by the
+/// parallel differential test below).
+fn run_scenario(seed: u64, workers: usize) -> Outcome {
     let seeds = SeedSplitter::new(seed);
     let mut sim = Sim::new(seed);
+    if workers > 0 {
+        sim.set_workers(workers);
+    }
 
     // Node 0 gets its own domain so one Partition blackholes exactly the
     // original seed introducer; everyone else who is public shares the wan.
@@ -307,7 +313,7 @@ fn run_scenario(seed: u64) -> Outcome {
 
 #[test]
 fn compound_chaos_heals_within_bound() {
-    let out = run_scenario(churn_seed());
+    let out = run_scenario(churn_seed(), 0);
     assert!(out.initial_ok, "pre-fault overlay failed its audit");
     assert!(
         out.joiner_routable_under_partition,
@@ -352,11 +358,33 @@ fn compound_chaos_heals_within_bound() {
 #[test]
 fn compound_chaos_is_deterministic_record_replay() {
     let seed = churn_seed() ^ 0xCA05;
-    let a = run_scenario(seed);
-    let b = run_scenario(seed);
+    let a = run_scenario(seed, 0);
+    let b = run_scenario(seed, 0);
     assert_eq!(
         a.transcript, b.transcript,
         "same seed must replay the exact fault transcript"
     );
     assert_eq!(a, b, "same seed must replay the exact run outcome");
+}
+
+/// Parallel differential: the compound-chaos scenario — every faultlab
+/// primitive stacked on the multi-introducer overlay — must produce the
+/// identical [`Outcome`] at every worker count. This is the heaviest
+/// scenario in the repo, so it is the strongest single pin on the windowed
+/// parallel engine's byte-identity contract.
+#[test]
+fn compound_chaos_is_identical_across_worker_counts() {
+    let seed = churn_seed();
+    let reference = run_scenario(seed, 1);
+    for workers in [2usize, 4, 8] {
+        let got = run_scenario(seed, workers);
+        assert_eq!(
+            got.transcript, reference.transcript,
+            "workers={workers}: fault transcript diverged from sequential"
+        );
+        assert_eq!(
+            got, reference,
+            "workers={workers}: outcome diverged from sequential"
+        );
+    }
 }

@@ -2,8 +2,7 @@
 //! routing delivers, NATs are traversed, shortcuts form under traffic.
 
 use bytes::Bytes;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use wow::simrt::{ForwardingCost, NoApp, NodeHandle, OverlayApp, OverlayHost};
 use wow_netsim::prelude::*;
@@ -144,7 +143,7 @@ fn far_connections_reach_target_count() {
 
 /// Measurement app: records exact deliveries.
 struct Recorder {
-    seen: Rc<RefCell<Vec<(Address, Bytes)>>>,
+    seen: Arc<Mutex<Vec<(Address, Bytes)>>>,
 }
 impl OverlayApp for Recorder {
     fn on_deliver(
@@ -156,7 +155,7 @@ impl OverlayApp for Recorder {
         exact: bool,
     ) {
         if exact {
-            self.seen.borrow_mut().push((src, data));
+            self.seen.lock().unwrap().push((src, data));
         }
     }
 }
@@ -173,7 +172,7 @@ fn app_payloads_route_across_the_ring() {
     let mut bootstrap: Vec<TransportUri> = Vec::new();
     let mut actors = Vec::new();
     let mut addrs = Vec::new();
-    let seen = Rc::new(RefCell::new(Vec::new()));
+    let seen = Arc::new(Mutex::new(Vec::new()));
     for i in 0..n {
         let host = sim.add_host(wan, HostSpec::new(format!("h{i}")));
         let addr = Address::random(&mut rng);
@@ -215,7 +214,7 @@ fn app_payloads_route_across_the_ring() {
         }
     }
     sim.run_until(SimTime::from_secs(180));
-    let delivered = seen.borrow().len();
+    let delivered = seen.lock().unwrap().len();
     assert_eq!(
         delivered,
         n * (n - 1),

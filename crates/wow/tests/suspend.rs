@@ -1,8 +1,7 @@
 //! Suspension semantics: a suspended workstation drops traffic, defers its
 //! timers, and resumes with guest state intact.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 
@@ -20,8 +19,8 @@ const PORT: u16 = 14_000;
 
 /// Schedules a wake every 5 s and counts firings + ping replies.
 struct Ticker {
-    fired: Rc<RefCell<Vec<f64>>>,
-    replies: Rc<RefCell<u32>>,
+    fired: Arc<Mutex<Vec<f64>>>,
+    replies: Arc<Mutex<u32>>,
 }
 impl Workload for Ticker {
     fn on_boot(&mut self, w: &mut WsHandle<'_, '_, '_>) {
@@ -29,13 +28,13 @@ impl Workload for Ticker {
     }
     fn on_wake(&mut self, w: &mut WsHandle<'_, '_, '_>, tag: u64) {
         if tag == 1 {
-            self.fired.borrow_mut().push(w.now().as_secs_f64());
+            self.fired.lock().unwrap().push(w.now().as_secs_f64());
             w.wake_after(SimDuration::from_secs(5), 1);
         }
     }
     fn on_event(&mut self, _w: &mut WsHandle<'_, '_, '_>, ev: StackEvent) {
         if matches!(ev, StackEvent::PingReply { .. }) {
-            *self.replies.borrow_mut() += 1;
+            *self.replies.lock().unwrap() += 1;
         }
     }
 }
@@ -72,8 +71,8 @@ fn suspension_defers_timers_and_drops_traffic() {
             )));
         }
     }
-    let fired = Rc::new(RefCell::new(Vec::new()));
-    let replies = Rc::new(RefCell::new(0u32));
+    let fired = Arc::new(Mutex::new(Vec::new()));
+    let replies = Arc::new(Mutex::new(0u32));
     let host = sim.add_host(wan, HostSpec::new("vm"));
     let ws = sim.add_actor_at(
         host,
@@ -128,18 +127,18 @@ fn suspension_defers_timers_and_drops_traffic() {
     // -- covered by running the suspension assertions on the ticker alone.
 
     sim.run_until(SimTime::from_secs(30));
-    let before = fired.borrow().len();
+    let before = fired.lock().unwrap().len();
     assert!(before >= 4, "ticker must run while awake ({before})");
 
     // Suspend for 40 s.
     wow::workstation::control::suspend::<Ticker>(&mut sim, ws);
     sim.run_until(SimTime::from_secs(70));
-    let during = fired.borrow().len();
+    let during = fired.lock().unwrap().len();
     assert_eq!(before + 1, (during + 1), "no extra context");
     assert!(
-        fired.borrow().iter().all(|&t| t < 31.0),
+        fired.lock().unwrap().iter().all(|&t| t < 31.0),
         "no ticks while suspended: {:?}",
-        fired.borrow()
+        fired.lock().unwrap()
     );
     let suspended = sim.with_actor::<Workstation<Ticker>, _>(ws, |w, _| w.app().is_suspended());
     assert!(suspended);
@@ -147,7 +146,7 @@ fn suspension_defers_timers_and_drops_traffic() {
     // Resume: deferred ticks replay and the cycle continues.
     wow::workstation::control::resume::<Ticker>(&mut sim, ws);
     sim.run_until(SimTime::from_secs(100));
-    let after = fired.borrow().len();
+    let after = fired.lock().unwrap().len();
     assert!(
         after > during,
         "ticker must resume after resume ({during} -> {after})"

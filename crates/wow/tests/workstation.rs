@@ -1,8 +1,7 @@
 //! Workstation-level integration: virtual-IP traffic end-to-end over the
 //! overlay, across NATs, and through a WAN VM migration.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 
@@ -22,11 +21,11 @@ const NS: &str = "itest";
 
 /// Records every stack event.
 struct Recorder {
-    events: Rc<RefCell<Vec<(SimTime, StackEvent)>>>,
+    events: Arc<Mutex<Vec<(SimTime, StackEvent)>>>,
 }
 impl Workload for Recorder {
     fn on_event(&mut self, w: &mut WsHandle<'_, '_, '_>, ev: StackEvent) {
-        self.events.borrow_mut().push((w.now(), ev));
+        self.events.lock().unwrap().push((w.now(), ev));
     }
 }
 
@@ -34,8 +33,8 @@ struct World {
     sim: Sim,
     ws_a: ActorId,
     ws_b: ActorId,
-    b_events: Rc<RefCell<Vec<(SimTime, StackEvent)>>>,
-    a_events: Rc<RefCell<Vec<(SimTime, StackEvent)>>>,
+    b_events: Arc<Mutex<Vec<(SimTime, StackEvent)>>>,
+    a_events: Arc<Mutex<Vec<(SimTime, StackEvent)>>>,
     spare_host: HostId,
 }
 
@@ -76,8 +75,8 @@ fn setup(seed: u64) -> World {
             )));
         }
     }
-    let a_events = Rc::new(RefCell::new(Vec::new()));
-    let b_events = Rc::new(RefCell::new(Vec::new()));
+    let a_events = Arc::new(Mutex::new(Vec::new()));
+    let b_events = Arc::new(Mutex::new(Vec::new()));
     let host_a = sim.add_host(dom_a, HostSpec::new("vm-a"));
     let host_b = sim.add_host(dom_b, HostSpec::new("vm-b"));
     let spare_host = sim.add_host(wan, HostSpec::new("spare"));
@@ -159,7 +158,8 @@ fn virtual_ip_ping_end_to_end() {
     w.sim.run_until(SimTime::from_secs(60));
     let replies: Vec<u16> = w
         .a_events
-        .borrow()
+        .lock()
+        .unwrap()
         .iter()
         .filter_map(|(_, ev)| match ev {
             StackEvent::PingReply { from, seq, .. } if *from == VirtIp::testbed(3) => Some(*seq),
@@ -182,26 +182,28 @@ fn tcp_transfer_across_nats() {
     w.sim.schedule(SimTime::from_secs(40), move |sim| {
         with_stack(sim, ws_b, |w| w.stack.tcp_listen(5001));
     });
-    let sock = Rc::new(RefCell::new(None));
+    let sock = Arc::new(Mutex::new(None));
     let sock2 = sock.clone();
     w.sim.schedule(SimTime::from_secs(41), move |sim| {
         with_stack(sim, ws_a, move |w| {
             let now = w.now();
             let s = w.stack.tcp_connect(now, VirtIp::testbed(3), 5001);
-            *sock2.borrow_mut() = Some(s);
+            *sock2.lock().unwrap() = Some(s);
         });
     });
     // Feed data in chunks from control events (the workload is passive).
     let total = 200 * 1024usize;
-    let sent = Rc::new(RefCell::new(0usize));
+    let sent = Arc::new(Mutex::new(0usize));
     for k in 0..200u64 {
         let sock = sock.clone();
         let sent = sent.clone();
         w.sim.schedule(
             SimTime::from_secs(42) + SimDuration::from_millis(k * 200),
             move |sim| {
-                let Some(s) = *sock.borrow() else { return };
-                let mut done = sent.borrow_mut();
+                let Some(s) = *sock.lock().unwrap() else {
+                    return;
+                };
+                let mut done = sent.lock().unwrap();
                 if *done >= total {
                     return;
                 }
@@ -216,12 +218,13 @@ fn tcp_transfer_across_nats() {
     }
     w.sim.run_until(SimTime::from_secs(140));
     // Count bytes readable at B across accepted sockets.
-    let got = Rc::new(RefCell::new(0usize));
+    let got = Arc::new(Mutex::new(0usize));
     let got2 = got.clone();
     let b_events = w.b_events.clone();
     let ws_b2 = w.ws_b;
     let accepted: Vec<_> = b_events
-        .borrow()
+        .lock()
+        .unwrap()
         .iter()
         .filter_map(|(_, ev)| match ev {
             StackEvent::TcpAccepted { sock, .. } => Some(*sock),
@@ -234,12 +237,12 @@ fn tcp_transfer_across_nats() {
         with_stack(sim, ws_b2, |w| {
             let now = w.now();
             let data = w.stack.tcp_read(now, server_sock, usize::MAX);
-            *got2.borrow_mut() += data.len();
+            *got2.lock().unwrap() += data.len();
             assert!(data.iter().all(|&b| b == 0xAB));
         });
     });
     w.sim.run_until(SimTime::from_secs(142));
-    let received = *got.borrow();
+    let received = *got.lock().unwrap();
     assert!(
         received >= total,
         "expected ≥ {total} bytes at the server, got {received}"
@@ -274,7 +277,8 @@ fn migration_preserves_virtual_connectivity() {
 
     let replies: Vec<u64> = w
         .a_events
-        .borrow()
+        .lock()
+        .unwrap()
         .iter()
         .filter_map(|(at, ev)| match ev {
             StackEvent::PingReply { from, .. } if *from == VirtIp::testbed(3) => {

@@ -3,8 +3,7 @@
 //!
 //! Run with: `cargo run --release -p wow-bench --example batch_cluster`
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use wow::testbed::{self, TestbedConfig};
 use wow_bench::roles::Role;
@@ -17,7 +16,7 @@ use wow_netsim::prelude::*;
 fn main() {
     // The full Figure-1 testbed, with the paper's middleware stack on top:
     // node002 is the PBS head and NFS server; everyone else is a worker.
-    let results: Rc<RefCell<PbsResults>> = Rc::new(RefCell::new(PbsResults::default()));
+    let results: Arc<Mutex<PbsResults>> = Arc::new(Mutex::new(PbsResults::default()));
     let rr = results.clone();
     let head_ip = wow_vnet::ip::VirtIp::testbed(2);
     let jobs = 120u32;
@@ -50,7 +49,7 @@ fn main() {
     println!("33-node WOW booting; {jobs} MEME jobs queued at 1 job/s on node002...\n");
     tb.sim.run_until(SimTime::from_secs(1400));
 
-    let r = results.borrow();
+    let r = results.lock().unwrap();
     println!("jobs completed: {}/{}", r.records.len(), jobs);
     let walls: Vec<f64> = r.records.iter().map(|x| x.wall().as_secs_f64()).collect();
     let mean = walls.iter().sum::<f64>() / walls.len().max(1) as f64;

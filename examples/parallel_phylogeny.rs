@@ -3,8 +3,7 @@
 //!
 //! Run with: `cargo run --release -p wow-bench --example parallel_phylogeny`
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use wow::testbed::{self, TestbedConfig};
 use wow_bench::roles::Role;
@@ -24,7 +23,7 @@ fn main() {
         })
         .collect();
     let n_workers = 12usize;
-    let results: Rc<RefCell<PvmResults>> = Rc::new(RefCell::new(PvmResults::default()));
+    let results: Arc<Mutex<PvmResults>> = Arc::new(Mutex::new(PvmResults::default()));
     let rr = results.clone();
     let master_ip = wow_vnet::ip::VirtIp::testbed(2);
     let rounds2 = rounds.clone();
@@ -58,7 +57,7 @@ fn main() {
     );
     tb.sim.run_until(SimTime::from_secs(4000));
 
-    let r = results.borrow();
+    let r = results.lock().unwrap();
     println!("workers registered: {}", r.workers);
     println!("rounds completed: {}/{}", r.round_done.len(), rounds.len());
     let wall = r.wall().expect("run must complete").as_secs_f64();

@@ -7,8 +7,7 @@
 //! self-organize, then sends ICMP pings across the virtual network and
 //! watches the adaptive shortcut take the path from multi-hop to direct.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use wow::simrt::{ForwardingCost, NoApp, OverlayHost};
 use wow::workstation::{control, IdleWorkload, Workstation};
@@ -61,7 +60,7 @@ fn main() {
     }
 
     // ---- two virtual workstations behind different NATs ----
-    let results: Rc<RefCell<PingResults>> = Rc::new(RefCell::new(PingResults::default()));
+    let results: Arc<Mutex<PingResults>> = Arc::new(Mutex::new(PingResults::default()));
     let host_a = sim.add_host(campus_a, HostSpec::new("vm-a"));
     let host_b = sim.add_host(campus_b, HostSpec::new("vm-b"));
     let ip_a = VirtIp::testbed(2);
@@ -102,7 +101,7 @@ fn main() {
     sim.run_until(SimTime::from_secs(110));
 
     // ---- what happened? ----
-    let r = results.borrow();
+    let r = results.lock().unwrap();
     println!(
         "pings sent: {}, answered: {}",
         r.sent.len(),

@@ -1,8 +1,7 @@
 //! Whole-system determinism: identical seeds give identical experiment
 //! outcomes through every layer — simulator, overlay, vnet, middleware.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use wow::workstation::IdleWorkload;
 use wow_middleware::ping::{PingProbe, PingResults};
@@ -41,7 +40,7 @@ impl wow::workstation::Workload for P {
 }
 
 fn run(seed: u64) -> (Vec<(u16, u64)>, u64, u64) {
-    let results: Rc<RefCell<PingResults>> = Rc::new(RefCell::new(PingResults::default()));
+    let results: Arc<Mutex<PingResults>> = Arc::new(Mutex::new(PingResults::default()));
     let specs = vec![
         (2u8, 1.0, P::Idle(IdleWorkload)),
         (
@@ -54,7 +53,8 @@ fn run(seed: u64) -> (Vec<(u16, u64)>, u64, u64) {
     mc.sim.run_until(SimTime::from_secs(90));
     let stats = &mc.sim.world_ref().stats;
     let replies: Vec<(u16, u64)> = results
-        .borrow()
+        .lock()
+        .unwrap()
         .replies
         .iter()
         .map(|(s, rtt)| (*s, rtt.as_micros()))

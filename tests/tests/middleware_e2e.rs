@@ -2,8 +2,7 @@
 //! PVM master/worker rounds, and the ping probe — everything the paper's
 //! evaluation builds on, at test scale.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use wow::workstation::IdleWorkload;
 use wow_middleware::duo::Both;
@@ -76,7 +75,7 @@ impl wow::workstation::Workload for Role {
 #[test]
 fn pbs_stream_completes_with_sane_wall_times() {
     let head_ip = VirtIp::testbed(2);
-    let results: Rc<RefCell<PbsResults>> = Rc::new(RefCell::new(PbsResults::default()));
+    let results: Arc<Mutex<PbsResults>> = Arc::new(Mutex::new(PbsResults::default()));
     let template = JobTemplate {
         nominal: SimDuration::from_secs(10),
         input_bytes: 200_000,
@@ -105,7 +104,7 @@ fn pbs_stream_completes_with_sane_wall_times() {
     }
     let mut mc = mini_cluster(21, 2, OverlayConfig::default(), specs);
     mc.sim.run_until(SimTime::from_secs(400));
-    let r = results.borrow();
+    let r = results.lock().unwrap();
     assert_eq!(
         r.records.len(),
         total_jobs as usize,
@@ -131,7 +130,7 @@ fn pbs_stream_completes_with_sane_wall_times() {
 #[test]
 fn pbs_slow_node_runs_fewer_longer_jobs() {
     let head_ip = VirtIp::testbed(2);
-    let results: Rc<RefCell<PbsResults>> = Rc::new(RefCell::new(PbsResults::default()));
+    let results: Arc<Mutex<PbsResults>> = Arc::new(Mutex::new(PbsResults::default()));
     let template = JobTemplate {
         nominal: SimDuration::from_secs(10),
         input_bytes: 100_000,
@@ -157,7 +156,7 @@ fn pbs_slow_node_runs_fewer_longer_jobs() {
     ));
     let mut mc = mini_cluster(22, 2, OverlayConfig::default(), specs);
     mc.sim.run_until(SimTime::from_secs(600));
-    let r = results.borrow();
+    let r = results.lock().unwrap();
     assert_eq!(r.records.len(), 30);
     let fast: Vec<f64> = r
         .records
@@ -189,7 +188,7 @@ fn pbs_slow_node_runs_fewer_longer_jobs() {
 #[test]
 fn pvm_rounds_run_to_completion_with_barriers() {
     let master_ip = VirtIp::testbed(2);
-    let results: Rc<RefCell<PvmResults>> = Rc::new(RefCell::new(PvmResults::default()));
+    let results: Arc<Mutex<PvmResults>> = Arc::new(Mutex::new(PvmResults::default()));
     let rounds: Vec<RoundSpec> = (0..6)
         .map(|i| RoundSpec {
             tasks: 3 + 2 * i,
@@ -213,7 +212,7 @@ fn pvm_rounds_run_to_completion_with_barriers() {
     }
     let mut mc = mini_cluster(23, 2, OverlayConfig::default(), specs);
     mc.sim.run_until(SimTime::from_secs(400));
-    let r = results.borrow();
+    let r = results.lock().unwrap();
     assert_eq!(r.workers, n_workers);
     assert_eq!(r.round_done.len(), rounds.len(), "all rounds must complete");
     assert!(r.finished.is_some());
@@ -231,7 +230,7 @@ fn pvm_rounds_run_to_completion_with_barriers() {
 
 #[test]
 fn ping_probe_measures_rtt_through_the_overlay() {
-    let results: Rc<RefCell<PingResults>> = Rc::new(RefCell::new(PingResults::default()));
+    let results: Arc<Mutex<PingResults>> = Arc::new(Mutex::new(PingResults::default()));
     let specs = vec![
         (2u8, 1.0, Role::Idle(IdleWorkload)),
         (
@@ -242,7 +241,7 @@ fn ping_probe_measures_rtt_through_the_overlay() {
     ];
     let mut mc = mini_cluster(24, 2, OverlayConfig::default(), specs);
     mc.sim.run_until(SimTime::from_secs(120));
-    let r = results.borrow();
+    let r = results.lock().unwrap();
     assert_eq!(r.sent.len(), 30);
     // The probe starts at boot; the first few probes are lost while the
     // node joins (regime 1 of Fig. 5), then replies flow.

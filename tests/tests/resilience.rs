@@ -4,8 +4,7 @@
 //! ("several physical nodes have been shut down and restarted during this
 //! period ... in no occasion did we have to restart the entire overlay").
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 
@@ -25,7 +24,7 @@ const PORT: u16 = 14_000;
 /// Pings a target every second forever, recording reply times (seconds).
 struct ForeverPing {
     target: VirtIp,
-    replies: Rc<RefCell<Vec<f64>>>,
+    replies: Arc<Mutex<Vec<f64>>>,
     seq: u16,
 }
 impl Workload for ForeverPing {
@@ -40,7 +39,7 @@ impl Workload for ForeverPing {
     }
     fn on_event(&mut self, w: &mut WsHandle<'_, '_, '_>, ev: StackEvent) {
         if matches!(ev, StackEvent::PingReply { ident: 5, .. }) {
-            self.replies.borrow_mut().push(w.now().as_secs_f64());
+            self.replies.lock().unwrap().push(w.now().as_secs_f64());
         }
     }
 }
@@ -49,7 +48,7 @@ struct World {
     sim: Sim,
     routers: Vec<ActorId>,
     home: DomainId,
-    replies: Rc<RefCell<Vec<f64>>>,
+    replies: Arc<Mutex<Vec<f64>>>,
 }
 
 /// 10 routers, a target workstation on the WAN, and a pinger behind a NAT.
@@ -102,7 +101,7 @@ fn setup(seed: u64) -> World {
             IdleWorkload,
         ),
     );
-    let replies = Rc::new(RefCell::new(Vec::new()));
+    let replies = Arc::new(Mutex::new(Vec::new()));
     let home_host = sim.add_host(home, HostSpec::new("homepc"));
     sim.add_actor_at(
         home_host,
@@ -130,9 +129,10 @@ fn setup(seed: u64) -> World {
     }
 }
 
-fn replies_in(replies: &Rc<RefCell<Vec<f64>>>, lo: f64, hi: f64) -> usize {
+fn replies_in(replies: &Arc<Mutex<Vec<f64>>>, lo: f64, hi: f64) -> usize {
     replies
-        .borrow()
+        .lock()
+        .unwrap()
         .iter()
         .filter(|&&t| t >= lo && t < hi)
         .count()

@@ -1,8 +1,7 @@
 //! End-to-end transfer middleware on the mini cluster: ttcp, SCP
 //! server/client, and NFS bulk reads through a PBS worker's client.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use wow::workstation::{IdleWorkload, Workload, WsHandle};
 use wow_middleware::scp::{FileClient, FileServer};
@@ -55,9 +54,8 @@ impl Workload for Xfer {
 #[test]
 fn ttcp_moves_exactly_the_requested_bytes() {
     let bytes = 3_000_000u64;
-    let progress: Rc<RefCell<TransferProgress>> =
-        Rc::new(RefCell::new(TransferProgress::default()));
-    let sender_progress = Rc::new(RefCell::new(TransferProgress::default()));
+    let progress: Arc<Mutex<TransferProgress>> = Arc::new(Mutex::new(TransferProgress::default()));
+    let sender_progress = Arc::new(Mutex::new(TransferProgress::default()));
     let specs = vec![
         (
             2u8,
@@ -78,11 +76,11 @@ fn ttcp_moves_exactly_the_requested_bytes() {
     ];
     let mut mc = mini_cluster(41, 2, OverlayConfig::default(), specs);
     mc.sim.run_until(SimTime::from_secs(240));
-    let p = progress.borrow();
+    let p = progress.lock().unwrap();
     assert_eq!(p.total, bytes, "receiver must count every byte");
     assert!(p.completed.is_some(), "transfer must complete");
     assert!(!p.aborted);
-    let sp = sender_progress.borrow();
+    let sp = sender_progress.lock().unwrap();
     assert_eq!(sp.total, bytes, "sender-side accounting agrees");
     // Throughput is sane for a 2-hop-at-most overlay path.
     let kbs = p.throughput_kbs().expect("complete");
@@ -92,8 +90,7 @@ fn ttcp_moves_exactly_the_requested_bytes() {
 #[test]
 fn scp_file_server_and_client_roundtrip() {
     let file = 2_000_000u64;
-    let progress: Rc<RefCell<TransferProgress>> =
-        Rc::new(RefCell::new(TransferProgress::default()));
+    let progress: Arc<Mutex<TransferProgress>> = Arc::new(Mutex::new(TransferProgress::default()));
     let specs = vec![
         (2u8, 1.0, Xfer::Serve(FileServer::new(22, file))),
         (
@@ -109,7 +106,7 @@ fn scp_file_server_and_client_roundtrip() {
     ];
     let mut mc = mini_cluster(42, 2, OverlayConfig::default(), specs);
     mc.sim.run_until(SimTime::from_secs(240));
-    let p = progress.borrow();
+    let p = progress.lock().unwrap();
     assert_eq!(p.total, file);
     assert!(p.completed.is_some());
     // The progress curve is nondecreasing — the Fig. 6 plot depends on it.
@@ -119,8 +116,8 @@ fn scp_file_server_and_client_roundtrip() {
 #[test]
 fn two_concurrent_scp_clients_share_one_server() {
     let file = 1_000_000u64;
-    let p1: Rc<RefCell<TransferProgress>> = Rc::new(RefCell::new(TransferProgress::default()));
-    let p2: Rc<RefCell<TransferProgress>> = Rc::new(RefCell::new(TransferProgress::default()));
+    let p1: Arc<Mutex<TransferProgress>> = Arc::new(Mutex::new(TransferProgress::default()));
+    let p2: Arc<Mutex<TransferProgress>> = Arc::new(Mutex::new(TransferProgress::default()));
     let specs = vec![
         (2u8, 1.0, Xfer::Serve(FileServer::new(22, file))),
         (
@@ -146,7 +143,7 @@ fn two_concurrent_scp_clients_share_one_server() {
     ];
     let mut mc = mini_cluster(43, 2, OverlayConfig::default(), specs);
     mc.sim.run_until(SimTime::from_secs(300));
-    assert_eq!(p1.borrow().total, file);
-    assert_eq!(p2.borrow().total, file);
-    assert!(p1.borrow().completed.is_some() && p2.borrow().completed.is_some());
+    assert_eq!(p1.lock().unwrap().total, file);
+    assert_eq!(p2.lock().unwrap().total, file);
+    assert!(p1.lock().unwrap().completed.is_some() && p2.lock().unwrap().completed.is_some());
 }

@@ -1,16 +1,258 @@
 //! Minimal, offline stand-in for `rayon`.
 //!
-//! Supports the `par_iter().map().collect()` / `into_par_iter()` shapes
-//! used by the bench harness. Work is distributed over `std::thread::scope`
-//! workers pulling from a shared queue; result order matches input order.
+//! Two facilities:
+//!
+//! - the `par_iter().map().collect()` / `into_par_iter()` shapes used by the
+//!   bench harness, distributed over `std::thread::scope` workers pulling
+//!   from a shared queue (result order matches input order);
+//! - [`ThreadPool`], a persistent fixed-size work-stealing pool for callers
+//!   that dispatch many small batches (e.g. one batch per simulation window)
+//!   and cannot afford per-batch thread spawns. Jobs are pushed round-robin
+//!   onto per-worker deques; idle workers steal from the back of their
+//!   peers' deques, and the thread calling [`ThreadPool::run_batch`]
+//!   participates as a worker until its batch completes.
 
 #![warn(missing_docs)]
 
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Commonly used traits, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// A job queued on the pool. Erased to `'static`; `run_batch` guarantees the
+/// borrow it actually carries outlives execution by not returning until every
+/// job in the batch has finished.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    /// Bumped after every batch push so parked workers re-scan the deques.
+    gen: u64,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    /// One deque per worker slot (background threads plus the caller slot).
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+}
+
+impl PoolShared {
+    /// Pop from our own deque, else steal from the back of a peer's.
+    fn find_job(&self, own: usize) -> Option<Job> {
+        let n = self.queues.len();
+        if let Some(job) = self.queues[own % n]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop_front()
+        {
+            return Some(job);
+        }
+        for off in 1..n {
+            let q = (own + off) % n;
+            if let Some(job) = self.queues[q]
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .pop_back()
+            {
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+struct BatchState {
+    remaining: Mutex<usize>,
+    done_cv: Condvar,
+    /// First panic payload observed in this batch, re-raised by `run_batch`.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// A persistent fixed-size work-stealing thread pool.
+///
+/// `ThreadPool::new(k)` serves batches with `k`-way parallelism: it spawns
+/// `k - 1` background threads and the caller of [`run_batch`] fills the last
+/// slot, so `new(1)` spawns nothing and runs jobs inline. Background threads
+/// park on a condvar between batches; dispatch latency per batch is a couple
+/// of microseconds, which is what makes per-window fan-out viable for the
+/// simulator.
+///
+/// [`run_batch`]: ThreadPool::run_batch
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    next_queue: std::cell::Cell<usize>,
+}
+
+impl ThreadPool {
+    /// Create a pool with `workers` total execution slots (min 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            state: Mutex::new(PoolState {
+                gen: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+        });
+        let handles = (1..workers)
+            .map(|slot| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pool-worker-{slot}"))
+                    .spawn(move || worker_loop(&shared, slot))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            handles,
+            next_queue: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Total execution slots (background threads + the calling thread).
+    pub fn workers(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Execute a batch of jobs with `workers()`-way parallelism and return
+    /// once all of them have finished. The calling thread executes jobs too.
+    /// If any job panics, the first payload is re-raised here after the rest
+    /// of the batch has completed.
+    pub fn run_batch<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        let n = jobs.len();
+        if n == 0 {
+            return;
+        }
+        let batch = Arc::new(BatchState {
+            remaining: Mutex::new(n),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        let mut q = self.next_queue.get();
+        for job in jobs {
+            let b = Arc::clone(&batch);
+            let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                    let mut slot = b.panic.lock().unwrap_or_else(|p| p.into_inner());
+                    slot.get_or_insert(payload);
+                }
+                let mut rem = b.remaining.lock().unwrap_or_else(|p| p.into_inner());
+                *rem -= 1;
+                if *rem == 0 {
+                    b.done_cv.notify_all();
+                }
+            });
+            // SAFETY: `run_batch` blocks until `remaining == 0`, i.e. until
+            // every wrapped job has run to completion, so the `'scope`
+            // borrows inside the job never outlive this stack frame.
+            let wrapped: Job = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(wrapped)
+            };
+            self.shared.queues[q % self.workers()]
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push_back(wrapped);
+            q += 1;
+        }
+        self.next_queue.set(q % self.workers());
+        {
+            let mut state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            state.gen = state.gen.wrapping_add(1);
+        }
+        self.shared.work_cv.notify_all();
+        // Help out from the caller slot until the batch drains.
+        loop {
+            match self.shared.find_job(0) {
+                Some(job) => job(),
+                None => {
+                    // No queued work left anywhere, so every remaining job of
+                    // this batch is already in flight on a background worker;
+                    // its completion notifies `done_cv`. New work cannot
+                    // appear for this batch (all jobs were pushed up front),
+                    // so waiting on the counter is enough.
+                    let mut rem = batch.remaining.lock().unwrap_or_else(|p| p.into_inner());
+                    while *rem > 0 {
+                        rem = batch
+                            .done_cv
+                            .wait(rem)
+                            .unwrap_or_else(|p| p.into_inner());
+                    }
+                    break;
+                }
+            }
+        }
+        let payload = batch
+            .panic
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            state.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, slot: usize) {
+    loop {
+        let gen = {
+            let state = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            if state.shutdown {
+                return;
+            }
+            state.gen
+        };
+        // Drain everything reachable before considering a park.
+        let mut did_work = false;
+        while let Some(job) = shared.find_job(slot) {
+            job();
+            did_work = true;
+        }
+        if did_work {
+            continue;
+        }
+        // Brief spin: windows arrive at kHz rates and a condvar round-trip
+        // per window is the latency floor we are trying to stay under.
+        let mut found = false;
+        for _ in 0..64 {
+            std::hint::spin_loop();
+            if let Some(job) = shared.find_job(slot) {
+                job();
+                found = true;
+                break;
+            }
+        }
+        if found {
+            continue;
+        }
+        let mut state = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        while state.gen == gen && !state.shutdown {
+            state = shared
+                .work_cv
+                .wait(state)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
 }
 
 /// A collected parallel iterator over owned items.
@@ -161,5 +403,150 @@ mod tests {
     fn single_item_fast_path() {
         let out: Vec<u8> = vec![9u8].into_par_iter().map(|x| x).collect();
         assert_eq!(out, vec![9]);
+    }
+
+    use super::ThreadPool;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    fn job<'a>(f: impl FnOnce() + Send + 'a) -> Box<dyn FnOnce() + Send + 'a> {
+        Box::new(f)
+    }
+
+    /// Spin until `flag` is set or the deadline passes; returns success.
+    fn await_flag(flag: &AtomicBool, deadline: Duration) -> bool {
+        let start = Instant::now();
+        while !flag.load(Ordering::Acquire) {
+            if start.elapsed() > deadline {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+        true
+    }
+
+    /// Two jobs that must run concurrently to finish: each raises its own
+    /// flag then waits for the other's. A pool that secretly runs one job at
+    /// a time can never complete this batch, so passing proves two OS threads
+    /// were executing jobs at the same instant.
+    #[test]
+    fn pool_executes_jobs_concurrently() {
+        let pool = ThreadPool::new(4);
+        let a = AtomicBool::new(false);
+        let b = AtomicBool::new(false);
+        let ok = AtomicUsize::new(0);
+        pool.run_batch(vec![
+            job(|| {
+                a.store(true, Ordering::Release);
+                if await_flag(&b, Duration::from_secs(30)) {
+                    ok.fetch_add(1, Ordering::Relaxed);
+                }
+            }),
+            job(|| {
+                b.store(true, Ordering::Release);
+                if await_flag(&a, Duration::from_secs(30)) {
+                    ok.fetch_add(1, Ordering::Relaxed);
+                }
+            }),
+        ]);
+        assert_eq!(ok.load(Ordering::Relaxed), 2, "jobs never overlapped");
+    }
+
+    /// Jobs are pushed round-robin, so with 4 workers, jobs 0 and 4 land on
+    /// the same deque. Job 0 blocks until job 4 has run; the only way job 4
+    /// runs while job 0 occupies that deque's owner is for another worker to
+    /// steal it from the deque's back. Two filler jobs park on a flag and one
+    /// is a no-op, which leaves exactly one worker free to do the stealing.
+    #[test]
+    fn pool_steals_from_a_loaded_queue() {
+        let pool = ThreadPool::new(4);
+        let stolen = AtomicBool::new(false);
+        let release = AtomicBool::new(false);
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        jobs.push(job(|| {
+            assert!(
+                await_flag(&stolen, Duration::from_secs(30)),
+                "job behind the blocker was never stolen"
+            );
+            release.store(true, Ordering::Release);
+        }));
+        for _ in 0..2 {
+            jobs.push(job(|| {
+                let _ = await_flag(&release, Duration::from_secs(30));
+            }));
+        }
+        jobs.push(job(|| {}));
+        jobs.push(job(|| stolen.store(true, Ordering::Release)));
+        pool.run_batch(jobs);
+        assert!(stolen.load(Ordering::Acquire));
+    }
+
+    /// Many small batches under contention: every job runs exactly once and
+    /// more than one OS thread participates across the run.
+    #[test]
+    fn pool_contention_stress() {
+        let pool = ThreadPool::new(4);
+        let threads = Mutex::new(std::collections::HashSet::new());
+        let total = AtomicUsize::new(0);
+        for batch in 0..200 {
+            let jobs = (0..16)
+                .map(|i| {
+                    let threads = &threads;
+                    let total = &total;
+                    job(move || {
+                        // A dab of work so batches overlap across workers.
+                        let mut acc: u64 = batch * 31 + i;
+                        for _ in 0..500 {
+                            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        }
+                        std::hint::black_box(acc);
+                        threads.lock().unwrap().insert(std::thread::current().id());
+                        total.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            pool.run_batch(jobs);
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 200 * 16);
+        assert!(
+            threads.lock().unwrap().len() > 1,
+            "all jobs ran on a single thread"
+        );
+    }
+
+    #[test]
+    fn pool_single_worker_runs_inline() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.workers(), 1);
+        let caller = std::thread::current().id();
+        let ran_on = Mutex::new(None);
+        pool.run_batch(vec![job(|| {
+            *ran_on.lock().unwrap() = Some(std::thread::current().id());
+        })]);
+        assert_eq!(*ran_on.lock().unwrap(), Some(caller));
+    }
+
+    #[test]
+    fn pool_propagates_panics() {
+        let pool = ThreadPool::new(2);
+        let survivors = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_batch(vec![
+                job(|| panic!("boom")),
+                job(|| {
+                    survivors.fetch_add(1, Ordering::Relaxed);
+                }),
+            ]);
+        }));
+        assert!(result.is_err(), "panic was swallowed");
+        // The rest of the batch still ran and the pool is still usable.
+        assert_eq!(survivors.load(Ordering::Relaxed), 1);
+        let after = Arc::new(AtomicUsize::new(0));
+        let a = Arc::clone(&after);
+        pool.run_batch(vec![job(move || {
+            a.fetch_add(1, Ordering::Relaxed);
+        })]);
+        assert_eq!(after.load(Ordering::Relaxed), 1);
     }
 }
